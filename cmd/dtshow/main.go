@@ -1,0 +1,84 @@
+// Command dtshow prints the internal representations of example derived
+// datatypes: the constructor tree, the type map, and the flattened
+// leaf/stack representation built at commit time (the paper's figures 3
+// and 5).
+//
+// Usage:
+//
+//	dtshow [name]
+//
+// With no argument, all example types are shown. Names: paper-struct,
+// vector, double-strided, indexed, subarray.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"scimpich/internal/datatype"
+)
+
+// exampleTypes returns the named demonstration types.
+func exampleTypes() []struct {
+	Name string
+	Desc string
+	Type *datatype.Type
+} {
+	paperStruct := datatype.StructOf(
+		datatype.Field{Type: datatype.Int32, Blocklen: 1, Disp: 0},
+		datatype.Field{Type: datatype.Char, Blocklen: 3, Disp: 4},
+	)
+	paperStruct = datatype.Resized(paperStruct, 0, 12)
+	inner := datatype.Vector(4, 2, 4, datatype.Float64)
+	return []struct {
+		Name string
+		Desc string
+		Type *datatype.Type
+	}{
+		{"paper-struct", "figure 3/5: a vector of structs (int + 3 chars + gap); the int and chars merge into one 7-byte leaf",
+			datatype.Vector(5, 1, 1, paperStruct).Commit()},
+		{"vector", "single-strided vector: 8 blocks of 2 doubles every 4 doubles",
+			datatype.Vector(8, 2, 4, datatype.Float64).Commit()},
+		{"double-strided", "figure 2: a vector of vectors (2-D face of a 3-D decomposition)",
+			datatype.Vector(3, 1, 1, datatype.Resized(inner, 0, 512)).Commit()},
+		{"indexed", "irregular blocks: lengths 2/1/3 at displacements 0/4/8",
+			datatype.Indexed([]int{2, 1, 3}, []int{0, 4, 8}, datatype.Int32).Commit()},
+		{"subarray", "the 2x2 interior of a 4x4 double matrix",
+			datatype.Subarray([]int{4, 4}, []int{2, 2}, []int{1, 1}, datatype.Float64).Commit()},
+	}
+}
+
+func main() {
+	want := ""
+	if len(os.Args) > 1 {
+		want = os.Args[1]
+	}
+	shown := 0
+	for _, ex := range exampleTypes() {
+		if want != "" && ex.Name != want {
+			continue
+		}
+		shown++
+		fmt.Printf("== %s ==\n%s\n", ex.Name, ex.Desc)
+		fmt.Printf("tree:   %s\n", ex.Type)
+		fmt.Printf("size %d, extent %d\n", ex.Type.Size(), ex.Type.Extent())
+		fmt.Print("type map: ")
+		for i, b := range ex.Type.TypeMap() {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			if i >= 8 {
+				fmt.Print("...")
+				break
+			}
+			fmt.Printf("[%d,%d)", b.Off, b.Off+b.Len)
+		}
+		fmt.Println()
+		fmt.Print(ex.Type.Flat().Describe())
+		fmt.Println()
+	}
+	if shown == 0 {
+		fmt.Fprintf(os.Stderr, "dtshow: unknown type %q\n", want)
+		os.Exit(2)
+	}
+}

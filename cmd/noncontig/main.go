@@ -1,0 +1,91 @@
+// Command noncontig regenerates the non-contiguous datatype experiments:
+// Figure 7 (generic vs direct_pack_ff vs contiguous on SCI-MPICH, inter-
+// and intra-node) and, with -platforms, Figure 10 (the same workload across
+// the Table 1 machines) plus the Table 1 inventory itself.
+//
+// Usage:
+//
+//	noncontig [-csv] [-platforms] [-min 8] [-max 131072]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"scimpich/internal/bench"
+	"scimpich/internal/platform"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	platforms := flag.Bool("platforms", false, "run the Figure 10 cross-platform comparison")
+	doubleStrided := flag.Bool("2d", false, "run the double-strided (figure 2) variant")
+	min := flag.Int64("min", 8, "smallest block size in bytes")
+	max := flag.Int64("max", 128<<10, "largest block size in bytes")
+	flag.Parse()
+
+	sizes := bench.Sizes(*min, *max)
+	if *doubleStrided {
+		results := bench.RunNoncontig2D(sizes)
+		fig := &bench.Figure{
+			Title:  "Double-strided (figure 2) transfers over SCI (MiB/s)",
+			XLabel: "blocksize",
+			YLabel: "MiB/s",
+		}
+		gen := bench.Series{Label: "SCI-generic"}
+		ff := bench.Series{Label: "SCI-ff"}
+		for _, r := range results {
+			fig.X = append(fig.X, float64(r.BlockSize))
+			gen.Values = append(gen.Values, r.InterGeneric)
+			ff.Values = append(ff.Values, r.InterFF)
+		}
+		fig.Series = []bench.Series{gen, ff}
+		if *csv {
+			fig.CSV(os.Stdout)
+		} else {
+			fig.Print(os.Stdout)
+		}
+		return
+	}
+	if *platforms {
+		printTable1(os.Stdout)
+		results := bench.RunPlatformNoncontig(sizes)
+		fig := bench.PlatformNoncontigFigure(sizes, results)
+		if *csv {
+			fig.CSV(os.Stdout)
+		} else {
+			fig.Print(os.Stdout)
+		}
+		return
+	}
+	fig := bench.NoncontigFigure(bench.RunNoncontig(sizes))
+	if *csv {
+		fig.CSV(os.Stdout)
+	} else {
+		fig.Print(os.Stdout)
+	}
+}
+
+// printTable1 reproduces the platform inventory (Table 1).
+func printTable1(out *os.File) {
+	fmt.Fprintln(out, "# Table 1: cluster platforms for evaluation of MPI performance")
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tMachine\tInterconnect\tMPI\tOSC")
+	rows := platform.All()
+	for _, pl := range rows {
+		osc := "no"
+		if pl.OneSided {
+			osc = "yes"
+		}
+		if pl.GetOnly {
+			osc = "yes (Get only)"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", pl.ID, pl.Machine, pl.Interconnect, pl.MPI, osc)
+	}
+	fmt.Fprintln(w, "M-S\tPentiumIII dual SMP\tSCI\tMP-MPICH (this repo)\tyes")
+	fmt.Fprintln(w, "M-s\tPentiumIII dual SMP\tshared memory\tMP-MPICH (this repo)\tyes")
+	w.Flush()
+	fmt.Fprintln(out)
+}

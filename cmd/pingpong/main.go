@@ -1,0 +1,31 @@
+// Command pingpong sweeps the classic two-sided latency/bandwidth
+// benchmark over message sizes, inter-node (SCI) and intra-node (shared
+// memory). The protocol transitions of the device — short control packets,
+// preallocated eager slots, handshaked rendezvous — appear as knees in the
+// latency curve.
+//
+// Usage:
+//
+//	pingpong [-csv] [-min 1] [-max 1048576]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"scimpich/internal/bench"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	min := flag.Int64("min", 1, "smallest message in bytes")
+	max := flag.Int64("max", 1<<20, "largest message in bytes")
+	flag.Parse()
+
+	fig := bench.PingPongFigure(bench.RunPingPong(bench.Sizes(*min, *max)))
+	if *csv {
+		fig.CSV(os.Stdout)
+		return
+	}
+	fig.Print(os.Stdout)
+}

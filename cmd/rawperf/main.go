@@ -1,0 +1,34 @@
+// Command rawperf regenerates Figure 1: raw SCI communication performance
+// (PIO and DMA latency and bandwidth) on the simulated cluster.
+//
+// Usage:
+//
+//	rawperf [-csv] [-min 8] [-max 524288]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scimpich/internal/bench"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	min := flag.Int64("min", 8, "smallest transfer size in bytes")
+	max := flag.Int64("max", 512<<10, "largest transfer size in bytes")
+	flag.Parse()
+
+	results := bench.RunRaw(bench.Sizes(*min, *max))
+	lat := bench.RawLatencyFigure(results)
+	bw := bench.RawFigure(results)
+	if *csv {
+		lat.CSV(os.Stdout)
+		fmt.Println()
+		bw.CSV(os.Stdout)
+		return
+	}
+	lat.Print(os.Stdout)
+	bw.Print(os.Stdout)
+}

@@ -1,0 +1,67 @@
+// Command scaling regenerates the ring-scalability experiments: Figure 12
+// (per-process one-sided put bandwidth across platforms with hardware
+// support) and Table 2 (per-node bandwidth versus segment utilization, ring
+// load and efficiency, including the 200 MHz link-frequency rerun).
+//
+// Usage:
+//
+//	scaling [-csv] [-table2] [-mhz 166] [-access 65536]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"scimpich/internal/bench"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	table2 := flag.Bool("table2", false, "print Table 2 instead of Figure 12")
+	torusProj := flag.Bool("torus", false, "print the §6 3D-torus scaling projection")
+	mhz := flag.Float64("mhz", 166, "SCI link frequency for Table 2")
+	access := flag.Int64("access", 64<<10, "access size for the Figure 12 workload")
+	flag.Parse()
+
+	if *torusProj {
+		rows := bench.RunTorusProjection(200)
+		fmt.Println("# §6 outlook: 512-node scaling projection (200 MHz links, distance-4 puts)")
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "topology\tnodes\tper-node MiB/s")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%.1f\n", r.Topology, r.Nodes, r.PerNode)
+		}
+		w.Flush()
+		return
+	}
+
+	if *table2 {
+		printTable2(*mhz)
+		if *mhz == 166 {
+			fmt.Println("# rerun with increased link frequency (762 MiB/s nominal):")
+			printTable2(200)
+		}
+		return
+	}
+	fig := bench.ScalingFigure(bench.RunScaling(*access))
+	if *csv {
+		fig.CSV(os.Stdout)
+	} else {
+		fig.Print(os.Stdout)
+	}
+}
+
+func printTable2(mhz float64) {
+	rows := bench.RunTable2(mhz)
+	fmt.Printf("# Table 2: scalability for different segment utilization levels (%.0f MHz links)\n", mhz)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "nodes\t1 tr/seg p.node\tacc.\t8 tr/seg p.node\tacc.\tload\teff.")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.2f\t%.1f\t%.2f\t%.1f\t%.1f%%\t%.1f%%\n",
+			r.ActiveNodes, r.PerNode1, r.Acc1, r.PerNode8, r.Acc8, r.Load*100, r.Eff*100)
+	}
+	w.Flush()
+	fmt.Println()
+}

@@ -1,0 +1,44 @@
+// Command sparse regenerates the one-sided communication experiments:
+// Figure 9 (sparse micro-benchmark latency and bandwidth for MPI_Put and
+// MPI_Get on shared and private windows) and, with -platforms, Figure 11
+// (the same benchmark across the platforms that support one-sided
+// communication, including the VIA reference of [15]).
+//
+// Usage:
+//
+//	sparse [-csv] [-platforms] [-min 8] [-max 65536]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"scimpich/internal/bench"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	platforms := flag.Bool("platforms", false, "run the Figure 11 cross-platform comparison")
+	min := flag.Int64("min", 8, "smallest access size in bytes")
+	max := flag.Int64("max", 64<<10, "largest access size in bytes")
+	flag.Parse()
+
+	sizes := bench.Sizes(*min, *max)
+	emit := func(f *bench.Figure) {
+		if *csv {
+			f.CSV(os.Stdout)
+			os.Stdout.WriteString("\n")
+		} else {
+			f.Print(os.Stdout)
+		}
+	}
+	if *platforms {
+		results := bench.RunPlatformSparse(sizes)
+		emit(bench.PlatformSparseLatencyFigure(sizes, results))
+		emit(bench.PlatformSparseFigure(sizes, results))
+		return
+	}
+	results := bench.RunSparse(sizes)
+	emit(bench.SparseLatencyFigure(results))
+	emit(bench.SparseBandwidthFigure(results))
+}

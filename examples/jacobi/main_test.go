@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestBothModelsMatchSerialReference(t *testing.T) {
+	_, solTwo, _ := solve(false)
+	_, solOne, _ := solve(true)
+	ref := serialReference()
+	for i := range ref {
+		if solTwo[i] != ref[i] {
+			t.Fatalf("two-sided diverges from serial reference at %d", i)
+		}
+		if solOne[i] != ref[i] {
+			t.Fatalf("one-sided diverges from serial reference at %d", i)
+		}
+	}
+}
+
+func TestResidualFalls(t *testing.T) {
+	res, _, _ := solve(false)
+	if res <= 0 || res > 0.1 {
+		t.Fatalf("final residual = %g, want small and positive", res)
+	}
+}

@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestHaloExchangeBothEngines(t *testing.T) {
+	// run() verifies every halo cell internally (log.Fatalf on mismatch);
+	// this exercises both packing engines and checks the expected ordering.
+	ff := run(true)
+	gen := run(false)
+	if ff <= 0 || gen <= 0 {
+		t.Fatalf("exchange times not positive: %v %v", ff, gen)
+	}
+	if ff >= gen {
+		t.Errorf("direct_pack_ff exchange (%v) not faster than generic (%v)", ff, gen)
+	}
+}

@@ -1,0 +1,81 @@
+package scimpich_test
+
+import (
+	"bytes"
+	"testing"
+
+	"scimpich"
+)
+
+// The facade test exercises the public API end to end: cluster, datatypes,
+// point-to-point, collectives, and one-sided communication, all through the
+// root package.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ty := scimpich.Vector(64, 2, 4, scimpich.Float64).Commit()
+	src := make([]byte, ty.Extent()+64)
+	for i := range src {
+		src[i] = byte(i*3 + 1)
+	}
+	end := scimpich.Run(scimpich.DefaultConfig(2, 2), func(c *scimpich.Comm) {
+		// Typed point-to-point.
+		switch c.Rank() {
+		case 0:
+			c.Send(src, 1, ty, 1, 0)
+		case 1:
+			dst := make([]byte, len(src))
+			st := c.Recv(dst, 1, ty, 0, 0)
+			if st.Bytes != ty.Size() {
+				t.Errorf("received %d bytes, want %d", st.Bytes, ty.Size())
+			}
+			for _, b := range ty.TypeMap() {
+				if !bytes.Equal(dst[b.Off:b.Off+b.Len], src[b.Off:b.Off+b.Len]) {
+					t.Errorf("typed block at %d corrupted", b.Off)
+				}
+			}
+		}
+
+		// Collective.
+		recv := make([]byte, 8)
+		c.Allreduce(scimpich.Float64Bytes([]float64{1}), recv, 1, scimpich.Float64, scimpich.OpSum)
+		if scimpich.BytesFloat64(recv)[0] != float64(c.Size()) {
+			t.Errorf("allreduce = %g, want %d", scimpich.BytesFloat64(recv)[0], c.Size())
+		}
+
+		// One-sided.
+		sys := scimpich.NewOSC(c)
+		win := sys.CreateShared(c.AllocShared(64), scimpich.DefaultOSCConfig())
+		win.Fence()
+		if c.Rank() == 0 {
+			win.Put(scimpich.Float64Bytes([]float64{2.5}), 8, scimpich.Byte, c.Size()-1, 0)
+		}
+		win.Fence()
+		if c.Rank() == c.Size()-1 {
+			if got := scimpich.BytesFloat64(win.LocalBytes()[:8])[0]; got != 2.5 {
+				t.Errorf("window value = %g, want 2.5", got)
+			}
+		}
+
+		// Communicator management.
+		sub := c.Split(c.Rank()%2, c.Rank())
+		sub.Barrier()
+	})
+	if end <= 0 {
+		t.Error("virtual end time not positive")
+	}
+}
+
+func TestFacadeDatatypeConstructors(t *testing.T) {
+	for name, ty := range map[string]*scimpich.Type{
+		"contiguous": scimpich.Contiguous(4, scimpich.Int32),
+		"vector":     scimpich.Vector(2, 1, 2, scimpich.Int64),
+		"hvector":    scimpich.Hvector(2, 1, 32, scimpich.Float32),
+		"indexed":    scimpich.Indexed([]int{1, 2}, []int{0, 3}, scimpich.Int16),
+		"hindexed":   scimpich.Hindexed([]int{1}, []int64{8}, scimpich.Char),
+		"struct":     scimpich.StructOf(scimpich.Field{Type: scimpich.Byte, Blocklen: 3, Disp: 0}),
+		"resized":    scimpich.Resized(scimpich.Contiguous(2, scimpich.Int32), 0, 16),
+	} {
+		if ty.Commit().Size() <= 0 {
+			t.Errorf("%s: non-positive size", name)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module scimpich
+
+go 1.24

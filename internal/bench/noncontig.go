@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"time"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/mpi"
+	"scimpich/internal/platform"
+)
+
+// The noncontig micro-benchmark (paper §3.4): transmit a single-strided
+// vector datatype whose block size doubles from 8 bytes to 128 kiB with a
+// stride of twice the block size (equal data and gaps); every transfer
+// moves the same total payload (256 kiB). Compared are the generic
+// pack-and-send baseline, the direct_pack_ff transport, and the equivalent
+// contiguous transfer, both inter-node (SCI) and intra-node (shared
+// memory).
+
+// NoncontigTotal is the per-transfer payload of the benchmark.
+const NoncontigTotal = 256 << 10
+
+// NoncontigResult is one block-size row of Figure 7.
+type NoncontigResult struct {
+	BlockSize int64
+	// Bandwidths in MiB/s.
+	InterGeneric float64
+	InterFF      float64
+	InterContig  float64
+	IntraGeneric float64
+	IntraFF      float64
+	IntraContig  float64
+}
+
+// RunNoncontig reproduces Figure 7 over the given block sizes.
+func RunNoncontig(blockSizes []int64) []NoncontigResult {
+	results := make([]NoncontigResult, len(blockSizes))
+	for i, bs := range blockSizes {
+		results[i] = NoncontigResult{
+			BlockSize:    bs,
+			InterGeneric: noncontigBW(2, 1, bs, false),
+			InterFF:      noncontigBW(2, 1, bs, true),
+			InterContig:  contigBW(2, 1),
+			IntraGeneric: noncontigBW(1, 2, bs, false),
+			IntraFF:      noncontigBW(1, 2, bs, true),
+			IntraContig:  contigBW(1, 2),
+		}
+	}
+	return results
+}
+
+// vectorType builds the benchmark's strided vector: blocks of bs bytes of
+// doubles, gaps of the same size, summing to NoncontigTotal data bytes.
+func vectorType(bs int64) (*datatype.Type, int) {
+	elems := int(bs / 8) // doubles per block
+	count := int(NoncontigTotal / bs)
+	return datatype.Vector(count, elems, 2*elems, datatype.Float64).Commit(), count
+}
+
+// noncontigBW measures the strided-vector bandwidth on a cluster of the
+// given shape.
+func noncontigBW(nodes, procs int, bs int64, useFF bool) float64 {
+	cfg := mpi.DefaultConfig(nodes, procs)
+	return noncontigBWWith(cfg, bs, useFF)
+}
+
+// noncontigBWWith runs the strided-vector workload on a custom cluster
+// configuration (used by the UltraSparc II reproduction).
+func noncontigBWWith(cfg mpi.Config, bs int64, useFF bool) float64 {
+	cfg.Protocol.UseFF = useFF
+	ty, _ := vectorType(bs)
+	span := ty.Extent()
+	src := make([]byte, span+64)
+	dst := make([]byte, span+64)
+	const reps = 4
+	var elapsed time.Duration
+	mpi.Run(cfg, func(c *mpi.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Barrier()
+			start := c.WtimeDuration()
+			for i := 0; i < reps; i++ {
+				c.Send(src, 1, ty, 1, i)
+			}
+			// Wait for the receiver to confirm full delivery.
+			c.Recv(nil, 0, datatype.Byte, 1, 999)
+			elapsed = c.WtimeDuration() - start
+		case 1:
+			c.Barrier()
+			for i := 0; i < reps; i++ {
+				c.Recv(dst, 1, ty, 0, i)
+			}
+			c.Send(nil, 0, datatype.Byte, 0, 999)
+		}
+	})
+	return BWMiB(NoncontigTotal*reps, elapsed)
+}
+
+// contigBW measures the contiguous 256 kiB reference transfer.
+func contigBW(nodes, procs int) float64 {
+	return contigBWCfg(mpi.DefaultConfig(nodes, procs))
+}
+
+// contigBWWithDMA measures the contiguous transfer with the DMA rendezvous
+// option (dmaMin 0 = PIO).
+func contigBWWithDMA(dmaMin int64) float64 {
+	cfg := mpi.DefaultConfig(2, 1)
+	cfg.Protocol.DMAMin = dmaMin
+	return contigBWCfg(cfg)
+}
+
+func contigBWCfg(cfg mpi.Config) float64 {
+	src := make([]byte, NoncontigTotal)
+	const reps = 4
+	var elapsed time.Duration
+	mpi.Run(cfg, func(c *mpi.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Barrier()
+			start := c.WtimeDuration()
+			for i := 0; i < reps; i++ {
+				c.Send(src, NoncontigTotal, datatype.Byte, 1, i)
+			}
+			c.Recv(nil, 0, datatype.Byte, 1, 999)
+			elapsed = c.WtimeDuration() - start
+		case 1:
+			c.Barrier()
+			dst := make([]byte, NoncontigTotal)
+			for i := 0; i < reps; i++ {
+				c.Recv(dst, NoncontigTotal, datatype.Byte, 0, i)
+			}
+			c.Send(nil, 0, datatype.Byte, 0, 999)
+		}
+	})
+	return BWMiB(NoncontigTotal*reps, elapsed)
+}
+
+// doubleStridedType builds the figure 2 "double-strided" case: a vector of
+// vectors, as produced by exchanging a 2-D face of a 3-D ocean decomposition
+// (blocks of bs bytes, strided in two dimensions).
+func doubleStridedType(bs int64) *datatype.Type {
+	elems := int(bs / 8)
+	inner := datatype.Vector(8, elems, 2*elems, datatype.Float64) // 8 blocks per row
+	rowExtent := inner.Extent() + 64                              // inter-row gap
+	count := int(NoncontigTotal / (8 * bs))
+	return datatype.Vector(count, 1, 1, datatype.Resized(inner, 0, rowExtent)).Commit()
+}
+
+// Noncontig2DResult extends the benchmark to the double-strided datatype.
+type Noncontig2DResult struct {
+	BlockSize    int64
+	InterGeneric float64
+	InterFF      float64
+}
+
+// RunNoncontig2D measures the double-strided exchange over SCI.
+func RunNoncontig2D(blockSizes []int64) []Noncontig2DResult {
+	out := make([]Noncontig2DResult, len(blockSizes))
+	for i, bs := range blockSizes {
+		out[i] = Noncontig2DResult{
+			BlockSize:    bs,
+			InterGeneric: noncontig2DBW(bs, false),
+			InterFF:      noncontig2DBW(bs, true),
+		}
+	}
+	return out
+}
+
+func noncontig2DBW(bs int64, useFF bool) float64 {
+	cfg := mpi.DefaultConfig(2, 1)
+	cfg.Protocol.UseFF = useFF
+	ty := doubleStridedType(bs)
+	src := make([]byte, ty.Extent()+64)
+	dst := make([]byte, ty.Extent()+64)
+	const reps = 4
+	var elapsed time.Duration
+	total := ty.Size()
+	mpi.Run(cfg, func(c *mpi.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Barrier()
+			start := c.WtimeDuration()
+			for i := 0; i < reps; i++ {
+				c.Send(src, 1, ty, 1, i)
+			}
+			c.Recv(nil, 0, datatype.Byte, 1, 999)
+			elapsed = c.WtimeDuration() - start
+		case 1:
+			c.Barrier()
+			for i := 0; i < reps; i++ {
+				c.Recv(dst, 1, ty, 0, i)
+			}
+			c.Send(nil, 0, datatype.Byte, 0, 999)
+		}
+	})
+	return BWMiB(total*reps, elapsed)
+}
+
+// NoncontigFigure formats Figure 7.
+func NoncontigFigure(results []NoncontigResult) *Figure {
+	f := &Figure{
+		Title:  "Figure 7: non-contiguous transfers, generic vs direct_pack_ff (MiB/s)",
+		XLabel: "blocksize",
+		YLabel: "MiB/s",
+	}
+	series := []Series{
+		{Label: "SCI-generic"}, {Label: "SCI-ff"}, {Label: "SCI-contig"},
+		{Label: "shm-generic"}, {Label: "shm-ff"}, {Label: "shm-contig"},
+	}
+	for _, r := range results {
+		f.X = append(f.X, float64(r.BlockSize))
+		series[0].Values = append(series[0].Values, r.InterGeneric)
+		series[1].Values = append(series[1].Values, r.InterFF)
+		series[2].Values = append(series[2].Values, r.InterContig)
+		series[3].Values = append(series[3].Values, r.IntraGeneric)
+		series[4].Values = append(series[4].Values, r.IntraFF)
+		series[5].Values = append(series[5].Values, r.IntraContig)
+	}
+	f.Series = series
+	return f
+}
+
+// PlatformNoncontigResult is one row of Figure 10: nc and contiguous
+// bandwidth per platform.
+type PlatformNoncontigResult struct {
+	ID string
+	NC []float64 // per block size, MiB/s
+	C  []float64
+}
+
+// RunPlatformNoncontig reproduces Figure 10: the strided-vector benchmark
+// on every Table 1 configuration. The SCI-MPICH rows run on the simulated
+// stack; the others use the calibrated comparator models.
+func RunPlatformNoncontig(blockSizes []int64) []PlatformNoncontigResult {
+	var out []PlatformNoncontigResult
+
+	// Comparator platforms.
+	for _, pl := range platform.All() {
+		if pl.ID == "VIA" {
+			continue // §5.3 reference for one-sided only
+		}
+		r := PlatformNoncontigResult{ID: pl.ID}
+		for _, bs := range blockSizes {
+			nc, c := pl.NoncontigBW(bs, NoncontigTotal)
+			r.NC = append(r.NC, nc/MiB)
+			r.C = append(r.C, c/MiB)
+		}
+		out = append(out, r)
+	}
+
+	// SCI-MPICH over SCI (M-S) and shared memory (M-s), on the real stack.
+	ms := PlatformNoncontigResult{ID: "M-S"}
+	mshm := PlatformNoncontigResult{ID: "M-s"}
+	for _, bs := range blockSizes {
+		ms.NC = append(ms.NC, noncontigBW(2, 1, bs, true))
+		ms.C = append(ms.C, contigBW(2, 1))
+		mshm.NC = append(mshm.NC, noncontigBW(1, 2, bs, true))
+		mshm.C = append(mshm.C, contigBW(1, 2))
+	}
+	out = append(out, ms, mshm)
+	return out
+}
+
+// PlatformNoncontigFigure formats Figure 10.
+func PlatformNoncontigFigure(blockSizes []int64, results []PlatformNoncontigResult) *Figure {
+	f := &Figure{
+		Title:  "Figure 10: non-contiguous datatype bandwidth across platforms (nc and c, MiB/s)",
+		XLabel: "blocksize",
+		YLabel: "MiB/s",
+		X:      ToF(blockSizes),
+	}
+	for _, r := range results {
+		f.Series = append(f.Series,
+			Series{Label: r.ID + "-nc", Values: r.NC},
+			Series{Label: r.ID + "-c", Values: r.C},
+		)
+	}
+	return f
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"time"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/mpi"
+	"scimpich/internal/osc"
+)
+
+// One-sided versus two-sided comparison — the paper's concluding question:
+// "Only comparing the performance and algorithmic complexity of
+// applications solving a given problem with one- or two-sided
+// communication will allow to decide for one or the other technique."
+//
+// Two scenarios:
+//
+//  1. PingPong: a synchronized put+fence pair against a two-sided
+//     send/recv echo. Per the paper's observation, one-sided is NOT faster
+//     here — the synchronization costs as much as the matched receive.
+//  2. BusyTarget: the origin reads many small pieces of the target's data
+//     while the target computes. With one-sided communication the target
+//     "does not take any action"; with two-sided messaging it must poll
+//     between compute chunks, so every request waits for the next poll.
+//     This is where one-sided wins — by removing the target's
+//     participation, not by raw latency.
+
+// OneVsTwoSidedResult summarizes the comparison.
+type OneVsTwoSidedResult struct {
+	// PingPong: per-round-trip latency.
+	TwoSidedPingPong time.Duration
+	OneSidedPingPong time.Duration
+	// BusyTarget: total completion time of the access phase.
+	TwoSidedBusy time.Duration
+	OneSidedBusy time.Duration
+}
+
+// RunOneVsTwoSided executes both scenarios on a 2-node cluster.
+func RunOneVsTwoSided() OneVsTwoSidedResult {
+	var r OneVsTwoSidedResult
+	r.TwoSidedPingPong = twoSidedPingPong()
+	r.OneSidedPingPong = oneSidedPingPong()
+	r.TwoSidedBusy = twoSidedBusyTarget()
+	r.OneSidedBusy = oneSidedBusyTarget()
+	return r
+}
+
+const ppRounds = 32
+
+func twoSidedPingPong() time.Duration {
+	var d time.Duration
+	mpi.Run(mpi.DefaultConfig(2, 1), func(c *mpi.Comm) {
+		buf := make([]byte, 8)
+		c.Barrier()
+		start := c.WtimeDuration()
+		for i := 0; i < ppRounds; i++ {
+			if c.Rank() == 0 {
+				c.Send(buf, 8, datatype.Byte, 1, 0)
+				c.Recv(buf, 8, datatype.Byte, 1, 1)
+			} else {
+				c.Recv(buf, 8, datatype.Byte, 0, 0)
+				c.Send(buf, 8, datatype.Byte, 0, 1)
+			}
+		}
+		if c.Rank() == 0 {
+			d = (c.WtimeDuration() - start) / ppRounds
+		}
+	})
+	return d
+}
+
+func oneSidedPingPong() time.Duration {
+	var d time.Duration
+	mpi.Run(mpi.DefaultConfig(2, 1), func(c *mpi.Comm) {
+		s := osc.NewSystem(c)
+		w := s.CreateShared(c.AllocShared(16), osc.DefaultConfig())
+		buf := make([]byte, 8)
+		w.Fence()
+		start := c.WtimeDuration()
+		for i := 0; i < ppRounds; i++ {
+			if c.Rank() == 0 {
+				w.Put(buf, 8, datatype.Byte, 1, 0)
+			}
+			w.Fence()
+			if c.Rank() == 1 {
+				w.Put(buf, 8, datatype.Byte, 0, 8)
+			}
+			w.Fence()
+		}
+		if c.Rank() == 0 {
+			d = (c.WtimeDuration() - start) / ppRounds
+		}
+	})
+	return d
+}
+
+const (
+	busyAccesses    = 64
+	busyAccessBytes = 64
+	computeChunk    = 50 * time.Microsecond
+	computeChunks   = 40
+)
+
+// twoSidedBusyTarget: rank 1 computes in chunks and polls for requests
+// between chunks (the explicit-polling pattern the paper says one-sided
+// communication exists to avoid). Rank 0 issues request-reply accesses.
+func twoSidedBusyTarget() time.Duration {
+	var d time.Duration
+	mpi.Run(mpi.DefaultConfig(2, 1), func(c *mpi.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Barrier()
+			start := c.WtimeDuration()
+			req := make([]byte, 8)
+			reply := make([]byte, busyAccessBytes)
+			for i := 0; i < busyAccesses; i++ {
+				c.Send(req, 8, datatype.Byte, 1, 100)
+				c.Recv(reply, busyAccessBytes, datatype.Byte, 1, 101)
+			}
+			c.Send(nil, 0, datatype.Byte, 1, 102) // done
+			d = c.WtimeDuration() - start
+		case 1:
+			data := make([]byte, busyAccessBytes)
+			c.Barrier()
+			done := false
+			for chunk := 0; chunk < computeChunks && !done; chunk++ {
+				c.Proc().Sleep(computeChunk) // compute
+				// Poll: service everything that queued up.
+				for {
+					if _, ok := c.Iprobe(0, 102); ok {
+						c.Recv(nil, 0, datatype.Byte, 0, 102)
+						done = true
+						break
+					}
+					st, ok := c.Iprobe(0, 100)
+					if !ok {
+						break
+					}
+					buf := make([]byte, st.Bytes)
+					c.Recv(buf, int(st.Bytes), datatype.Byte, 0, 100)
+					c.Send(data, busyAccessBytes, datatype.Byte, 0, 101)
+				}
+			}
+			// Drain any remainder so the origin completes.
+			for !done {
+				st := c.Probe(0, mpi.AnyTag)
+				if st.Tag == 102 {
+					c.Recv(nil, 0, datatype.Byte, 0, 102)
+					break
+				}
+				buf := make([]byte, st.Bytes)
+				c.Recv(buf, int(st.Bytes), datatype.Byte, 0, 100)
+				c.Send(data, busyAccessBytes, datatype.Byte, 0, 101)
+			}
+		}
+	})
+	return d
+}
+
+// oneSidedBusyTarget: the same accesses as direct gets from the target's
+// shared window while the target computes, uninvolved.
+func oneSidedBusyTarget() time.Duration {
+	var d time.Duration
+	mpi.Run(mpi.DefaultConfig(2, 1), func(c *mpi.Comm) {
+		s := osc.NewSystem(c)
+		w := s.CreateShared(c.AllocShared(4096), osc.DefaultConfig())
+		w.Fence()
+		switch c.Rank() {
+		case 0:
+			start := c.WtimeDuration()
+			buf := make([]byte, busyAccessBytes)
+			for i := 0; i < busyAccesses; i++ {
+				w.Get(buf, busyAccessBytes, datatype.Byte, 1, 0)
+			}
+			d = c.WtimeDuration() - start
+		case 1:
+			// The target only computes; it takes no communication action.
+			for chunk := 0; chunk < computeChunks; chunk++ {
+				c.Proc().Sleep(computeChunk)
+			}
+		}
+		w.Fence()
+	})
+	return d
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"time"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/mpi"
+)
+
+// Classic ping-pong latency/bandwidth sweep (the staple of every MPI
+// evaluation of the era): half round-trip time versus message size, for
+// inter-node (SCI) and intra-node (shared memory) pairs. The protocol knees
+// — short to eager to rendezvous — are visible as slope changes.
+
+// PingPongResult is one message-size sample.
+type PingPongResult struct {
+	Size int64
+	// Half round-trip latency (µs) and resulting bandwidth (MiB/s).
+	InterLatUS float64
+	InterBW    float64
+	IntraLatUS float64
+	IntraBW    float64
+}
+
+// RunPingPong sweeps the given message sizes.
+func RunPingPong(sizes []int64) []PingPongResult {
+	out := make([]PingPongResult, len(sizes))
+	for i, size := range sizes {
+		out[i].Size = size
+		out[i].InterLatUS, out[i].InterBW = pingPong(2, 1, size)
+		out[i].IntraLatUS, out[i].IntraBW = pingPong(1, 2, size)
+	}
+	return out
+}
+
+func pingPong(nodes, procs int, size int64) (latUS, bw float64) {
+	const rounds = 16
+	var elapsed time.Duration
+	buf := make([]byte, size)
+	mpi.Run(mpi.DefaultConfig(nodes, procs), func(c *mpi.Comm) {
+		c.Barrier()
+		start := c.WtimeDuration()
+		for i := 0; i < rounds; i++ {
+			if c.Rank() == 0 {
+				c.Send(buf, int(size), datatype.Byte, 1, 0)
+				c.Recv(buf, int(size), datatype.Byte, 1, 1)
+			} else {
+				c.Recv(buf, int(size), datatype.Byte, 0, 0)
+				c.Send(buf, int(size), datatype.Byte, 0, 1)
+			}
+		}
+		if c.Rank() == 0 {
+			elapsed = c.WtimeDuration() - start
+		}
+	})
+	half := elapsed / (2 * rounds)
+	if half <= 0 {
+		return 0, 0
+	}
+	return half.Seconds() * 1e6, float64(size) / half.Seconds() / MiB
+}
+
+// PingPongFigure formats the sweep.
+func PingPongFigure(results []PingPongResult) *Figure {
+	f := &Figure{
+		Title:  "Ping-pong: half round trip latency (µs) and bandwidth (MiB/s)",
+		XLabel: "size",
+		YLabel: "µs / MiB/s",
+	}
+	s := []Series{
+		{Label: "SCI-lat-µs"}, {Label: "SCI-MiB/s"},
+		{Label: "shm-lat-µs"}, {Label: "shm-MiB/s"},
+	}
+	for _, r := range results {
+		f.X = append(f.X, float64(r.Size))
+		s[0].Values = append(s[0].Values, r.InterLatUS)
+		s[1].Values = append(s[1].Values, r.InterBW)
+		s[2].Values = append(s[2].Values, r.IntraLatUS)
+		s[3].Values = append(s[3].Values, r.IntraBW)
+	}
+	f.Series = s
+	return f
+}

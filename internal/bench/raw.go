@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"time"
+
+	"scimpich/internal/memmodel"
+	"scimpich/internal/sci"
+	"scimpich/internal/sim"
+)
+
+// RawResult is one row of the Figure 1 reproduction: raw SCI communication
+// performance for one transfer size.
+type RawResult struct {
+	Size int64
+	// Latencies (one transfer, data visible at the target).
+	PIOWriteLatency time.Duration
+	PIOReadLatency  time.Duration
+	DMALatency      time.Duration
+	// Bandwidths (back-to-back transfers), MiB/s.
+	PIOWriteBW float64
+	PIOReadBW  float64
+	DMABW      float64
+	// ShmCopyBW is the intra-node copy bandwidth reference.
+	ShmCopyBW float64
+}
+
+// RunRaw reproduces Figure 1: latency and bandwidth of PIO and DMA
+// transfers between two nodes, over the given transfer sizes.
+func RunRaw(sizes []int64) []RawResult {
+	results := make([]RawResult, 0, len(sizes))
+	for _, size := range sizes {
+		results = append(results, runRawSize(size))
+	}
+	return results
+}
+
+func runRawSize(size int64) RawResult {
+	e := sim.NewEngine()
+	ic := sci.New(e, sci.DefaultConfig(2))
+	seg := ic.Node(1).Export(size)
+	src := make([]byte, size)
+	dst := make([]byte, size)
+	res := RawResult{Size: size}
+	const reps = 8
+
+	e.Go("bench", func(p *sim.Proc) {
+		m := ic.Node(0).MustImport(1, seg.ID())
+
+		// PIO write latency: post plus store barrier (data has arrived).
+		start := p.Now()
+		m.WriteStream(p, 0, src, size)
+		ic.Node(0).StoreBarrier(p)
+		res.PIOWriteLatency = p.Now() - start
+
+		// PIO write bandwidth: back-to-back streams, one final barrier.
+		start = p.Now()
+		for i := 0; i < reps; i++ {
+			m.WriteStream(p, 0, src, size)
+		}
+		ic.Node(0).StoreBarrier(p)
+		res.PIOWriteBW = BWMiB(size*reps, p.Now()-start)
+
+		// PIO read.
+		start = p.Now()
+		m.Read(p, 0, dst)
+		res.PIOReadLatency = p.Now() - start
+		start = p.Now()
+		for i := 0; i < reps; i++ {
+			m.Read(p, 0, dst)
+		}
+		res.PIOReadBW = BWMiB(size*reps, p.Now()-start)
+
+		// DMA.
+		start = p.Now()
+		p.Await(m.DMAWrite(p, 0, src))
+		res.DMALatency = p.Now() - start
+		start = p.Now()
+		futs := make([]*sim.Future, reps)
+		for i := 0; i < reps; i++ {
+			futs[i] = m.DMAWrite(p, 0, src)
+		}
+		p.AwaitAll(futs...)
+		res.DMABW = BWMiB(size*reps, p.Now()-start)
+	})
+	e.Run()
+
+	mem := memmodel.PentiumIII800()
+	res.ShmCopyBW = mem.CopyBW(size) / MiB
+	return res
+}
+
+// RawFigure formats the bandwidth part of Figure 1.
+func RawFigure(results []RawResult) *Figure {
+	f := &Figure{
+		Title:  "Figure 1 (bottom): raw SCI bandwidth",
+		XLabel: "size",
+		YLabel: "MiB/s",
+	}
+	pw := Series{Label: "PIO-write"}
+	pr := Series{Label: "PIO-read"}
+	dm := Series{Label: "DMA"}
+	for _, r := range results {
+		f.X = append(f.X, float64(r.Size))
+		pw.Values = append(pw.Values, r.PIOWriteBW)
+		pr.Values = append(pr.Values, r.PIOReadBW)
+		dm.Values = append(dm.Values, r.DMABW)
+	}
+	f.Series = []Series{pw, pr, dm}
+	return f
+}
+
+// RawLatencyFigure formats the latency part of Figure 1 (µs).
+func RawLatencyFigure(results []RawResult) *Figure {
+	f := &Figure{
+		Title:  "Figure 1 (top): raw SCI small-data latency",
+		XLabel: "size",
+		YLabel: "microseconds",
+	}
+	pw := Series{Label: "PIO-write"}
+	pr := Series{Label: "PIO-read"}
+	dm := Series{Label: "DMA"}
+	for _, r := range results {
+		f.X = append(f.X, float64(r.Size))
+		pw.Values = append(pw.Values, r.PIOWriteLatency.Seconds()*1e6)
+		pr.Values = append(pr.Values, r.PIOReadLatency.Seconds()*1e6)
+		dm.Values = append(dm.Values, r.DMALatency.Seconds()*1e6)
+	}
+	f.Series = []Series{pw, pr, dm}
+	return f
+}

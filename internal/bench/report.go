@@ -1,0 +1,115 @@
+// Package bench contains the experiment drivers that regenerate every
+// table and figure of the paper's evaluation, plus formatting helpers. Each
+// driver returns structured results; the cmd/ binaries print them and
+// bench_test.go exposes them as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// MiB is one mebibyte.
+const MiB = 1 << 20
+
+// Series is one labelled curve of a figure: y-values indexed like the
+// figure's x-axis points.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Figure is a set of series over a common x-axis.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Print renders the figure as an aligned text table.
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", f.Title)
+	fmt.Fprintf(w, "# y: %s\n", f.YLabel)
+	fmt.Fprintf(w, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, " %14s", s.Label)
+	}
+	fmt.Fprintln(w)
+	for i, x := range f.X {
+		fmt.Fprintf(w, "%-12s", formatX(x))
+		for _, s := range f.Series {
+			if i < len(s.Values) && s.Values[i] != 0 {
+				fmt.Fprintf(w, " %14.2f", s.Values[i])
+			} else {
+				fmt.Fprintf(w, " %14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the figure as comma-separated values.
+func (f *Figure) CSV(w io.Writer) {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Label)
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for i, x := range f.X {
+		row := []string{formatX(x)}
+		for _, s := range f.Series {
+			v := 0.0
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func formatX(x float64) string {
+	if x == float64(int64(x)) {
+		v := int64(x)
+		switch {
+		case v >= 1<<20 && v%(1<<20) == 0:
+			return fmt.Sprintf("%dMi", v>>20)
+		case v >= 1<<10 && v%(1<<10) == 0:
+			return fmt.Sprintf("%dKi", v>>10)
+		default:
+			return fmt.Sprintf("%d", v)
+		}
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Sizes returns the power-of-two sweep [lo, hi].
+func Sizes(lo, hi int64) []int64 {
+	var out []int64
+	for s := lo; s <= hi; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// ToF converts sizes to float64 x-values.
+func ToF(sizes []int64) []float64 {
+	out := make([]float64, len(sizes))
+	for i, s := range sizes {
+		out[i] = float64(s)
+	}
+	return out
+}
+
+// BWMiB converts bytes moved in a duration to MiB/s.
+func BWMiB(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / MiB
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleFigure() *Figure {
+	return &Figure{
+		Title:  "sample",
+		XLabel: "size",
+		YLabel: "MiB/s",
+		X:      []float64{8, 1024, 1 << 20},
+		Series: []Series{
+			{Label: "a", Values: []float64{1.5, 2.5, 3.5}},
+			{Label: "b", Values: []float64{0, 20, 30}}, // 0 renders as "-"
+		},
+	}
+}
+
+func TestFigurePrint(t *testing.T) {
+	var sb strings.Builder
+	sampleFigure().Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"# sample", "# y: MiB/s", "size", "1Ki", "1Mi", "1.50", "30.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("print output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, " - ") && !strings.Contains(out, "-\n") {
+		t.Errorf("zero value not rendered as dash:\n%s", out)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	var sb strings.Builder
+	sampleFigure().CSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want header + 3 rows", len(lines))
+	}
+	if lines[0] != "size,a,b" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "8,1.500,0.000") {
+		t.Errorf("CSV row = %q", lines[1])
+	}
+}
+
+func TestSizesSweep(t *testing.T) {
+	got := Sizes(8, 64)
+	want := []int64{8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("Sizes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sizes = %v, want %v", got, want)
+		}
+	}
+	if len(Sizes(8, 7)) != 0 {
+		t.Error("empty range produced sizes")
+	}
+}
+
+func TestToF(t *testing.T) {
+	f := ToF([]int64{1, 2})
+	if len(f) != 2 || f[0] != 1 || f[1] != 2 {
+		t.Errorf("ToF = %v", f)
+	}
+}
+
+func TestBWMiB(t *testing.T) {
+	if bw := BWMiB(1<<20, time.Second); bw != 1 {
+		t.Errorf("1 MiB in 1s = %g MiB/s, want 1", bw)
+	}
+	if bw := BWMiB(100, 0); bw != 0 {
+		t.Errorf("zero duration bandwidth = %g, want 0", bw)
+	}
+}
+
+func TestFormatX(t *testing.T) {
+	cases := map[float64]string{
+		8:       "8",
+		1024:    "1Ki",
+		3 << 10: "3Ki",
+		1 << 20: "1Mi",
+		1.5:     "1.5",
+		1 << 21: "2Mi",
+		1025:    "1025",
+	}
+	for in, want := range cases {
+		if got := formatX(in); got != want {
+			t.Errorf("formatX(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

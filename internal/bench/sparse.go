@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"time"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/mpi"
+	"scimpich/internal/osc"
+	"scimpich/internal/platform"
+)
+
+// The sparse micro-benchmark (paper figure 8): fine-grained strided
+// one-sided accesses as they occur in sparse matrix codes. With a fixed
+// access size and a stride of twice that size, each process iterates
+// through its partner's part of the global window with MPI_Put or MPI_Get;
+// all processes synchronize with MPI_Win_fence after posting all calls.
+
+// SparseWinSize is the window size of the benchmark.
+const SparseWinSize int64 = 256 << 10
+
+// SparseResult is one access-size row of Figure 9.
+type SparseResult struct {
+	AccessSize int64
+	// Per-call latency (µs) and aggregate bandwidth (MiB/s), for put/get
+	// on windows in shared SCI memory and in private memory.
+	PutSharedLat, PutSharedBW   float64
+	GetSharedLat, GetSharedBW   float64
+	PutPrivateLat, PutPrivateBW float64
+	GetPrivateLat, GetPrivateBW float64
+}
+
+// RunSparse reproduces Figure 9 (two processes on distinct nodes).
+func RunSparse(accessSizes []int64) []SparseResult {
+	out := make([]SparseResult, len(accessSizes))
+	for i, a := range accessSizes {
+		out[i].AccessSize = a
+		out[i].PutSharedLat, out[i].PutSharedBW = sparseRun(a, true, true)
+		out[i].GetSharedLat, out[i].GetSharedBW = sparseRun(a, false, true)
+		out[i].PutPrivateLat, out[i].PutPrivateBW = sparseRun(a, true, false)
+		out[i].GetPrivateLat, out[i].GetPrivateBW = sparseRun(a, false, false)
+	}
+	return out
+}
+
+// sparseRun executes the figure 8 pseudo-code for one access size and
+// returns (per-call latency in µs, bandwidth in MiB/s).
+func sparseRun(accessSize int64, put, shared bool) (float64, float64) {
+	var elapsed time.Duration
+	var calls int64
+	var moved int64
+	mpi.Run(mpi.DefaultConfig(2, 1), func(c *mpi.Comm) {
+		s := osc.NewSystem(c)
+		var w *osc.Win
+		if shared {
+			w = s.CreateShared(c.AllocShared(SparseWinSize), osc.DefaultConfig())
+		} else {
+			w = s.CreatePrivate(make([]byte, SparseWinSize), osc.DefaultConfig())
+		}
+		partner := 1 - c.Rank()
+		buf := make([]byte, accessSize)
+		stride := 2 * accessSize
+		w.Fence()
+		start := c.WtimeDuration()
+		var n, bytes int64
+		for off := int64(0); off+accessSize < SparseWinSize; off += stride {
+			if put {
+				w.Put(buf, int(accessSize), datatype.Byte, partner, off)
+			} else {
+				w.Get(buf, int(accessSize), datatype.Byte, partner, off)
+			}
+			n++
+			bytes += accessSize
+		}
+		w.Fence()
+		if c.Rank() == 0 {
+			elapsed = c.WtimeDuration() - start
+			calls = n
+			moved = bytes
+		}
+	})
+	if calls == 0 {
+		return 0, 0
+	}
+	latUS := elapsed.Seconds() * 1e6 / float64(calls)
+	return latUS, BWMiB(moved, elapsed)
+}
+
+// SparseLatencyFigure formats the latency half of Figure 9.
+func SparseLatencyFigure(results []SparseResult) *Figure {
+	f := &Figure{
+		Title:  "Figure 9 (top): sparse one-sided latency (µs per call)",
+		XLabel: "access",
+		YLabel: "µs",
+	}
+	s := []Series{
+		{Label: "put-shared"}, {Label: "get-shared"},
+		{Label: "put-private"}, {Label: "get-private"},
+	}
+	for _, r := range results {
+		f.X = append(f.X, float64(r.AccessSize))
+		s[0].Values = append(s[0].Values, r.PutSharedLat)
+		s[1].Values = append(s[1].Values, r.GetSharedLat)
+		s[2].Values = append(s[2].Values, r.PutPrivateLat)
+		s[3].Values = append(s[3].Values, r.GetPrivateLat)
+	}
+	f.Series = s
+	return f
+}
+
+// SparseBandwidthFigure formats the bandwidth half of Figure 9.
+func SparseBandwidthFigure(results []SparseResult) *Figure {
+	f := &Figure{
+		Title:  "Figure 9 (bottom): sparse one-sided bandwidth (MiB/s)",
+		XLabel: "access",
+		YLabel: "MiB/s",
+	}
+	s := []Series{
+		{Label: "put-shared"}, {Label: "get-shared"},
+		{Label: "put-private"}, {Label: "get-private"},
+	}
+	for _, r := range results {
+		f.X = append(f.X, float64(r.AccessSize))
+		s[0].Values = append(s[0].Values, r.PutSharedBW)
+		s[1].Values = append(s[1].Values, r.GetSharedBW)
+		s[2].Values = append(s[2].Values, r.PutPrivateBW)
+		s[3].Values = append(s[3].Values, r.GetPrivateBW)
+	}
+	f.Series = s
+	return f
+}
+
+// PlatformSparseResult is one platform's sparse curve (Figure 11).
+type PlatformSparseResult struct {
+	ID  string
+	Lat []float64 // µs per call
+	BW  []float64 // MiB/s
+}
+
+// RunPlatformSparse reproduces Figure 11: the sparse benchmark on every
+// configuration that supports one-sided communication, plus the VIA
+// reference of [15]. SCI-MPICH rows run on the real stack.
+func RunPlatformSparse(accessSizes []int64) []PlatformSparseResult {
+	var out []PlatformSparseResult
+	for _, pl := range platform.All() {
+		if !pl.OneSided {
+			continue
+		}
+		r := PlatformSparseResult{ID: pl.ID}
+		for _, a := range accessSizes {
+			lat, bw := pl.Sparse(a)
+			r.Lat = append(r.Lat, lat.Seconds()*1e6)
+			r.BW = append(r.BW, bw/MiB)
+		}
+		out = append(out, r)
+	}
+	// SCI-MPICH: SCI remote shared memory (M-S) and intra-node (M-s).
+	ms := PlatformSparseResult{ID: "M-S"}
+	mshm := PlatformSparseResult{ID: "M-s"}
+	for _, a := range accessSizes {
+		lat, bw := sparseRun(a, true, true)
+		ms.Lat = append(ms.Lat, lat)
+		ms.BW = append(ms.BW, bw)
+		lat, bw = sparseIntraRun(a)
+		mshm.Lat = append(mshm.Lat, lat)
+		mshm.BW = append(mshm.BW, bw)
+	}
+	out = append(out, ms, mshm)
+	return out
+}
+
+// sparseIntraRun runs the put benchmark intra-node (two procs, one node).
+func sparseIntraRun(accessSize int64) (float64, float64) {
+	var elapsed time.Duration
+	var calls, moved int64
+	mpi.Run(mpi.DefaultConfig(1, 2), func(c *mpi.Comm) {
+		s := osc.NewSystem(c)
+		w := s.CreateShared(c.AllocShared(SparseWinSize), osc.DefaultConfig())
+		partner := 1 - c.Rank()
+		buf := make([]byte, accessSize)
+		stride := 2 * accessSize
+		w.Fence()
+		start := c.WtimeDuration()
+		var n, bytes int64
+		for off := int64(0); off+accessSize < SparseWinSize; off += stride {
+			w.Put(buf, int(accessSize), datatype.Byte, partner, off)
+			n++
+			bytes += accessSize
+		}
+		w.Fence()
+		if c.Rank() == 0 {
+			elapsed = c.WtimeDuration() - start
+			calls, moved = n, bytes
+		}
+	})
+	if calls == 0 {
+		return 0, 0
+	}
+	return elapsed.Seconds() * 1e6 / float64(calls), BWMiB(moved, elapsed)
+}
+
+// PlatformSparseFigure formats Figure 11 (bandwidth view).
+func PlatformSparseFigure(accessSizes []int64, results []PlatformSparseResult) *Figure {
+	f := &Figure{
+		Title:  "Figure 11: one-sided sparse bandwidth across platforms (MiB/s)",
+		XLabel: "access",
+		YLabel: "MiB/s",
+		X:      ToF(accessSizes),
+	}
+	for _, r := range results {
+		f.Series = append(f.Series, Series{Label: r.ID, Values: r.BW})
+	}
+	return f
+}
+
+// PlatformSparseLatencyFigure formats Figure 11's latency view.
+func PlatformSparseLatencyFigure(accessSizes []int64, results []PlatformSparseResult) *Figure {
+	f := &Figure{
+		Title:  "Figure 11: one-sided sparse latency across platforms (µs per call)",
+		XLabel: "access",
+		YLabel: "µs",
+		X:      ToF(accessSizes),
+	}
+	for _, r := range results {
+		f.Series = append(f.Series, Series{Label: r.ID, Values: r.Lat})
+	}
+	return f
+}

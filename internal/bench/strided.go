@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"time"
+
+	"scimpich/internal/sci"
+	"scimpich/internal/sim"
+)
+
+// The low-level strided remote-write study of §4.3: remote writes with
+// various access and stride sizes show a strong dependency of the effective
+// bandwidth on the stride — between 5 and 28 MiB/s for 8-byte accesses and
+// between 7 and 162 MiB/s for 256-byte accesses, with the best strides
+// multiples of 32 (the Pentium-III write-combine buffer size). Disabling
+// write-combining removes the drops but halves the bandwidth.
+
+// StridedResult is one (access size, stride) measurement.
+type StridedResult struct {
+	AccessSize int64
+	Stride     int64
+	BW         float64 // MiB/s, write-combining on
+	BWNoWC     float64 // MiB/s, write-combining off
+}
+
+// RunStrided sweeps strides for the given access sizes. For each access
+// size, strides from access+8 up to 3*access+64 in steps of 8 bytes are
+// measured, covering both write-combine-aligned (multiples of 32) and
+// misaligned strides.
+func RunStrided(accessSizes []int64) []StridedResult {
+	var out []StridedResult
+	for _, a := range accessSizes {
+		for stride := a + 8; stride <= 3*a+64; stride += 8 {
+			out = append(out, StridedResult{
+				AccessSize: a,
+				Stride:     stride,
+				BW:         stridedBW(a, stride, true),
+				BWNoWC:     stridedBW(a, stride, false),
+			})
+		}
+	}
+	return out
+}
+
+// stridedBW measures the raw strided remote-write bandwidth.
+func stridedBW(access, stride int64, writeCombine bool) float64 {
+	e := sim.NewEngine()
+	cfg := sci.DefaultConfig(2)
+	cfg.WriteCombine = writeCombine
+	ic := sci.New(e, cfg)
+	const total = 1 << 20
+	span := total / access * stride
+	seg := ic.Node(1).Export(span + stride)
+	src := make([]byte, total)
+	var elapsed time.Duration
+	e.Go("bench", func(p *sim.Proc) {
+		m := ic.Node(0).MustImport(1, seg.ID())
+		start := p.Now()
+		m.WriteStrided(p, 0, src, access, stride)
+		ic.Node(0).StoreBarrier(p)
+		elapsed = p.Now() - start
+	})
+	e.Run()
+	return BWMiB(total, elapsed)
+}
+
+// StridedExtremes returns, per access size, the min and max bandwidth over
+// the stride sweep (the form in which §4.3 quotes the numbers).
+type StridedExtremes struct {
+	AccessSize   int64
+	MinBW, MaxBW float64
+	BestStride   int64
+}
+
+// Extremes summarizes a stride sweep.
+func Extremes(results []StridedResult) []StridedExtremes {
+	var out []StridedExtremes
+	byAccess := map[int64]*StridedExtremes{}
+	var order []int64
+	for _, r := range results {
+		e, ok := byAccess[r.AccessSize]
+		if !ok {
+			e = &StridedExtremes{AccessSize: r.AccessSize, MinBW: r.BW, MaxBW: r.BW, BestStride: r.Stride}
+			byAccess[r.AccessSize] = e
+			order = append(order, r.AccessSize)
+		}
+		if r.BW < e.MinBW {
+			e.MinBW = r.BW
+		}
+		if r.BW > e.MaxBW {
+			e.MaxBW = r.BW
+			e.BestStride = r.Stride
+		}
+	}
+	for _, a := range order {
+		out = append(out, *byAccess[a])
+	}
+	return out
+}
+
+// StridedFigure formats the sweep for one access size.
+func StridedFigure(results []StridedResult, access int64) *Figure {
+	f := &Figure{
+		Title:  "§4.3 low-level strided remote write bandwidth",
+		XLabel: "stride",
+		YLabel: "MiB/s",
+	}
+	wc := Series{Label: "WC-on"}
+	nowc := Series{Label: "WC-off"}
+	for _, r := range results {
+		if r.AccessSize != access {
+			continue
+		}
+		f.X = append(f.X, float64(r.Stride))
+		wc.Values = append(wc.Values, r.BW)
+		nowc.Values = append(nowc.Values, r.BWNoWC)
+	}
+	f.Series = []Series{wc, nowc}
+	return f
+}

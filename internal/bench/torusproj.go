@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"time"
+
+	"scimpich/internal/flow"
+	"scimpich/internal/ring"
+	"scimpich/internal/sci"
+	"scimpich/internal/sim"
+	"scimpich/internal/torus"
+)
+
+// The §6 scaling projection: "With the increased link frequency, a limit
+// of 8 nodes per ringlet seems reasonable, which gives a 512 nodes system
+// when using 3D-torus topology." The experiment loads an 8x8x8 torus with
+// the Table 2 average scenario (each node one sustained put at ring
+// distance 4 within its x-line) and compares the per-node bandwidth with
+// the same workload on a single 8-node ringlet and — as the cautionary
+// contrast — on one giant 512-node ring.
+
+// TorusRow is one topology's outcome.
+type TorusRow struct {
+	Topology string
+	Nodes    int
+	PerNode  float64 // MiB/s
+}
+
+// RunTorusProjection runs the three scenarios at the given link frequency
+// (the paper's projection assumes the 200 MHz links).
+func RunTorusProjection(mhz float64) []TorusRow {
+	return []TorusRow{
+		{Topology: "8-node ringlet", Nodes: 8, PerNode: ringletScenario(mhz)},
+		{Topology: "8x8x8 3D torus", Nodes: 512, PerNode: torusScenario(mhz)},
+		{Topology: "single 512-ring", Nodes: 512, PerNode: giantRingScenario(mhz)},
+	}
+}
+
+const projBytes = 16 << 20
+
+// ringletScenario: the familiar 8-node, distance-4 pattern.
+func ringletScenario(mhz float64) float64 {
+	perNode, _, _ := ringScenario(mhz, RingNodes, 1, false, 4)
+	return perNode
+}
+
+// torusScenario: 512 nodes, each sending distance 4 within its own x-ring.
+// Per-ring load matches the single-ringlet scenario exactly; the point is
+// that it does so for every one of the 64 x-rings simultaneously.
+func torusScenario(mhz float64) float64 {
+	e := sim.NewEngine()
+	net := flow.NewNetwork(e)
+	cfg := sci.DefaultConfig(RingNodes)
+	cfg.LinkMHz = mhz
+	to := torus.New(8, 8, 8, ring.BandwidthForMHz(mhz), flow.SCIRingCongestion{})
+	srcCap := cfg.SustainedPutBW
+
+	var paths [][]flow.Hop
+	for z := 0; z < 8; z++ {
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				a := to.NodeID(x, y, z)
+				b := to.NodeID((x+4)%8, y, z)
+				var hops []flow.Hop
+				for _, l := range to.Route(a, b) {
+					hops = append(hops, flow.Hop{Link: l, Weight: 1})
+				}
+				// Flow-control echo on the return path of the x-ring.
+				for _, l := range to.Route(b, a) {
+					hops = append(hops, flow.Hop{Link: l, Weight: cfg.EchoFraction})
+				}
+				paths = append(paths, hops)
+			}
+		}
+	}
+	return runFlows(e, net, paths, srcCap, 512)
+}
+
+// giantRingScenario: 512 nodes on ONE ring, each sending distance 256 —
+// what scaling without the torus would look like.
+func giantRingScenario(mhz float64) float64 {
+	e := sim.NewEngine()
+	net := flow.NewNetwork(e)
+	cfg := sci.DefaultConfig(RingNodes)
+	cfg.LinkMHz = mhz
+	r := ring.New(512, ring.BandwidthForMHz(mhz), flow.SCIRingCongestion{})
+	srcCap := cfg.SustainedPutBW
+
+	var paths [][]flow.Hop
+	for n := 0; n < 512; n++ {
+		dst := (n + 256) % 512
+		var hops []flow.Hop
+		for _, l := range r.Route(n, dst) {
+			hops = append(hops, flow.Hop{Link: l, Weight: 1})
+		}
+		for _, l := range r.Route(dst, n) {
+			hops = append(hops, flow.Hop{Link: l, Weight: cfg.EchoFraction})
+		}
+		paths = append(paths, hops)
+	}
+	return runFlows(e, net, paths, srcCap, 512)
+}
+
+// runFlows drives the scenario to completion and returns per-node MiB/s.
+func runFlows(e *sim.Engine, net *flow.Network, paths [][]flow.Hop, srcCap float64, nodes int) float64 {
+	var elapsed time.Duration
+	e.Go("driver", func(p *sim.Proc) {
+		start := p.Now()
+		flows := net.StartBatch(paths, projBytes, srcCap)
+		for _, f := range flows {
+			p.Await(f.Done())
+		}
+		elapsed = p.Now() - start
+	})
+	e.Run()
+	return BWMiB(int64(len(paths))*projBytes, elapsed) / float64(nodes)
+}

@@ -1,0 +1,215 @@
+package datatype
+
+import "fmt"
+
+// Contiguous returns a type of count consecutive elements of elem
+// (MPI_Type_contiguous).
+func Contiguous(count int, elem *Type) *Type {
+	checkElem(elem)
+	if count < 0 {
+		panic("datatype: negative count")
+	}
+	ext := elem.Extent()
+	return &Type{
+		kind:  KindContiguous,
+		size:  int64(count) * elem.size,
+		lb:    elem.lb,
+		ub:    elem.lb + int64(count)*ext,
+		elem:  elem,
+		count: count,
+	}
+}
+
+// Vector returns count blocks of blocklen elements, the starts of
+// consecutive blocks stride *elements* apart (MPI_Type_vector).
+func Vector(count, blocklen, stride int, elem *Type) *Type {
+	checkElem(elem)
+	t := Hvector(count, blocklen, int64(stride)*elem.Extent(), elem)
+	t.kind = KindVector
+	return t
+}
+
+// Hvector is Vector with the stride given in bytes (MPI_Type_hvector).
+func Hvector(count, blocklen int, strideBytes int64, elem *Type) *Type {
+	checkElem(elem)
+	if count < 0 || blocklen < 0 {
+		panic("datatype: negative count or blocklen")
+	}
+	ext := elem.Extent()
+	lo, hi := int64(0), int64(0)
+	for i := 0; i < count; i++ {
+		start := int64(i) * strideBytes
+		end := start + int64(blocklen)*ext
+		if start < lo {
+			lo = start
+		}
+		if end > hi {
+			hi = end
+		}
+	}
+	if count == 0 || blocklen == 0 {
+		lo, hi = 0, 0
+	}
+	return &Type{
+		kind:     KindHvector,
+		size:     int64(count) * int64(blocklen) * elem.size,
+		lb:       elem.lb + lo,
+		ub:       elem.lb + hi,
+		elem:     elem,
+		count:    count,
+		blocklen: blocklen,
+		stride:   strideBytes,
+	}
+}
+
+// Indexed returns blocks of varying length at varying displacements, both
+// in units of elem (MPI_Type_indexed).
+func Indexed(blocklens []int, displs []int, elem *Type) *Type {
+	checkElem(elem)
+	byteDispls := make([]int64, len(displs))
+	for i, d := range displs {
+		byteDispls[i] = int64(d) * elem.Extent()
+	}
+	t := Hindexed(blocklens, byteDispls, elem)
+	t.kind = KindIndexed
+	return t
+}
+
+// Hindexed is Indexed with displacements in bytes (MPI_Type_hindexed).
+func Hindexed(blocklens []int, displsBytes []int64, elem *Type) *Type {
+	checkElem(elem)
+	if len(blocklens) != len(displsBytes) {
+		panic(fmt.Sprintf("datatype: %d blocklens vs %d displacements", len(blocklens), len(displsBytes)))
+	}
+	var size int64
+	lo, hi := int64(0), int64(0)
+	first := true
+	ext := elem.Extent()
+	for i, bl := range blocklens {
+		if bl < 0 {
+			panic("datatype: negative blocklen")
+		}
+		size += int64(bl) * elem.size
+		if bl == 0 {
+			continue
+		}
+		start := displsBytes[i]
+		end := start + int64(bl)*ext
+		if first {
+			lo, hi = start, end
+			first = false
+			continue
+		}
+		if start < lo {
+			lo = start
+		}
+		if end > hi {
+			hi = end
+		}
+	}
+	return &Type{
+		kind:      KindHindexed,
+		size:      size,
+		lb:        elem.lb + lo,
+		ub:        elem.lb + hi,
+		elem:      elem,
+		blocklens: append([]int(nil), blocklens...),
+		displs:    append([]int64(nil), displsBytes...),
+	}
+}
+
+// StructOf returns the general constructor: per-field types, block lengths
+// and byte displacements (MPI_Type_struct).
+func StructOf(fields ...Field) *Type {
+	var size int64
+	lo, hi := int64(0), int64(0)
+	first := true
+	for _, f := range fields {
+		checkElem(f.Type)
+		if f.Blocklen < 0 {
+			panic("datatype: negative blocklen")
+		}
+		size += int64(f.Blocklen) * f.Type.size
+		if f.Blocklen == 0 {
+			continue
+		}
+		start := f.Disp + f.Type.lb
+		end := f.Disp + f.Type.lb + int64(f.Blocklen)*f.Type.Extent()
+		if first {
+			lo, hi = start, end
+			first = false
+			continue
+		}
+		if start < lo {
+			lo = start
+		}
+		if end > hi {
+			hi = end
+		}
+	}
+	return &Type{
+		kind:   KindStruct,
+		size:   size,
+		lb:     lo,
+		ub:     hi,
+		fields: append([]Field(nil), fields...),
+	}
+}
+
+// Subarray returns the type selecting an n-dimensional sub-block of a
+// row-major (C order) array of elem: sizes is the full array shape,
+// subsizes the block shape and starts its origin
+// (MPI_Type_create_subarray). The type's extent is the full array, so
+// consecutive instances address consecutive arrays.
+func Subarray(sizes, subsizes, starts []int, elem *Type) *Type {
+	checkElem(elem)
+	n := len(sizes)
+	if len(subsizes) != n || len(starts) != n {
+		panic(fmt.Sprintf("datatype: subarray rank mismatch: %d/%d/%d", n, len(subsizes), len(starts)))
+	}
+	if n == 0 {
+		panic("datatype: zero-dimensional subarray")
+	}
+	total := elem.Extent()
+	for d := 0; d < n; d++ {
+		if subsizes[d] < 0 || starts[d] < 0 || starts[d]+subsizes[d] > sizes[d] {
+			panic(fmt.Sprintf("datatype: subarray dim %d: [%d, %d) outside size %d",
+				d, starts[d], starts[d]+subsizes[d], sizes[d]))
+		}
+		total *= int64(sizes[d])
+	}
+	// Row-major: the last dimension is contiguous.
+	t := Contiguous(subsizes[n-1], elem)
+	rowBytes := elem.Extent() * int64(sizes[n-1])
+	stride := rowBytes
+	for d := n - 2; d >= 0; d-- {
+		t = Hvector(subsizes[d], 1, stride, t)
+		stride *= int64(sizes[d])
+	}
+	// Displace to the block origin and give the type the full-array extent.
+	var offset int64
+	dimBytes := elem.Extent()
+	for d := n - 1; d >= 0; d-- {
+		offset += int64(starts[d]) * dimBytes
+		dimBytes *= int64(sizes[d])
+	}
+	placed := StructOf(Field{Type: t, Blocklen: 1, Disp: offset})
+	return Resized(placed, 0, total)
+}
+
+// Resized returns a copy of t with explicit lower bound and extent
+// (MPI_Type_create_resized), used to place gaps around a type.
+func Resized(t *Type, lb, extent int64) *Type {
+	c := *t
+	c.lb = lb
+	c.ub = lb + extent
+	c.committed = false
+	c.flat = nil
+	return &c
+}
+
+func checkElem(t *Type) {
+	if t == nil {
+		panic("datatype: nil element type")
+	}
+}

@@ -1,0 +1,45 @@
+package datatype_test
+
+import (
+	"fmt"
+
+	"scimpich/internal/datatype"
+)
+
+// The paper's figure 3/5 example: a vector of structs (one int, three
+// chars, a gap), whose flattening merges the adjacent int and chars into a
+// single 7-byte leaf with one repetition level.
+func Example() {
+	st := datatype.StructOf(
+		datatype.Field{Type: datatype.Int32, Blocklen: 1, Disp: 0},
+		datatype.Field{Type: datatype.Char, Blocklen: 3, Disp: 4},
+	)
+	st = datatype.Resized(st, 0, 12) // two trailing pad bytes
+	ty := datatype.Vector(5, 1, 1, st).Commit()
+	fmt.Print(ty.Flat().Describe())
+	// Output:
+	// flat: size=35 extent=60 depth=1
+	//   leaf 0: 7B @ 0 x5(stride 12) = 35B
+}
+
+func ExampleVector() {
+	// 4 blocks of 2 doubles, block starts 3 doubles apart.
+	ty := datatype.Vector(4, 2, 3, datatype.Float64).Commit()
+	fmt.Println("size:", ty.Size(), "extent:", ty.Extent())
+	fmt.Print(ty.Flat().Describe())
+	// Output:
+	// size: 64 extent: 88
+	// flat: size=64 extent=88 depth=1
+	//   leaf 0: 16B @ 0 x4(stride 24) = 64B
+}
+
+func ExampleSubarray() {
+	// The 2x2 interior block of a 4x4 matrix of doubles.
+	ty := datatype.Subarray([]int{4, 4}, []int{2, 2}, []int{1, 1}, datatype.Float64).Commit()
+	for _, b := range ty.TypeMap() {
+		fmt.Printf("block at %d, %d bytes\n", b.Off, b.Len)
+	}
+	// Output:
+	// block at 40, 16 bytes
+	// block at 72, 16 bytes
+}

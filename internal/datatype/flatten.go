@@ -1,0 +1,308 @@
+package datatype
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file builds the direct_pack_ff representation (paper §3.3.1): each
+// datatype leaf (a contiguous run of basic elements) gets a compact stack
+// describing its repeat pattern. A stack level holds a replication count
+// and the byte distance between repetitions ("the extent of the data
+// including a stride between items"). After construction the stacks are
+// merged: trivial levels (count 1) are deleted, adjacent repetitions are
+// collapsed into bigger blocks, and contiguous sibling leaves with equal
+// stacks are fused.
+
+// Level is one replication level of a leaf's stack, outermost first.
+type Level struct {
+	// Count is the number of repetitions at this level.
+	Count int64
+	// Stride is the byte distance between consecutive repetitions in the
+	// user buffer.
+	Stride int64
+	// Step is the number of packed bytes contributed by one index
+	// increment at this level (leaf size times the product of all inner
+	// counts). It lets FindPosition run in O(depth).
+	Step int64
+}
+
+// Leaf describes one contiguous basic block and its repeat pattern.
+type Leaf struct {
+	// Size is the contiguous byte count of the block.
+	Size int64
+	// First is the user-buffer offset of the block's first occurrence.
+	First int64
+	// Stack is the repeat pattern, outermost level first. An empty stack
+	// means the leaf occurs exactly once.
+	Stack []Level
+	// Total is the number of packed bytes this leaf contributes per type
+	// instance (Size times the product of all level counts).
+	Total int64
+}
+
+// Copies returns the total number of occurrences of the leaf.
+func (l *Leaf) Copies() int64 {
+	n := int64(1)
+	for _, lv := range l.Stack {
+		n *= lv.Count
+	}
+	return n
+}
+
+// Flat is the committed flattened representation of a datatype.
+type Flat struct {
+	// Leaves in definition order.
+	Leaves []Leaf
+	// Size is the packed size of one type instance.
+	Size int64
+	// Extent is the type extent (spacing of consecutive instances).
+	Extent int64
+	// Depth is the maximum stack depth (the D in the paper's O(N)+O(D)
+	// bound for find_position).
+	Depth int
+}
+
+// flatten builds the representation for one instance of t.
+func (t *Type) flatten() *Flat {
+	f := &Flat{Size: t.size, Extent: t.Extent()}
+	t.emit(f, 0, nil)
+	f.mergeLeaves()
+	f.finalize()
+	return f
+}
+
+// emit walks the constructor tree, accumulating stack levels, and appends
+// leaves for basic runs. base is the user-buffer offset of the current
+// instance origin.
+func (t *Type) emit(f *Flat, base int64, stack []Level) {
+	switch t.kind {
+	case KindBasic:
+		if t.size > 0 {
+			f.addLeaf(t.size, base, stack)
+		}
+	case KindContiguous:
+		if t.count == 0 || t.elem.size == 0 {
+			return
+		}
+		t.elem.emit(f, base, push(stack, int64(t.count), t.elem.Extent()))
+	case KindVector, KindHvector:
+		if t.count == 0 || t.blocklen == 0 || t.elem.size == 0 {
+			return
+		}
+		s := push(stack, int64(t.count), t.stride)
+		t.elem.emit(f, base, push(s, int64(t.blocklen), t.elem.Extent()))
+	case KindIndexed, KindHindexed:
+		for i, bl := range t.blocklens {
+			if bl == 0 || t.elem.size == 0 {
+				continue
+			}
+			t.elem.emit(f, base+t.displs[i], push(stack, int64(bl), t.elem.Extent()))
+		}
+	case KindStruct:
+		for _, fl := range t.fields {
+			if fl.Blocklen == 0 || fl.Type.size == 0 {
+				continue
+			}
+			fl.Type.emit(f, base+fl.Disp, push(stack, int64(fl.Blocklen), fl.Type.Extent()))
+		}
+	default:
+		panic(fmt.Sprintf("datatype: cannot flatten kind %v", t.kind))
+	}
+}
+
+// push appends a level to a copy of the stack (the original must not be
+// mutated: siblings share prefixes).
+func push(stack []Level, count, stride int64) []Level {
+	out := make([]Level, len(stack), len(stack)+1)
+	copy(out, stack)
+	return append(out, Level{Count: count, Stride: stride})
+}
+
+// addLeaf records a basic run and immediately applies the per-leaf merge
+// rules: drop count-1 levels, collapse adjacent innermost repetitions.
+func (f *Flat) addLeaf(size, first int64, stack []Level) {
+	// Drop trivial levels.
+	merged := make([]Level, 0, len(stack))
+	for _, lv := range stack {
+		if lv.Count > 1 {
+			merged = append(merged, lv)
+		}
+	}
+	// Collapse innermost levels whose repetitions are contiguous.
+	for len(merged) > 0 {
+		inner := merged[len(merged)-1]
+		if inner.Stride != size {
+			break
+		}
+		size *= inner.Count
+		merged = merged[:len(merged)-1]
+	}
+	f.Leaves = append(f.Leaves, Leaf{Size: size, First: first, Stack: merged})
+}
+
+// mergeLeaves fuses consecutive leaves that form one contiguous block with
+// identical repeat patterns (e.g. the int and char[] members of the paper's
+// example struct).
+func (f *Flat) mergeLeaves() {
+	if len(f.Leaves) < 2 {
+		return
+	}
+	out := f.Leaves[:1]
+	for _, l := range f.Leaves[1:] {
+		prev := &out[len(out)-1]
+		if prev.First+prev.Size == l.First && stacksEqual(prev.Stack, l.Stack) {
+			// Contiguous sibling with the same pattern: only fuse when the
+			// combined block still fits under the innermost stride.
+			if fits(prev.Stack, prev.Size+l.Size) {
+				prev.Size += l.Size
+				// Re-collapse: the grown block may now fill its innermost
+				// level completely.
+				for len(prev.Stack) > 0 && prev.Stack[len(prev.Stack)-1].Stride == prev.Size {
+					prev.Size *= prev.Stack[len(prev.Stack)-1].Count
+					prev.Stack = prev.Stack[:len(prev.Stack)-1]
+				}
+				continue
+			}
+		}
+		out = append(out, l)
+	}
+	f.Leaves = out
+}
+
+func stacksEqual(a, b []Level) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Count != b[i].Count || a[i].Stride != b[i].Stride {
+			return false
+		}
+	}
+	return true
+}
+
+// fits reports whether a block of the given size can repeat under the
+// innermost level without overlapping the next repetition.
+func fits(stack []Level, size int64) bool {
+	if len(stack) == 0 {
+		return true
+	}
+	return size <= stack[len(stack)-1].Stride
+}
+
+// finalize computes Total, per-level Steps and Depth.
+func (f *Flat) finalize() {
+	f.Depth = 0
+	for i := range f.Leaves {
+		l := &f.Leaves[i]
+		step := l.Size
+		for j := len(l.Stack) - 1; j >= 0; j-- {
+			l.Stack[j].Step = step
+			step *= l.Stack[j].Count
+		}
+		l.Total = step
+		if len(l.Stack) > f.Depth {
+			f.Depth = len(l.Stack)
+		}
+	}
+	var sum int64
+	for i := range f.Leaves {
+		sum += f.Leaves[i].Total
+	}
+	if sum != f.Size {
+		panic(fmt.Sprintf("datatype: flattening lost data: leaves carry %d bytes, type has %d", sum, f.Size))
+	}
+}
+
+// Describe renders the flattened representation in the style of the
+// paper's figure 5: one line per leaf with its contiguous size, first
+// offset and repeat-pattern stack.
+func (f *Flat) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flat: size=%d extent=%d depth=%d\n", f.Size, f.Extent, f.Depth)
+	for i := range f.Leaves {
+		l := &f.Leaves[i]
+		fmt.Fprintf(&b, "  leaf %d: %dB @ %d", i, l.Size, l.First)
+		if len(l.Stack) == 0 {
+			b.WriteString(" (once)")
+		}
+		for _, lv := range l.Stack {
+			fmt.Fprintf(&b, " x%d(stride %d)", lv.Count, lv.Stride)
+		}
+		fmt.Fprintf(&b, " = %dB\n", l.Total)
+	}
+	return b.String()
+}
+
+// Fingerprint returns a hash of the flattened structure (leaf sizes,
+// offsets and repeat patterns). Two types with equal fingerprints produce
+// identical leaf-major linearizations, which is what the rendezvous
+// protocol checks before enabling direct_pack_ff on both sides.
+func (f *Flat) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(f.Leaves)))
+	for i := range f.Leaves {
+		l := &f.Leaves[i]
+		mix(uint64(l.Size))
+		mix(uint64(l.First))
+		mix(uint64(len(l.Stack)))
+		for _, lv := range l.Stack {
+			mix(uint64(lv.Count))
+			mix(uint64(lv.Stride))
+		}
+	}
+	return h
+}
+
+// Position identifies a byte offset within the leaf-major linearization of
+// one type instance.
+type Position struct {
+	// LeafIndex is the leaf the offset falls into.
+	LeafIndex int
+	// Index holds the per-level iteration indices (outermost first).
+	Index []int64
+	// Rem is the byte offset within the current block.
+	Rem int64
+}
+
+// FindPosition locates the packed byte offset off within one instance's
+// linearization: O(number of leaves) + O(depth), the paper's bound for
+// resuming a partial pack. off must be in [0, Size].
+func (f *Flat) FindPosition(off int64) Position {
+	if off < 0 || off > f.Size {
+		panic(fmt.Sprintf("datatype: position %d outside packed size %d", off, f.Size))
+	}
+	var pos Position
+	if off == f.Size {
+		pos.LeafIndex = len(f.Leaves)
+		return pos
+	}
+	for i := range f.Leaves {
+		l := &f.Leaves[i]
+		if off >= l.Total {
+			off -= l.Total
+			continue
+		}
+		pos.LeafIndex = i
+		pos.Index = make([]int64, len(l.Stack))
+		for j := range l.Stack {
+			pos.Index[j] = off / l.Stack[j].Step
+			off -= pos.Index[j] * l.Stack[j].Step
+		}
+		pos.Rem = off
+		return pos
+	}
+	panic("datatype: FindPosition fell off the leaf list") // unreachable: totals sum to Size
+}

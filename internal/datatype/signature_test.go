@@ -1,0 +1,67 @@
+package datatype
+
+import "testing"
+
+func TestSignatureLayoutIndependent(t *testing.T) {
+	// A strided vector of 8 doubles and a contiguous run of 8 doubles have
+	// the same signature: same element sequence, different layout.
+	v := Vector(4, 2, 5, Float64).Commit()
+	c := Contiguous(8, Float64).Commit()
+	sv, bv := v.Signature()
+	sc, bc := c.Signature()
+	if sv != sc {
+		t.Errorf("vector and contiguous double signatures differ: %x vs %x", sv, sc)
+	}
+	if bv || bc {
+		t.Error("double signatures flagged byte-only")
+	}
+}
+
+func TestSignatureDistinguishesElementTypes(t *testing.T) {
+	d := Contiguous(4, Float64).Commit()
+	i := Contiguous(8, Int32).Commit() // same byte count, different elements
+	sd, _ := d.Signature()
+	si, _ := i.Signature()
+	if sd == si {
+		t.Error("double and int signatures collide")
+	}
+}
+
+func TestSignatureOrderSensitive(t *testing.T) {
+	a := StructOf(
+		Field{Type: Int32, Blocklen: 1, Disp: 0},
+		Field{Type: Float64, Blocklen: 1, Disp: 8},
+	).Commit()
+	b := StructOf(
+		Field{Type: Float64, Blocklen: 1, Disp: 0},
+		Field{Type: Int32, Blocklen: 1, Disp: 8},
+	).Commit()
+	sa, _ := a.Signature()
+	sb, _ := b.Signature()
+	if sa == sb {
+		t.Error("element order did not affect the signature")
+	}
+}
+
+func TestSignatureByteOnly(t *testing.T) {
+	raw := Vector(16, 4, 8, Byte).Commit()
+	if _, byteOnly := raw.Signature(); !byteOnly {
+		t.Error("byte vector not flagged byte-only")
+	}
+	mixed := StructOf(
+		Field{Type: Byte, Blocklen: 4, Disp: 0},
+		Field{Type: Int32, Blocklen: 1, Disp: 4},
+	).Commit()
+	if _, byteOnly := mixed.Signature(); byteOnly {
+		t.Error("mixed struct flagged byte-only")
+	}
+}
+
+func TestSignatureCached(t *testing.T) {
+	ty := Vector(1000, 8, 16, Float64).Commit()
+	s1, _ := ty.Signature()
+	s2, _ := ty.Signature()
+	if s1 != s2 || !ty.sigDone {
+		t.Error("signature not cached")
+	}
+}

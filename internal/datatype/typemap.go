@@ -1,0 +1,122 @@
+package datatype
+
+// Block is one contiguous byte range of a type's data in the user buffer.
+type Block struct {
+	Off int64
+	Len int64
+}
+
+// TypeMap expands the type into its full list of contiguous byte ranges in
+// definition order (the MPI "type map", with basic elements fused into
+// runs). It is exponential in nesting depth by nature and intended for
+// verification and small tooling, not for the data path — the data path
+// uses the flattened representation.
+func (t *Type) TypeMap() []Block {
+	var blocks []Block
+	t.expand(0, &blocks)
+	return fuse(blocks)
+}
+
+func (t *Type) expand(base int64, out *[]Block) {
+	switch t.kind {
+	case KindBasic:
+		if t.size > 0 {
+			*out = append(*out, Block{Off: base, Len: t.size})
+		}
+	case KindContiguous:
+		for i := 0; i < t.count; i++ {
+			t.elem.expand(base+int64(i)*t.elem.Extent(), out)
+		}
+	case KindVector, KindHvector:
+		for i := 0; i < t.count; i++ {
+			start := base + int64(i)*t.stride
+			for j := 0; j < t.blocklen; j++ {
+				t.elem.expand(start+int64(j)*t.elem.Extent(), out)
+			}
+		}
+	case KindIndexed, KindHindexed:
+		for i, bl := range t.blocklens {
+			start := base + t.displs[i]
+			for j := 0; j < bl; j++ {
+				t.elem.expand(start+int64(j)*t.elem.Extent(), out)
+			}
+		}
+	case KindStruct:
+		for _, f := range t.fields {
+			start := base + f.Disp
+			for j := 0; j < f.Blocklen; j++ {
+				f.Type.expand(start+int64(j)*f.Type.Extent(), out)
+			}
+		}
+	}
+}
+
+// Signature returns a hash of the type signature — the sequence of basic
+// type sizes in definition order, independent of displacements and gaps —
+// and whether the signature consists purely of single-byte elements.
+// MPI requires matching send/receive signatures; the runtime verifies the
+// hash at delivery time, treating pure-byte signatures as wildcards (the
+// near-universal raw-buffer idiom). The result is cached after the first
+// call.
+func (t *Type) Signature() (hash uint64, byteOnly bool) {
+	if t.sigDone {
+		return t.sig, t.sigByteOnly
+	}
+	h := uint64(14695981039346656037)
+	byteOnly = true
+	t.signature(&h, &byteOnly)
+	t.sig, t.sigByteOnly, t.sigDone = h, byteOnly, true
+	return h, byteOnly
+}
+
+func (t *Type) signature(h *uint64, byteOnly *bool) {
+	switch t.kind {
+	case KindBasic:
+		if t.size != 1 {
+			*byteOnly = false
+		}
+		*h ^= uint64(t.size)
+		*h *= prime64sig
+	case KindContiguous:
+		for i := 0; i < t.count; i++ {
+			t.elem.signature(h, byteOnly)
+		}
+	case KindVector, KindHvector:
+		for i := 0; i < t.count; i++ {
+			for j := 0; j < t.blocklen; j++ {
+				t.elem.signature(h, byteOnly)
+			}
+		}
+	case KindIndexed, KindHindexed:
+		for _, bl := range t.blocklens {
+			for j := 0; j < bl; j++ {
+				t.elem.signature(h, byteOnly)
+			}
+		}
+	case KindStruct:
+		for _, f := range t.fields {
+			for j := 0; j < f.Blocklen; j++ {
+				f.Type.signature(h, byteOnly)
+			}
+		}
+	}
+}
+
+const prime64sig = 1099511628211
+
+// fuse merges adjacent blocks.
+func fuse(blocks []Block) []Block {
+	if len(blocks) == 0 {
+		return blocks
+	}
+	out := blocks[:1]
+	for _, b := range blocks[1:] {
+		last := &out[len(out)-1]
+		if last.Off+last.Len == b.Off {
+			last.Len += b.Len
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+// Package flow models bulk data transfers over a network of capacitated
+// links using max-min fair bandwidth sharing ("progressive filling").
+//
+// A Flow occupies a path of Links and is additionally capped by a per-flow
+// source rate (modelling, e.g., the PIO output limit of a PCI-SCI adapter).
+// Whenever a flow starts or completes, all rates are recomputed and the next
+// completion event is rescheduled, so contention between overlapping
+// transfers is resolved exactly in virtual time.
+//
+// Links can degrade under load: each Link may carry a CongestionModel that
+// maps (offered load, multiplexing degree) to an achievable fraction of the
+// nominal capacity. The SCI ring calibration lives in congestion.go.
+package flow
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"scimpich/internal/sim"
+)
+
+// Link is a unidirectional, capacitated network resource.
+type Link struct {
+	name     string
+	capacity float64 // bytes/second, nominal
+	model    CongestionModel
+
+	flows map[*Flow]float64 // flow -> weight on this link
+}
+
+// Hop is one step of a flow's path: a link and the fraction of the flow's
+// rate that this link must carry. Data segments have weight 1; SCI
+// flow-control echo packets returning around the ring load the remaining
+// segments at a small fraction of the data rate.
+type Hop struct {
+	Link   *Link
+	Weight float64
+}
+
+// Path converts a plain link list into a weight-1 hop path.
+func Path(links ...*Link) []Hop {
+	hops := make([]Hop, len(links))
+	for i, l := range links {
+		hops[i] = Hop{Link: l, Weight: 1}
+	}
+	return hops
+}
+
+// NewLink returns a link with the given nominal capacity in bytes/second.
+// model may be nil for an ideal (loss-free) link.
+func NewLink(name string, capacity float64, model CongestionModel) *Link {
+	if capacity <= 0 {
+		panic("flow: link capacity must be positive")
+	}
+	return &Link{name: name, capacity: capacity, model: model, flows: make(map[*Flow]float64)}
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the link's nominal capacity in bytes/second.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// effectiveCapacity computes the usable capacity given the current set of
+// flows, using the congestion model if present. demand is the sum of the
+// unconstrained source rates of the flows crossing this link.
+func (l *Link) effectiveCapacity() float64 {
+	if l.model == nil || len(l.flows) == 0 {
+		return l.capacity
+	}
+	demand := 0.0
+	for f, w := range l.flows {
+		demand += f.srcCap * w
+	}
+	load := demand / l.capacity
+	frac := l.model.AchievedFraction(load, len(l.flows))
+	achieved := l.capacity * frac
+	if achieved > demand {
+		achieved = demand
+	}
+	return achieved
+}
+
+// Flow is one in-flight bulk transfer.
+type Flow struct {
+	path      []Hop
+	srcCap    float64 // per-flow rate cap (bytes/second)
+	remaining float64 // bytes left
+	rate      float64 // current allocated rate
+	done      *sim.Future
+
+	// fields used during rate computation
+	frozen bool
+}
+
+// Rate returns the currently allocated rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Done returns a future completed when the transfer finishes.
+func (f *Flow) Done() *sim.Future { return f.done }
+
+// Network tracks active flows and drives their completion in virtual time.
+type Network struct {
+	e          *sim.Engine
+	flows      map[*Flow]struct{}
+	lastSettle time.Duration
+	next       *sim.Timer
+}
+
+// NewNetwork returns an empty flow network bound to the engine.
+func NewNetwork(e *sim.Engine) *Network {
+	return &Network{e: e, flows: make(map[*Flow]struct{})}
+}
+
+// ActiveFlows returns the number of in-flight transfers.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// Start begins a transfer of bytes over path, capped at srcCap bytes/second.
+// It returns immediately; the flow's Done future completes when the last
+// byte has been delivered. An empty path means the flow is limited only by
+// srcCap. A link appearing in several hops accumulates their weights.
+func (n *Network) Start(path []Hop, bytes int64, srcCap float64) *Flow {
+	if srcCap <= 0 {
+		panic("flow: source cap must be positive")
+	}
+	for _, h := range path {
+		if h.Weight <= 0 {
+			panic("flow: hop weight must be positive")
+		}
+	}
+	f := &Flow{path: path, srcCap: srcCap, remaining: float64(bytes), done: sim.NewFuture()}
+	if bytes <= 0 {
+		f.done.Complete(nil)
+		return f
+	}
+	n.settle()
+	n.flows[f] = struct{}{}
+	for _, h := range path {
+		h.Link.flows[f] += h.Weight
+	}
+	n.reallocate()
+	return f
+}
+
+// StartBatch begins many transfers that share one rate recomputation —
+// the moment large symmetric scenarios (a whole machine starting its bulk
+// phase) need: starting n flows one by one costs n full max-min passes,
+// a batch costs one.
+func (n *Network) StartBatch(paths [][]Hop, bytes int64, srcCap float64) []*Flow {
+	if srcCap <= 0 {
+		panic("flow: source cap must be positive")
+	}
+	n.settle()
+	flows := make([]*Flow, len(paths))
+	for i, path := range paths {
+		f := &Flow{path: path, srcCap: srcCap, remaining: float64(bytes), done: sim.NewFuture()}
+		flows[i] = f
+		if bytes <= 0 {
+			f.done.Complete(nil)
+			continue
+		}
+		n.flows[f] = struct{}{}
+		for _, h := range path {
+			if h.Weight <= 0 {
+				panic("flow: hop weight must be positive")
+			}
+			h.Link.flows[f] += h.Weight
+		}
+	}
+	n.reallocate()
+	return flows
+}
+
+// Transfer runs a flow to completion, blocking the calling process.
+func (n *Network) Transfer(p *sim.Proc, path []Hop, bytes int64, srcCap float64) {
+	f := n.Start(path, bytes, srcCap)
+	p.Await(f.done)
+}
+
+// settle credits progress to every active flow for the virtual time elapsed
+// since the last settlement.
+func (n *Network) settle() {
+	now := n.e.Now()
+	dt := (now - n.lastSettle).Seconds()
+	n.lastSettle = now
+	if dt <= 0 {
+		return
+	}
+	for f := range n.flows {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+}
+
+// reallocate recomputes max-min fair rates for all active flows and
+// schedules the next completion event.
+func (n *Network) reallocate() {
+	if n.next != nil {
+		n.next.Cancel()
+		n.next = nil
+	}
+	n.computeRates()
+
+	// Finish flows that are already (numerically) done.
+	var finished []*Flow
+	for f := range n.flows {
+		if f.remaining <= 1e-9 {
+			finished = append(finished, f)
+		}
+	}
+	if len(finished) > 0 {
+		for _, f := range finished {
+			n.remove(f)
+		}
+		// Rates changed again; recurse (bounded by flow count).
+		n.reallocate()
+		for _, f := range finished {
+			f.done.Complete(nil)
+		}
+		return
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+	soonest := time.Duration(math.MaxInt64)
+	for f := range n.flows {
+		d := sim.RateDuration(int64(math.Ceil(f.remaining)), f.rate)
+		if d < soonest {
+			soonest = d
+		}
+	}
+	n.next = n.e.After(soonest, func() {
+		n.next = nil
+		n.settle()
+		n.reallocate()
+	})
+}
+
+func (n *Network) remove(f *Flow) {
+	delete(n.flows, f)
+	for _, h := range f.path {
+		delete(h.Link.flows, f)
+	}
+	f.rate = 0
+}
+
+// computeRates performs weighted progressive filling: repeatedly find the
+// tightest constraint (a link's fair share or a flow's source cap), freeze
+// the flows it binds, and continue with the residual capacities. A flow with
+// weight w on a link consumes w times its rate there; unfrozen flows on a
+// link all receive the same rate, so the link's fair share is
+// residual / sum-of-unfrozen-weights.
+func (n *Network) computeRates() {
+	if len(n.flows) == 0 {
+		return
+	}
+	type linkState struct {
+		residual float64
+		weight   float64 // sum of unfrozen flow weights
+	}
+	states := make(map[*Link]*linkState)
+	weightOn := func(f *Flow, l *Link) float64 { return l.flows[f] }
+	for f := range n.flows {
+		f.frozen = false
+		f.rate = 0
+		for _, h := range f.path {
+			if states[h.Link] == nil {
+				states[h.Link] = &linkState{residual: h.Link.effectiveCapacity()}
+			}
+		}
+	}
+	for f := range n.flows {
+		seen := map[*Link]bool{}
+		for _, h := range f.path {
+			if !seen[h.Link] {
+				seen[h.Link] = true
+				states[h.Link].weight += weightOn(f, h.Link)
+			}
+		}
+	}
+	unfrozen := len(n.flows)
+	for unfrozen > 0 {
+		// Tightest link fair share.
+		share := math.MaxFloat64
+		for _, st := range states {
+			if st.weight <= 1e-12 {
+				continue
+			}
+			if s := st.residual / st.weight; s < share {
+				share = s
+			}
+		}
+		// Tightest source cap.
+		minCap := math.MaxFloat64
+		for f := range n.flows {
+			if !f.frozen && f.srcCap < minCap {
+				minCap = f.srcCap
+			}
+		}
+		r := share
+		if minCap < r {
+			r = minCap
+		}
+		if r == math.MaxFloat64 || r < 0 {
+			panic(fmt.Sprintf("flow: rate computation failed (share=%g cap=%g)", share, minCap))
+		}
+		froze := false
+		for f := range n.flows {
+			if f.frozen {
+				continue
+			}
+			bound := f.srcCap <= r+1e-12
+			if !bound {
+				for _, h := range f.path {
+					st := states[h.Link]
+					if st.residual/st.weight <= r+1e-12 {
+						bound = true
+						break
+					}
+				}
+			}
+			if bound {
+				f.frozen = true
+				f.rate = math.Min(r, f.srcCap)
+				froze = true
+				unfrozen--
+				seen := map[*Link]bool{}
+				for _, h := range f.path {
+					if seen[h.Link] {
+						continue
+					}
+					seen[h.Link] = true
+					st := states[h.Link]
+					st.residual -= f.rate * weightOn(f, h.Link)
+					if st.residual < 0 {
+						st.residual = 0
+					}
+					st.weight -= weightOn(f, h.Link)
+					if st.weight < 0 {
+						st.weight = 0
+					}
+				}
+			}
+		}
+		if !froze {
+			panic("flow: progressive filling made no progress")
+		}
+	}
+}

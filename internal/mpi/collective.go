@@ -1,0 +1,150 @@
+package mpi
+
+import (
+	"fmt"
+
+	"scimpich/internal/datatype"
+)
+
+// Collective operations, built on point-to-point messaging in a separate
+// communicator context so they never match user traffic.
+
+// Tags for collective phases.
+const (
+	tagBarrier = 1 << 20
+	tagBcast   = 2 << 20
+	tagReduce  = 3 << 20
+	tagGather  = 4 << 20
+	tagScatter = 5 << 20
+)
+
+// Barrier blocks until every rank has entered it (dissemination algorithm,
+// log2(P) rounds of zero-byte messages).
+func (c *Comm) Barrier() {
+	cc := c.collective()
+	size := c.Size()
+	if size == 1 {
+		return
+	}
+	me := c.Rank()
+	for round, dist := 0, 1; dist < size; round, dist = round+1, dist*2 {
+		to := (me + dist) % size
+		from := (me - dist + size) % size
+		r := cc.irecv(nil, 0, datatype.Byte, from, tagBarrier+round, cc.ctx)
+		cc.send(nil, 0, datatype.Byte, to, tagBarrier+round, cc.ctx)
+		r.Wait()
+	}
+}
+
+// Bcast broadcasts count elements of dt from root to every rank (binomial
+// tree).
+func (c *Comm) Bcast(buf []byte, count int, dt *datatype.Type, root int) {
+	cc := c.collective()
+	size := c.Size()
+	if size == 1 {
+		return
+	}
+	vrank := (c.Rank() - root + size) % size
+	// Receive from parent.
+	if vrank != 0 {
+		parent := ((vrank & (vrank - 1)) + root) % size
+		cc.recv(buf, count, dt, parent, tagBcast, cc.ctx)
+	}
+	// Forward to children.
+	for bit := lowestSetOrSize(vrank, size); bit > 0; bit >>= 1 {
+		child := vrank | bit
+		if child != vrank && child < size {
+			cc.send(buf, count, dt, (child+root)%size, tagBcast, cc.ctx)
+		}
+	}
+}
+
+// lowestSetOrSize returns the highest bit a node may address as a child in
+// the binomial tree: for vrank 0 the full width, otherwise the bit below
+// the lowest set bit of vrank.
+func lowestSetOrSize(vrank, size int) int {
+	if vrank == 0 {
+		b := 1
+		for b < size {
+			b <<= 1
+		}
+		return b >> 1
+	}
+	return (vrank & -vrank) >> 1
+}
+
+// Reduce combines count elements of the basic type dt from every rank with
+// op, leaving the result in recv on root (recv may be nil elsewhere).
+// send must hold the rank's contribution.
+func (c *Comm) Reduce(send, recv []byte, count int, dt *datatype.Type, op Op, root int) {
+	if dt.Kind() != datatype.KindBasic {
+		panic(fmt.Sprintf("mpi: Reduce requires a basic datatype, got %s", dt))
+	}
+	cc := c.collective()
+	size := c.Size()
+	bytes := dt.Size() * int64(count)
+	acc := make([]byte, bytes)
+	copy(acc, send[:bytes])
+	if size > 1 {
+		vrank := (c.Rank() - root + size) % size
+		// Binomial reduction: receive from children, fold, send to parent.
+		tmp := make([]byte, bytes)
+		for bit := 1; bit < size; bit <<= 1 {
+			if vrank&bit != 0 {
+				parent := ((vrank &^ bit) + root) % size
+				cc.send(acc, count, dt, parent, tagReduce, cc.ctx)
+				break
+			}
+			child := vrank | bit
+			if child < size {
+				cc.recv(tmp, count, dt, (child+root)%size, tagReduce, cc.ctx)
+				combine(op, dt, acc, tmp, count)
+			}
+		}
+	}
+	if c.Rank() == root {
+		copy(recv[:bytes], acc)
+	}
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (c *Comm) Allreduce(send, recv []byte, count int, dt *datatype.Type, op Op) {
+	c.Reduce(send, recv, count, dt, op, 0)
+	c.Bcast(recv, count, dt, 0)
+}
+
+// Gather collects each rank's send buffer into recv at root, ordered by
+// rank (recv needs size*count elements at root; ignored elsewhere).
+func (c *Comm) Gather(send []byte, count int, dt *datatype.Type, recv []byte, root int) {
+	cc := c.collective()
+	bytes := dt.Size() * int64(count)
+	if c.Rank() == root {
+		copy(recv[int64(root)*bytes:], send[:bytes])
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			cc.recv(recv[int64(i)*bytes:int64(i+1)*bytes], count, dt, i, tagGather, cc.ctx)
+		}
+		return
+	}
+	cc.send(send, count, dt, root, tagGather, cc.ctx)
+}
+
+// Scatter distributes contiguous count-element pieces of send (at root) to
+// every rank's recv buffer.
+func (c *Comm) Scatter(send []byte, count int, dt *datatype.Type, recv []byte, root int) {
+	cc := c.collective()
+	bytes := dt.Size() * int64(count)
+	if c.Rank() == root {
+		copy(recv, send[int64(root)*bytes:int64(root+1)*bytes])
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			cc.send(send[int64(i)*bytes:int64(i+1)*bytes], count, dt, i, tagScatter, cc.ctx)
+		}
+		return
+	}
+	cc.recv(recv, count, dt, root, tagScatter, cc.ctx)
+}

@@ -1,0 +1,113 @@
+package mpi
+
+import (
+	"fmt"
+
+	"scimpich/internal/datatype"
+)
+
+// Additional collectives: allgather, all-to-all, scan and
+// reduce-scatter, plus request helpers.
+
+// Tags for the second collective group.
+const (
+	tagAllgather = 6 << 20
+	tagAlltoall  = 7 << 20
+	tagScan      = 8 << 20
+	tagRedScat   = 9 << 20
+)
+
+// Allgather collects every rank's count elements of dt into recv (ordered
+// by rank) on all ranks, using the ring algorithm: P-1 steps of passing the
+// next slice to the right neighbour.
+func (c *Comm) Allgather(send []byte, count int, dt *datatype.Type, recv []byte) {
+	cc := c.collective()
+	size := c.Size()
+	me := c.Rank()
+	bytes := dt.Size() * int64(count)
+	copy(recv[int64(me)*bytes:], send[:bytes])
+	if size == 1 {
+		return
+	}
+	right := (me + 1) % size
+	left := (me - 1 + size) % size
+	for step := 0; step < size-1; step++ {
+		sendIdx := (me - step + size) % size
+		recvIdx := (me - step - 1 + size) % size
+		cc.Sendrecv(
+			recv[int64(sendIdx)*bytes:int64(sendIdx+1)*bytes], count, dt, right, tagAllgather+step,
+			recv[int64(recvIdx)*bytes:int64(recvIdx+1)*bytes], count, dt, left, tagAllgather+step,
+		)
+	}
+}
+
+// Alltoall sends the i-th count-element slice of send to rank i and
+// receives rank i's slice into the i-th slot of recv (pairwise-exchange
+// algorithm).
+func (c *Comm) Alltoall(send []byte, count int, dt *datatype.Type, recv []byte) {
+	cc := c.collective()
+	size := c.Size()
+	me := c.Rank()
+	bytes := dt.Size() * int64(count)
+	copy(recv[int64(me)*bytes:int64(me+1)*bytes], send[int64(me)*bytes:int64(me+1)*bytes])
+	for step := 1; step < size; step++ {
+		to := (me + step) % size
+		from := (me - step + size) % size
+		cc.Sendrecv(
+			send[int64(to)*bytes:int64(to+1)*bytes], count, dt, to, tagAlltoall+step,
+			recv[int64(from)*bytes:int64(from+1)*bytes], count, dt, from, tagAlltoall+step,
+		)
+	}
+}
+
+// Scan computes the inclusive prefix reduction: recv on rank r holds
+// op(send_0, ..., send_r). Linear algorithm: receive from the left, fold,
+// forward to the right.
+func (c *Comm) Scan(send, recv []byte, count int, dt *datatype.Type, op Op) {
+	if dt.Kind() != datatype.KindBasic {
+		panic(fmt.Sprintf("mpi: Scan requires a basic datatype, got %s", dt))
+	}
+	cc := c.collective()
+	bytes := dt.Size() * int64(count)
+	acc := make([]byte, bytes)
+	copy(acc, send[:bytes])
+	me := c.Rank()
+	if me > 0 {
+		prev := make([]byte, bytes)
+		cc.recv(prev, count, dt, me-1, tagScan, cc.ctx)
+		// Combine with the running prefix from the left, preserving
+		// left-to-right order: acc = prefix op mine.
+		combine(op, dt, prev, acc, count)
+		copy(acc, prev)
+	}
+	if me < c.Size()-1 {
+		cc.send(acc, count, dt, me+1, tagScan, cc.ctx)
+	}
+	copy(recv[:bytes], acc)
+}
+
+// ReduceScatterBlock reduces size*count elements elementwise across all
+// ranks and scatters equal count-element blocks: rank r receives the
+// reduction of everyone's r-th block (implemented as Reduce + Scatter).
+func (c *Comm) ReduceScatterBlock(send, recv []byte, count int, dt *datatype.Type, op Op) {
+	size := c.Size()
+	total := count * size
+	var full []byte
+	if c.Rank() == 0 {
+		full = make([]byte, dt.Size()*int64(total))
+	}
+	c.Reduce(send, full, total, dt, op, 0)
+	c.Scatter(full, count, dt, recv, 0)
+}
+
+// Waitall blocks until every request has completed, returning the statuses
+// (nil entries for sends).
+func (c *Comm) Waitall(reqs []*Request) []*Status {
+	out := make([]*Status, len(reqs))
+	for i, r := range reqs {
+		if r != nil {
+			out[i] = r.Wait()
+		}
+	}
+	return out
+}

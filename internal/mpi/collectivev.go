@@ -1,0 +1,91 @@
+package mpi
+
+import (
+	"fmt"
+
+	"scimpich/internal/datatype"
+)
+
+// Variable-count collectives (the v-variants): each rank contributes or
+// receives a different number of elements.
+
+// Tags for the v-collectives.
+const (
+	tagGatherv  = 10 << 20
+	tagScatterv = 11 << 20
+	tagAgatherv = 12 << 20
+)
+
+// checkV validates counts/displs against the communicator size.
+func (c *Comm) checkV(name string, counts, displs []int) {
+	if len(counts) != c.Size() || len(displs) != c.Size() {
+		panic(fmt.Sprintf("mpi: %s: %d counts / %d displs for %d ranks",
+			name, len(counts), len(displs), c.Size()))
+	}
+}
+
+// Gatherv collects counts[r] elements from each rank r into recv at
+// element displacement displs[r] on root (MPI_Gatherv).
+func (c *Comm) Gatherv(send []byte, count int, dt *datatype.Type, recv []byte, counts, displs []int, root int) {
+	cc := c.collective()
+	es := dt.Size()
+	if c.Rank() == root {
+		c.checkV("Gatherv", counts, displs)
+		copy(recv[int64(displs[root])*es:], send[:int64(counts[root])*es])
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			off := int64(displs[r]) * es
+			cc.recv(recv[off:off+int64(counts[r])*es], counts[r], dt, r, tagGatherv, cc.ctx)
+		}
+		return
+	}
+	cc.send(send, count, dt, root, tagGatherv, cc.ctx)
+}
+
+// Scatterv distributes counts[r] elements from send (at displacement
+// displs[r], on root) to each rank r's recv buffer (MPI_Scatterv).
+func (c *Comm) Scatterv(send []byte, counts, displs []int, dt *datatype.Type, recv []byte, count int, root int) {
+	cc := c.collective()
+	es := dt.Size()
+	if c.Rank() == root {
+		c.checkV("Scatterv", counts, displs)
+		copy(recv, send[int64(displs[root])*es:int64(displs[root])*es+int64(counts[root])*es])
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			off := int64(displs[r]) * es
+			cc.send(send[off:off+int64(counts[r])*es], counts[r], dt, r, tagScatterv, cc.ctx)
+		}
+		return
+	}
+	cc.recv(recv, count, dt, root, tagScatterv, cc.ctx)
+}
+
+// Allgatherv collects counts[r] elements from every rank into every rank's
+// recv buffer at displacement displs[r] (MPI_Allgatherv; ring algorithm).
+func (c *Comm) Allgatherv(send []byte, count int, dt *datatype.Type, recv []byte, counts, displs []int) {
+	c.checkV("Allgatherv", counts, displs)
+	cc := c.collective()
+	size := c.Size()
+	me := c.Rank()
+	es := dt.Size()
+	copy(recv[int64(displs[me])*es:], send[:int64(counts[me])*es])
+	if size == 1 {
+		return
+	}
+	right := (me + 1) % size
+	left := (me - 1 + size) % size
+	for step := 0; step < size-1; step++ {
+		sendIdx := (me - step + size) % size
+		recvIdx := (me - step - 1 + size) % size
+		so := int64(displs[sendIdx]) * es
+		ro := int64(displs[recvIdx]) * es
+		cc.Sendrecv(
+			recv[so:so+int64(counts[sendIdx])*es], counts[sendIdx], dt, right, tagAgatherv+step,
+			recv[ro:ro+int64(counts[recvIdx])*es], counts[recvIdx], dt, left, tagAgatherv+step,
+		)
+	}
+}

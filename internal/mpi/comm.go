@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"scimpich/internal/memmodel"
+	"scimpich/internal/sci"
+	"scimpich/internal/sim"
+)
+
+// Comm is a rank's handle on the communicator (MPI_COMM_WORLD plus an
+// internal context for library-level traffic).
+type Comm struct {
+	w       *World
+	rk      *rank
+	p       *sim.Proc
+	ctx     int
+	collCtx int
+	// group holds the member world ranks of a split communicator; nil
+	// means the world communicator (identity mapping).
+	group []int
+}
+
+// internal contexts for library traffic, separated from user messages.
+const (
+	ctxUser = iota
+	ctxCollective
+)
+
+// Rank returns the calling process's rank within this communicator.
+func (c *Comm) Rank() int {
+	if c.group == nil {
+		return c.rk.id
+	}
+	return c.localRank(c.rk.id)
+}
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int {
+	if c.group == nil {
+		return c.w.size
+	}
+	return len(c.group)
+}
+
+// WorldRank returns the calling process's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.rk.id }
+
+// GroupToWorld translates a communicator-local rank to a world rank.
+func (c *Comm) GroupToWorld(r int) int { return c.worldRank(r) }
+
+// WorldToGroup translates a world rank into this communicator (-1 if the
+// rank is not a member).
+func (c *Comm) WorldToGroup(world int) int { return c.localRank(world) }
+
+// ContextID returns the communicator's context identifier (distinct per
+// Dup/Split communicator; used by layered libraries to key collective
+// state).
+func (c *Comm) ContextID() int { return c.ctx }
+
+// Node returns the cluster node this rank runs on.
+func (c *Comm) Node() int { return c.rk.node }
+
+// ProcsPerNode returns the SMP width of the cluster.
+func (c *Comm) ProcsPerNode() int { return c.w.cfg.ProcsPerNode }
+
+// Proc exposes the underlying simulation process (for libraries layered on
+// the runtime, like one-sided communication).
+func (c *Comm) Proc() *sim.Proc { return c.p }
+
+// World returns the runtime the communicator belongs to.
+func (c *Comm) World() *World { return c.w }
+
+// Wtime returns the virtual time in seconds (MPI_Wtime).
+func (c *Comm) Wtime() float64 { return c.p.Now().Seconds() }
+
+// WtimeDuration returns the virtual time as a duration.
+func (c *Comm) WtimeDuration() time.Duration { return c.p.Now() }
+
+// mem returns the node's memory model.
+func (c *Comm) mem() *memmodel.Model { return c.w.cfg.Shm.Mem }
+
+// collective returns a communicator view for internal traffic.
+func (c *Comm) collective() *Comm {
+	cc := *c
+	cc.ctx = cc.collCtx
+	return &cc
+}
+
+// Run builds a cluster from cfg, runs main once per rank, and returns the
+// virtual time at which the last rank finished.
+func Run(cfg Config, main func(c *Comm)) time.Duration {
+	e := sim.NewEngine()
+	w := NewWorld(e, cfg)
+	w.Spawn(main)
+	return e.Run()
+}
+
+// NewWorld wires a cluster onto an existing engine (for harnesses that mix
+// in extra simulation components).
+func NewWorld(e *sim.Engine, cfg Config) *World {
+	return newWorld(e, cfg)
+}
+
+// Engine returns the world's simulation engine.
+func (w *World) Engine() *sim.Engine { return w.engine }
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Spawn starts main on every rank.
+func (w *World) Spawn(main func(c *Comm)) {
+	for r := 0; r < w.size; r++ {
+		rk := w.ranks[r]
+		w.engine.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			rk.p = p
+			main(&Comm{w: w, rk: rk, p: p, ctx: ctxUser, collCtx: ctxCollective})
+		})
+	}
+}
+
+// Stats returns the device statistics of a rank.
+func (w *World) Stats(rank int) DeviceStats { return w.ranks[rank].dev.stats }
+
+// MemModel returns the per-node memory hierarchy model.
+func (w *World) MemModel() *memmodel.Model { return w.cfg.Shm.Mem }
+
+// InterconnectStats returns the SCI adapter statistics of a node (zero
+// value on single-node clusters).
+func (w *World) InterconnectStats(node int) sci.Stats {
+	if w.ic == nil {
+		return sci.Stats{}
+	}
+	return w.ic.Node(node).Stats
+}

@@ -1,0 +1,344 @@
+package mpi
+
+import (
+	"fmt"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/memmodel"
+	"scimpich/internal/pack"
+	"scimpich/internal/sim"
+)
+
+// device is the per-rank communication engine: a daemon process that
+// receives control envelopes (the moral equivalent of SCI-MPICH's control
+// packet queues plus remote handler), performs message matching and
+// executes the receive side of the short/eager/rendezvous protocols.
+type device struct {
+	rk    *rank
+	inbox *sim.Chan
+	p     *sim.Proc
+
+	posted     []*recvReq
+	unexpected []*envelope
+	probes     []*probeReq
+	rdv        map[int64]*rdvRecv
+
+	// oscHandler serves envOSC requests (registered by the osc package:
+	// the remote handler that emulates direct access for private windows).
+	oscHandler func(p *sim.Proc, env *envelope)
+
+	stats DeviceStats
+}
+
+// DeviceStats counts protocol activity on one rank.
+type DeviceStats struct {
+	ShortRecvd  int64
+	EagerRecvd  int64
+	RdvRecvd    int64
+	Unexpected  int64
+	BytesRecvd  int64
+	OSCRequests int64
+}
+
+// rdvRecv tracks one in-progress rendezvous receive.
+type rdvRecv struct {
+	req       *recvReq
+	env       *envelope // the original request
+	mode      rdvMode
+	received  int64
+	nextChunk int
+}
+
+// rdvMode selects the data engine for a rendezvous transfer.
+type rdvMode int
+
+const (
+	rdvContig  rdvMode = iota // plain contiguous copy
+	rdvFF                     // direct_pack_ff on both sides
+	rdvGeneric                // pack / transfer / unpack baseline
+)
+
+func newDevice(rk *rank) *device {
+	d := &device{
+		rk:    rk,
+		inbox: sim.NewChan(1 << 20),
+		rdv:   make(map[int64]*rdvRecv),
+	}
+	d.p = rk.w.engine.GoDaemon(fmt.Sprintf("dev%d", rk.id), d.run)
+	return d
+}
+
+// mem returns the node's memory-hierarchy model.
+func (d *device) mem() *memmodel.Model { return d.rk.w.cfg.Shm.Mem }
+
+func (d *device) run(p *sim.Proc) {
+	for {
+		env := p.Recv(d.inbox).(*envelope)
+		p.Sleep(d.rk.w.protocol().HandlerLatency)
+		switch env.kind {
+		case envLocalPost:
+			d.handlePost(p, env.post)
+		case envLocalProbe:
+			d.handleProbe(env.probe)
+		case envShort, envEager, envRdvReq:
+			d.handleIncoming(p, env)
+		case envRdvData:
+			d.handleRdvData(p, env)
+		case envRdvCTS, envRdvAck:
+			// Sender-side control: forward to the waiting send operation.
+			sim.Post(env.reply, env)
+		case envEagerAck:
+			// Return the eager slot credit to this rank's sender state.
+			sim.Post(d.rk.out[env.src].credits, env.slot)
+		case envOSC:
+			d.stats.OSCRequests++
+			if d.oscHandler == nil {
+				panic("mpi: one-sided request with no handler registered")
+			}
+			d.oscHandler(p, env)
+		case envOSCReply:
+			sim.Post(env.reply, env)
+		default:
+			panic(fmt.Sprintf("mpi: device %d: unexpected envelope %v", d.rk.id, env.kind))
+		}
+	}
+}
+
+// handlePost processes a locally posted receive.
+func (d *device) handlePost(p *sim.Proc, req *recvReq) {
+	for i, env := range d.unexpected {
+		if req.matches(env.src, env.tag, env.ctx) {
+			d.unexpected = append(d.unexpected[:i], d.unexpected[i+1:]...)
+			d.deliver(p, req, env)
+			return
+		}
+	}
+	d.posted = append(d.posted, req)
+}
+
+// handleIncoming processes a fresh message-bearing envelope.
+func (d *device) handleIncoming(p *sim.Proc, env *envelope) {
+	for i, req := range d.posted {
+		if req.matches(env.src, env.tag, env.ctx) {
+			d.posted = append(d.posted[:i], d.posted[i+1:]...)
+			d.deliver(p, req, env)
+			return
+		}
+	}
+	d.stats.Unexpected++
+	d.unexpected = append(d.unexpected, env)
+	// Wake blocking probes that match the new arrival.
+	for i, pr := range d.probes {
+		if pr.matches(env.src, env.tag, env.ctx) {
+			d.probes = append(d.probes[:i], d.probes[i+1:]...)
+			pr.done.Complete(&Status{Source: env.src, Tag: env.tag, Bytes: env.bytes})
+			break
+		}
+	}
+}
+
+// handleProbe answers a probe from the unexpected queue.
+func (d *device) handleProbe(pr *probeReq) {
+	for _, env := range d.unexpected {
+		if pr.matches(env.src, env.tag, env.ctx) {
+			pr.done.Complete(&Status{Source: env.src, Tag: env.tag, Bytes: env.bytes})
+			return
+		}
+	}
+	if pr.immediate {
+		pr.done.Complete(nil)
+		return
+	}
+	d.probes = append(d.probes, pr)
+}
+
+// deliver executes the receive side of a matched message.
+func (d *device) deliver(p *sim.Proc, req *recvReq, env *envelope) {
+	d.rk.w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("dev%d", d.rk.id), "recv",
+		"<- %d tag %d: %d bytes via %v", env.src, env.tag, env.bytes, env.kind)
+	d.checkSignature(req, env)
+	switch env.kind {
+	case envShort:
+		d.deliverShort(p, req, env)
+	case envEager:
+		d.deliverEager(p, req, env)
+	case envRdvReq:
+		d.startRendezvous(p, req, env)
+	default:
+		panic(fmt.Sprintf("mpi: cannot deliver %v", env.kind))
+	}
+}
+
+// capacity returns the receive capacity in bytes and checks truncation.
+func (d *device) capacity(req *recvReq, incoming int64) {
+	cap := req.dt.Size() * int64(req.count)
+	if incoming > cap {
+		panic(fmt.Sprintf("mpi: rank %d: message of %d bytes truncates receive of %d (src %d tag %d)",
+			d.rk.id, incoming, cap, req.src, req.tag))
+	}
+}
+
+// checkSignature verifies MPI's type-matching rule: the send and receive
+// type signatures must agree, with pure-byte signatures acting as
+// wildcards (envelope sig 0).
+func (d *device) checkSignature(req *recvReq, env *envelope) {
+	if env.sig == 0 {
+		return
+	}
+	sig, byteOnly := req.dt.Signature()
+	if byteOnly || sig == env.sig {
+		return
+	}
+	panic(fmt.Sprintf("mpi: rank %d: type signature mismatch receiving from %d tag %d (%s does not match the send type)",
+		d.rk.id, env.src, env.tag, req.dt))
+}
+
+// deliverShort unpacks an inline payload.
+func (d *device) deliverShort(p *sim.Proc, req *recvReq, env *envelope) {
+	d.capacity(req, env.bytes)
+	d.stats.ShortRecvd++
+	d.stats.BytesRecvd += env.bytes
+	if req.dt.Contiguous() {
+		p.Sleep(d.mem().CopyCost(env.bytes, env.bytes, env.bytes))
+		copy(req.buf, env.payload)
+	} else {
+		_, st := pack.GenericUnpack(req.buf, env.payload, req.dt, req.count, 0, env.bytes)
+		d.chargeBlocks(p, st, false)
+	}
+	req.done.Complete(&Status{Source: env.src, Tag: env.tag, Bytes: env.bytes})
+}
+
+// deliverEager copies data out of the eager slot and returns the credit.
+func (d *device) deliverEager(p *sim.Proc, req *recvReq, env *envelope) {
+	d.capacity(req, env.bytes)
+	d.stats.EagerRecvd++
+	d.stats.BytesRecvd += env.bytes
+	mem := d.rk.ports[env.src].mem
+	off := d.rk.w.eagerOff(env.slot)
+	if req.dt.Contiguous() {
+		mem.Read(p, off, req.buf[:env.bytes])
+	} else {
+		slot := mem.Bytes()[off : off+env.bytes]
+		_, st := pack.GenericUnpack(req.buf, slot, req.dt, req.count, 0, env.bytes)
+		d.chargeBlocks(p, st, false)
+	}
+	d.rk.w.ring(p, d.rk.id, env.src, &envelope{
+		kind: envEagerAck, src: d.rk.id, dst: env.src, slot: env.slot,
+	}, false)
+	req.done.Complete(&Status{Source: env.src, Tag: env.tag, Bytes: env.bytes})
+}
+
+// startRendezvous negotiates the transfer mode and grants the sender the
+// rendezvous buffer.
+func (d *device) startRendezvous(p *sim.Proc, req *recvReq, env *envelope) {
+	d.capacity(req, env.bytes)
+	d.stats.RdvRecvd++
+	mode := rdvGeneric
+	switch {
+	case req.dt.Contiguous():
+		// The sender may still be non-contiguous; it packs (directly, if
+		// it can) and we receive a plain byte stream.
+		mode = rdvContig
+	case d.rk.w.protocol().UseFF && env.fingerprt == req.dt.Flat().Fingerprint() &&
+		req.dt.Flat().Size > 0 && d.ffBlockOK(req.dt):
+		mode = rdvFF
+	}
+	if env.bytes == 0 {
+		// A zero-byte synchronous send: the CTS itself completes it.
+		d.rk.w.ring(p, d.rk.id, env.src, &envelope{
+			kind: envRdvCTS, src: d.rk.id, dst: env.src,
+			reqID: env.reqID, chunk: int(mode), reply: env.reply,
+		}, false)
+		req.done.Complete(&Status{Source: env.src, Tag: env.tag, Bytes: 0})
+		return
+	}
+	st := &rdvRecv{req: req, env: env, mode: mode}
+	d.rdv[env.reqID] = st
+	d.rk.w.ring(p, d.rk.id, env.src, &envelope{
+		kind: envRdvCTS, src: d.rk.id, dst: env.src,
+		reqID: env.reqID, chunk: int(mode), reply: env.reply,
+	}, false)
+}
+
+// ffBlockOK applies the FFMinBlock policy.
+func (d *device) ffBlockOK(t *datatype.Type) bool {
+	min := d.rk.w.protocol().FFMinBlock
+	if min <= 0 {
+		return true
+	}
+	f := t.Flat()
+	if len(f.Leaves) == 0 {
+		return false
+	}
+	avg := f.Size / leafCopies(f)
+	return avg >= min
+}
+
+func leafCopies(f *datatype.Flat) int64 {
+	var n int64
+	for i := range f.Leaves {
+		n += f.Leaves[i].Copies()
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// handleRdvData drains one rendezvous chunk into the user buffer.
+func (d *device) handleRdvData(p *sim.Proc, env *envelope) {
+	st, ok := d.rdv[env.reqID]
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d: rendezvous data for unknown request %d", d.rk.id, env.reqID))
+	}
+	mem := d.rk.ports[env.src].mem
+	off := d.rk.w.rdvOff(env.chunk)
+	skip := st.received
+	n := env.chunkLen
+	switch st.mode {
+	case rdvContig:
+		mem.Read(p, off, st.req.buf[skip:skip+n])
+	case rdvFF:
+		slot := mem.Bytes()[off : off+n]
+		_, pst := pack.FFUnpack(st.req.buf, slot, st.req.dt, st.req.count, skip, n)
+		d.chargeBlocks(p, pst, true)
+	case rdvGeneric:
+		// Baseline: copy the chunk out of the buffer, then unpack locally
+		// (two passes over the data — figure 4, top).
+		scratch := make([]byte, n)
+		mem.Read(p, off, scratch)
+		_, pst := pack.GenericUnpack(st.req.buf, scratch, st.req.dt, st.req.count, skip, n)
+		d.chargeBlocks(p, pst, false)
+	}
+	st.received += n
+	st.nextChunk++
+	d.stats.BytesRecvd += n
+	d.rk.w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("dev%d", d.rk.id), "rdv",
+		"chunk %d (%d bytes) from %d, mode %d", env.chunk, n, env.src, st.mode)
+	d.rk.w.ring(p, d.rk.id, env.src, &envelope{
+		kind: envRdvAck, src: d.rk.id, dst: env.src,
+		reqID: env.reqID, chunk: env.chunk, reply: env.reply,
+	}, false)
+	if st.received >= st.env.bytes {
+		delete(d.rdv, env.reqID)
+		st.req.done.Complete(&Status{Source: st.env.src, Tag: st.env.tag, Bytes: st.env.bytes})
+	}
+}
+
+// chargeBlocks bills the local block-copy work of an unpack operation.
+// ff selects the direct_pack_ff cost model (cheap stack iteration, possible
+// cache bonus) versus the recursive-traversal baseline.
+func (d *device) chargeBlocks(p *sim.Proc, st pack.Stats, ff bool) {
+	if st.Bytes == 0 {
+		return
+	}
+	m := d.mem()
+	bus := d.rk.w.buses[d.rk.node]
+	ws := st.Bytes * 2 // source chunk + scattered destination
+	if ff {
+		bus.Charge(p, st.Bytes, m.BlockCopyCostFF(st.Bytes, st.AvgBlock(), ws))
+		return
+	}
+	// The generic engine pays the recursive tree walk per block.
+	bus.Charge(p, st.Bytes, m.CopyCost(st.Bytes, st.AvgBlock(), ws)+genericTraversalPenalty(st.Blocks))
+}

@@ -1,0 +1,160 @@
+package mpi
+
+import (
+	"scimpich/internal/datatype"
+	"scimpich/internal/sim"
+)
+
+// envKind enumerates the control packets of the device protocol.
+type envKind int
+
+const (
+	// envShort carries the whole payload inline in the control packet.
+	envShort envKind = iota
+	// envEager announces data deposited in an eager slot.
+	envEager
+	// envEagerAck returns an eager slot credit to the sender.
+	envEagerAck
+	// envRdvReq asks the receiver to set up a rendezvous transfer.
+	envRdvReq
+	// envRdvCTS grants the sender the rendezvous buffer (clear-to-send).
+	envRdvCTS
+	// envRdvData announces one rendezvous chunk delivered to a slot.
+	envRdvData
+	// envRdvAck confirms a chunk has been drained (slot reusable).
+	envRdvAck
+	// envLocalPost is a local posting from the rank's own process to its
+	// device (posted receive); it never crosses the wire.
+	envLocalPost
+	// envLocalProbe queries the unexpected queue (MPI_Probe/Iprobe).
+	envLocalProbe
+	// envOSC carries a one-sided-communication handler request (the
+	// "emulation" path for windows in private memory).
+	envOSC
+	// envOSCReply answers an envOSC request.
+	envOSCReply
+)
+
+func (k envKind) String() string {
+	switch k {
+	case envShort:
+		return "short"
+	case envEager:
+		return "eager"
+	case envEagerAck:
+		return "eager-ack"
+	case envRdvReq:
+		return "rdv-req"
+	case envRdvCTS:
+		return "rdv-cts"
+	case envRdvData:
+		return "rdv-data"
+	case envRdvAck:
+		return "rdv-ack"
+	case envLocalPost:
+		return "local-post"
+	case envOSC:
+		return "osc"
+	case envOSCReply:
+		return "osc-reply"
+	default:
+		return "unknown"
+	}
+}
+
+// envelope is one control packet. The payload of short messages rides in
+// the envelope (as it does in a real control packet); everything else
+// refers to memory the sender has already written remotely.
+type envelope struct {
+	kind     envKind
+	src, dst int
+	tag      int
+	ctx      int // communicator context
+	bytes    int64
+	// type-signature hash of the send datatype (0 when byte-only: the
+	// wildcard raw-buffer idiom).
+	sig uint64
+
+	// short protocol
+	payload []byte
+
+	// eager protocol
+	slot int
+
+	// rendezvous protocol
+	reqID     int64
+	chunk     int   // chunk index (envRdvData/envRdvAck)
+	chunkLen  int64 // bytes in this chunk
+	fingerprt uint64
+	reply     *sim.Chan // sender-side channel for CTS/ACK delivery
+
+	// local post
+	post  *recvReq
+	probe *probeReq
+
+	// one-sided communication
+	osc any
+}
+
+// probeReq is a pending probe: immediate probes answer from the current
+// unexpected queue (nil when empty); blocking probes wait for the first
+// matching arrival.
+type probeReq struct {
+	ctx, src, tag int
+	immediate     bool
+	done          *sim.Future
+}
+
+// matches mirrors recvReq matching.
+func (r *probeReq) matches(src, tag, ctx int) bool {
+	if r.ctx != ctx {
+		return false
+	}
+	if r.src != AnySource && r.src != src {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != tag {
+		return false
+	}
+	return true
+}
+
+// recvReq is a posted receive waiting for a match.
+type recvReq struct {
+	ctx, src, tag int // src/tag may be wildcards
+	buf           []byte
+	count         int
+	dt            *datatype.Type
+	done          *sim.Future // completes with *Status
+}
+
+// Status describes a completed receive.
+type Status struct {
+	// Source is the sending rank.
+	Source int
+	// Tag is the matched tag.
+	Tag int
+	// Bytes is the number of payload bytes received.
+	Bytes int64
+}
+
+// AnySource and AnyTag are the receive wildcards.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// matches reports whether an incoming (src, tag, ctx) matches the posted
+// request.
+func (r *recvReq) matches(src, tag, ctx int) bool {
+	if r.ctx != ctx {
+		return false
+	}
+	if r.src != AnySource && r.src != src {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != tag {
+		return false
+	}
+	return true
+}

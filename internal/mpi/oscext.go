@@ -1,0 +1,66 @@
+package mpi
+
+import (
+	"scimpich/internal/sim"
+	"scimpich/internal/smi"
+)
+
+// Extension surface for one-sided communication (the osc package): a
+// remote-handler RPC (the paper's "internal control messages in conjunction
+// with a remote interrupt ... to invoke a remote handler") plus access to
+// the per-pair staging areas used to move emulated-put/get data with the
+// standard transfer mechanisms.
+
+// SetOSCHandler registers the handler that services one-sided requests
+// arriving at this rank. It runs on the rank's device process; src is the
+// requesting rank and the returned value travels back to the caller.
+func (c *Comm) SetOSCHandler(h func(p *sim.Proc, src int, req any) any) {
+	dev := c.rk.dev
+	dev.oscHandler = func(p *sim.Proc, env *envelope) {
+		reply := h(p, env.src, env.osc)
+		if env.reply == nil {
+			return // fire-and-forget notification
+		}
+		c.w.ring(p, c.rk.id, env.src, &envelope{
+			kind: envOSCReply, src: c.rk.id, dst: env.src,
+			osc: reply, reply: env.reply,
+		}, false)
+	}
+}
+
+// OSCCall invokes the remote handler at target (a WORLD rank) with req and
+// blocks until its reply arrives. interrupt selects the remote-interrupt
+// delivery path (required when the target may not be polling — the
+// passive-target case).
+func (c *Comm) OSCCall(target int, req any, interrupt bool) any {
+	reply := sim.NewChan(1)
+	c.w.ring(c.p, c.rk.id, target, &envelope{
+		kind: envOSC, src: c.rk.id, dst: target,
+		osc: req, reply: reply,
+	}, interrupt)
+	env := c.p.Recv(reply).(*envelope)
+	return env.osc
+}
+
+// OSCNotify invokes the remote handler without waiting for a reply.
+func (c *Comm) OSCNotify(target int, req any, interrupt bool) {
+	c.w.ring(c.p, c.rk.id, target, &envelope{
+		kind: envOSC, src: c.rk.id, dst: target,
+		osc: req, reply: nil,
+	}, interrupt)
+}
+
+// OSCStage returns the calling rank's sender-side view of the one-sided
+// staging area toward target (a WORLD rank), with its offset and size, and
+// the mutex serializing its use.
+func (c *Comm) OSCStage(target int) (mem smi.Mem, off, size int64, lock *sim.Mutex) {
+	out := c.rk.out[target]
+	return out.mem, c.w.oscOff(), c.w.protocol().OSCBuf, out.oscLock
+}
+
+// OSCStageLocal returns this rank's local (receive-side) view of the
+// staging area written by origin src. The remote handler drains emulated
+// puts from here and deposits emulated-get data into it.
+func (c *Comm) OSCStageLocal(src int) (mem smi.Mem, off int64) {
+	return c.rk.ports[src].mem, c.w.oscOff()
+}

@@ -1,0 +1,117 @@
+package mpi
+
+import (
+	"fmt"
+
+	"scimpich/internal/datatype"
+)
+
+// Persistent requests (MPI_Send_init / MPI_Recv_init / MPI_Start): fixed
+// communication arguments reused across many iterations, the idiom of
+// stencil halo loops.
+
+// PersistentRequest is an inactive communication template.
+type PersistentRequest struct {
+	c      *Comm
+	isSend bool
+	buf    []byte
+	count  int
+	dt     *datatype.Type
+	peer   int
+	tag    int
+
+	active *Request
+}
+
+// SendInit creates a persistent send request (MPI_Send_init).
+func (c *Comm) SendInit(buf []byte, count int, dt *datatype.Type, dst, tag int) *PersistentRequest {
+	return &PersistentRequest{c: c, isSend: true, buf: buf, count: count, dt: dt, peer: dst, tag: tag}
+}
+
+// RecvInit creates a persistent receive request (MPI_Recv_init).
+func (c *Comm) RecvInit(buf []byte, count int, dt *datatype.Type, src, tag int) *PersistentRequest {
+	return &PersistentRequest{c: c, isSend: false, buf: buf, count: count, dt: dt, peer: src, tag: tag}
+}
+
+// Start activates the request (MPI_Start). Starting an already-active
+// request panics.
+func (pr *PersistentRequest) Start() {
+	if pr.active != nil {
+		panic("mpi: Start on an active persistent request")
+	}
+	if pr.isSend {
+		pr.active = pr.c.Isend(pr.buf, pr.count, pr.dt, pr.peer, pr.tag)
+	} else {
+		pr.active = pr.c.Irecv(pr.buf, pr.count, pr.dt, pr.peer, pr.tag)
+	}
+}
+
+// Wait completes the active operation and returns the request to the
+// inactive state (nil status for sends).
+func (pr *PersistentRequest) Wait() *Status {
+	if pr.active == nil {
+		panic("mpi: Wait on an inactive persistent request")
+	}
+	st := pr.active.Wait()
+	pr.active = nil
+	return st
+}
+
+// Active reports whether the request has been started and not yet waited.
+func (pr *PersistentRequest) Active() bool { return pr.active != nil }
+
+// StartAll starts every request (MPI_Startall).
+func StartAll(reqs []*PersistentRequest) {
+	for _, r := range reqs {
+		r.Start()
+	}
+}
+
+// WaitAllPersistent completes every active request.
+func WaitAllPersistent(reqs []*PersistentRequest) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// Ssend is the synchronous send (MPI_Ssend): it completes only after the
+// matching receive has been posted, implemented by always taking the
+// rendezvous path regardless of message size.
+func (c *Comm) Ssend(buf []byte, count int, dt *datatype.Type, dst, tag int) {
+	p := c.p
+	w := c.rk.w
+	p.Sleep(w.protocol().CallOverhead)
+	worldDst := c.worldRank(dst)
+	if worldDst == c.rk.id {
+		panic("mpi: synchronous self-send would deadlock")
+	}
+	bytes := dt.Size() * int64(count)
+	c.sendRendezvousTo(buf, count, dt, worldDst, tag, c.ctx, bytes)
+}
+
+// Alltoallv is the variable-count all-to-all (MPI_Alltoallv): the slice for
+// rank r starts at element sdispls[r] of send with sendCounts[r] elements,
+// and symmetric for the receive side.
+func (c *Comm) Alltoallv(send []byte, sendCounts, sdispls []int, dt *datatype.Type,
+	recv []byte, recvCounts, rdispls []int) {
+	size := c.Size()
+	if len(sendCounts) != size || len(sdispls) != size || len(recvCounts) != size || len(rdispls) != size {
+		panic(fmt.Sprintf("mpi: Alltoallv argument lengths %d/%d/%d/%d for %d ranks",
+			len(sendCounts), len(sdispls), len(recvCounts), len(rdispls), size))
+	}
+	cc := c.collective()
+	me := c.Rank()
+	es := dt.Size()
+	copy(recv[int64(rdispls[me])*es:int64(rdispls[me])*es+int64(recvCounts[me])*es],
+		send[int64(sdispls[me])*es:int64(sdispls[me])*es+int64(sendCounts[me])*es])
+	for step := 1; step < size; step++ {
+		to := (me + step) % size
+		from := (me - step + size) % size
+		so := int64(sdispls[to]) * es
+		ro := int64(rdispls[from]) * es
+		cc.Sendrecv(
+			send[so:so+int64(sendCounts[to])*es], sendCounts[to], dt, to, tagAlltoall+step,
+			recv[ro:ro+int64(recvCounts[from])*es], recvCounts[from], dt, from, tagAlltoall+step,
+		)
+	}
+}

@@ -1,0 +1,126 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"scimpich/internal/datatype"
+)
+
+func TestPersistentHaloLoop(t *testing.T) {
+	const iters = 12
+	const size = 8 << 10
+	Run(DefaultConfig(2, 1), func(c *Comm) {
+		peer := 1 - c.Rank()
+		out := make([]byte, size)
+		in := make([]byte, size)
+		send := c.SendInit(out, size, datatype.Byte, peer, 7)
+		recv := c.RecvInit(in, size, datatype.Byte, peer, 7)
+		for i := 0; i < iters; i++ {
+			for j := range out {
+				out[j] = byte(c.Rank()*50 + i)
+			}
+			StartAll([]*PersistentRequest{recv, send})
+			WaitAllPersistent([]*PersistentRequest{recv, send})
+			want := byte(peer*50 + i)
+			if in[0] != want || in[size-1] != want {
+				t.Fatalf("iteration %d: halo = %d, want %d", i, in[0], want)
+			}
+		}
+		if send.Active() || recv.Active() {
+			t.Error("requests still active after Wait")
+		}
+	})
+}
+
+func TestPersistentDoubleStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("double Start did not panic")
+		}
+	}()
+	Run(DefaultConfig(2, 1), func(c *Comm) {
+		if c.Rank() == 0 {
+			pr := c.RecvInit(make([]byte, 4), 4, datatype.Byte, 1, 0)
+			pr.Start()
+			pr.Start()
+		} else {
+			c.Send(make([]byte, 4), 4, datatype.Byte, 0, 0)
+			c.Send(make([]byte, 4), 4, datatype.Byte, 0, 0)
+		}
+	})
+}
+
+func TestSsendWaitsForMatch(t *testing.T) {
+	// The synchronous send must not complete before the receive is posted.
+	runPair(t, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			start := c.WtimeDuration()
+			c.Ssend([]byte{42}, 1, datatype.Byte, 1, 0)
+			if c.WtimeDuration()-start < 400*time.Microsecond {
+				t.Errorf("Ssend completed in %v, before the receive was posted", c.WtimeDuration()-start)
+			}
+		case 1:
+			c.Proc().Sleep(500 * time.Microsecond)
+			buf := make([]byte, 1)
+			c.Recv(buf, 1, datatype.Byte, 0, 0)
+			if buf[0] != 42 {
+				t.Error("Ssend data corrupted")
+			}
+		}
+	})
+}
+
+func TestSsendZeroBytes(t *testing.T) {
+	runPair(t, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Ssend(nil, 0, datatype.Byte, 1, 0)
+		case 1:
+			c.Proc().Sleep(100 * time.Microsecond)
+			c.Recv(nil, 0, datatype.Byte, 0, 0)
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	const procs = 4
+	Run(DefaultConfig(procs, 1), func(c *Comm) {
+		me := c.Rank()
+		// Rank r sends (p+1) bytes of value r*16+p to rank p.
+		sendCounts := make([]int, procs)
+		sdispls := make([]int, procs)
+		total := 0
+		for p := 0; p < procs; p++ {
+			sendCounts[p] = p + 1
+			sdispls[p] = total
+			total += p + 1
+		}
+		send := make([]byte, total)
+		for p := 0; p < procs; p++ {
+			for i := 0; i < sendCounts[p]; i++ {
+				send[sdispls[p]+i] = byte(me*16 + p)
+			}
+		}
+		// Everyone receives (me+1) bytes from each peer.
+		recvCounts := make([]int, procs)
+		rdispls := make([]int, procs)
+		rtotal := 0
+		for p := 0; p < procs; p++ {
+			recvCounts[p] = me + 1
+			rdispls[p] = rtotal
+			rtotal += me + 1
+		}
+		recv := make([]byte, rtotal)
+		c.Alltoallv(send, sendCounts, sdispls, datatype.Byte, recv, recvCounts, rdispls)
+		for p := 0; p < procs; p++ {
+			seg := recv[rdispls[p] : rdispls[p]+recvCounts[p]]
+			want := bytes.Repeat([]byte{byte(p*16 + me)}, me+1)
+			if !bytes.Equal(seg, want) {
+				t.Fatalf("rank %d from %d: %v, want %v", me, p, seg, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,332 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/pack"
+	"scimpich/internal/sim"
+	"scimpich/internal/smi"
+)
+
+// genericTraversalPenalty is the extra software cost the recursive generic
+// packing engine pays per contiguous block (repeated tree descent), which
+// direct_pack_ff replaces with plain array/stack operations.
+func genericTraversalPenalty(blocks int64) time.Duration {
+	return time.Duration(blocks) * 160 * time.Nanosecond
+}
+
+// Send transmits count instances of dt from buf to rank dst with the given
+// tag, blocking (in virtual time) until the user buffer is reusable.
+func (c *Comm) Send(buf []byte, count int, dt *datatype.Type, dst, tag int) {
+	c.send(buf, count, dt, dst, tag, c.ctx)
+}
+
+// sendSig returns the envelope signature of a datatype (0 for the
+// pure-byte wildcard).
+func sendSig(dt *datatype.Type) uint64 {
+	sig, byteOnly := dt.Signature()
+	if byteOnly {
+		return 0
+	}
+	return sig
+}
+
+func (c *Comm) send(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int) {
+	p := c.p
+	w := c.rk.w
+	proto := w.protocol()
+	p.Sleep(proto.CallOverhead)
+	dst = c.worldRank(dst) // all plumbing below uses world ranks
+	if dst < 0 || dst >= w.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	bytes := dt.Size() * int64(count)
+	w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("rank%d", c.rk.id), "send",
+		"-> %d tag %d: %d bytes", dst, tag, bytes)
+
+	if dst == c.rk.id {
+		// Self send: buffered through an inline payload.
+		payload := c.packCanonical(buf, count, dt, bytes)
+		w.ring(p, c.rk.id, dst, &envelope{
+			kind: envShort, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
+			bytes: bytes, payload: payload, sig: sendSig(dt),
+		}, false)
+		return
+	}
+
+	switch {
+	case bytes <= proto.ShortMax:
+		c.sendShort(buf, count, dt, dst, tag, ctx, bytes)
+	case bytes <= proto.EagerMax:
+		c.sendEager(buf, count, dt, dst, tag, ctx, bytes)
+	default:
+		c.sendRendezvous(buf, count, dt, dst, tag, ctx, bytes)
+	}
+}
+
+// packCanonical produces the canonical (definition-order) linearization of
+// the message into a fresh payload buffer, charging local copy costs.
+func (c *Comm) packCanonical(buf []byte, count int, dt *datatype.Type, bytes int64) []byte {
+	payload := make([]byte, bytes)
+	if dt.Contiguous() {
+		c.p.Sleep(c.mem().CopyCost(bytes, bytes, bytes))
+		copy(payload, buf[:bytes])
+		return payload
+	}
+	_, st := pack.GenericPack(payload, buf, dt, count, 0, -1)
+	c.chargePackBlocks(st, false)
+	return payload
+}
+
+// chargePackBlocks bills local block-copy work on the calling process.
+func (c *Comm) chargePackBlocks(st pack.Stats, ff bool) {
+	if st.Bytes == 0 {
+		return
+	}
+	m := c.mem()
+	ws := st.Bytes * 2
+	cost := m.CopyCost(st.Bytes, st.AvgBlock(), ws)
+	if ff {
+		cost = m.BlockCopyCostFF(st.Bytes, st.AvgBlock(), ws)
+	} else {
+		cost += genericTraversalPenalty(st.Blocks)
+	}
+	c.rk.w.buses[c.rk.node].Charge(c.p, st.Bytes, cost)
+}
+
+// sendShort carries the payload inline in the control packet.
+func (c *Comm) sendShort(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) {
+	payload := c.packCanonical(buf, count, dt, bytes)
+	w := c.rk.w
+	// Charge the wire cost of the payload riding along the control packet.
+	if c.remote(dst) && bytes > 0 {
+		bw := w.cfg.SCI.PIOWritePeakBW
+		if w.nicNet != nil {
+			bw = w.cfg.NIC.Bandwidth
+		}
+		c.p.Sleep(sim.RateDuration(bytes, bw))
+	}
+	w.ring(c.p, c.rk.id, dst, &envelope{
+		kind: envShort, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
+		bytes: bytes, payload: payload, sig: sendSig(dt),
+	}, false)
+}
+
+// sendEager deposits the message in a preallocated eager slot at the
+// receiver and announces it.
+func (c *Comm) sendEager(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) {
+	w := c.rk.w
+	out := c.rk.out[dst]
+	slot := c.p.Recv(out.credits).(int) // eager flow control
+	off := w.eagerOff(slot)
+	if dt.Contiguous() {
+		out.mem.WriteStream(c.p, off, buf[:bytes], bytes)
+	} else {
+		// Canonical pack into a scratch buffer, then one streamed write
+		// (eager messages cannot negotiate ff: the receive type is not
+		// known yet).
+		payload := c.packCanonical(buf, count, dt, bytes)
+		out.mem.WriteStream(c.p, off, payload, bytes)
+	}
+	out.mem.Sync(c.p)
+	w.ring(c.p, c.rk.id, dst, &envelope{
+		kind: envEager, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
+		bytes: bytes, slot: slot, sig: sendSig(dt),
+	}, false)
+}
+
+// sendRendezvousTo is sendRendezvous with a pre-translated world rank (the
+// synchronous-send entry point).
+func (c *Comm) sendRendezvousTo(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) {
+	c.sendRendezvous(buf, count, dt, dst, tag, ctx, bytes)
+}
+
+// sendRendezvous performs the handshaked large-message transfer, packing
+// each chunk directly into the receiver's rendezvous buffer (direct_pack_ff
+// when both sides agree) or through the generic pipeline.
+func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) {
+	w := c.rk.w
+	proto := w.protocol()
+	out := c.rk.out[dst]
+	p := c.p
+
+	p.Lock(out.rdvLock)
+	defer p.Unlock(out.rdvLock)
+
+	reply := sim.NewChan(16)
+	reqID := c.rk.nextReqID()
+	var fp uint64
+	if !dt.Contiguous() {
+		fp = dt.Flat().Fingerprint()
+	}
+	w.ring(p, c.rk.id, dst, &envelope{
+		kind: envRdvReq, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
+		bytes: bytes, reqID: reqID, fingerprt: fp, reply: reply, sig: sendSig(dt),
+	}, false)
+	cts := p.Recv(reply).(*envelope)
+	if cts.kind != envRdvCTS {
+		panic(fmt.Sprintf("mpi: expected CTS, got %v", cts.kind))
+	}
+	mode := rdvMode(cts.chunk)
+
+	chunkSize := proto.RendezvousChunk
+	nChunks := int((bytes + chunkSize - 1) / chunkSize)
+	acked := 0
+	for chunk := 0; chunk < nChunks; chunk++ {
+		// Double-buffered slots: wait for the ack freeing slot chunk-2.
+		for chunk-acked >= 2 {
+			ack := p.Recv(reply).(*envelope)
+			if ack.kind != envRdvAck {
+				panic(fmt.Sprintf("mpi: expected chunk ack, got %v", ack.kind))
+			}
+			acked++
+		}
+		skip := int64(chunk) * chunkSize
+		n := chunkSize
+		if skip+n > bytes {
+			n = bytes - skip
+		}
+		off := w.rdvOff(chunk)
+		c.packChunkInto(out.mem, off, buf, count, dt, skip, n, mode)
+		out.mem.Sync(p) // store barrier: data complete before the flag
+		w.ring(p, c.rk.id, dst, &envelope{
+			kind: envRdvData, src: c.rk.id, dst: dst,
+			reqID: reqID, chunk: chunk, chunkLen: n, reply: reply,
+		}, false)
+	}
+	for acked < nChunks {
+		ack := p.Recv(reply).(*envelope)
+		if ack.kind != envRdvAck {
+			panic(fmt.Sprintf("mpi: expected chunk ack, got %v", ack.kind))
+		}
+		acked++
+	}
+}
+
+// packChunkInto moves one rendezvous chunk into the receiver's buffer.
+func (c *Comm) packChunkInto(mem smi.Mem, off int64, buf []byte, count int, dt *datatype.Type, skip, n int64, mode rdvMode) {
+	switch {
+	case dt.Contiguous():
+		if min := c.rk.w.protocol().DMAMin; min > 0 && n >= min {
+			if fut, ok := mem.DMAWrite(c.p, off, buf[skip:skip+n]); ok {
+				// The CPU is free during the transfer; the protocol simply
+				// waits for the engine before signalling the chunk.
+				c.p.Await(fut)
+				return
+			}
+		}
+		mem.WriteStream(c.p, off, buf[skip:skip+n], dt.Size()*int64(count))
+	case mode == rdvFF && c.rk.w.protocol().UseFF:
+		// direct_pack_ff: pack straight into the (possibly remote) buffer.
+		// The working set per handshake cycle is the chunk plus its gaps
+		// (the reason the chunk must stay below the L2 size).
+		bw := mem.BlockWriter(c.p, 2*n)
+		sink := offsetSink{w: bw, base: off}
+		pack.FFPack(sink, buf, dt, count, skip, n)
+		bw.Flush()
+	default:
+		// Generic baseline: local pack, then one streamed copy.
+		scratch := make([]byte, n)
+		_, st := pack.GenericPack(scratch, buf, dt, count, skip, n)
+		c.chargePackBlocks(st, false)
+		mem.WriteStream(c.p, off, scratch, n)
+	}
+}
+
+// offsetSink adapts an smi.BlockWriter to a pack.Sink with a base offset.
+type offsetSink struct {
+	w    smi.BlockWriter
+	base int64
+}
+
+func (o offsetSink) Write(off int64, src []byte) { o.w.Write(o.base+off, src) }
+
+// remote reports whether the world rank dst lives on a different node.
+func (c *Comm) remote(dst int) bool { return c.rk.w.ranks[dst].node != c.rk.node }
+
+// Recv blocks until a matching message has been received into buf.
+// src may be AnySource and tag may be AnyTag.
+func (c *Comm) Recv(buf []byte, count int, dt *datatype.Type, src, tag int) *Status {
+	return c.recv(buf, count, dt, src, tag, c.ctx)
+}
+
+func (c *Comm) recv(buf []byte, count int, dt *datatype.Type, src, tag, ctx int) *Status {
+	r := c.irecv(buf, count, dt, src, tag, ctx)
+	return r.Wait()
+}
+
+// Request is a handle on an outstanding nonblocking operation.
+type Request struct {
+	p    *sim.Proc
+	c    *Comm
+	done *sim.Future
+}
+
+// Wait blocks until the operation completes, returning the receive status
+// (nil for sends). The status Source is communicator-local.
+func (r *Request) Wait() *Status {
+	v := r.p.Await(r.done)
+	if v == nil {
+		return nil
+	}
+	st := *v.(*Status)
+	if r.c != nil {
+		st.Source = r.c.localRank(st.Source)
+	}
+	return &st
+}
+
+// Done reports whether the operation has completed (MPI_Test).
+func (r *Request) Done() bool { return r.done.Done() }
+
+// Irecv posts a nonblocking receive.
+func (c *Comm) Irecv(buf []byte, count int, dt *datatype.Type, src, tag int) *Request {
+	return c.irecv(buf, count, dt, src, tag, c.ctx)
+}
+
+func (c *Comm) irecv(buf []byte, count int, dt *datatype.Type, src, tag, ctx int) *Request {
+	c.p.Sleep(c.rk.w.protocol().CallOverhead)
+	if !dt.Committed() {
+		panic(fmt.Sprintf("mpi: receive with uncommitted datatype %s", dt))
+	}
+	if src != AnySource {
+		src = c.worldRank(src)
+	}
+	req := &recvReq{
+		ctx: ctx, src: src, tag: tag,
+		buf: buf, count: count, dt: dt,
+		done: sim.NewFuture(),
+	}
+	sim.Post(c.rk.dev.inbox, &envelope{kind: envLocalPost, post: req})
+	return &Request{p: c.p, c: c, done: req.done}
+}
+
+// Isend starts a nonblocking send. The transfer work runs on a transient
+// helper process; Wait returns once the user buffer is reusable.
+func (c *Comm) Isend(buf []byte, count int, dt *datatype.Type, dst, tag int) *Request {
+	done := sim.NewFuture()
+	helper := *c
+	c.rk.w.engine.Go(fmt.Sprintf("isend%d->%d", c.rk.id, dst), func(p *sim.Proc) {
+		h := helper
+		h.p = p
+		h.send(buf, count, dt, dst, tag, c.ctx)
+		done.Complete(nil)
+	})
+	return &Request{p: c.p, c: c, done: done}
+}
+
+// Sendrecv performs a simultaneous send and receive (deadlock-free).
+func (c *Comm) Sendrecv(sendBuf []byte, sendCount int, sendType *datatype.Type, dst, sendTag int,
+	recvBuf []byte, recvCount int, recvType *datatype.Type, src, recvTag int) *Status {
+	r := c.Irecv(recvBuf, recvCount, recvType, src, recvTag)
+	c.Send(sendBuf, sendCount, sendType, dst, sendTag)
+	return r.Wait()
+}
+
+// nextReqID returns a cluster-unique rendezvous id.
+func (rk *rank) nextReqID() int64 {
+	rk.reqCounter++
+	return int64(rk.id)<<32 | rk.reqCounter
+}

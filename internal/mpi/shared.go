@@ -1,0 +1,88 @@
+package mpi
+
+import (
+	"time"
+
+	"scimpich/internal/nic"
+	"scimpich/internal/sci"
+	"scimpich/internal/shmem"
+	"scimpich/internal/smi"
+)
+
+// SharedSeg is memory a rank has allocated for direct remote access
+// (MPI_Alloc_mem backed by the SCI driver / an intra-node shared region).
+// One backing array is visible through all transports.
+type SharedSeg struct {
+	w      *World
+	owner  int // world rank
+	buf    []byte
+	seg    *sci.Segment  // non-nil on multi-node SCI clusters
+	nicBuf *nic.Buffer   // non-nil on NIC clusters
+	region *shmem.Region // intra-node view
+}
+
+// AllocShared allocates size bytes of remotely accessible memory owned by
+// the calling rank.
+func (c *Comm) AllocShared(size int64) *SharedSeg {
+	w := c.w
+	s := &SharedSeg{w: w, owner: c.WorldRank(), buf: make([]byte, size)}
+	s.region = w.buses[c.rk.node].AllocBacked(s.buf)
+	if w.ic != nil {
+		s.seg = w.ic.Node(c.rk.node).ExportBuffer(s.buf)
+	}
+	if w.nicNet != nil {
+		s.nicBuf = w.nicNet.AllocBacked(c.rk.node, s.buf)
+	}
+	return s
+}
+
+// Owner returns the owning rank.
+func (s *SharedSeg) Owner() int { return s.owner }
+
+// Size returns the allocation size.
+func (s *SharedSeg) Size() int64 { return int64(len(s.buf)) }
+
+// Bytes returns the owner's raw view (no cost accounting; owner-side
+// initialization only).
+func (s *SharedSeg) Bytes() []byte { return s.buf }
+
+// MapFrom returns the access view of the segment for the given rank: the
+// local region for the owner and node-local peers, an SCI mapping for
+// remote peers.
+func (s *SharedSeg) MapFrom(rank int) smi.Mem {
+	w := s.w
+	fromNode := w.ranks[rank].node
+	ownerNode := w.ranks[s.owner].node
+	if fromNode == ownerNode {
+		return smi.FromShm(s.region)
+	}
+	if w.nicNet != nil {
+		return smi.FromNIC(w.nicNet.View(fromNode, s.nicBuf))
+	}
+	return smi.FromSCI(w.ic.Node(fromNode).MustImport(ownerNode, s.seg.ID()))
+}
+
+// LockLatency returns the one-way cost of a shared-memory lock operation
+// between two ranks: a cache-coherent flag exchange inside a node, a remote
+// read-modify-write across the ring (the techniques of the paper's [14]).
+func (w *World) LockLatency(owner, from int) time.Duration {
+	if w.ranks[owner].node == w.ranks[from].node {
+		return 600 * time.Nanosecond
+	}
+	if w.nicNet != nil {
+		// Message-based lock: a request/grant round trip.
+		return 2 * w.cfg.NIC.Latency
+	}
+	cfg := &w.cfg.SCI
+	// A remote lock costs a stalled read plus a posted write.
+	return cfg.PIOReadStall + cfg.PIOWriteLatency
+}
+
+// BarrierLatency returns the per-crossing cost of a shared-memory barrier
+// spanning the given number of ranks.
+func (w *World) BarrierLatency() time.Duration {
+	if w.cfg.Nodes == 1 {
+		return time.Microsecond
+	}
+	return 2 * w.cfg.SCI.PIOWriteLatency
+}

@@ -1,0 +1,329 @@
+// Package mpi implements the message-passing runtime of the reproduction:
+// an MPI subset in the architecture of SCI-MPICH. Ranks are simulated
+// processes placed on the nodes of an SCI ringlet (several per node for SMP
+// nodes); point-to-point communication uses the short / eager / rendezvous
+// protocols over transparently mapped remote memory (or intra-node shared
+// memory, chosen per pair), derived datatypes are transmitted either with
+// the generic pack-and-send baseline or with direct_pack_ff straight into
+// the remote buffer, and collectives are built on top.
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"scimpich/internal/flow"
+	"scimpich/internal/nic"
+	"scimpich/internal/sci"
+	"scimpich/internal/shmem"
+	"scimpich/internal/sim"
+	"scimpich/internal/smi"
+	"scimpich/internal/trace"
+)
+
+// ProtocolConfig holds the device protocol parameters.
+type ProtocolConfig struct {
+	// ShortMax is the largest payload carried inline in a control packet.
+	ShortMax int64
+	// EagerMax is the largest message sent through preallocated eager
+	// slots; larger messages use the rendezvous protocol.
+	EagerMax int64
+	// EagerSlots is the number of eager buffers per sender/receiver pair.
+	EagerSlots int
+	// RendezvousChunk is the bytes moved per handshake cycle. The paper
+	// requires it below the L2 size to avoid cache thrashing with
+	// direct_pack_ff.
+	RendezvousChunk int64
+	// UseFF selects direct_pack_ff for non-contiguous datatypes; false
+	// forces the generic pack-and-send baseline everywhere.
+	UseFF bool
+	// FFMinBlock disables direct_pack_ff for types whose average block is
+	// smaller (the paper's footnote: an 8-byte granularity floor would
+	// avoid the regime where generic wins; 0 means always use ff).
+	FFMinBlock int64
+	// DMAMin, when positive, routes contiguous rendezvous chunks of at
+	// least this many bytes through the adapter's DMA engine instead of
+	// PIO (the paper's §6 outlook: "non-contiguous data transfers with
+	// DMA-based interconnects"). 0 disables DMA.
+	DMAMin int64
+	// OSCBuf is the per-pair staging area for emulated one-sided transfers
+	// into private windows.
+	OSCBuf int64
+	// HandlerLatency is the software cost of dispatching one control
+	// envelope in the device.
+	HandlerLatency time.Duration
+	// CallOverhead is the software cost of entering an MPI call.
+	CallOverhead time.Duration
+}
+
+// DefaultProtocol returns the SCI-MPICH-like protocol parameters.
+func DefaultProtocol() ProtocolConfig {
+	return ProtocolConfig{
+		ShortMax:        128,
+		EagerMax:        16 << 10,
+		EagerSlots:      8,
+		RendezvousChunk: 64 << 10, // a quarter of the P-III L2: chunk + scattered span stay cache-resident
+		OSCBuf:          128 << 10,
+		UseFF:           true,
+		FFMinBlock:      0,
+		HandlerLatency:  500 * time.Nanosecond,
+		CallOverhead:    250 * time.Nanosecond,
+	}
+}
+
+// InterconnectKind selects the inter-node transport.
+type InterconnectKind int
+
+const (
+	// InterconnectSCI is the paper's platform: transparent remote memory
+	// over a ringlet.
+	InterconnectSCI InterconnectKind = iota
+	// InterconnectNIC is a conventional message NIC (ethernet/Myrinet
+	// class): no remote memory, every access a message. With it the
+	// runtime behaves like the paper's comparator MPIs -- in particular,
+	// direct_pack_ff degenerates to local packing.
+	InterconnectNIC
+)
+
+// Config describes a simulated cluster run.
+type Config struct {
+	// Nodes is the number of cluster nodes; ProcsPerNode ranks run on
+	// each. Rank r lives on node r / ProcsPerNode.
+	Nodes        int
+	ProcsPerNode int
+	// Kind selects the inter-node transport (default SCI).
+	Kind InterconnectKind
+	// SCI configures the interconnect (ignored for a single node).
+	SCI sci.Config
+	// NIC configures the message fabric when Kind is InterconnectNIC.
+	NIC nic.Config
+	// Shm configures the intra-node memory system.
+	Shm shmem.Config
+	// Protocol configures the device.
+	Protocol ProtocolConfig
+	// Tracer, when non-nil, records a protocol event timeline.
+	Tracer *trace.Tracer
+}
+
+// DefaultConfig returns a cluster of nodes dual-SMP nodes matching the
+// paper's testbed.
+func DefaultConfig(nodes, procsPerNode int) Config {
+	return Config{
+		Nodes:        nodes,
+		ProcsPerNode: procsPerNode,
+		SCI:          sci.DefaultConfig(nodes),
+		Shm:          shmem.DefaultConfig(),
+		Protocol:     DefaultProtocol(),
+	}
+}
+
+// NICConfig returns a cluster over a message NIC.
+func NICConfig(nodes, procsPerNode int, n nic.Config) Config {
+	cfg := DefaultConfig(nodes, procsPerNode)
+	cfg.Kind = InterconnectNIC
+	cfg.NIC = n
+	return cfg
+}
+
+// World is the runtime state of a cluster run.
+type World struct {
+	cfg    Config
+	engine *sim.Engine
+	ic     *sci.Interconnect
+	nicNet *nic.Network
+	buses  []*shmem.Bus
+	ranks  []*rank
+
+	size       int
+	exchange   map[string][]any
+	seq        map[string][]int
+	ctxCounter int
+}
+
+// rank is one MPI process.
+type rank struct {
+	w          *World
+	id         int
+	node       int
+	dev        *device
+	p          *sim.Proc // the user process, set when spawned
+	reqCounter int64
+
+	// ports[i] is the memory this rank exposes to sender i.
+	ports []*port
+	// out[i] is this rank's sender-side state toward receiver i.
+	out []*sendPort
+}
+
+// port is the receive-side memory a rank exposes to one particular sender:
+// eager slots plus a double-buffered rendezvous area.
+type port struct {
+	mem    smi.Mem
+	segID  int         // SCI segment id for remote senders (-1 otherwise)
+	nicBuf *nic.Buffer // NIC buffer for remote senders (nil otherwise)
+}
+
+// sendPort is the sender-side view of a receiver's port.
+type sendPort struct {
+	mem     smi.Mem
+	credits *sim.Chan  // eager slot tokens
+	rdvLock *sim.Mutex // serializes rendezvous transfers on this pair
+	oscLock *sim.Mutex // serializes one-sided staging on this pair
+	slot    int        // next eager slot (round-robin, guarded by credits)
+}
+
+func (w *World) protocol() *ProtocolConfig { return &w.cfg.Protocol }
+
+// portSize returns the byte size of one pair port.
+func (w *World) portSize() int64 {
+	p := w.protocol()
+	return int64(p.EagerSlots)*p.EagerMax + 2*p.RendezvousChunk + p.OSCBuf
+}
+
+func (w *World) eagerOff(slot int) int64 { return int64(slot) * w.protocol().EagerMax }
+
+func (w *World) rdvOff(slot int) int64 {
+	p := w.protocol()
+	return int64(p.EagerSlots)*p.EagerMax + int64(slot%2)*p.RendezvousChunk
+}
+
+// oscOff returns the offset of the one-sided staging area in a pair port.
+func (w *World) oscOff() int64 {
+	p := w.protocol()
+	return int64(p.EagerSlots)*p.EagerMax + 2*p.RendezvousChunk
+}
+
+// newWorld wires the cluster: interconnect, per-node buses, ranks, ports.
+func newWorld(e *sim.Engine, cfg Config) *World {
+	if cfg.Nodes < 1 || cfg.ProcsPerNode < 1 {
+		panic("mpi: need at least one node and one proc per node")
+	}
+	w := &World{cfg: cfg, engine: e, size: cfg.Nodes * cfg.ProcsPerNode}
+	if cfg.Nodes > 1 {
+		switch cfg.Kind {
+		case InterconnectSCI:
+			w.ic = sci.New(e, cfg.SCI)
+		case InterconnectNIC:
+			w.nicNet = nic.New(e, cfg.Nodes, cfg.NIC)
+		default:
+			panic(fmt.Sprintf("mpi: unknown interconnect kind %d", cfg.Kind))
+		}
+	}
+	// All intra-node buses share one flow network so that, on request,
+	// cross-transport interactions stay in one simulation.
+	net := flow.NewNetwork(e)
+	w.buses = make([]*shmem.Bus, cfg.Nodes)
+	for n := range w.buses {
+		w.buses[n] = shmem.NewBus(e, net, fmt.Sprintf("node%d", n), cfg.Shm)
+	}
+	w.ranks = make([]*rank, w.size)
+	for r := range w.ranks {
+		w.ranks[r] = &rank{w: w, id: r, node: r / cfg.ProcsPerNode}
+	}
+	for _, rk := range w.ranks {
+		rk.buildPorts()
+		rk.dev = newDevice(rk)
+	}
+	for _, rk := range w.ranks {
+		rk.buildSendPorts()
+	}
+	return w
+}
+
+// buildPorts allocates the receive-side memory this rank exposes to every
+// sender: intra-node senders get a shm region, remote senders an SCI
+// segment.
+func (rk *rank) buildPorts() {
+	w := rk.w
+	rk.ports = make([]*port, w.size)
+	for src := 0; src < w.size; src++ {
+		if src == rk.id {
+			continue
+		}
+		if w.ranks[src].node == rk.node {
+			rk.ports[src] = &port{
+				mem:   smi.FromShm(w.buses[rk.node].Alloc(w.portSize())),
+				segID: -1,
+			}
+			continue
+		}
+		if w.nicNet != nil {
+			buf := w.nicNet.Alloc(rk.node, w.portSize())
+			rk.ports[src] = &port{
+				mem:    smi.FromNIC(w.nicNet.View(rk.node, buf)),
+				segID:  -1,
+				nicBuf: buf,
+			}
+			continue
+		}
+		seg := w.ic.Node(rk.node).Export(w.portSize())
+		// This is the owning rank's local view; the sender imports the
+		// segment in buildSendPorts.
+		rk.ports[src] = &port{
+			mem:   smi.FromSCI(w.ic.Node(rk.node).MustImport(rk.node, seg.ID())),
+			segID: seg.ID(),
+		}
+	}
+}
+
+// buildSendPorts creates this rank's sender-side view of each peer's port.
+func (rk *rank) buildSendPorts() {
+	w := rk.w
+	rk.out = make([]*sendPort, w.size)
+	for dst := 0; dst < w.size; dst++ {
+		if dst == rk.id {
+			continue
+		}
+		peer := w.ranks[dst]
+		var mem smi.Mem
+		switch {
+		case peer.node == rk.node:
+			mem = peer.ports[rk.id].mem // same shm region
+		case w.nicNet != nil:
+			mem = smi.FromNIC(w.nicNet.View(rk.node, peer.ports[rk.id].nicBuf))
+		default:
+			mem = smi.FromSCI(w.ic.Node(rk.node).MustImport(peer.node, peer.ports[rk.id].segID))
+		}
+		credits := sim.NewChan(w.protocol().EagerSlots + 1)
+		for i := 0; i < w.protocol().EagerSlots; i++ {
+			sim.Post(credits, i)
+		}
+		rk.out[dst] = &sendPort{mem: mem, credits: credits, rdvLock: &sim.Mutex{}, oscLock: &sim.Mutex{}}
+	}
+}
+
+// ring delivers an envelope from rank src to rank dst's device inbox,
+// charging the transport-appropriate control-packet cost. interrupt selects
+// the remote-interrupt path (for targets that are not polling).
+func (w *World) ring(p *sim.Proc, src, dst int, env *envelope, interrupt bool) {
+	if src == dst {
+		sim.Post(w.ranks[dst].dev.inbox, env)
+		return
+	}
+	from, to := w.ranks[src], w.ranks[dst]
+	if from.node == to.node {
+		p.Sleep(60 * time.Nanosecond)
+		delay := w.cfg.Shm.SignalLatency
+		inbox := to.dev.inbox
+		w.engine.After(delay, func() { sim.Post(inbox, env) })
+		return
+	}
+	if w.nicNet != nil {
+		ncfg := &w.cfg.NIC
+		p.Sleep(ncfg.PerMessageCPU)
+		inbox := to.dev.inbox
+		w.engine.After(ncfg.Latency, func() { sim.Post(inbox, env) })
+		return
+	}
+	cfg := &w.cfg.SCI
+	p.Sleep(cfg.WriteIssueOverhead + sim.RateDuration(envelopeWireBytes, cfg.PIOWritePeakBW))
+	delay := cfg.PIOWriteLatency
+	if interrupt {
+		delay += cfg.InterruptLatency
+	}
+	inbox := to.dev.inbox
+	w.engine.After(delay, func() { sim.Post(inbox, env) })
+}
+
+// envelopeWireBytes is the size of a control packet on the wire.
+const envelopeWireBytes = 64

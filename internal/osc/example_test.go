@@ -1,0 +1,52 @@
+package osc_test
+
+import (
+	"fmt"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/mpi"
+	"scimpich/internal/osc"
+)
+
+// Fence-synchronized one-sided access to a window in SCI shared memory.
+func Example() {
+	mpi.Run(mpi.DefaultConfig(2, 1), func(c *mpi.Comm) {
+		sys := osc.NewSystem(c)
+		win := sys.CreateShared(c.AllocShared(64), osc.DefaultConfig())
+		win.Fence()
+		if c.Rank() == 0 {
+			win.Put(mpi.Float64Bytes([]float64{42}), 8, datatype.Byte, 1, 0)
+		}
+		win.Fence()
+		if c.Rank() == 1 {
+			fmt.Println("window holds:", mpi.BytesFloat64(win.LocalBytes()[:8])[0])
+		}
+		win.Free()
+	})
+	// Output:
+	// window holds: 42
+}
+
+// Passive-target locking: a fetch-and-increment without any action by the
+// target.
+func ExampleWin_Lock() {
+	mpi.Run(mpi.DefaultConfig(2, 1), func(c *mpi.Comm) {
+		sys := osc.NewSystem(c)
+		win := sys.CreateShared(c.AllocShared(8), osc.DefaultConfig())
+		c.Barrier()
+		if c.Rank() == 1 {
+			win.Lock(0)
+			buf := make([]byte, 8)
+			win.Get(buf, 8, datatype.Byte, 0, 0)
+			v := mpi.BytesFloat64(buf)[0]
+			win.Put(mpi.Float64Bytes([]float64{v + 1}), 8, datatype.Byte, 0, 0)
+			win.Unlock(0)
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			fmt.Println("counter:", mpi.BytesFloat64(win.LocalBytes())[0])
+		}
+	})
+	// Output:
+	// counter: 1
+}

@@ -1,0 +1,133 @@
+package osc
+
+import (
+	"fmt"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/memmodel"
+	"scimpich/internal/mpi"
+	"scimpich/internal/pack"
+	"scimpich/internal/sim"
+)
+
+// The remote handler: the target-side half of the emulation and remote-put
+// paths ("internal control messages in conjunction with a remote interrupt
+// are used to invoke a remote handler on a process to accept or deliver
+// data using the standard transfer protocols"). It runs on the rank's
+// device process.
+
+// reqKind enumerates handler requests.
+type reqKind int
+
+const (
+	reqPut reqKind = iota
+	reqGet
+	reqAcc
+	reqLockTry
+	reqUnlock
+	reqPost
+	reqComplete
+)
+
+// oscReq is a one-sided handler request.
+type oscReq struct {
+	kind   reqKind
+	win    int
+	off    int64 // target window displacement
+	n      int64 // bytes in this chunk
+	skip   int64 // linearization offset of this chunk
+	inline []byte
+	dt     *datatype.Type
+	count  int
+	op     mpi.Op
+}
+
+// oscReply is the handler's answer.
+type oscReply struct {
+	ok bool
+}
+
+// memModel returns the node's memory hierarchy model.
+func (s *System) memModel() *memmodel.Model {
+	return s.c.World().MemModel()
+}
+
+// handle services one handler request on the device process.
+func (s *System) handle(p *sim.Proc, src int, req any) any {
+	r, ok := req.(*oscReq)
+	if !ok {
+		panic(fmt.Sprintf("osc: unexpected handler request %T", req))
+	}
+	w, ok := s.wins[r.win]
+	if !ok {
+		panic(fmt.Sprintf("osc: request for unknown window %d", r.win))
+	}
+	switch r.kind {
+	case reqPut:
+		s.handlePut(p, src, w, r)
+	case reqGet:
+		s.handleGet(p, src, w, r)
+	case reqAcc:
+		s.handleAcc(p, src, w, r)
+	case reqLockTry:
+		if w.privLockBusy {
+			return &oscReply{ok: false}
+		}
+		w.privLockBusy = true
+		return &oscReply{ok: true}
+	case reqUnlock:
+		if !w.privLockBusy {
+			panic("osc: unlock of unheld window lock")
+		}
+		w.privLockBusy = false
+	case reqPost:
+		sim.Post(w.postQ, src)
+	case reqComplete:
+		sim.Post(w.completeQ, src)
+	default:
+		panic(fmt.Sprintf("osc: unknown request kind %d", r.kind))
+	}
+	return &oscReply{ok: true}
+}
+
+// handlePut drains a staged (or inline) chunk into the local window.
+func (s *System) handlePut(p *sim.Proc, src int, w *Win, r *oscReq) {
+	win := w.LocalBytes()
+	var data []byte
+	if r.inline != nil {
+		data = r.inline
+	} else {
+		stage, base := s.c.OSCStageLocal(src)
+		data = stage.Bytes()[base : base+r.n]
+	}
+	_, st := pack.FFUnpack(win[r.off:], data, r.dt, r.count, r.skip, r.n)
+	p.Sleep(s.memModel().CopyCost(st.Bytes, st.AvgBlock(), st.Bytes*2))
+}
+
+// handleGet performs the remote-put: write the requested window bytes into
+// the origin's staging area (through this rank's own view of it).
+func (s *System) handleGet(p *sim.Proc, src int, w *Win, r *oscReq) {
+	win := w.LocalBytes()
+	scratch := make([]byte, r.n)
+	_, st := pack.FFPack(pack.BufferSink{Buf: scratch}, win[r.off:], r.dt, r.count, r.skip, r.n)
+	p.Sleep(s.memModel().CopyCost(st.Bytes, st.AvgBlock(), st.Bytes*2))
+	stage, base, size, _ := s.c.OSCStage(src)
+	getBase := base + size/2
+	stage.WriteStream(p, getBase, scratch, r.n)
+	stage.Sync(p)
+}
+
+// handleAcc combines staged (or inline) data into the window.
+func (s *System) handleAcc(p *sim.Proc, src int, w *Win, r *oscReq) {
+	win := w.LocalBytes()
+	var data []byte
+	if r.inline != nil {
+		data = r.inline
+	} else {
+		stage, base := s.c.OSCStageLocal(src)
+		data = stage.Bytes()[base : base+r.n]
+	}
+	// Read-modify-write: two passes over the data.
+	p.Sleep(2 * s.memModel().CopyCost(r.n, r.n, r.n*2))
+	mpi.CombineOp(r.op, r.dt, win[r.off:r.off+r.n], data, r.count)
+}

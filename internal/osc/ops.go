@@ -1,0 +1,263 @@
+package osc
+
+import (
+	"fmt"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/mpi"
+	"scimpich/internal/pack"
+)
+
+// The data operations. All take the origin buffer, an element count and
+// datatype, the target rank and a byte displacement into the target's
+// window; the datatype's layout is applied identically on both sides
+// (mirrored layout), which covers the paper's workloads (contiguous strided
+// accesses in sparse; halo datatypes in the examples).
+
+// Put moves count elements of dt from buf into target's window at
+// displacement targetOff (MPI_Put).
+func (w *Win) Put(buf []byte, count int, dt *datatype.Type, target int, targetOff int64) {
+	w.checkEpoch("Put")
+	n := dt.Size() * int64(count)
+	span := dt.Extent()*int64(count-1) + dt.UB() - dt.LB()
+	if count == 0 {
+		return
+	}
+	w.checkTarget(target, targetOff, span)
+	w.Stats.Puts++
+	w.Stats.BytesPut += n
+	p := w.sys.c.Proc()
+
+	if target == w.sys.c.Rank() {
+		w.localApply(buf, count, dt, targetOff, false)
+		return
+	}
+	if w.isShared[target] {
+		// Direct transparent remote write.
+		w.Stats.DirectPuts++
+		view := w.views[target]
+		if dt.Contiguous() {
+			stride := w.estimateStride(target, targetOff, n)
+			view.WritePut(p, targetOff, buf[:n], n, stride)
+			return
+		}
+		// Mirror the layout: deposit every block at its own displacement
+		// (the direct_pack machinery writing into the window).
+		bw := view.BlockWriter(p, span)
+		pack.Walk(dt, count, func(off, size int64) {
+			bw.Write(targetOff+off, buf[off:off+size])
+		})
+		bw.Flush()
+		return
+	}
+	// Emulation: stage the linearized data into the pair's staging area
+	// and invoke the remote handler.
+	w.Stats.EmulatedPuts++
+	w.emulatedPut(buf, count, dt, target, targetOff, n)
+}
+
+// estimateStride watches successive puts to reconstruct the access stride
+// (the write-combine interaction of the sparse benchmark's loop of strided
+// MPI_Put calls).
+func (w *Win) estimateStride(target int, off, n int64) int64 {
+	stride := n
+	if w.lastTarget == target && w.lastLen == n && off > w.lastOff {
+		stride = off - w.lastOff
+	}
+	w.lastTarget, w.lastOff, w.lastLen = target, off, n
+	return stride
+}
+
+// localApply performs a window access on the rank's own memory.
+func (w *Win) localApply(buf []byte, count int, dt *datatype.Type, off int64, read bool) {
+	p := w.sys.c.Proc()
+	win := w.LocalBytes()
+	n := dt.Size() * int64(count)
+	cost := w.sys.memModel().CopyCost(n, avgBlock(dt), n*2)
+	p.Sleep(cost)
+	pack.Walk(dt, count, func(o, size int64) {
+		if read {
+			copy(buf[o:o+size], win[off+o:off+o+size])
+		} else {
+			copy(win[off+o:off+o+size], buf[o:o+size])
+		}
+	})
+}
+
+func avgBlock(dt *datatype.Type) int64 {
+	f := dt.Flat()
+	var copies int64
+	for i := range f.Leaves {
+		copies += f.Leaves[i].Copies()
+	}
+	if copies == 0 {
+		return f.Size
+	}
+	return f.Size / copies
+}
+
+// emulatedPut stages linearized data and invokes the remote handler, in
+// chunks of half the staging area.
+func (w *Win) emulatedPut(buf []byte, count int, dt *datatype.Type, target int, targetOff, n int64) {
+	c := w.sys.c
+	p := c.Proc()
+	if n <= w.cfg.InlineMax {
+		payload := make([]byte, n)
+		pack.FFPack(pack.BufferSink{Buf: payload}, buf, dt, count, 0, -1)
+		c.OSCCall(c.GroupToWorld(target), &oscReq{
+			kind: reqPut, win: w.id, off: targetOff, n: n,
+			inline: payload, dt: dt, count: count,
+		}, true)
+		return
+	}
+	stage, base, size, lock := c.OSCStage(c.GroupToWorld(target))
+	half := size / 2
+	p.Lock(lock)
+	defer p.Unlock(lock)
+	var sent int64
+	for sent < n {
+		chunk := half
+		if sent+chunk > n {
+			chunk = n - sent
+		}
+		scratch := make([]byte, chunk)
+		_, st := pack.FFPack(pack.BufferSink{Buf: scratch}, buf, dt, count, sent, chunk)
+		w.chargeLocal(st)
+		stage.WriteStream(p, base, scratch, chunk)
+		stage.Sync(p)
+		c.OSCCall(c.GroupToWorld(target), &oscReq{
+			kind: reqPut, win: w.id, off: targetOff, n: chunk,
+			skip: sent, dt: dt, count: count,
+		}, true)
+		sent += chunk
+	}
+}
+
+func (w *Win) chargeLocal(st pack.Stats) {
+	if st.Bytes == 0 {
+		return
+	}
+	w.sys.c.Proc().Sleep(w.sys.memModel().CopyCost(st.Bytes, st.AvgBlock(), st.Bytes*2))
+}
+
+// Get moves count elements of dt from target's window at displacement
+// targetOff into buf (MPI_Get). Small amounts are read directly; larger
+// ones use the remote-put path (the target writes into the origin's
+// address space), because SCI remote reads are slow.
+func (w *Win) Get(buf []byte, count int, dt *datatype.Type, target int, targetOff int64) {
+	w.checkEpoch("Get")
+	n := dt.Size() * int64(count)
+	span := dt.Extent()*int64(count-1) + dt.UB() - dt.LB()
+	if count == 0 {
+		return
+	}
+	w.checkTarget(target, targetOff, span)
+	w.Stats.Gets++
+	w.Stats.BytesGot += n
+	p := w.sys.c.Proc()
+
+	if target == w.sys.c.Rank() {
+		w.localApply(buf, count, dt, targetOff, true)
+		return
+	}
+	if w.isShared[target] && n <= w.cfg.GetDirectMax {
+		// Direct transparent remote read: the CPU stalls per block.
+		w.Stats.DirectGets++
+		view := w.views[target]
+		if dt.Contiguous() {
+			view.Read(p, targetOff, buf[:n])
+			return
+		}
+		pack.Walk(dt, count, func(off, size int64) {
+			view.Read(p, targetOff+off, buf[off:off+size])
+		})
+		return
+	}
+	// Remote-put: the handler at the target writes the data into this
+	// process's staging area (its own address space view of us).
+	w.Stats.RemotePuts++
+	w.remotePutGet(buf, count, dt, target, targetOff, n)
+}
+
+// remotePutGet drains a get through the staging area in chunks.
+func (w *Win) remotePutGet(buf []byte, count int, dt *datatype.Type, target int, targetOff, n int64) {
+	c := w.sys.c
+	world := c.GroupToWorld(target)
+	stageLocal, base := c.OSCStageLocal(world)
+	_, _, size, _ := c.OSCStage(world)
+	half := size / 2
+	getBase := base + half
+	interrupt := !w.isShared[target]
+	var got int64
+	for got < n {
+		chunk := half
+		if got+chunk > n {
+			chunk = n - got
+		}
+		c.OSCCall(world, &oscReq{
+			kind: reqGet, win: w.id, off: targetOff, n: chunk,
+			skip: got, dt: dt, count: count,
+		}, interrupt)
+		// The data now sits in the local staging area; scatter it into
+		// the user buffer.
+		src := stageLocal.Bytes()[getBase : getBase+chunk]
+		_, st := pack.FFUnpack(buf, src, dt, count, got, chunk)
+		w.chargeLocal(st)
+		got += chunk
+	}
+}
+
+// Accumulate combines count elements of the basic type dt from buf into
+// target's window at targetOff using op (MPI_Accumulate). The operation
+// always executes at the target, which makes it atomic with respect to
+// other accumulates.
+func (w *Win) Accumulate(buf []byte, count int, dt *datatype.Type, op mpi.Op, target int, targetOff int64) {
+	w.checkEpoch("Accumulate")
+	if dt.Kind() != datatype.KindBasic {
+		panic(fmt.Sprintf("osc: Accumulate requires a basic datatype, got %s", dt))
+	}
+	n := dt.Size() * int64(count)
+	if count == 0 {
+		return
+	}
+	w.checkTarget(target, targetOff, n)
+	w.Stats.Accs++
+	c := w.sys.c
+	p := c.Proc()
+	interrupt := !w.isShared[target]
+
+	if n <= w.cfg.InlineMax || target == c.Rank() {
+		payload := make([]byte, n)
+		w.chargeLocalBytes(n)
+		copy(payload, buf[:n])
+		c.OSCCall(c.GroupToWorld(target), &oscReq{
+			kind: reqAcc, win: w.id, off: targetOff, n: n,
+			inline: payload, dt: dt, count: count, op: op,
+		}, interrupt)
+		return
+	}
+	w.Stats.EmulatedAccumulates++
+	stage, base, size, lock := c.OSCStage(c.GroupToWorld(target))
+	half := size / 2
+	p.Lock(lock)
+	defer p.Unlock(lock)
+	elemSize := dt.Size()
+	var sent int64
+	for sent < n {
+		chunk := half - half%elemSize
+		if sent+chunk > n {
+			chunk = n - sent
+		}
+		stage.WriteStream(p, base, buf[sent:sent+chunk], n)
+		stage.Sync(p)
+		c.OSCCall(c.GroupToWorld(target), &oscReq{
+			kind: reqAcc, win: w.id, off: targetOff + sent, n: chunk,
+			dt: dt, count: int(chunk / elemSize), op: op,
+		}, interrupt)
+		sent += chunk
+	}
+}
+
+func (w *Win) chargeLocalBytes(n int64) {
+	w.sys.c.Proc().Sleep(w.sys.memModel().CopyCost(n, n, n))
+}

@@ -1,0 +1,534 @@
+package osc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/mpi"
+	"scimpich/internal/nic"
+)
+
+// runCluster runs main on nodes x procs ranks.
+func runCluster(nodes, procs int, main func(c *mpi.Comm)) time.Duration {
+	return mpi.Run(mpi.DefaultConfig(nodes, procs), main)
+}
+
+// mkWin creates a window of winSize bytes on every rank, shared or private.
+func mkWin(c *mpi.Comm, winSize int64, shared bool) *Win {
+	s := NewSystem(c)
+	if shared {
+		return s.CreateShared(c.AllocShared(winSize), DefaultConfig())
+	}
+	return s.CreatePrivate(make([]byte, winSize), DefaultConfig())
+}
+
+func fill(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*11 + 5)
+	}
+	return b
+}
+
+func TestPutFenceSharedWindow(t *testing.T) {
+	src := fill(4096)
+	runCluster(2, 1, func(c *mpi.Comm) {
+		w := mkWin(c, 8192, true)
+		w.Fence()
+		if c.Rank() == 0 {
+			w.Put(src, 4096, datatype.Byte, 1, 100)
+		}
+		w.Fence()
+		if c.Rank() == 1 {
+			if !bytes.Equal(w.LocalBytes()[100:100+4096], src) {
+				t.Error("put data not visible after fence")
+			}
+			if w.Stats.Puts != 0 {
+				t.Error("target should have issued no puts")
+			}
+		}
+		if c.Rank() == 0 && w.Stats.DirectPuts != 1 {
+			t.Errorf("direct puts = %d, want 1 (shared window)", w.Stats.DirectPuts)
+		}
+	})
+}
+
+func TestPutFencePrivateWindowUsesEmulation(t *testing.T) {
+	src := fill(256 << 10)
+	runCluster(2, 1, func(c *mpi.Comm) {
+		w := mkWin(c, 512<<10, false)
+		w.Fence()
+		if c.Rank() == 0 {
+			w.Put(src, len(src), datatype.Byte, 1, 64)
+		}
+		w.Fence()
+		if c.Rank() == 1 && !bytes.Equal(w.LocalBytes()[64:64+len(src)], src) {
+			t.Error("emulated put data mismatch")
+		}
+		if c.Rank() == 0 {
+			if w.Stats.EmulatedPuts != 1 || w.Stats.DirectPuts != 0 {
+				t.Errorf("stats = %+v, want 1 emulated put", w.Stats)
+			}
+		}
+	})
+}
+
+func TestGetDirectSmallSharedWindow(t *testing.T) {
+	runCluster(2, 1, func(c *mpi.Comm) {
+		w := mkWin(c, 4096, true)
+		if c.Rank() == 1 {
+			copy(w.LocalBytes()[200:], fill(512))
+		}
+		w.Fence()
+		if c.Rank() == 0 {
+			dst := make([]byte, 512)
+			w.Get(dst, 512, datatype.Byte, 1, 200)
+			if !bytes.Equal(dst, fill(512)) {
+				t.Error("direct get mismatch")
+			}
+			if w.Stats.DirectGets != 1 {
+				t.Errorf("stats = %+v, want 1 direct get", w.Stats)
+			}
+		}
+		w.Fence()
+	})
+}
+
+func TestGetLargeUsesRemotePut(t *testing.T) {
+	const n = 256 << 10
+	runCluster(2, 1, func(c *mpi.Comm) {
+		w := mkWin(c, n, true)
+		if c.Rank() == 1 {
+			copy(w.LocalBytes(), fill(n))
+		}
+		w.Fence()
+		if c.Rank() == 0 {
+			dst := make([]byte, n)
+			w.Get(dst, n, datatype.Byte, 1, 0)
+			if !bytes.Equal(dst, fill(n)) {
+				t.Error("remote-put get mismatch")
+			}
+			if w.Stats.RemotePuts == 0 || w.Stats.DirectGets != 0 {
+				t.Errorf("stats = %+v, want remote-put path", w.Stats)
+			}
+		}
+		w.Fence()
+	})
+}
+
+func TestRemotePutFasterThanDirectReadForLargeGets(t *testing.T) {
+	// The rationale for the threshold (paper §4.2).
+	const n = 128 << 10
+	elapsed := func(directMax int64) time.Duration {
+		var d time.Duration
+		runCluster(2, 1, func(c *mpi.Comm) {
+			s := NewSystem(c)
+			cfg := DefaultConfig()
+			cfg.GetDirectMax = directMax
+			w := s.CreateShared(c.AllocShared(n), cfg)
+			w.Fence()
+			if c.Rank() == 0 {
+				dst := make([]byte, n)
+				start := c.WtimeDuration()
+				w.Get(dst, n, datatype.Byte, 1, 0)
+				d = c.WtimeDuration() - start
+			}
+			w.Fence()
+		})
+		return d
+	}
+	direct := elapsed(1 << 30) // force direct reads
+	remote := elapsed(1024)    // force remote-put
+	if remote >= direct {
+		t.Errorf("remote-put get (%v) not faster than direct read (%v) for 128kiB", remote, direct)
+	}
+}
+
+func TestAccumulateSum(t *testing.T) {
+	const procs = 4
+	runCluster(procs, 1, func(c *mpi.Comm) {
+		w := mkWin(c, 8*8, true)
+		w.Fence()
+		// Every rank accumulates its rank id into all 8 slots of rank 0.
+		vals := make([]float64, 8)
+		for i := range vals {
+			vals[i] = float64(c.Rank() + 1)
+		}
+		w.Accumulate(mpi.Float64Bytes(vals), 8, datatype.Float64, mpi.OpSum, 0, 0)
+		w.Fence()
+		if c.Rank() == 0 {
+			got := mpi.BytesFloat64(w.LocalBytes())
+			want := float64(1 + 2 + 3 + 4)
+			for i, v := range got {
+				if v != want {
+					t.Fatalf("slot %d = %g, want %g", i, v, want)
+				}
+			}
+		}
+	})
+}
+
+func TestAccumulateAtomicUnderContention(t *testing.T) {
+	// Many concurrent accumulates from all ranks must not lose updates.
+	const procs = 6
+	const rounds = 50
+	runCluster(3, 2, func(c *mpi.Comm) {
+		w := mkWin(c, 8, true)
+		w.Fence()
+		one := mpi.Float64Bytes([]float64{1})
+		for i := 0; i < rounds; i++ {
+			w.Accumulate(one, 1, datatype.Float64, mpi.OpSum, 0, 0)
+		}
+		w.Fence()
+		if c.Rank() == 0 {
+			got := mpi.BytesFloat64(w.LocalBytes())[0]
+			if got != procs*rounds {
+				t.Errorf("accumulated %g, want %d", got, procs*rounds)
+			}
+		}
+	})
+}
+
+func TestNonContiguousPutMirrorsLayout(t *testing.T) {
+	ty := datatype.Vector(16, 2, 4, datatype.Float64).Commit()
+	span := ty.Extent()
+	src := fill(int(span) + 64)
+	runCluster(2, 1, func(c *mpi.Comm) {
+		w := mkWin(c, span+128, true)
+		w.Fence()
+		if c.Rank() == 0 {
+			w.Put(src, 1, ty, 1, 0)
+		}
+		w.Fence()
+		if c.Rank() == 1 {
+			win := w.LocalBytes()
+			for _, b := range ty.TypeMap() {
+				if !bytes.Equal(win[b.Off:b.Off+b.Len], src[b.Off:b.Off+b.Len]) {
+					t.Fatalf("block at %d mismatched", b.Off)
+				}
+			}
+			// Gaps untouched.
+			if win[16] != 0 && len(ty.TypeMap()) > 1 {
+				covered := false
+				for _, b := range ty.TypeMap() {
+					if b.Off <= 16 && 16 < b.Off+b.Len {
+						covered = true
+					}
+				}
+				if !covered && win[16] != 0 {
+					t.Error("gap byte overwritten")
+				}
+			}
+		}
+	})
+}
+
+func TestNonContiguousGetRoundTrip(t *testing.T) {
+	ty := datatype.Vector(32, 1, 3, datatype.Float64).Commit()
+	span := ty.Extent()
+	runCluster(2, 1, func(c *mpi.Comm) {
+		w := mkWin(c, span+64, true)
+		if c.Rank() == 1 {
+			copy(w.LocalBytes(), fill(int(span)))
+		}
+		w.Fence()
+		if c.Rank() == 0 {
+			dst := make([]byte, span+64)
+			w.Get(dst, 1, ty, 1, 0)
+			win := fill(int(span))
+			for _, b := range ty.TypeMap() {
+				if !bytes.Equal(dst[b.Off:b.Off+b.Len], win[b.Off:b.Off+b.Len]) {
+					t.Fatalf("got block at %d mismatched", b.Off)
+				}
+			}
+		}
+		w.Fence()
+	})
+}
+
+func TestPSCWSynchronization(t *testing.T) {
+	src := fill(8192)
+	runCluster(2, 1, func(c *mpi.Comm) {
+		w := mkWin(c, 16384, true)
+		switch c.Rank() {
+		case 0: // origin
+			w.Start([]int{1})
+			w.Put(src, len(src), datatype.Byte, 1, 0)
+			w.Complete([]int{1})
+		case 1: // target
+			w.Post([]int{0})
+			w.Wait([]int{0})
+			if !bytes.Equal(w.LocalBytes()[:len(src)], src) {
+				t.Error("PSCW put data missing after Wait")
+			}
+		}
+	})
+}
+
+func TestPSCWStartBlocksUntilPost(t *testing.T) {
+	var startDone time.Duration
+	runCluster(2, 1, func(c *mpi.Comm) {
+		w := mkWin(c, 64, true)
+		switch c.Rank() {
+		case 0:
+			w.Start([]int{1})
+			startDone = c.WtimeDuration()
+			w.Complete([]int{1})
+		case 1:
+			c.Proc().Sleep(500 * time.Microsecond)
+			w.Post([]int{0})
+			w.Wait([]int{0})
+		}
+	})
+	if startDone < 500*time.Microsecond {
+		t.Errorf("Start returned at %v, before the target posted", startDone)
+	}
+}
+
+func TestLockUnlockPassiveTargetShared(t *testing.T) {
+	const procs = 4
+	const rounds = 20
+	runCluster(procs, 1, func(c *mpi.Comm) {
+		w := mkWin(c, 8, true)
+		w.Fence()
+		w.ep = epochNone // leave the fence epoch; passive target only below
+		for i := 0; i < rounds; i++ {
+			w.Lock(0)
+			buf := make([]byte, 8)
+			w.Get(buf, 8, datatype.Byte, 0, 0)
+			v := mpi.BytesFloat64(buf)[0]
+			w.Put(mpi.Float64Bytes([]float64{v + 1}), 8, datatype.Byte, 0, 0)
+			w.Unlock(0)
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			got := mpi.BytesFloat64(w.LocalBytes())[0]
+			if got != procs*rounds {
+				t.Errorf("counter = %g, want %d (lost updates -> mutual exclusion broken)", got, procs*rounds)
+			}
+		}
+	})
+}
+
+func TestLockUnlockPassiveTargetPrivate(t *testing.T) {
+	const procs = 3
+	const rounds = 10
+	runCluster(procs, 1, func(c *mpi.Comm) {
+		w := mkWin(c, 8, false)
+		c.Barrier()
+		for i := 0; i < rounds; i++ {
+			w.Lock(0)
+			buf := make([]byte, 8)
+			w.Get(buf, 8, datatype.Byte, 0, 0)
+			v := mpi.BytesFloat64(buf)[0]
+			w.Put(mpi.Float64Bytes([]float64{v + 1}), 8, datatype.Byte, 0, 0)
+			w.Unlock(0)
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			got := mpi.BytesFloat64(w.LocalBytes())[0]
+			if got != procs*rounds {
+				t.Errorf("counter = %g, want %d", got, procs*rounds)
+			}
+		}
+	})
+}
+
+func TestIntraNodeWindow(t *testing.T) {
+	src := fill(32 << 10)
+	runCluster(1, 2, func(c *mpi.Comm) {
+		w := mkWin(c, 64<<10, true)
+		w.Fence()
+		if c.Rank() == 0 {
+			w.Put(src, len(src), datatype.Byte, 1, 0)
+		}
+		w.Fence()
+		if c.Rank() == 1 && !bytes.Equal(w.LocalBytes()[:len(src)], src) {
+			t.Error("intra-node put mismatch")
+		}
+	})
+}
+
+func TestSelfAccess(t *testing.T) {
+	runCluster(2, 1, func(c *mpi.Comm) {
+		w := mkWin(c, 1024, true)
+		w.Fence()
+		me := c.Rank()
+		w.Put(fill(100), 100, datatype.Byte, me, 10)
+		dst := make([]byte, 100)
+		w.Get(dst, 100, datatype.Byte, me, 10)
+		if !bytes.Equal(dst, fill(100)) {
+			t.Error("self put/get mismatch")
+		}
+		w.Fence()
+	})
+}
+
+func TestAccessOutsideEpochPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("put outside epoch did not panic")
+		}
+	}()
+	runCluster(2, 1, func(c *mpi.Comm) {
+		w := mkWin(c, 64, true)
+		if c.Rank() == 0 {
+			w.Put(fill(8), 8, datatype.Byte, 1, 0)
+		}
+	})
+}
+
+func TestAccessOutsideWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-window access did not panic")
+		}
+	}()
+	runCluster(2, 1, func(c *mpi.Comm) {
+		w := mkWin(c, 64, true)
+		w.Fence()
+		if c.Rank() == 0 {
+			w.Put(fill(128), 128, datatype.Byte, 1, 0)
+		}
+		w.Fence()
+	})
+}
+
+func TestSharedGetFasterThanPrivate(t *testing.T) {
+	// Paper figure 9: direct access to shared windows beats the emulated
+	// path for small accesses (for larger ones both go through message
+	// exchange and converge).
+	const n = 64
+	elapsed := func(shared bool) time.Duration {
+		var d time.Duration
+		runCluster(2, 1, func(c *mpi.Comm) {
+			w := mkWin(c, 8192, shared)
+			w.Fence()
+			if c.Rank() == 0 {
+				dst := make([]byte, n)
+				start := c.WtimeDuration()
+				for i := 0; i < 16; i++ {
+					w.Get(dst, n, datatype.Byte, 1, 0)
+				}
+				d = c.WtimeDuration() - start
+			}
+			w.Fence()
+		})
+		return d
+	}
+	sh, priv := elapsed(true), elapsed(false)
+	if sh >= priv {
+		t.Errorf("shared-window gets (%v) not faster than emulated (%v)", sh, priv)
+	}
+}
+
+func TestMixedSharedAndPrivateWindows(t *testing.T) {
+	// Rank 0 shared, rank 1 private: accesses route per target.
+	src := fill(64 << 10)
+	runCluster(2, 1, func(c *mpi.Comm) {
+		s := NewSystem(c)
+		var w *Win
+		if c.Rank() == 0 {
+			w = s.CreateShared(c.AllocShared(128<<10), DefaultConfig())
+		} else {
+			w = s.CreatePrivate(make([]byte, 128<<10), DefaultConfig())
+		}
+		w.Fence()
+		other := 1 - c.Rank()
+		w.Put(src, len(src), datatype.Byte, other, 0)
+		w.Fence()
+		if !bytes.Equal(w.LocalBytes()[:len(src)], src) {
+			t.Errorf("rank %d: window contents wrong", c.Rank())
+		}
+		if c.Rank() == 0 && w.Stats.EmulatedPuts != 1 {
+			t.Errorf("rank 0 put to private window: stats %+v", w.Stats)
+		}
+		if c.Rank() == 1 && w.Stats.DirectPuts != 1 {
+			t.Errorf("rank 1 put to shared window: stats %+v", w.Stats)
+		}
+	})
+}
+
+func TestDeterministicOneSidedRuns(t *testing.T) {
+	run := func() time.Duration {
+		return runCluster(4, 1, func(c *mpi.Comm) {
+			w := mkWin(c, 64<<10, true)
+			w.Fence()
+			buf := fill(1024)
+			for i := 0; i < 8; i++ {
+				w.Put(buf, 1024, datatype.Byte, (c.Rank()+1)%c.Size(), int64(i)*2048)
+			}
+			w.Fence()
+		})
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("identical one-sided runs ended at %v and %v", a, b)
+	}
+}
+
+func TestOneSidedOverMessageNIC(t *testing.T) {
+	// Windows on a message NIC behave like the paper's LAM-class
+	// implementations: correct, but every access pays the wire.
+	cfg := mpi.NICConfig(2, 1, nic.FastEthernet())
+	src := fill(4096)
+	var putLat time.Duration
+	mpi.Run(cfg, func(c *mpi.Comm) {
+		s := NewSystem(c)
+		w := s.CreateShared(c.AllocShared(8192), DefaultConfig())
+		w.Fence()
+		if c.Rank() == 0 {
+			start := c.WtimeDuration()
+			w.Put(src[:64], 64, datatype.Byte, 1, 0)
+			putLat = c.WtimeDuration() - start
+			w.Put(src, 4096, datatype.Byte, 1, 128)
+		}
+		w.Fence()
+		if c.Rank() == 1 {
+			if !bytes.Equal(w.LocalBytes()[128:128+4096], src) {
+				t.Error("NIC one-sided put corrupted")
+			}
+		}
+	})
+	// A small put is posted (write-and-forget): the origin pays the
+	// per-message host cost and wire occupancy; the one-way latency is
+	// settled by the closing fence.
+	if putLat < 8*time.Microsecond {
+		t.Errorf("NIC put origin cost = %v, want at least the per-message CPU", putLat)
+	}
+	lat, bw := nicSparsePut(64)
+	if lat < 8 {
+		t.Errorf("NIC sparse put per-call cost = %.1fµs, want host-cost dominated", lat)
+	}
+	if bw > 11 {
+		t.Errorf("NIC sparse put bandwidth = %.1f MiB/s, want <= wire", bw)
+	}
+}
+
+// nicSparsePut runs the sparse put workload over the NIC fabric.
+func nicSparsePut(accessSize int64) (latUS, bw float64) {
+	const winSize = 64 << 10
+	var elapsed time.Duration
+	var calls, moved int64
+	mpi.Run(mpi.NICConfig(2, 1, nic.FastEthernet()), func(c *mpi.Comm) {
+		s := NewSystem(c)
+		w := s.CreateShared(c.AllocShared(winSize), DefaultConfig())
+		partner := 1 - c.Rank()
+		buf := make([]byte, accessSize)
+		w.Fence()
+		start := c.WtimeDuration()
+		var n, bytes int64
+		for off := int64(0); off+accessSize < winSize; off += 2 * accessSize {
+			w.Put(buf, int(accessSize), datatype.Byte, partner, off)
+			n++
+			bytes += accessSize
+		}
+		w.Fence()
+		if c.Rank() == 0 {
+			elapsed = c.WtimeDuration() - start
+			calls, moved = n, bytes
+		}
+	})
+	return elapsed.Seconds() * 1e6 / float64(calls), float64(moved) / elapsed.Seconds() / (1 << 20)
+}

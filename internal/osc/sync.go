@@ -1,0 +1,156 @@
+package osc
+
+import (
+	"fmt"
+	"time"
+)
+
+// Synchronization (paper §4.1/§4.3): active target via fence or exposure /
+// access epochs, passive target via lock/unlock. Accesses must stay inside
+// an epoch; the library optimizes across the epoch boundary (store barriers
+// are issued at the closing call, not per access).
+
+// Fence closes the current access epoch (completing all outstanding posted
+// stores with a store barrier), synchronizes all ranks barrier-style, and
+// opens the next epoch (MPI_Win_fence).
+func (w *Win) Fence() {
+	w.Stats.Fences++
+	w.syncViews()
+	w.sys.c.Barrier()
+	w.ep = epochFence
+	w.resetPattern()
+}
+
+// syncViews guarantees delivery of every posted store this rank issued
+// into the window (one store barrier covers all SCI traffic of the node).
+func (w *Win) syncViews() {
+	p := w.sys.c.Proc()
+	for r, v := range w.views {
+		if v != nil && r != w.sys.c.Rank() && v.Remote() {
+			v.Sync(p)
+			return // one barrier flushes the whole adapter
+		}
+	}
+}
+
+// resetPattern clears the write-combine stride estimator at epoch
+// boundaries.
+func (w *Win) resetPattern() {
+	w.lastTarget = -1
+}
+
+// Post opens an exposure epoch for the origins in group (MPI_Win_post).
+// The notification costs one control message per origin.
+func (w *Win) Post(group []int) {
+	w.Stats.Posts++
+	c := w.sys.c
+	for _, origin := range group {
+		c.OSCNotify(c.GroupToWorld(origin), &oscReq{kind: reqPost, win: w.id}, false)
+	}
+}
+
+// Start opens an access epoch toward the targets in group, blocking until
+// each has posted its exposure epoch (MPI_Win_start).
+func (w *Win) Start(group []int) {
+	if w.ep != epochNone {
+		panic("osc: Start inside another access epoch")
+	}
+	p := w.sys.c.Proc()
+	need := map[int]int{}
+	for _, t := range group {
+		need[w.sys.c.GroupToWorld(t)]++
+	}
+	for remaining := len(group); remaining > 0; {
+		src := p.Recv(w.postQ).(int) // world rank
+		if need[src] == 0 {
+			panic(fmt.Sprintf("osc: unexpected post from rank %d", src))
+		}
+		need[src]--
+		remaining--
+	}
+	w.ep = epochStart
+	w.resetPattern()
+}
+
+// Complete closes the access epoch: completes all transfers and notifies
+// each target (MPI_Win_complete).
+func (w *Win) Complete(group []int) {
+	if w.ep != epochStart {
+		panic("osc: Complete without Start")
+	}
+	w.syncViews()
+	c := w.sys.c
+	for _, t := range group {
+		c.OSCNotify(c.GroupToWorld(t), &oscReq{kind: reqComplete, win: w.id}, false)
+	}
+	w.ep = epochNone
+}
+
+// Wait closes the exposure epoch, blocking until every origin in group has
+// completed its accesses (MPI_Win_wait).
+func (w *Win) Wait(group []int) {
+	p := w.sys.c.Proc()
+	need := map[int]int{}
+	for _, o := range group {
+		need[w.sys.c.GroupToWorld(o)]++
+	}
+	for remaining := len(group); remaining > 0; {
+		src := p.Recv(w.completeQ).(int) // world rank
+		if need[src] == 0 {
+			panic(fmt.Sprintf("osc: unexpected complete from rank %d", src))
+		}
+		need[src]--
+		remaining--
+	}
+}
+
+// Lock opens a passive-target epoch with exclusive access to target's
+// window (MPI_Win_lock). For windows in shared memory the lock is a
+// shared-memory spinlock that does not involve the target's CPU; for
+// private windows the handler arbitrates (with remote-interrupt latency).
+func (w *Win) Lock(target int) {
+	if w.ep != epochNone {
+		panic("osc: Lock inside another access epoch")
+	}
+	w.Stats.Locks++
+	c := w.sys.c
+	p := c.Proc()
+	if w.isShared[target] {
+		if target != c.Rank() {
+			p.Sleep(c.World().LockLatency(c.GroupToWorld(target), c.WorldRank()))
+		}
+		p.Lock(w.sharedLocks[target])
+	} else {
+		for {
+			rep := c.OSCCall(c.GroupToWorld(target), &oscReq{kind: reqLockTry, win: w.id}, true).(*oscReply)
+			if rep.ok {
+				break
+			}
+			p.Sleep(5 * time.Microsecond) // backoff and retry
+		}
+	}
+	w.ep = epochLock
+	w.lockHeld = target
+	w.resetPattern()
+}
+
+// Unlock closes the passive-target epoch: completes all transfers to the
+// target, then releases the lock (MPI_Win_unlock).
+func (w *Win) Unlock(target int) {
+	if w.ep != epochLock || w.lockHeld != target {
+		panic("osc: Unlock without matching Lock")
+	}
+	c := w.sys.c
+	p := c.Proc()
+	w.syncViews()
+	if w.isShared[target] {
+		if target != c.Rank() {
+			p.Sleep(c.World().LockLatency(c.GroupToWorld(target), c.WorldRank()) / 2)
+		}
+		p.Unlock(w.sharedLocks[target])
+	} else {
+		c.OSCCall(c.GroupToWorld(target), &oscReq{kind: reqUnlock, win: w.id}, true)
+	}
+	w.ep = epochNone
+	w.lockHeld = -1
+}

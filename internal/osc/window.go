@@ -1,0 +1,229 @@
+// Package osc implements MPI-2 one-sided communication (remote memory
+// access) in the architecture of SCI-MPICH (paper §4):
+//
+//   - Windows expose each rank's memory to the group. Memory allocated via
+//     AllocMem (MPI_Alloc_mem, backed by SCI driver segments) is accessed
+//     directly by transparent remote loads and stores; windows in private
+//     process memory are accessed by emulation — control messages with a
+//     remote interrupt invoke a handler at the target, which moves the data
+//     with the standard transfer mechanisms.
+//   - MPI_Put writes through the mapped window (posted stores, completed by
+//     the synchronization call's store barrier). MPI_Get reads directly for
+//     small amounts, but switches to a remote-put — the target writes the
+//     data into the origin's address space — beyond a threshold, because
+//     SCI remote reads deliver only a fraction of the write bandwidth.
+//   - MPI_Accumulate always runs at the target (handler-side
+//     read-modify-write), which also provides its atomicity.
+//   - All three MPI-2 synchronization modes are provided: fence
+//     (active target, barrier-like), post/start/complete/wait (exposure and
+//     access epochs), and lock/unlock (passive target, shared-memory locks
+//     for shared windows and handler-spinlocks for private ones).
+package osc
+
+import (
+	"fmt"
+
+	"scimpich/internal/mpi"
+	"scimpich/internal/sim"
+	"scimpich/internal/smi"
+)
+
+// System is a rank's one-sided communication engine; it owns the remote
+// handler and dispatches requests to windows. Create one per rank (after
+// mpi setup) before creating windows.
+type System struct {
+	c       *mpi.Comm
+	wins    map[int]*Win
+	nextWin int
+}
+
+// NewSystem installs the one-sided engine on the calling rank.
+func NewSystem(c *mpi.Comm) *System {
+	s := &System{c: c, wins: make(map[int]*Win)}
+	c.SetOSCHandler(s.handle)
+	return s
+}
+
+// Config tunes a window's transfer policy.
+type Config struct {
+	// GetDirectMax is the largest direct remote read; larger gets use the
+	// remote-put path. (Paper §4.2: "direct reading will only be effective
+	// up to a certain amount of data".)
+	GetDirectMax int64
+	// InlineMax is the largest payload carried inline in a handler request
+	// instead of the staging area.
+	InlineMax int64
+}
+
+// DefaultConfig returns the calibrated transfer policy.
+func DefaultConfig() Config {
+	return Config{
+		GetDirectMax: 8 << 10,
+		InlineMax:    128,
+	}
+}
+
+// epoch tracks which synchronization mode currently permits access.
+type epoch int
+
+const (
+	epochNone epoch = iota
+	epochFence
+	epochStart // access epoch (origin side of PSCW)
+	epochLock
+)
+
+// Win is one rank's handle on a window (MPI_Win).
+type Win struct {
+	sys *System
+	id  int
+	cfg Config
+
+	// Local window memory: exactly one of shared/private is set.
+	shared  *mpi.SharedSeg
+	private []byte
+
+	sizes    []int64 // window size per rank
+	isShared []bool  // per rank: direct access possible
+	views    []smi.Mem
+	// sharedLocks[t] serializes passive-target access to rank t's shared
+	// window without involving t's CPU (shared-memory spinlock).
+	sharedLocks []*sim.Mutex
+	// lockHeld tracks which target this rank currently locks.
+	lockHeld int
+
+	// access epoch state (origin side).
+	ep epoch
+	// exposure bookkeeping (target side of PSCW).
+	postQ     *sim.Chan
+	completeQ *sim.Chan
+
+	// put-pattern estimator: successive small puts to ascending strided
+	// offsets interact with the CPU write-combine buffer; remembering the
+	// previous access reproduces the §4.3 stride sensitivity.
+	lastTarget int
+	lastOff    int64
+	lastLen    int64
+
+	// privLockBusy: handler-side lock state for passive target on private
+	// windows.
+	privLockBusy bool
+	// ownLock is the shared-memory lock guarding this rank's own shared
+	// window, handed to origins through the exchange table.
+	ownLock *sim.Mutex
+
+	Stats Stats
+}
+
+// Stats counts one-sided activity on this rank.
+type Stats struct {
+	Puts, Gets, Accs     int64
+	DirectPuts           int64
+	DirectGets           int64
+	RemotePuts           int64 // gets served by the remote-put path
+	EmulatedPuts         int64
+	EmulatedAccumulates  int64
+	BytesPut, BytesGot   int64
+	Fences, Locks, Posts int64
+}
+
+// CreateShared collectively creates a window whose local memory is the
+// given AllocMem segment (direct remote access).
+func (s *System) CreateShared(seg *mpi.SharedSeg, cfg Config) *Win {
+	return s.create(seg, nil, cfg)
+}
+
+// CreatePrivate collectively creates a window over private process memory
+// (access by emulation only).
+func (s *System) CreatePrivate(buf []byte, cfg Config) *Win {
+	return s.create(nil, buf, cfg)
+}
+
+// create is the collective constructor; every rank must call it in the
+// same order with its own memory.
+func (s *System) create(seg *mpi.SharedSeg, buf []byte, cfg Config) *Win {
+	c := s.c
+	id := s.nextWin
+	s.nextWin++
+	w := &Win{
+		sys: s, id: id, cfg: cfg,
+		shared: seg, private: buf,
+		lastTarget: -1, lockHeld: -1,
+		postQ:     sim.NewChan(1 << 16),
+		completeQ: sim.NewChan(1 << 16),
+	}
+	key := fmt.Sprintf("osc.win.%d.%d", c.ContextID(), id)
+	c.World().Deposit(key, c.Rank(), w)
+	c.Barrier()
+	all := c.World().Collect(key)
+	n := c.Size()
+	w.sizes = make([]int64, n)
+	w.isShared = make([]bool, n)
+	w.views = make([]smi.Mem, n)
+	w.sharedLocks = make([]*sim.Mutex, n)
+	for r := 0; r < n; r++ {
+		rw := all[r].(*Win)
+		if rw.shared != nil {
+			w.sizes[r] = rw.shared.Size()
+			w.isShared[r] = true
+			w.views[r] = rw.shared.MapFrom(c.WorldRank())
+			w.sharedLocks[r] = rw.lockFor()
+		} else {
+			w.sizes[r] = int64(len(rw.private))
+		}
+	}
+	s.wins[id] = w
+	c.Barrier()
+	return w
+}
+
+// lockFor returns the single shared lock object guarding this rank's
+// window (created once, shared by all origins through the exchange table).
+func (w *Win) lockFor() *sim.Mutex {
+	if w.ownLock == nil {
+		w.ownLock = &sim.Mutex{}
+	}
+	return w.ownLock
+}
+
+// Size returns rank r's window size.
+func (w *Win) Size(r int) int64 { return w.sizes[r] }
+
+// SharedAt reports whether rank r's window memory allows direct access.
+func (w *Win) SharedAt(r int) bool { return w.isShared[r] }
+
+// LocalBytes returns the local window memory (owner view, uncosted; for
+// initialization and verification).
+func (w *Win) LocalBytes() []byte {
+	if w.shared != nil {
+		return w.shared.Bytes()
+	}
+	return w.private
+}
+
+// Free releases the window (MPI_Win_free). It is collective: all ranks
+// synchronize so that no access epoch can still be in flight, then the
+// local state is detached.
+func (w *Win) Free() {
+	if w.ep == epochStart || w.ep == epochLock {
+		panic("osc: Free inside an access epoch")
+	}
+	w.sys.c.Barrier()
+	delete(w.sys.wins, w.id)
+}
+
+func (w *Win) checkEpoch(op string) {
+	if w.ep == epochNone {
+		panic(fmt.Sprintf("osc: %s outside an access epoch (call Fence, Start or Lock first)", op))
+	}
+}
+
+func (w *Win) checkTarget(target int, off, n int64) {
+	if target < 0 || target >= len(w.sizes) {
+		panic(fmt.Sprintf("osc: invalid target rank %d", target))
+	}
+	if off < 0 || off+n > w.sizes[target] {
+		panic(fmt.Sprintf("osc: access [%d, %d) outside window of %d bytes at rank %d",
+			off, off+n, w.sizes[target], target))
+	}
+}

@@ -1,0 +1,34 @@
+package pack_test
+
+import (
+	"fmt"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/pack"
+)
+
+// Packing a strided vector with direct_pack_ff, resuming at an arbitrary
+// byte offset (the rendezvous protocol's chunked use).
+func ExampleFFPack() {
+	ty := datatype.Vector(4, 1, 2, datatype.Float64).Commit()
+	user := make([]byte, ty.Extent())
+	for i := range user {
+		user[i] = byte(i)
+	}
+	out := make([]byte, ty.Size())
+	// Pack the first 12 bytes, then the rest from offset 12.
+	n1, _ := pack.FFPack(pack.BufferSink{Buf: out}, user, ty, 1, 0, 12)
+	n2, st := pack.FFPack(offsetSink{out, 12}, user, ty, 1, 12, -1)
+	fmt.Println("chunks:", n1, n2, "blocks:", st.Blocks)
+	fmt.Println("packed:", out[:8], out[8:16])
+	// Output:
+	// chunks: 12 20 blocks: 3
+	// packed: [0 1 2 3 4 5 6 7] [16 17 18 19 20 21 22 23]
+}
+
+type offsetSink struct {
+	buf  []byte
+	base int64
+}
+
+func (o offsetSink) Write(off int64, src []byte) { copy(o.buf[o.base+off:], src) }

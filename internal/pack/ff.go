@@ -1,0 +1,172 @@
+package pack
+
+import (
+	"scimpich/internal/datatype"
+)
+
+// This file implements the direct_pack_ff algorithm (paper §3.3.2, figure
+// 6): scan the list of leaves; for each leaf, evaluate its repeat-pattern
+// stack with two nested loops (odometer over the stack indices, plain copy
+// of the contiguous block). find_position resumes a partial transfer at an
+// arbitrary byte offset in O(leaves)+O(depth); split blocks at both ends of
+// the budget are handled by clamping the first and last copies.
+//
+// The linearization is leaf-major: all occurrences of leaf 0, then leaf 1,
+// and so on. Sender and receiver use the same committed representation, so
+// the direction swap (pack vs. unpack) is exact.
+
+// FFPack packs count instances of type t from the user buffer into sink,
+// starting skip bytes into the linearization and packing at most maxBytes
+// bytes (maxBytes < 0 means "to the end"). Sink offsets start at 0.
+// It returns the number of bytes packed and the block statistics.
+func FFPack(sink Sink, user []byte, t *datatype.Type, count int, skip, maxBytes int64) (int64, Stats) {
+	return ffRun(t, count, skip, maxBytes, func(userOff, linOff, n int64) {
+		sink.Write(linOff, user[userOff:userOff+n])
+	})
+}
+
+// FFUnpack is the receive-side direction swap: it copies packed bytes from
+// src (whose byte 0 corresponds to linearization offset skip) into the
+// non-contiguous user buffer.
+func FFUnpack(user []byte, src []byte, t *datatype.Type, count int, skip, maxBytes int64) (int64, Stats) {
+	return ffRun(t, count, skip, maxBytes, func(userOff, linOff, n int64) {
+		copy(user[userOff:userOff+n], src[linOff:linOff+n])
+	})
+}
+
+// Walk visits every contiguous block of count instances of t in leaf-major
+// order, calling fn(off, size) with user-buffer offsets. It is the layout
+// iterator used for mirrored one-sided transfers (same datatype applied at
+// origin and target).
+func Walk(t *datatype.Type, count int, fn func(off, size int64)) Stats {
+	var st Stats
+	f := t.Flat()
+	if first, ok := denseRun(t, f); ok {
+		n := f.Size * int64(count)
+		if n > 0 {
+			fn(first, n)
+			st.add(n)
+		}
+		return st
+	}
+	for inst := 0; inst < count; inst++ {
+		base := int64(inst) * f.Extent
+		for li := range f.Leaves {
+			leaf := &f.Leaves[li]
+			idx := make([]int64, len(leaf.Stack))
+			for {
+				off := base + leaf.First
+				for j, lv := range leaf.Stack {
+					off += idx[j] * lv.Stride
+				}
+				fn(off, leaf.Size)
+				st.add(leaf.Size)
+				j := len(idx) - 1
+				for ; j >= 0; j-- {
+					idx[j]++
+					if idx[j] < leaf.Stack[j].Count {
+						break
+					}
+					idx[j] = 0
+				}
+				if j < 0 {
+					break
+				}
+			}
+		}
+	}
+	return st
+}
+
+// denseRun reports whether count instances of t occupy one gap-free run,
+// returning the run's starting user-buffer offset. This requires a single
+// once-occurring leaf covering the whole extent.
+func denseRun(t *datatype.Type, f *datatype.Flat) (int64, bool) {
+	if f.Size == 0 || f.Size != f.Extent || len(f.Leaves) != 1 {
+		return 0, false
+	}
+	l := &f.Leaves[0]
+	if len(l.Stack) != 0 || l.Size != f.Size {
+		return 0, false
+	}
+	return l.First, true
+}
+
+// ffRun drives the leaf/stack iteration, invoking move for every contiguous
+// block: move(userOff, linOff, n) where linOff is relative to skip.
+func ffRun(t *datatype.Type, count int, skip, maxBytes int64, move func(userOff, linOff, n int64)) (int64, Stats) {
+	var st Stats
+	budget := checkArgs(t, count, skip, maxBytes)
+	if budget == 0 {
+		return 0, st
+	}
+	f := t.Flat()
+	size := f.Size
+	// Fast path: count instances of a dense type form one contiguous run
+	// (starting at the first leaf's displacement).
+	if first, ok := denseRun(t, f); ok {
+		move(first+skip, 0, budget)
+		st.add(budget)
+		return budget, st
+	}
+	var written int64
+
+	inst := skip / size
+	innerOff := skip - inst*size
+	for ; inst < int64(count) && written < budget; inst++ {
+		base := inst * f.Extent
+		pos := f.FindPosition(innerOff) // O(N)+O(D), the paper's find_position
+		written = ffInstance(f, base, pos, move, written, budget, &st)
+		innerOff = 0
+	}
+	return written, st
+}
+
+// ffInstance packs one type instance starting at pos, stopping at the byte
+// budget. It returns the updated written count.
+func ffInstance(f *datatype.Flat, base int64, pos datatype.Position, move func(userOff, linOff, n int64), written, budget int64, st *Stats) int64 {
+	for li := pos.LeafIndex; li < len(f.Leaves); li++ {
+		leaf := &f.Leaves[li]
+		var idx []int64
+		rem := int64(0)
+		if li == pos.LeafIndex {
+			idx = pos.Index
+			rem = pos.Rem
+		} else {
+			idx = make([]int64, len(leaf.Stack))
+		}
+		for {
+			// Address of the current occurrence: first + sum(idx*stride).
+			off := base + leaf.First
+			for j, lv := range leaf.Stack {
+				off += idx[j] * lv.Stride
+			}
+			n := leaf.Size - rem
+			if written+n > budget {
+				n = budget - written // copy the leading part of a split block
+			}
+			if n > 0 {
+				move(off+rem, written, n)
+				st.add(n)
+				written += n
+			}
+			if written >= budget {
+				return written
+			}
+			rem = 0
+			// Odometer increment, innermost level first.
+			j := len(idx) - 1
+			for ; j >= 0; j-- {
+				idx[j]++
+				if idx[j] < leaf.Stack[j].Count {
+					break
+				}
+				idx[j] = 0
+			}
+			if j < 0 {
+				break // leaf exhausted
+			}
+		}
+	}
+	return written
+}

@@ -1,0 +1,83 @@
+// Package pack implements the two packing engines compared in the paper:
+//
+//   - Generic: the portable MPICH baseline — a recursive traversal of the
+//     datatype tree that packs into (or unpacks from) a local contiguous
+//     buffer in definition order.
+//   - direct_pack_ff: the paper's contribution (§3.3) — a non-recursive
+//     engine driven by the flattened leaf/stack representation built at
+//     commit time. It can start at an arbitrary byte offset (find_position)
+//     and pack any number of bytes, and it writes through a Sink, which may
+//     be local memory or — the point of the exercise — transparently mapped
+//     remote SCI memory, eliminating the intermediate copies.
+//
+// Both engines return Stats so the simulation devices can charge
+// appropriate virtual-time costs.
+package pack
+
+import (
+	"fmt"
+
+	"scimpich/internal/datatype"
+)
+
+// Sink receives packed bytes at ascending offsets relative to the start of
+// the packing operation. sci.BlockWriter and shmem.BlockWriter satisfy it.
+type Sink interface {
+	Write(off int64, src []byte)
+}
+
+// Stats describes the block structure of a pack/unpack operation.
+type Stats struct {
+	// Blocks is the number of contiguous copy operations performed.
+	Blocks int64
+	// Bytes is the number of data bytes moved.
+	Bytes int64
+	// MinBlock and MaxBlock bound the block sizes encountered (0 if none).
+	MinBlock int64
+	MaxBlock int64
+}
+
+func (s *Stats) add(n int64) {
+	s.Blocks++
+	s.Bytes += n
+	if s.MinBlock == 0 || n < s.MinBlock {
+		s.MinBlock = n
+	}
+	if n > s.MaxBlock {
+		s.MaxBlock = n
+	}
+}
+
+// AvgBlock returns the mean block size, or 0 for an empty operation.
+func (s *Stats) AvgBlock() int64 {
+	if s.Blocks == 0 {
+		return 0
+	}
+	return s.Bytes / s.Blocks
+}
+
+// BufferSink packs into a contiguous local buffer.
+type BufferSink struct {
+	Buf []byte
+}
+
+// Write implements Sink.
+func (b BufferSink) Write(off int64, src []byte) {
+	copy(b.Buf[off:], src)
+}
+
+// checkArgs validates and normalizes the (count, skip, maxBytes) triple
+// against the type's packed size, returning the effective byte budget.
+func checkArgs(t *datatype.Type, count int, skip, maxBytes int64) int64 {
+	if count < 0 {
+		panic("pack: negative count")
+	}
+	total := t.Size() * int64(count)
+	if skip < 0 || skip > total {
+		panic(fmt.Sprintf("pack: skip %d outside packed size %d", skip, total))
+	}
+	if maxBytes < 0 || skip+maxBytes > total {
+		maxBytes = total - skip
+	}
+	return maxBytes
+}

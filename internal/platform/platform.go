@@ -1,0 +1,110 @@
+// Package platform provides calibrated analytic models of the comparator
+// machines of the paper's Table 1, used to regenerate the cross-platform
+// comparisons of Figures 10, 11 and 12. The SCI-MPICH rows (M-S, M-s) are
+// not modelled here — the benchmarks run them on the real simulated stack —
+// but every other machine (Cray T3E, Sun Fire 6800, LAM clusters, SCore
+// Myrinet, plus the VIA reference point of [15]) is a parameterized model
+// whose curves reproduce the published shapes: who wins, by what factor,
+// and where the crossovers lie.
+package platform
+
+import (
+	"time"
+)
+
+// MiB is one mebibyte.
+const MiB = 1 << 20
+
+// Platform describes one comparator machine/MPI combination (a row of the
+// paper's Table 1).
+type Platform struct {
+	// ID is the figure label (C, F-G, F-s, X-f, X-s, S-M, S-s, VIA).
+	ID string
+	// Machine, Interconnect and MPI mirror the Table 1 columns.
+	Machine      string
+	Interconnect string
+	MPI          string
+	// OneSided reports MPI-2 one-sided support; GetOnly marks the LAM
+	// shared-memory case where MPI_Put deadlocked.
+	OneSided bool
+	GetOnly  bool
+	// MaxProcs bounds the scaling experiment (Figure 12).
+	MaxProcs int
+
+	// Point-to-point model.
+	Latency   time.Duration // per-message latency
+	Bandwidth float64       // peak contiguous bandwidth, bytes/s
+	MemBW     float64       // local copy bandwidth (pack/unpack passes)
+	BlockCost time.Duration // per-block software cost of datatype packing
+
+	// ncEfficiency, if set, overrides the generic pack-pipeline model for
+	// platforms with special-cased datatype handling (T3E, Sun).
+	ncEfficiency func(blockSize int64) float64
+
+	// One-sided model: per-access software cost and peak bandwidth of the
+	// strided sparse workload.
+	OSAccessCost time.Duration
+	OSPeakBW     float64
+	// osModulate, if set, shapes the bandwidth curve (e.g. the T3E's
+	// "uneven, but regular" characteristics).
+	osModulate func(accessSize int64, bw float64) float64
+
+	// scaling returns the per-process bandwidth with p active processes
+	// (Figure 12); nil means unsupported.
+	scaling func(p int, accessSize int64) float64
+}
+
+// NoncontigBW returns the bandwidths of the noncontig benchmark: the
+// non-contiguous strided-vector transfer and the equivalent contiguous
+// transfer, for the given block size and total payload.
+func (pl *Platform) NoncontigBW(blockSize, total int64) (nc, c float64) {
+	c = pipelineBW(pl.Latency, pl.Bandwidth, total)
+	if pl.ncEfficiency != nil {
+		return c * pl.ncEfficiency(blockSize), c
+	}
+	// Generic pack-and-send: two extra block-wise passes over the data
+	// (pack at the sender, unpack at the receiver).
+	perByte := 1 / pl.Bandwidth
+	packPass := pl.BlockCost.Seconds()/float64(blockSize) + 1/pl.MemBW
+	nc = 1 / (perByte + 2*packPass)
+	// The message startup amortizes over the payload for both variants.
+	nc = pipelineScale(nc, pl.Latency, total)
+	return nc, c
+}
+
+// pipelineBW is the effective bandwidth of a transfer of n bytes with a
+// fixed startup latency.
+func pipelineBW(lat time.Duration, bw float64, n int64) float64 {
+	t := lat.Seconds() + float64(n)/bw
+	return float64(n) / t
+}
+
+// pipelineScale applies startup amortization to a computed bandwidth.
+func pipelineScale(bw float64, lat time.Duration, n int64) float64 {
+	t := lat.Seconds() + float64(n)/bw
+	return float64(n) / t
+}
+
+// Sparse returns the one-sided sparse micro-benchmark results for one
+// access size: per-call latency and aggregate bandwidth.
+func (pl *Platform) Sparse(accessSize int64) (lat time.Duration, bw float64) {
+	if !pl.OneSided {
+		return 0, 0
+	}
+	per := pl.OSAccessCost.Seconds() + float64(accessSize)/pl.OSPeakBW
+	bw = float64(accessSize) / per
+	if pl.osModulate != nil {
+		bw = pl.osModulate(accessSize, bw)
+	}
+	lat = time.Duration(float64(accessSize) / bw * 1e9)
+	return lat, bw
+}
+
+// Scaling returns the per-process one-sided bandwidth with p active
+// processes (Figure 12), or 0 if the platform cannot run the experiment.
+func (pl *Platform) Scaling(p int, accessSize int64) float64 {
+	if pl.scaling == nil || p > pl.MaxProcs {
+		return 0
+	}
+	return pl.scaling(p, accessSize)
+}

@@ -1,0 +1,151 @@
+package platform
+
+import (
+	"testing"
+)
+
+func TestT3ENoncontigEfficiencyShape(t *testing.T) {
+	// Paper: efficiency ~1 for 8-32 kiB, very low for <4 kiB and >32 kiB.
+	pl := CrayT3E()
+	eff := func(bs int64) float64 {
+		nc, c := pl.NoncontigBW(bs, 256<<10)
+		return nc / c
+	}
+	if e := eff(16 << 10); e < 0.9 {
+		t.Errorf("T3E efficiency at 16kiB = %.2f, want ~1", e)
+	}
+	if e := eff(1 << 10); e > 0.4 {
+		t.Errorf("T3E efficiency at 1kiB = %.2f, want low", e)
+	}
+	if e := eff(64 << 10); e > 0.4 {
+		t.Errorf("T3E efficiency at 64kiB = %.2f, want low", e)
+	}
+}
+
+func TestSunShmEfficiencyJump(t *testing.T) {
+	pl := SunFireShm()
+	ncLow, cLow := pl.NoncontigBW(8<<10, 256<<10)
+	ncHigh, cHigh := pl.NoncontigBW(16<<10, 256<<10)
+	if r := ncLow / cLow; r < 0.45 || r > 0.55 {
+		t.Errorf("Sun shm efficiency below 16k = %.2f, want ~0.5", r)
+	}
+	if r := ncHigh / cHigh; r < 0.95 {
+		t.Errorf("Sun shm efficiency at 16k = %.2f, want ~1", r)
+	}
+}
+
+func TestGenericPlatformsDegradeForSmallBlocks(t *testing.T) {
+	for _, pl := range []*Platform{SunFireGigabit(), LAMFastEthernet(), SCoreMyrinet(), SCoreShm()} {
+		ncSmall, c := pl.NoncontigBW(16, 256<<10)
+		ncBig, _ := pl.NoncontigBW(32<<10, 256<<10)
+		if ncSmall >= ncBig {
+			t.Errorf("%s: 16B-block nc bw %.1f not below 32kiB-block %.1f", pl.ID, ncSmall/MiB, ncBig/MiB)
+		}
+		if ncBig > c {
+			t.Errorf("%s: nc bw %.1f exceeds contiguous %.1f", pl.ID, ncBig/MiB, c/MiB)
+		}
+	}
+}
+
+func TestLAMEthernetOneSidedIsSlow(t *testing.T) {
+	// Paper: very high latencies, max 10 MiB/s.
+	pl := LAMFastEthernet()
+	lat, bw := pl.Sparse(64)
+	if lat < 100e3 { // 100 µs in ns
+		t.Errorf("LAM one-sided 64B latency = %v, want very high", lat)
+	}
+	_, bwBig := pl.Sparse(64 << 10)
+	if bwBig > 10*MiB*1.05 {
+		t.Errorf("LAM one-sided peak = %.1f MiB/s, want <= ~10", bwBig/MiB)
+	}
+	_ = bw
+}
+
+func TestVIAIsSlowerThanSCIReference(t *testing.T) {
+	// §5.3: at 1024 B, VIA is ~3x slower than one-sided via messages on
+	// SCI (~30 µs there) and ~15x slower than a direct SCI put (~6 µs).
+	lat, _ := GiganetVIA().Sparse(1024)
+	us := lat.Seconds() * 1e6
+	if us < 60 || us > 130 {
+		t.Errorf("VIA 1024B one-sided latency = %.1f µs, want ~85-100 (3x/15x factors)", us)
+	}
+}
+
+func TestT3EScalingFlat(t *testing.T) {
+	pl := CrayT3E()
+	b2 := pl.Scaling(2, 4096)
+	b32 := pl.Scaling(32, 4096)
+	if b2 <= 0 || b32 <= 0 {
+		t.Fatal("T3E scaling unsupported")
+	}
+	if b32 < b2*0.95 || b32 > b2*1.05 {
+		t.Errorf("T3E per-proc bw at 32 procs (%.1f) deviates from 2 procs (%.1f)", b32/MiB, b2/MiB)
+	}
+	if pl.Scaling(33, 4096) != 0 {
+		t.Error("T3E should cap at 32 procs")
+	}
+}
+
+func TestSunFireScalingKneeAt6(t *testing.T) {
+	pl := SunFireShm()
+	b6 := pl.Scaling(6, 4096)
+	b12 := pl.Scaling(12, 4096)
+	if b6 != pl.Scaling(2, 4096) {
+		t.Errorf("Sun Fire declines before 6 procs")
+	}
+	if b12 >= b6*0.8 {
+		t.Errorf("Sun Fire per-proc bw at 12 procs (%.1f) should decline notably from 6 (%.1f)", b12/MiB, b6/MiB)
+	}
+}
+
+func TestXeonScalesBadlyCoarseGrained(t *testing.T) {
+	// Figure 12: below the SCI system (~120 MiB/s per node) for coarse
+	// accesses with all 4 processors active.
+	pl := LAMShm()
+	coarse := pl.Scaling(4, 64<<10)
+	if coarse >= 60*MiB {
+		t.Errorf("4-way Xeon coarse-grained per-proc bw = %.1f MiB/s, want well below SCI's ~120", coarse/MiB)
+	}
+	fine := pl.Scaling(1, 64)
+	if fine <= 0 {
+		t.Error("fine-grained single-proc bandwidth missing")
+	}
+}
+
+func TestT3EUnevenButRegular(t *testing.T) {
+	pl := CrayT3E()
+	_, a := pl.Sparse(1024)
+	_, b := pl.Sparse(2048)
+	_, c := pl.Sparse(4096)
+	if (a > b) == (b > c) {
+		t.Errorf("T3E bandwidth not alternating (sawtooth): %v %v %v", a/MiB, b/MiB, c/MiB)
+	}
+}
+
+func TestNoOneSidedPlatformsReturnZero(t *testing.T) {
+	for _, pl := range []*Platform{SunFireGigabit(), SCoreMyrinet(), SCoreShm()} {
+		if lat, bw := pl.Sparse(1024); lat != 0 || bw != 0 {
+			t.Errorf("%s: one-sided results on unsupported platform", pl.ID)
+		}
+	}
+}
+
+func TestAllTable(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("comparator set has %d platforms, want 8", len(all))
+	}
+	seen := map[string]bool{}
+	for _, pl := range all {
+		if pl.ID == "" || pl.Machine == "" || pl.MPI == "" {
+			t.Errorf("incomplete platform row: %+v", pl)
+		}
+		if seen[pl.ID] {
+			t.Errorf("duplicate platform id %s", pl.ID)
+		}
+		seen[pl.ID] = true
+	}
+	if !seen["X-s"] || !All()[4].GetOnly {
+		t.Error("LAM shm must be marked get-only (MPI_Put deadlocked)")
+	}
+}

@@ -1,0 +1,171 @@
+package sci
+
+import (
+	"fmt"
+
+	"scimpich/internal/flow"
+	"scimpich/internal/ring"
+	"scimpich/internal/sim"
+)
+
+// Interconnect is a simulated SCI-connected cluster: a ringlet of nodes,
+// each with a PCI-SCI adapter, sharing a flow network that resolves link
+// contention in virtual time.
+type Interconnect struct {
+	E    *sim.Engine
+	Net  *flow.Network
+	Ring *ring.Topology
+	Cfg  Config
+
+	nodes  []*Node
+	faults *faultInjector
+}
+
+// Stats aggregates per-node transfer counters.
+type Stats struct {
+	BytesWritten  int64
+	BytesRead     int64
+	WriteOps      int64
+	ReadOps       int64
+	StoreBarriers int64
+	Retries       int64
+	DMATransfers  int64
+}
+
+// Node is one cluster node with its adapter.
+type Node struct {
+	ic      *Interconnect
+	id      int
+	egress  *flow.Link
+	ingress *flow.Link
+
+	segs    map[int]*Segment
+	nextSeg int
+
+	// pending holds delivery futures of posted writes that have not yet
+	// arrived at their targets; StoreBarrier waits for them.
+	pending map[*sim.Future]struct{}
+
+	dma *dmaEngine
+
+	// dead marks the node unreachable (see monitor.go).
+	dead bool
+
+	Stats Stats
+}
+
+// New builds the simulated cluster.
+func New(e *sim.Engine, cfg Config) *Interconnect {
+	if cfg.Nodes < 1 {
+		panic("sci: need at least one node")
+	}
+	if cfg.Mem == nil {
+		panic("sci: config requires a memory model")
+	}
+	linkBW := ring.BandwidthForMHz(cfg.LinkMHz)
+	ic := &Interconnect{
+		E:    e,
+		Net:  flow.NewNetwork(e),
+		Ring: ring.New(cfg.Nodes, linkBW, flow.SCIRingCongestion{}),
+		Cfg:  cfg,
+	}
+	ic.faults = newFaultInjector(cfg.FaultRate, cfg.RetryLatency, cfg.FaultSeed)
+	ic.nodes = make([]*Node, cfg.Nodes)
+	for i := range ic.nodes {
+		n := &Node{
+			ic:      ic,
+			id:      i,
+			egress:  flow.NewLink(fmt.Sprintf("node%d-egress", i), cfg.PIOWritePeakBW, nil),
+			ingress: flow.NewLink(fmt.Sprintf("node%d-ingress", i), cfg.PIOWritePeakBW, nil),
+			segs:    make(map[int]*Segment),
+			pending: make(map[*sim.Future]struct{}),
+		}
+		n.dma = newDMAEngine(n)
+		ic.nodes[i] = n
+	}
+	return ic
+}
+
+// Node returns node i.
+func (ic *Interconnect) Node(i int) *Node { return ic.nodes[i] }
+
+// Nodes returns the number of nodes.
+func (ic *Interconnect) Nodes() int { return len(ic.nodes) }
+
+// ID returns the node's ring position.
+func (n *Node) ID() int { return n.id }
+
+// path builds the flow path for a transfer from node n to the segment
+// owner: adapter egress, the ring segments to the target, adapter ingress,
+// and — per the paper's Table 2 discussion — flow-control echo traffic on
+// the return-path segments at a fraction of the data rate.
+func (n *Node) path(owner *Node) []flow.Hop {
+	if n == owner {
+		return nil
+	}
+	var hops []flow.Hop
+	hops = append(hops, flow.Hop{Link: n.egress, Weight: 1})
+	for _, l := range n.ic.Ring.Route(n.id, owner.id) {
+		hops = append(hops, flow.Hop{Link: l, Weight: 1})
+	}
+	hops = append(hops, flow.Hop{Link: owner.ingress, Weight: 1})
+	if ef := n.ic.Cfg.EchoFraction; ef > 0 {
+		for _, l := range n.ic.Ring.Route(owner.id, n.id) {
+			hops = append(hops, flow.Hop{Link: l, Weight: ef})
+		}
+	}
+	return hops
+}
+
+// trackDelivery registers a posted-write delivery future on the node and
+// schedules its completion after the wire latency. onArrive (optional) runs
+// at arrival time, before barrier waiters are released.
+func (n *Node) trackDelivery(onArrive func()) {
+	fut := sim.NewFuture()
+	n.pending[fut] = struct{}{}
+	n.ic.E.After(n.ic.Cfg.PIOWriteLatency, func() {
+		if onArrive != nil {
+			onArrive()
+		}
+		delete(n.pending, fut)
+		fut.Complete(nil)
+	})
+}
+
+// StoreBarrier blocks until every posted write issued by this node has
+// arrived at its target ("ensures complete delivery of all data written at
+// a certain moment of time").
+func (n *Node) StoreBarrier(p *sim.Proc) {
+	n.Stats.StoreBarriers++
+	p.Sleep(n.ic.Cfg.StoreBarrierLatency)
+	for len(n.pending) > 0 {
+		var f *sim.Future
+		for fut := range n.pending {
+			f = fut
+			break
+		}
+		p.Await(f)
+	}
+}
+
+// transferCost moves `bytes` from node n toward owner at the given source
+// cap, blocking p. Small transfers are charged directly (they cannot
+// meaningfully contend); large ones go through the flow network.
+const flowThreshold = 2048
+
+func (n *Node) transferCost(p *sim.Proc, owner *Node, bytes int64, srcCap float64) {
+	if bytes <= 0 {
+		return
+	}
+	n.ic.faults.maybeRetry(p, &n.Stats)
+	if n == owner {
+		// Local access: charged by the caller's memory model instead.
+		return
+	}
+	n.checkReachable(p, owner)
+	if bytes < flowThreshold {
+		p.Sleep(sim.RateDuration(bytes, srcCap))
+		return
+	}
+	n.ic.Net.Transfer(p, n.path(owner), bytes, srcCap)
+}

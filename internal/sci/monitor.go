@@ -1,0 +1,129 @@
+package sci
+
+import (
+	"fmt"
+	"time"
+
+	"scimpich/internal/sim"
+)
+
+// Connection monitoring (paper §2): "although a shared address space is
+// provided, SCI is still a network in which single nodes may fail or
+// physical connections may be disturbed (i.e. by plugging a cable). This
+// makes a connection monitoring and transfer checking necessary, which is
+// not required for intra-node shared memory communication."
+//
+// The model lets tests and experiments fail a node; transfers toward it
+// then error out at the adapter level after bounded retries, while the
+// monitor daemon detects the failure by probing.
+
+// FailNode marks a node as unreachable (cable pulled / node crashed).
+func (ic *Interconnect) FailNode(n int) {
+	ic.nodes[n].dead = true
+}
+
+// RestoreNode brings a failed node back.
+func (ic *Interconnect) RestoreNode(n int) {
+	ic.nodes[n].dead = false
+}
+
+// Alive reports whether the node is reachable.
+func (ic *Interconnect) Alive(n int) bool { return !ic.nodes[n].dead }
+
+// ErrConnectionLost is panicked (adapter-fatal) when a transfer exhausts
+// its retries against an unreachable node. The MPI layer treats this as a
+// fatal communication error, as real SCI-MPICH does after its transfer
+// checking gives up.
+type ErrConnectionLost struct {
+	From, To int
+}
+
+func (e ErrConnectionLost) Error() string {
+	return fmt.Sprintf("sci: connection from node %d to node %d lost", e.From, e.To)
+}
+
+// CheckConnection probes the path to a target node: a small remote write
+// followed by a read-back of the probe cell. It returns whether the target
+// responded and the measured round-trip time. This is the building block
+// of the monitor daemon.
+func (n *Node) CheckConnection(p *sim.Proc, target int) (bool, time.Duration) {
+	cfg := &n.ic.Cfg
+	start := p.Now()
+	// Probe write + stalled read-back.
+	p.Sleep(cfg.WriteIssueOverhead + cfg.PIOWriteLatency + cfg.PIOReadStall)
+	if n.ic.nodes[target].dead {
+		// The read-back times out (modelled as an extra stall).
+		p.Sleep(cfg.PIOReadStall * 4)
+		return false, p.Now() - start
+	}
+	return true, p.Now() - start
+}
+
+// checkReachable enforces reachability on the data path: transfers toward
+// a failed node retry MaxTransferRetries times (costing RetryLatency each)
+// and then raise ErrConnectionLost.
+const maxTransferRetries = 3
+
+func (n *Node) checkReachable(p *sim.Proc, target *Node) {
+	if !target.dead {
+		return
+	}
+	for i := 0; i < maxTransferRetries; i++ {
+		n.Stats.Retries++
+		p.Sleep(n.ic.Cfg.RetryLatency)
+		if !target.dead {
+			return // the connection came back mid-retry
+		}
+	}
+	panic(ErrConnectionLost{From: n.id, To: target.id})
+}
+
+// MonitorEvent records a connectivity change observed by a Monitor.
+type MonitorEvent struct {
+	At     time.Duration
+	Target int
+	Alive  bool
+}
+
+// Monitor is a connection-monitoring daemon on one node: it probes the
+// given peers at a fixed interval and records state transitions.
+type Monitor struct {
+	node     *Node
+	peers    []int
+	interval time.Duration
+	stopped  bool
+
+	state  map[int]bool
+	Events []MonitorEvent
+}
+
+// Stop ends the monitoring loop after the current interval. Without a Stop
+// the daemon polls forever, which keeps the simulation alive.
+func (m *Monitor) Stop() { m.stopped = true }
+
+// StartMonitor launches the daemon. It probes each peer every interval and
+// appends an event whenever a peer's reachability changes.
+func (n *Node) StartMonitor(peers []int, interval time.Duration) *Monitor {
+	m := &Monitor{node: n, peers: peers, interval: interval, state: make(map[int]bool)}
+	for _, t := range peers {
+		m.state[t] = true
+	}
+	n.ic.E.GoDaemon(fmt.Sprintf("monitor%d", n.id), m.run)
+	return m
+}
+
+func (m *Monitor) run(p *sim.Proc) {
+	for !m.stopped {
+		p.Sleep(m.interval)
+		for _, t := range m.peers {
+			alive, _ := m.node.CheckConnection(p, t)
+			if alive != m.state[t] {
+				m.state[t] = alive
+				m.Events = append(m.Events, MonitorEvent{At: p.Now(), Target: t, Alive: alive})
+			}
+		}
+	}
+}
+
+// Status returns the last known reachability of a peer.
+func (m *Monitor) Status(target int) bool { return m.state[target] }

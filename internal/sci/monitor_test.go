@@ -1,0 +1,104 @@
+package sci
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"scimpich/internal/sim"
+)
+
+func TestCheckConnectionHealthyAndDead(t *testing.T) {
+	e, ic := testCluster(3)
+	e.Go("checker", func(p *sim.Proc) {
+		ok, rtt := ic.Node(0).CheckConnection(p, 1)
+		if !ok {
+			t.Error("healthy node reported unreachable")
+		}
+		if rtt <= 0 || rtt > 50*time.Microsecond {
+			t.Errorf("healthy probe rtt = %v", rtt)
+		}
+		ic.FailNode(1)
+		ok, rttDead := ic.Node(0).CheckConnection(p, 1)
+		if ok {
+			t.Error("failed node reported reachable")
+		}
+		if rttDead <= rtt {
+			t.Errorf("timeout probe (%v) should take longer than healthy probe (%v)", rttDead, rtt)
+		}
+		if !ic.Alive(2) || ic.Alive(1) {
+			t.Error("alive flags inconsistent")
+		}
+	})
+	e.Run()
+}
+
+func TestTransferToDeadNodeRaisesConnectionLost(t *testing.T) {
+	e, ic := testCluster(2)
+	seg := ic.Node(1).Export(1 << 20)
+	e.Go("writer", func(p *sim.Proc) {
+		m := ic.Node(0).MustImport(1, seg.ID())
+		ic.FailNode(1)
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("transfer to dead node did not raise")
+				return
+			}
+			var lost ErrConnectionLost
+			err, ok := r.(error)
+			if !ok || !errors.As(err, &lost) {
+				t.Errorf("raised %v, want ErrConnectionLost", r)
+				return
+			}
+			if lost.From != 0 || lost.To != 1 {
+				t.Errorf("lost = %+v", lost)
+			}
+		}()
+		m.WriteStream(p, 0, make([]byte, 64<<10), 0)
+	})
+	e.Run()
+}
+
+func TestTransferRetriesThroughTransientFailure(t *testing.T) {
+	e, ic := testCluster(2)
+	seg := ic.Node(1).Export(1 << 20)
+	e.Go("writer", func(p *sim.Proc) {
+		m := ic.Node(0).MustImport(1, seg.ID())
+		ic.FailNode(1)
+		// The connection returns while the adapter is still retrying.
+		e.After(ic.Cfg.RetryLatency+time.Microsecond, func() { ic.RestoreNode(1) })
+		m.WriteStream(p, 0, make([]byte, 64<<10), 0)
+		ic.Node(0).StoreBarrier(p)
+		if ic.Node(0).Stats.Retries == 0 {
+			t.Error("no retries recorded across the transient failure")
+		}
+	})
+	e.Run()
+}
+
+func TestMonitorDetectsFailureAndRecovery(t *testing.T) {
+	e, ic := testCluster(4)
+	mon := ic.Node(0).StartMonitor([]int{1, 2, 3}, 100*time.Microsecond)
+	e.Go("chaos", func(p *sim.Proc) {
+		p.Sleep(250 * time.Microsecond)
+		ic.FailNode(2)
+		p.Sleep(500 * time.Microsecond)
+		ic.RestoreNode(2)
+		p.Sleep(500 * time.Microsecond)
+		mon.Stop()
+	})
+	e.Run()
+	if len(mon.Events) != 2 {
+		t.Fatalf("monitor recorded %d events, want failure + recovery: %+v", len(mon.Events), mon.Events)
+	}
+	if mon.Events[0].Target != 2 || mon.Events[0].Alive {
+		t.Errorf("first event = %+v, want node 2 down", mon.Events[0])
+	}
+	if mon.Events[1].Target != 2 || !mon.Events[1].Alive {
+		t.Errorf("second event = %+v, want node 2 up", mon.Events[1])
+	}
+	if !mon.Status(2) || !mon.Status(1) {
+		t.Error("final status wrong")
+	}
+}

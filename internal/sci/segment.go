@@ -1,0 +1,108 @@
+package sci
+
+import (
+	"fmt"
+
+	"scimpich/internal/sim"
+)
+
+// Segment is a region of a node's physical memory exported for remote
+// access. The backing buffer is real: remote writes actually deposit bytes
+// here, so every protocol built on top is testable for correctness.
+type Segment struct {
+	owner *Node
+	id    int
+	buf   []byte
+}
+
+// Export allocates and exports a new segment of the given size on the node.
+// (In the real system this memory comes from the SCI kernel driver; see the
+// paper's discussion of MPI_Alloc_mem.)
+func (n *Node) Export(size int64) *Segment {
+	if size < 0 {
+		panic("sci: negative segment size")
+	}
+	return n.ExportBuffer(make([]byte, size))
+}
+
+// ExportBuffer exports an existing buffer as a segment (the paper's [13]:
+// recent SCI drivers can expose arbitrary user memory). The caller keeps
+// direct access to buf; windows use this to share one backing array between
+// the SCI and intra-node views.
+func (n *Node) ExportBuffer(buf []byte) *Segment {
+	s := &Segment{owner: n, id: n.nextSeg, buf: buf}
+	n.segs[s.id] = s
+	n.nextSeg++
+	return s
+}
+
+// Unexport removes the segment from the node's export table.
+func (n *Node) Unexport(s *Segment) {
+	delete(n.segs, s.id)
+}
+
+// ID returns the segment's identifier, unique per owning node.
+func (s *Segment) ID() int { return s.id }
+
+// Owner returns the owning node.
+func (s *Segment) Owner() *Node { return s.owner }
+
+// Size returns the segment size in bytes.
+func (s *Segment) Size() int64 { return int64(len(s.buf)) }
+
+// Local returns the owner's direct view of the segment memory. Only the
+// owning node's processes should touch it; remote access goes through a
+// Mapping.
+func (s *Segment) Local() []byte { return s.buf }
+
+// Mapping is a remote node's transparently mapped view of a segment. All
+// remote loads and stores are performed through it and are charged with
+// the SCI cost model.
+type Mapping struct {
+	from *Node
+	seg  *Segment
+}
+
+// Import maps a segment exported by another node (or the same node: a
+// self-import behaves like local shared memory) into node n's address
+// space.
+func (n *Node) Import(owner int, segID int) (*Mapping, error) {
+	if owner < 0 || owner >= len(n.ic.nodes) {
+		return nil, fmt.Errorf("sci: import from unknown node %d", owner)
+	}
+	seg, ok := n.ic.nodes[owner].segs[segID]
+	if !ok {
+		return nil, fmt.Errorf("sci: node %d exports no segment %d", owner, segID)
+	}
+	return &Mapping{from: n, seg: seg}, nil
+}
+
+// MustImport is Import for wiring code where failure is a programming error.
+func (n *Node) MustImport(owner, segID int) *Mapping {
+	m, err := n.Import(owner, segID)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Segment returns the mapped segment.
+func (m *Mapping) Segment() *Segment { return m.seg }
+
+// Remote reports whether the mapping crosses the ring.
+func (m *Mapping) Remote() bool { return m.from != m.seg.owner }
+
+// Size returns the mapped segment's size.
+func (m *Mapping) Size() int64 { return m.seg.Size() }
+
+// Sync issues a store barrier on the importing node, guaranteeing delivery
+// of all writes this node has posted (not just through this mapping).
+func (m *Mapping) Sync(p *sim.Proc) {
+	m.from.StoreBarrier(p)
+}
+
+func (m *Mapping) checkRange(off, n int64) {
+	if off < 0 || n < 0 || off+n > m.seg.Size() {
+		panic(fmt.Sprintf("sci: access [%d, %d) outside segment of %d bytes", off, off+n, m.seg.Size()))
+	}
+}

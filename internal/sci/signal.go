@@ -1,0 +1,48 @@
+package sci
+
+import (
+	"scimpich/internal/sim"
+)
+
+// Signal is the notification primitive of the simulated interconnect. It
+// stands in for the flag-polling and remote-interrupt mechanisms the real
+// SCI-MPICH uses: a writer deposits a small control word into the target's
+// memory and the target observes it one wire latency later. Modelling the
+// observation as a future-backed queue (instead of a busy-poll loop) keeps
+// the event count bounded while preserving the timing.
+type Signal struct {
+	owner *Node
+	ch    *sim.Chan
+}
+
+// NewSignal allocates a signal owned by (deliverable to) node n.
+func (n *Node) NewSignal() *Signal {
+	return &Signal{owner: n, ch: sim.NewChan(1 << 20)}
+}
+
+// RingFrom raises the signal from node `from`, delivering v to the owner.
+// Local ringing (from == owner) is immediate; remote ringing costs a small
+// posted write and arrives after the wire latency. Raising a remote
+// interrupt instead (the emulation path for private windows) costs
+// InterruptLatency — set interrupt to true for that.
+func (s *Signal) RingFrom(p *sim.Proc, from *Node, v any, interrupt bool) {
+	cfg := &from.ic.Cfg
+	p.Sleep(cfg.WriteIssueOverhead)
+	if from == s.owner {
+		sim.Post(s.ch, v)
+		return
+	}
+	from.ic.faults.maybeRetry(p, &from.Stats)
+	delay := cfg.PIOWriteLatency
+	if interrupt {
+		delay += cfg.InterruptLatency
+	}
+	ch := s.ch
+	from.ic.E.After(delay, func() { sim.Post(ch, v) })
+}
+
+// Wait blocks the owning process until a value is delivered.
+func (s *Signal) Wait(p *sim.Proc) any { return p.Recv(s.ch) }
+
+// TryWait takes a delivered value if one is pending.
+func (s *Signal) TryWait(p *sim.Proc) (any, bool) { return p.TryRecv(s.ch) }

@@ -1,0 +1,313 @@
+// Package shmem models intra-node shared memory communication: processes on
+// the same node exchange data through shared buffers whose access costs come
+// from the node's memory-hierarchy model, with large copies contending on
+// the node's memory bus.
+//
+// The paper's SMI library makes all SCI-MPICH techniques work identically
+// over intra-node shared memory; this package is the second transport below
+// that abstraction. The bus congestion model also powers the comparator SMP
+// platforms of Figure 12 (Sun Fire 6800, 4-way Xeon), whose scaling is
+// limited by their memory system design.
+package shmem
+
+import (
+	"fmt"
+	"time"
+
+	"scimpich/internal/flow"
+	"scimpich/internal/memmodel"
+	"scimpich/internal/sim"
+)
+
+// Bus is one node's (or one SMP machine's) memory system.
+type Bus struct {
+	e   *sim.Engine
+	net *flow.Network
+	bus *flow.Link
+	mem *memmodel.Model
+
+	// signalLatency is the time until a flag written by one process is
+	// observed by another (cache-coherence transfer).
+	signalLatency time.Duration
+	// storeCost is the cost of a single flag/cacheline store.
+	storeCost time.Duration
+}
+
+// Config describes an SMP memory system.
+type Config struct {
+	// Mem is the per-process memory hierarchy model.
+	Mem *memmodel.Model
+	// BusBW is the aggregate memory bus bandwidth in bytes/second.
+	BusBW float64
+	// Congestion degrades the bus under concurrent access; nil for ideal.
+	Congestion flow.CongestionModel
+	// SignalLatency is the flag-propagation latency between processes.
+	SignalLatency time.Duration
+}
+
+// DefaultConfig returns the intra-node configuration of the paper's dual
+// Pentium-III nodes.
+func DefaultConfig() Config {
+	return Config{
+		Mem:           memmodel.PentiumIII800(),
+		BusBW:         640e6,
+		Congestion:    flow.BusCongestion{PerFlowPenalty: 0.12, Floor: 0.35},
+		SignalLatency: 400 * time.Nanosecond,
+	}
+}
+
+// NewBus builds a memory system on the engine. A private flow network is
+// created if net is nil.
+func NewBus(e *sim.Engine, net *flow.Network, name string, cfg Config) *Bus {
+	if cfg.Mem == nil {
+		panic("shmem: config requires a memory model")
+	}
+	if net == nil {
+		net = flow.NewNetwork(e)
+	}
+	return &Bus{
+		e:             e,
+		net:           net,
+		bus:           flow.NewLink(fmt.Sprintf("%s-membus", name), cfg.BusBW, cfg.Congestion),
+		mem:           cfg.Mem,
+		signalLatency: cfg.SignalLatency,
+		storeCost:     60 * time.Nanosecond,
+	}
+}
+
+// Mem returns the bus's memory hierarchy model.
+func (b *Bus) Mem() *memmodel.Model { return b.mem }
+
+// Charge bills an arbitrary memory operation of `bytes` bytes with the
+// given pre-computed cost, contending on the bus for large operations.
+// Callers that compute their own copy costs (the MPI pack/unpack engines)
+// use this so that concurrent memory work on a node shares the bus exactly
+// like direct region accesses.
+func (b *Bus) Charge(p *sim.Proc, bytes int64, cost time.Duration) {
+	if bytes <= 0 || cost <= 0 {
+		return
+	}
+	if bytes < flowThreshold {
+		p.Sleep(cost)
+		return
+	}
+	rate := float64(bytes) / cost.Seconds()
+	b.net.Transfer(p, flow.Path(b.bus), bytes, rate)
+}
+
+// Region is a shared memory region on the bus.
+type Region struct {
+	bus *Bus
+	buf []byte
+}
+
+// Alloc allocates a shared region of the given size.
+func (b *Bus) Alloc(size int64) *Region {
+	if size < 0 {
+		panic("shmem: negative region size")
+	}
+	return b.AllocBacked(make([]byte, size))
+}
+
+// AllocBacked wraps an existing buffer as a shared region, so one backing
+// array can be visible through several transports (used for one-sided
+// communication windows).
+func (b *Bus) AllocBacked(buf []byte) *Region {
+	return &Region{bus: b, buf: buf}
+}
+
+// Size returns the region size in bytes.
+func (r *Region) Size() int64 { return int64(len(r.buf)) }
+
+// Local returns the raw shared buffer.
+func (r *Region) Local() []byte { return r.buf }
+
+func (r *Region) checkRange(off, n int64) {
+	if off < 0 || n < 0 || off+n > r.Size() {
+		panic(fmt.Sprintf("shmem: access [%d, %d) outside region of %d bytes", off, off+n, r.Size()))
+	}
+}
+
+// flowThreshold is the copy size above which transfers contend on the bus
+// through the flow network instead of sleeping a fixed cost.
+const flowThreshold = 8192
+
+// charge bills a copy of `bytes` bytes with the given cost.
+func (r *Region) charge(p *sim.Proc, cost time.Duration, bytes int64) {
+	r.bus.Charge(p, bytes, cost)
+}
+
+// WriteStream copies src into the region at off.
+func (r *Region) WriteStream(p *sim.Proc, off int64, src []byte, srcWorkingSet int64) {
+	n := int64(len(src))
+	r.checkRange(off, n)
+	ws := srcWorkingSet
+	if ws == 0 {
+		ws = n
+	}
+	r.charge(p, r.bus.mem.CopyCost(n, n, ws), n)
+	copy(r.buf[off:], src)
+}
+
+// WriteWord writes a small control word (flag) into the region.
+func (r *Region) WriteWord(p *sim.Proc, off int64, src []byte) {
+	n := int64(len(src))
+	r.checkRange(off, n)
+	p.Sleep(r.bus.storeCost)
+	copy(r.buf[off:], src)
+}
+
+// WriteStrided scatters src into the region as accesses of accessSize
+// bytes, stride apart.
+func (r *Region) WriteStrided(p *sim.Proc, off int64, src []byte, accessSize, stride int64) {
+	n := int64(len(src))
+	if n == 0 {
+		return
+	}
+	if accessSize <= 0 || accessSize > n {
+		accessSize = n
+	}
+	if stride < accessSize {
+		stride = accessSize
+	}
+	accesses := (n + accessSize - 1) / accessSize
+	span := (accesses-1)*stride + (n - (accesses-1)*accessSize)
+	r.checkRange(off, span)
+	r.charge(p, r.bus.mem.CopyCost(n, accessSize, span), n)
+	scatter(r.buf[off:], src, accessSize, stride)
+}
+
+// Read copies from the region into dst.
+func (r *Region) Read(p *sim.Proc, off int64, dst []byte) {
+	n := int64(len(dst))
+	r.checkRange(off, n)
+	r.charge(p, r.bus.mem.CopyCost(n, n, n), n)
+	copy(dst, r.buf[off:off+n])
+}
+
+// ReadStrided gathers strided data from the region into dst.
+func (r *Region) ReadStrided(p *sim.Proc, off int64, dst []byte, accessSize, stride int64) {
+	n := int64(len(dst))
+	if n == 0 {
+		return
+	}
+	if accessSize <= 0 || accessSize > n {
+		accessSize = n
+	}
+	if stride < accessSize {
+		stride = accessSize
+	}
+	accesses := (n + accessSize - 1) / accessSize
+	span := (accesses-1)*stride + (n - (accesses-1)*accessSize)
+	r.checkRange(off, span)
+	r.charge(p, r.bus.mem.CopyCost(n, accessSize, span), n)
+	gather(dst, r.buf[off:], accessSize, stride)
+}
+
+// BlockWriter batches block-wise writes into the region, mirroring
+// sci.BlockWriter for the intra-node case (where direct_pack_ff packs
+// straight into the shared buffer and may even beat the contiguous copy for
+// cache-friendly block sizes).
+type BlockWriter struct {
+	r          *Region
+	p          *sim.Proc
+	workingSet int64
+	bytes      int64
+	maxBlock   int64
+	cost       time.Duration
+	flushed    bool
+}
+
+// NewBlockWriter starts a batched block-write session. workingSet is the
+// size of the traversed source structure.
+func (r *Region) NewBlockWriter(p *sim.Proc, workingSet int64) *BlockWriter {
+	return &BlockWriter{r: r, p: p, workingSet: workingSet}
+}
+
+// Write deposits one contiguous block at off.
+func (w *BlockWriter) Write(off int64, src []byte) {
+	n := int64(len(src))
+	if n == 0 {
+		return
+	}
+	w.r.checkRange(off, n)
+	copy(w.r.buf[off:], src)
+	w.bytes += n
+	if n > w.maxBlock {
+		w.maxBlock = n
+	}
+	w.cost += w.r.bus.mem.BlockCopyCostFF(n, n, w.workingSet)
+}
+
+// Flush charges the accumulated cost, contending on the bus for large
+// batches. In the cache-friendly regime (blocks fit L1, working set fits
+// L2) the batch consumes proportionally less bus traffic — the
+// cache-utilization effect behind the paper's observation that
+// direct_pack_ff via shared memory can surpass the contiguous transfer.
+func (w *BlockWriter) Flush() {
+	if w.flushed {
+		panic("shmem: BlockWriter flushed twice")
+	}
+	w.flushed = true
+	bytes := w.bytes
+	m := w.r.bus.mem
+	if m.FFCacheBonus > 1 && w.maxBlock > 0 && w.maxBlock <= m.L1Size && w.workingSet <= m.L2Size {
+		bytes = int64(float64(bytes) / m.FFCacheBonus)
+	}
+	w.r.charge(w.p, w.cost, bytes)
+}
+
+// Signal is the intra-node notification primitive: a flag in shared memory
+// observed after the cache-coherence latency.
+type Signal struct {
+	bus *Bus
+	ch  *sim.Chan
+}
+
+// NewSignal allocates a signal on the bus.
+func (b *Bus) NewSignal() *Signal {
+	return &Signal{bus: b, ch: sim.NewChan(1 << 20)}
+}
+
+// Ring raises the signal with value v.
+func (s *Signal) Ring(p *sim.Proc, v any) {
+	p.Sleep(s.bus.storeCost)
+	ch := s.ch
+	s.bus.e.After(s.bus.signalLatency, func() { sim.Post(ch, v) })
+}
+
+// Wait blocks until a value is delivered.
+func (s *Signal) Wait(p *sim.Proc) any { return p.Recv(s.ch) }
+
+// TryWait takes a delivered value if one is pending.
+func (s *Signal) TryWait(p *sim.Proc) (any, bool) { return p.TryRecv(s.ch) }
+
+// scatter copies src into dst as accessSize-byte pieces stride apart.
+func scatter(dst, src []byte, accessSize, stride int64) {
+	var so, do int64
+	n := int64(len(src))
+	for so < n {
+		end := so + accessSize
+		if end > n {
+			end = n
+		}
+		copy(dst[do:], src[so:end])
+		so = end
+		do += stride
+	}
+}
+
+// gather is the inverse of scatter.
+func gather(dst, src []byte, accessSize, stride int64) {
+	var so, do int64
+	n := int64(len(dst))
+	for do < n {
+		end := do + accessSize
+		if end > n {
+			end = n
+		}
+		copy(dst[do:end], src[so:so+(end-do)])
+		do = end
+		so += stride
+	}
+}

@@ -1,0 +1,162 @@
+package shmem
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"scimpich/internal/sim"
+)
+
+func testBus() (*sim.Engine, *Bus) {
+	e := sim.NewEngine()
+	return e, NewBus(e, nil, "node0", DefaultConfig())
+}
+
+func fill(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*13 + 1)
+	}
+	return b
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	e, b := testBus()
+	r := b.Alloc(4096)
+	src := fill(1024)
+	e.Go("p", func(p *sim.Proc) {
+		r.WriteStream(p, 100, src, 0)
+		dst := make([]byte, 1024)
+		r.Read(p, 100, dst)
+		if !bytes.Equal(dst, src) {
+			t.Error("round trip mismatch")
+		}
+	})
+	e.Run()
+}
+
+func TestStridedRoundTrip(t *testing.T) {
+	e, b := testBus()
+	r := b.Alloc(4096)
+	src := fill(256)
+	e.Go("p", func(p *sim.Proc) {
+		r.WriteStrided(p, 0, src, 32, 64)
+		dst := make([]byte, 256)
+		r.ReadStrided(p, 0, dst, 32, 64)
+		if !bytes.Equal(dst, src) {
+			t.Error("strided round trip mismatch")
+		}
+	})
+	e.Run()
+}
+
+func TestCopySpeedDependsOnWorkingSet(t *testing.T) {
+	e, b := testBus()
+	r := b.Alloc(1 << 20)
+	src := make([]byte, 4096)
+	var small, big time.Duration
+	e.Go("p", func(p *sim.Proc) {
+		start := p.Now()
+		r.WriteStream(p, 0, src, 8<<10)
+		small = p.Now() - start
+		start = p.Now()
+		r.WriteStream(p, 0, src, 4<<20)
+		big = p.Now() - start
+	})
+	e.Run()
+	if big <= small {
+		t.Errorf("DRAM-resident copy (%v) not slower than cache-resident (%v)", big, small)
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	e, b := testBus()
+	r := b.Alloc(64 << 20)
+	const n = 16 << 20
+	var solo, shared time.Duration
+	e.Go("warm", func(p *sim.Proc) {
+		start := p.Now()
+		r.WriteStream(p, 0, make([]byte, n), 32<<20)
+		solo = p.Now() - start
+	})
+	e.Run()
+
+	e2 := sim.NewEngine()
+	b2 := NewBus(e2, nil, "node0", DefaultConfig())
+	r2 := b2.Alloc(64 << 20)
+	for i := 0; i < 2; i++ {
+		off := int64(i) * n
+		e2.Go("w", func(p *sim.Proc) {
+			start := p.Now()
+			r2.WriteStream(p, off, make([]byte, n), 32<<20)
+			if d := p.Now() - start; d > shared {
+				shared = d
+			}
+		})
+	}
+	e2.Run()
+	if shared <= solo {
+		t.Errorf("two concurrent writers (%v) not slower than one (%v)", shared, solo)
+	}
+}
+
+func TestBlockWriterMatchesDataAndChargesMore(t *testing.T) {
+	e, b := testBus()
+	r := b.Alloc(1 << 20)
+	total := 256 << 10
+	data := fill(total)
+	var tiny, contiguous time.Duration
+	e.Go("p", func(p *sim.Proc) {
+		start := p.Now()
+		w := r.NewBlockWriter(p, int64(total))
+		for off := 0; off < total; off += 16 {
+			w.Write(int64(off), data[off:off+16])
+		}
+		w.Flush()
+		tiny = p.Now() - start
+		if !bytes.Equal(r.Local()[:total], data) {
+			t.Error("block writer data mismatch")
+		}
+		start = p.Now()
+		r.WriteStream(p, 0, data, int64(total))
+		contiguous = p.Now() - start
+	})
+	e.Run()
+	if tiny <= contiguous {
+		t.Errorf("16B-block pack (%v) should cost more than one contiguous copy (%v)", tiny, contiguous)
+	}
+}
+
+func TestSignalLatency(t *testing.T) {
+	e, b := testBus()
+	sig := b.NewSignal()
+	var at time.Duration
+	e.Go("waiter", func(p *sim.Proc) {
+		sig.Wait(p)
+		at = p.Now()
+	})
+	e.Go("ringer", func(p *sim.Proc) {
+		p.Sleep(time.Microsecond)
+		sig.Ring(p, nil)
+	})
+	e.Run()
+	want := time.Microsecond + 60*time.Nanosecond + DefaultConfig().SignalLatency
+	if at != want {
+		t.Errorf("signal observed at %v, want %v", at, want)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	e, b := testBus()
+	r := b.Alloc(16)
+	e.Go("p", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range read did not panic")
+			}
+		}()
+		r.Read(p, 10, make([]byte, 10))
+	})
+	e.Run()
+}

@@ -1,0 +1,161 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with cooperative, virtual-time processes.
+//
+// The engine owns a virtual clock and a priority queue of events. Processes
+// are goroutines, but exactly one of them (or the engine itself) runs at any
+// moment: a process executes until it blocks on a virtual-time primitive
+// (Sleep, channel operation, mutex, future, ...), at which point control
+// returns to the engine, which dispatches the next event. Ties in the event
+// queue are broken by a monotonically increasing sequence number, so a given
+// program produces exactly the same schedule on every run.
+//
+// Virtual time is represented as time.Duration since the start of the
+// simulation. No wall-clock time is ever consulted.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventHeap
+	yield  chan struct{} // procs signal the engine here when they block
+	cur    *Proc
+	nprocs int // procs spawned and not yet finished
+
+	// Stopped is set by Stop; Run returns as soon as it is observed.
+	stopped bool
+
+	// pendingPanic holds a panic recovered from a process body, re-raised
+	// by the engine loop.
+	pendingPanic *procPanic
+}
+
+// procPanic wraps a panic that escaped a process body.
+type procPanic struct {
+	proc  string
+	value any
+}
+
+// NewEngine returns an empty simulation at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// event is a scheduled callback.
+type event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int
+	canceled bool
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from running. Canceling an
+// already-fired or already-canceled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past (t before
+// Now) panics: it would corrupt causality.
+func (e *Engine) At(t time.Duration, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently dispatched event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events until the queue is empty or Stop is called. It
+// returns the final virtual time. Run panics if any spawned process is still
+// blocked when the event queue drains (deadlock: nothing can ever wake it).
+func (e *Engine) Run() time.Duration {
+	for e.queue.Len() > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if !e.stopped && e.nprocs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked at %v with no pending events", e.nprocs, e.now))
+	}
+	return e.now
+}
+
+// RateDuration returns the virtual time needed to move n bytes at rate
+// bytes/second, rounded up to the next nanosecond. A non-positive rate
+// panics: it would mean an infinite transfer.
+func RateDuration(n int64, rate float64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if rate <= 0 {
+		panic("sim: non-positive rate")
+	}
+	s := float64(n) / rate
+	ns := math.Ceil(s * 1e9)
+	return time.Duration(ns)
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is a cooperative simulated process. A Proc's body runs on its own
+// goroutine, but the engine guarantees that at most one process executes at
+// a time; a process runs until it blocks on a virtual-time primitive.
+//
+// All Proc methods must be called from the process's own body.
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	// parked is true while the proc is blocked waiting for an external
+	// wake (not a self-scheduled timer). Used to catch double-wakes.
+	parked bool
+	// daemon processes do not count toward the deadlock check: they are
+	// expected to stay blocked forever once the workload has drained
+	// (device handlers, DMA engines).
+	daemon bool
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.e.now }
+
+// Go spawns a new process. The body starts at the current virtual time,
+// after already-scheduled same-time events. Go may be called before Run or
+// from within any process or event callback.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	return e.spawn(name, body, false)
+}
+
+// GoDaemon spawns a daemon process: one that services requests forever and
+// is allowed to still be blocked when the event queue drains (it does not
+// trigger the deadlock check). Use it for device handler threads.
+func (e *Engine) GoDaemon(name string, body func(p *Proc)) *Proc {
+	return e.spawn(name, body, true)
+}
+
+func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{}), daemon: daemon}
+	if !daemon {
+		e.nprocs++
+	}
+	go func() {
+		<-p.resume // wait for first dispatch
+		// A panic in a process body is re-raised inside Run so callers
+		// (and tests) can observe it on the engine's goroutine.
+		defer func() {
+			if r := recover(); r != nil {
+				e.pendingPanic = &procPanic{proc: p.name, value: r}
+			}
+			if !p.daemon {
+				e.nprocs--
+			}
+			e.yield <- struct{}{} // return control to the engine for good
+		}()
+		body(p)
+	}()
+	e.After(0, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch transfers control to p until it blocks again.
+func (e *Engine) dispatch(p *Proc) {
+	prev := e.cur
+	e.cur = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.cur = prev
+	if pp := e.pendingPanic; pp != nil {
+		e.pendingPanic = nil
+		panic(fmt.Sprintf("sim: process %q panicked: %v", pp.proc, pp.value))
+	}
+}
+
+// yieldToEngine blocks the calling process and resumes the engine loop.
+// The process will continue when something calls e.dispatch(p) again.
+func (p *Proc) yieldToEngine() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process's virtual time by d. Negative d is clamped to
+// zero; Sleep(0) still yields, letting same-time events run.
+func (p *Proc) Sleep(d time.Duration) {
+	p.checkCurrent("Sleep")
+	p.e.After(d, func() { p.e.dispatch(p) })
+	p.yieldToEngine()
+}
+
+// park blocks the process until Wake is called on it. It is the building
+// block for channels, mutexes and futures.
+func (p *Proc) park() {
+	p.checkCurrent("park")
+	p.parked = true
+	p.yieldToEngine()
+}
+
+// wake schedules a parked process to resume at the current virtual time.
+// Waking a process that is not parked panics: it indicates a bookkeeping bug
+// in a synchronization primitive.
+func (p *Proc) wake() {
+	if !p.parked {
+		panic(fmt.Sprintf("sim: wake of non-parked process %q", p.name))
+	}
+	p.parked = false
+	p.e.After(0, func() { p.e.dispatch(p) })
+}
+
+func (p *Proc) checkCurrent(op string) {
+	if p.e.cur != p {
+		panic(fmt.Sprintf("sim: %s called on process %q from outside its body", op, p.name))
+	}
+}

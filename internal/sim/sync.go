@@ -1,0 +1,237 @@
+package sim
+
+// Virtual-time synchronization primitives. All of them are deterministic:
+// waiters are queued and released in FIFO order.
+
+// Future is a one-shot completion event carrying an optional value.
+type Future struct {
+	done    bool
+	value   any
+	waiters []*Proc
+}
+
+// NewFuture returns an incomplete future.
+func NewFuture() *Future { return &Future{} }
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool { return f.done }
+
+// Value returns the value passed to Complete, or nil if not yet complete.
+func (f *Future) Value() any { return f.value }
+
+// Complete marks the future done and wakes all waiters. Completing twice
+// panics.
+func (f *Future) Complete(v any) {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	f.value = v
+	for _, p := range f.waiters {
+		p.wake()
+	}
+	f.waiters = nil
+}
+
+// Await blocks p until the future completes and returns its value.
+func (p *Proc) Await(f *Future) any {
+	if f.done {
+		return f.value
+	}
+	f.waiters = append(f.waiters, p)
+	p.park()
+	return f.value
+}
+
+// AwaitAll blocks p until every future in fs has completed.
+func (p *Proc) AwaitAll(fs ...*Future) {
+	for _, f := range fs {
+		p.Await(f)
+	}
+}
+
+// Chan is a virtual-time channel with an optional buffer. An unbuffered
+// channel (capacity 0) rendezvous: Send blocks until a receiver takes the
+// value.
+type Chan struct {
+	cap     int
+	buf     []any
+	senders []chanWaiter // blocked senders with their values
+	recvers []chanWaiter // blocked receivers
+}
+
+type chanWaiter struct {
+	p   *Proc
+	val any  // senders: value to deliver; receivers: filled in on handoff
+	box *any // receivers: where to deposit the value
+}
+
+// NewChan returns a channel with the given buffer capacity.
+func NewChan(capacity int) *Chan {
+	if capacity < 0 {
+		panic("sim: negative channel capacity")
+	}
+	return &Chan{cap: capacity}
+}
+
+// Len returns the number of buffered values.
+func (c *Chan) Len() int { return len(c.buf) }
+
+// Send delivers v on the channel, blocking in virtual time if no buffer
+// space and no waiting receiver exists.
+func (p *Proc) Send(c *Chan, v any) {
+	if len(c.recvers) > 0 {
+		w := c.recvers[0]
+		c.recvers = c.recvers[1:]
+		*w.box = v
+		w.p.wake()
+		return
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	c.senders = append(c.senders, chanWaiter{p: p, val: v})
+	p.park()
+}
+
+// Recv takes the next value from the channel, blocking in virtual time
+// until one is available.
+func (p *Proc) Recv(c *Chan) any {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		// A blocked sender can now occupy the freed buffer slot.
+		if len(c.senders) > 0 {
+			w := c.senders[0]
+			c.senders = c.senders[1:]
+			c.buf = append(c.buf, w.val)
+			w.p.wake()
+		}
+		return v
+	}
+	if len(c.senders) > 0 {
+		w := c.senders[0]
+		c.senders = c.senders[1:]
+		w.p.wake()
+		return w.val
+	}
+	var box any
+	c.recvers = append(c.recvers, chanWaiter{p: p, box: &box})
+	p.park()
+	return box
+}
+
+// Post delivers v on the channel without a sending process. It never
+// blocks: if no receiver is waiting, the value is buffered even beyond the
+// channel's nominal capacity. Post is intended for event callbacks (timer
+// and delivery events), which have no process context.
+func Post(c *Chan, v any) {
+	if len(c.recvers) > 0 {
+		w := c.recvers[0]
+		c.recvers = c.recvers[1:]
+		*w.box = v
+		w.p.wake()
+		return
+	}
+	c.buf = append(c.buf, v)
+}
+
+// TryRecv takes a value if one is immediately available without blocking.
+func (p *Proc) TryRecv(c *Chan) (any, bool) {
+	if len(c.buf) > 0 || len(c.senders) > 0 {
+		return p.Recv(c), true
+	}
+	return nil, false
+}
+
+// Mutex is a virtual-time mutual-exclusion lock with FIFO waiters.
+type Mutex struct {
+	held    bool
+	waiters []*Proc
+}
+
+// Lock acquires m, blocking p in virtual time if it is held.
+func (p *Proc) Lock(m *Mutex) {
+	if !m.held {
+		m.held = true
+		return
+	}
+	m.waiters = append(m.waiters, p)
+	p.park()
+	// Ownership is transferred directly by Unlock; held stays true.
+}
+
+// Unlock releases m, handing it to the oldest waiter if any.
+func (p *Proc) Unlock(m *Mutex) {
+	if !m.held {
+		panic("sim: unlock of unlocked mutex")
+	}
+	if len(m.waiters) > 0 {
+		next := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		next.wake()
+		return
+	}
+	m.held = false
+}
+
+// Barrier blocks a fixed-size party of processes until all have arrived,
+// then releases them together. It is reusable (cyclic).
+type Barrier struct {
+	parties int
+	waiting []*Proc
+}
+
+// NewBarrier returns a barrier for n parties. n must be positive.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier requires at least one party")
+	}
+	return &Barrier{parties: n}
+}
+
+// Arrive blocks p until all parties have arrived at the barrier.
+func (p *Proc) Arrive(b *Barrier) {
+	if len(b.waiting)+1 == b.parties {
+		for _, w := range b.waiting {
+			w.wake()
+		}
+		b.waiting = b.waiting[:0]
+		return
+	}
+	b.waiting = append(b.waiting, p)
+	p.park()
+}
+
+// WaitGroup counts outstanding work items in virtual time.
+type WaitGroup struct {
+	count   int
+	waiters []*Proc
+}
+
+// Add increments the counter by n (n may be negative, like sync.WaitGroup).
+func (wg *WaitGroup) Add(n int) {
+	wg.count += n
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		for _, w := range wg.waiters {
+			w.wake()
+		}
+		wg.waiters = nil
+	}
+}
+
+// DoneOne decrements the counter by one.
+func (wg *WaitGroup) DoneOne() { wg.Add(-1) }
+
+// WaitFor blocks p until the counter reaches zero.
+func (p *Proc) WaitFor(wg *WaitGroup) {
+	if wg.count == 0 {
+		return
+	}
+	wg.waiters = append(wg.waiters, p)
+	p.park()
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFuture(t *testing.T) {
+	e := NewEngine()
+	f := NewFuture()
+	var got any
+	var at time.Duration
+	e.Go("waiter", func(p *Proc) {
+		got = p.Await(f)
+		at = p.Now()
+	})
+	e.Go("completer", func(p *Proc) {
+		p.Sleep(3 * time.Microsecond)
+		f.Complete(42)
+	})
+	e.Run()
+	if got != 42 {
+		t.Errorf("await value = %v, want 42", got)
+	}
+	if at != 3*time.Microsecond {
+		t.Errorf("woke at %v, want 3µs", at)
+	}
+}
+
+func TestFutureAlreadyDone(t *testing.T) {
+	e := NewEngine()
+	f := NewFuture()
+	f.Complete("x")
+	var got any
+	e.Go("waiter", func(p *Proc) { got = p.Await(f) })
+	e.Run()
+	if got != "x" {
+		t.Errorf("await value = %v, want x", got)
+	}
+}
+
+func TestFutureDoubleCompletePanics(t *testing.T) {
+	f := NewFuture()
+	f.Complete(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("double complete did not panic")
+		}
+	}()
+	f.Complete(nil)
+}
+
+func TestUnbufferedChanRendezvous(t *testing.T) {
+	e := NewEngine()
+	c := NewChan(0)
+	var sendDone, recvVal time.Duration
+	var got any
+	e.Go("sender", func(p *Proc) {
+		p.Send(c, 7)
+		sendDone = p.Now()
+	})
+	e.Go("receiver", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+		got = p.Recv(c)
+		recvVal = p.Now()
+	})
+	e.Run()
+	if got != 7 {
+		t.Errorf("received %v, want 7", got)
+	}
+	if sendDone != 10*time.Microsecond || recvVal != 10*time.Microsecond {
+		t.Errorf("send done %v recv %v, want both 10µs", sendDone, recvVal)
+	}
+}
+
+func TestBufferedChan(t *testing.T) {
+	e := NewEngine()
+	c := NewChan(2)
+	var sends []time.Duration
+	var recvs []any
+	e.Go("sender", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Send(c, i)
+			sends = append(sends, p.Now())
+		}
+	})
+	e.Go("receiver", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		for i := 0; i < 4; i++ {
+			recvs = append(recvs, p.Recv(c))
+			p.Sleep(time.Microsecond)
+		}
+	})
+	e.Run()
+	for i, v := range recvs {
+		if v != i {
+			t.Fatalf("recvs = %v, want [0 1 2 3]", recvs)
+		}
+	}
+	// First two sends fit the buffer at t=0; the rest block until drained.
+	if sends[0] != 0 || sends[1] != 0 {
+		t.Errorf("buffered sends at %v, %v; want 0, 0", sends[0], sends[1])
+	}
+	if sends[2] != time.Microsecond {
+		t.Errorf("third send completed at %v, want 1µs", sends[2])
+	}
+}
+
+func TestChanFIFOAcrossManyProcs(t *testing.T) {
+	e := NewEngine()
+	c := NewChan(0)
+	var got []any
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go("sender", func(p *Proc) { p.Send(c, i) })
+	}
+	e.Go("receiver", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		for i := 0; i < 5; i++ {
+			got = append(got, p.Recv(c))
+		}
+	})
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got = %v, want FIFO [0..4]", got)
+		}
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	e := NewEngine()
+	c := NewChan(1)
+	var ok1, ok2 bool
+	e.Go("p", func(p *Proc) {
+		_, ok1 = p.TryRecv(c)
+		p.Send(c, 1)
+		_, ok2 = p.TryRecv(c)
+	})
+	e.Run()
+	if ok1 || !ok2 {
+		t.Fatalf("TryRecv = %v, %v; want false, true", ok1, ok2)
+	}
+}
+
+func TestMutexExcludesAndIsFIFO(t *testing.T) {
+	e := NewEngine()
+	m := &Mutex{}
+	var order []string
+	hold := func(name string, delay, inside time.Duration) {
+		e.Go(name, func(p *Proc) {
+			p.Sleep(delay)
+			p.Lock(m)
+			order = append(order, name)
+			p.Sleep(inside)
+			p.Unlock(m)
+		})
+	}
+	hold("a", 0, 10*time.Microsecond)
+	hold("b", time.Microsecond, time.Microsecond)
+	hold("c", 2*time.Microsecond, time.Microsecond)
+	e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("lock order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestUnlockUnlockedPanics(t *testing.T) {
+	e := NewEngine()
+	e.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("unlock of unlocked mutex did not panic")
+			}
+		}()
+		p.Unlock(&Mutex{})
+	})
+	e.Run()
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(3)
+	var times []time.Duration
+	for i := 0; i < 3; i++ {
+		d := time.Duration(i) * 5 * time.Microsecond
+		e.Go("p", func(p *Proc) {
+			p.Sleep(d)
+			p.Arrive(b)
+			times = append(times, p.Now())
+		})
+	}
+	e.Run()
+	for _, at := range times {
+		if at != 10*time.Microsecond {
+			t.Fatalf("release times %v, want all 10µs", times)
+		}
+	}
+}
+
+func TestBarrierIsCyclic(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(2)
+	rounds := 0
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			for r := 0; r < 3; r++ {
+				p.Sleep(time.Duration(i+1) * time.Microsecond)
+				p.Arrive(b)
+				if i == 0 {
+					rounds++
+				}
+			}
+		})
+	}
+	e.Run()
+	if rounds != 3 {
+		t.Fatalf("completed %d rounds, want 3", rounds)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	var wg WaitGroup
+	wg.Add(2)
+	var doneAt time.Duration
+	e.Go("waiter", func(p *Proc) {
+		p.WaitFor(&wg)
+		doneAt = p.Now()
+	})
+	e.Go("w1", func(p *Proc) { p.Sleep(time.Microsecond); wg.DoneOne() })
+	e.Go("w2", func(p *Proc) { p.Sleep(4 * time.Microsecond); wg.DoneOne() })
+	e.Run()
+	if doneAt != 4*time.Microsecond {
+		t.Fatalf("waiter released at %v, want 4µs", doneAt)
+	}
+}

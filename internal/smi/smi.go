@@ -1,0 +1,242 @@
+// Package smi is the Shared Memory Interface abstraction layer (modelled on
+// the SMI library the paper's SCI-MPICH is built on): a uniform API over
+// shared memory regions that may live across the SCI ring or inside a node.
+//
+// Everything above this layer — the MPI device protocols, direct_pack_ff
+// packing into "remote" memory, and one-sided communication — is written
+// against these interfaces, which is exactly how the paper obtains its
+// intra-node shared-memory results for free ("all of the work presented for
+// the SCI interconnect can equally be applied to intra-node shared memory
+// thanks to the abstraction of the SMI library").
+package smi
+
+import (
+	"time"
+
+	"scimpich/internal/nic"
+	"scimpich/internal/sci"
+	"scimpich/internal/shmem"
+	"scimpich/internal/sim"
+)
+
+// Mem is a shared memory region as seen by one process: possibly remote
+// (costed with the SCI model) or node-local (costed with the memory model).
+type Mem interface {
+	// Size returns the region size in bytes.
+	Size() int64
+	// Remote reports whether accesses cross the interconnect.
+	Remote() bool
+	// WriteStream writes src contiguously at off (stream-buffer friendly).
+	WriteStream(p *sim.Proc, off int64, src []byte, srcWorkingSet int64)
+	// WriteWord writes a small control word at off.
+	WriteWord(p *sim.Proc, off int64, src []byte)
+	// WriteStrided scatters src as accessSize-byte accesses stride apart.
+	WriteStrided(p *sim.Proc, off int64, src []byte, accessSize, stride int64)
+	// WritePut is WriteStrided on the MPI put path, additionally capped at
+	// the adapter's sustained put bandwidth.
+	WritePut(p *sim.Proc, off int64, src []byte, accessSize, stride int64)
+	// Read copies len(dst) bytes from off into dst.
+	Read(p *sim.Proc, off int64, dst []byte)
+	// ReadStrided gathers strided accesses into dst.
+	ReadStrided(p *sim.Proc, off int64, dst []byte, accessSize, stride int64)
+	// BlockWriter starts a batched block-wise write session (the
+	// direct_pack_ff write path).
+	BlockWriter(p *sim.Proc, workingSet int64) BlockWriter
+	// DMAWrite submits an asynchronous DMA transfer when the transport has
+	// a DMA engine, returning its completion future and true; (nil, false)
+	// means DMA is unavailable and the caller should fall back to PIO.
+	DMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, bool)
+	// Sync guarantees that all writes issued through this Mem have been
+	// delivered (store barrier on SCI; free on intra-node memory).
+	Sync(p *sim.Proc)
+	// Bytes exposes the raw backing buffer. Only the owning side may use
+	// it without cost accounting (e.g. to initialize window contents).
+	Bytes() []byte
+}
+
+// BlockWriter receives a sequence of contiguous blocks at ascending offsets
+// and charges their cost on Flush.
+type BlockWriter interface {
+	Write(off int64, src []byte)
+	Flush()
+}
+
+// Signal is a one-way notification channel with transport-appropriate
+// latency (remote flag write / remote interrupt / cache-coherent flag).
+type Signal interface {
+	// Ring raises the signal carrying v. interrupt selects the remote
+	// interrupt path (used when the target is not polling).
+	Ring(p *sim.Proc, v any, interrupt bool)
+	// Wait blocks until a value arrives.
+	Wait(p *sim.Proc) any
+	// TryWait takes a pending value without blocking.
+	TryWait(p *sim.Proc) (any, bool)
+}
+
+// --- SCI adapters ---
+
+type sciMem struct {
+	m *sci.Mapping
+}
+
+// FromSCI wraps an SCI mapping as an SMI region.
+func FromSCI(m *sci.Mapping) Mem { return sciMem{m} }
+
+func (s sciMem) Size() int64  { return s.m.Size() }
+func (s sciMem) Remote() bool { return s.m.Remote() }
+func (s sciMem) WriteStream(p *sim.Proc, off int64, src []byte, ws int64) {
+	s.m.WriteStream(p, off, src, ws)
+}
+func (s sciMem) WriteWord(p *sim.Proc, off int64, src []byte) { s.m.WriteWord(p, off, src) }
+func (s sciMem) WriteStrided(p *sim.Proc, off int64, src []byte, a, st int64) {
+	s.m.WriteStrided(p, off, src, a, st)
+}
+func (s sciMem) WritePut(p *sim.Proc, off int64, src []byte, a, st int64) {
+	s.m.WritePut(p, off, src, a, st)
+}
+func (s sciMem) Read(p *sim.Proc, off int64, dst []byte) { s.m.Read(p, off, dst) }
+func (s sciMem) ReadStrided(p *sim.Proc, off int64, dst []byte, a, st int64) {
+	s.m.ReadStrided(p, off, dst, a, st)
+}
+func (s sciMem) BlockWriter(p *sim.Proc, ws int64) BlockWriter { return s.m.NewBlockWriter(p, ws) }
+func (s sciMem) DMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, bool) {
+	if !s.m.Remote() {
+		return nil, false
+	}
+	return s.m.DMAWrite(p, off, src), true
+}
+func (s sciMem) Sync(p *sim.Proc) { s.m.Sync(p) }
+func (s sciMem) Bytes() []byte    { return s.m.Segment().Local() }
+
+type sciSignal struct {
+	sig  *sci.Signal
+	from *sci.Node
+}
+
+// SignalFromSCI wraps an SCI signal for ringing from the given node.
+func SignalFromSCI(sig *sci.Signal, from *sci.Node) Signal { return sciSignal{sig, from} }
+
+func (s sciSignal) Ring(p *sim.Proc, v any, interrupt bool) { s.sig.RingFrom(p, s.from, v, interrupt) }
+func (s sciSignal) Wait(p *sim.Proc) any                    { return s.sig.Wait(p) }
+func (s sciSignal) TryWait(p *sim.Proc) (any, bool)         { return s.sig.TryWait(p) }
+
+// --- NIC adapters ---
+
+type nicMem struct {
+	v *nic.View
+}
+
+// FromNIC wraps a message-NIC buffer view as an SMI region.
+func FromNIC(v *nic.View) Mem { return nicMem{v} }
+
+func (s nicMem) Size() int64  { return s.v.Size() }
+func (s nicMem) Remote() bool { return s.v.Remote() }
+func (s nicMem) WriteStream(p *sim.Proc, off int64, src []byte, ws int64) {
+	s.v.WriteStream(p, off, src, ws)
+}
+func (s nicMem) WriteWord(p *sim.Proc, off int64, src []byte) { s.v.WriteWord(p, off, src) }
+func (s nicMem) WriteStrided(p *sim.Proc, off int64, src []byte, a, st int64) {
+	s.v.WriteStrided(p, off, src, a, st)
+}
+func (s nicMem) WritePut(p *sim.Proc, off int64, src []byte, a, st int64) {
+	s.v.WritePut(p, off, src, a, st)
+}
+func (s nicMem) Read(p *sim.Proc, off int64, dst []byte) { s.v.Read(p, off, dst) }
+func (s nicMem) ReadStrided(p *sim.Proc, off int64, dst []byte, a, st int64) {
+	s.v.ReadStrided(p, off, dst, a, st)
+}
+func (s nicMem) BlockWriter(p *sim.Proc, ws int64) BlockWriter { return s.v.NewBlockWriter(p, ws) }
+func (s nicMem) DMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, bool) {
+	return s.v.DMAWrite(p, off, src)
+}
+func (s nicMem) Sync(p *sim.Proc) { s.v.Sync(p) }
+func (s nicMem) Bytes() []byte    { return s.v.Bytes() }
+
+// --- Intra-node adapters ---
+
+type shmMem struct {
+	r *shmem.Region
+}
+
+// FromShm wraps an intra-node shared region as an SMI region.
+func FromShm(r *shmem.Region) Mem { return shmMem{r} }
+
+func (s shmMem) Size() int64  { return s.r.Size() }
+func (s shmMem) Remote() bool { return false }
+func (s shmMem) WriteStream(p *sim.Proc, off int64, src []byte, ws int64) {
+	s.r.WriteStream(p, off, src, ws)
+}
+func (s shmMem) WriteWord(p *sim.Proc, off int64, src []byte) { s.r.WriteWord(p, off, src) }
+func (s shmMem) WriteStrided(p *sim.Proc, off int64, src []byte, a, st int64) {
+	s.r.WriteStrided(p, off, src, a, st)
+}
+func (s shmMem) WritePut(p *sim.Proc, off int64, src []byte, a, st int64) {
+	s.r.WriteStrided(p, off, src, a, st)
+}
+func (s shmMem) Read(p *sim.Proc, off int64, dst []byte) { s.r.Read(p, off, dst) }
+func (s shmMem) ReadStrided(p *sim.Proc, off int64, dst []byte, a, st int64) {
+	s.r.ReadStrided(p, off, dst, a, st)
+}
+func (s shmMem) BlockWriter(p *sim.Proc, ws int64) BlockWriter { return s.r.NewBlockWriter(p, ws) }
+func (s shmMem) DMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, bool) {
+	return nil, false // intra-node memory has no DMA engine
+}
+func (s shmMem) Sync(p *sim.Proc) {}
+func (s shmMem) Bytes() []byte    { return s.r.Local() }
+
+type shmSignal struct {
+	sig *shmem.Signal
+}
+
+// SignalFromShm wraps an intra-node signal.
+func SignalFromShm(sig *shmem.Signal) Signal { return shmSignal{sig} }
+
+func (s shmSignal) Ring(p *sim.Proc, v any, interrupt bool) { s.sig.Ring(p, v) }
+func (s shmSignal) Wait(p *sim.Proc) any                    { return s.sig.Wait(p) }
+func (s shmSignal) TryWait(p *sim.Proc) (any, bool)         { return s.sig.TryWait(p) }
+
+// Lock is a distributed spinlock in shared memory, as used for the mutual
+// exclusion of passive-target one-sided synchronization. The paper uses the
+// techniques of Schulz [14]: very low latency under little contention.
+type Lock struct {
+	mu      sim.Mutex
+	acquire time.Duration
+	release time.Duration
+}
+
+// NewLock returns a shared-memory lock with the given acquire/release
+// latencies (use the remote flavour for locks crossing the ring).
+func NewLock(acquire, release time.Duration) *Lock {
+	return &Lock{acquire: acquire, release: release}
+}
+
+// Acquire takes the lock, spinning in virtual time while it is held.
+func (l *Lock) Acquire(p *sim.Proc) {
+	p.Sleep(l.acquire)
+	p.Lock(&l.mu)
+}
+
+// Release drops the lock.
+func (l *Lock) Release(p *sim.Proc) {
+	p.Sleep(l.release)
+	p.Unlock(&l.mu)
+}
+
+// Barrier is a shared-memory barrier across a fixed group of processes,
+// with a per-crossing latency cost.
+type Barrier struct {
+	b    *sim.Barrier
+	cost time.Duration
+}
+
+// NewBarrier returns a barrier for n parties costing the given latency per
+// crossing.
+func NewBarrier(n int, cost time.Duration) *Barrier {
+	return &Barrier{b: sim.NewBarrier(n), cost: cost}
+}
+
+// Enter blocks until all parties arrive.
+func (b *Barrier) Enter(p *sim.Proc) {
+	p.Sleep(b.cost)
+	p.Arrive(b.b)
+}

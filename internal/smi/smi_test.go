@@ -1,0 +1,105 @@
+package smi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"scimpich/internal/sci"
+	"scimpich/internal/shmem"
+	"scimpich/internal/sim"
+)
+
+func TestSCIAdapterSatisfiesMem(t *testing.T) {
+	e := sim.NewEngine()
+	ic := sci.New(e, sci.DefaultConfig(2))
+	seg := ic.Node(1).Export(4096)
+	var mem Mem = FromSCI(ic.Node(0).MustImport(1, seg.ID()))
+	if !mem.Remote() || mem.Size() != 4096 {
+		t.Fatalf("remote=%v size=%d, want true/4096", mem.Remote(), mem.Size())
+	}
+	e.Go("p", func(p *sim.Proc) {
+		src := []byte{1, 2, 3, 4}
+		mem.WriteStream(p, 0, src, 0)
+		mem.Sync(p)
+		if !bytes.Equal(mem.Bytes()[:4], src) {
+			t.Error("write through interface lost data")
+		}
+		bw := mem.BlockWriter(p, 0)
+		bw.Write(8, []byte{9})
+		bw.Flush()
+		mem.Sync(p)
+		dst := make([]byte, 1)
+		mem.Read(p, 8, dst)
+		if dst[0] != 9 {
+			t.Error("block write through interface lost data")
+		}
+	})
+	e.Run()
+}
+
+func TestShmRegionSatisfiesMem(t *testing.T) {
+	e := sim.NewEngine()
+	bus := shmem.NewBus(e, nil, "n0", shmem.DefaultConfig())
+	var mem Mem = FromShm(bus.Alloc(1024))
+	if mem.Remote() {
+		t.Error("shm region reported remote")
+	}
+	e.Go("p", func(p *sim.Proc) {
+		mem.WriteStrided(p, 0, []byte{1, 2, 3, 4}, 2, 4)
+		dst := make([]byte, 4)
+		mem.ReadStrided(p, 0, dst, 2, 4)
+		if !bytes.Equal(dst, []byte{1, 2, 3, 4}) {
+			t.Error("strided round trip through interface failed")
+		}
+		mem.Sync(p) // no-op, must not block
+	})
+	e.Run()
+}
+
+func TestSignalsAcrossTransports(t *testing.T) {
+	e := sim.NewEngine()
+	ic := sci.New(e, sci.DefaultConfig(2))
+	bus := shmem.NewBus(e, nil, "n0", shmem.DefaultConfig())
+	var remote Signal = SignalFromSCI(ic.Node(1).NewSignal(), ic.Node(0))
+	var local Signal = SignalFromShm(bus.NewSignal())
+	var got []any
+	e.Go("waiter", func(p *sim.Proc) {
+		got = append(got, local.Wait(p))
+		got = append(got, remote.Wait(p))
+	})
+	e.Go("ringer", func(p *sim.Proc) {
+		local.Ring(p, "a", false)
+		remote.Ring(p, "b", true)
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("signals delivered %v, want [a b]", got)
+	}
+}
+
+func TestLockAndBarrier(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLock(time.Microsecond, 500*time.Nanosecond)
+	b := NewBarrier(2, time.Microsecond)
+	var order []int
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("p", func(p *sim.Proc) {
+			l.Acquire(p)
+			order = append(order, i)
+			p.Sleep(time.Duration(i+1) * time.Microsecond)
+			l.Release(p)
+			b.Enter(p)
+			order = append(order, 10+i)
+		})
+	}
+	e.Run()
+	if len(order) != 4 {
+		t.Fatalf("order = %v, want 4 entries", order)
+	}
+	// Barrier releases happen after both lock sections.
+	if order[2] < 10 || order[3] < 10 {
+		t.Errorf("barrier released before lock sections done: %v", order)
+	}
+}

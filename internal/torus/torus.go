@@ -1,0 +1,129 @@
+// Package torus models a 3-D torus of SCI ringlets — the paper's §6
+// scaling outlook: "With the increased link frequency, a limit of 8 nodes
+// per ringlet seems reasonable, which gives a 512 nodes system when using
+// 3D-torus topology."
+//
+// Every node sits on three rings (one per dimension); a transfer uses
+// dimension-ordered routing: along the x-ring to the target's x
+// coordinate, then the y-ring, then the z-ring. Keeping each ringlet at 8
+// nodes bounds the per-segment utilization regardless of machine size,
+// which is exactly why the projection holds.
+package torus
+
+import (
+	"fmt"
+
+	"scimpich/internal/flow"
+	"scimpich/internal/ring"
+)
+
+// Topology is a dx x dy x dz torus of ringlets.
+type Topology struct {
+	dims [3]int
+	// rings[d] holds one ringlet per line in dimension d, indexed by the
+	// flattened coordinates of the other two dimensions.
+	rings [3][]*ring.Topology
+}
+
+// New builds the torus with the given per-segment bandwidth and congestion
+// model (nil for ideal links).
+func New(dx, dy, dz int, linkBW float64, model flow.CongestionModel) *Topology {
+	if dx < 1 || dy < 1 || dz < 1 {
+		panic("torus: dimensions must be positive")
+	}
+	t := &Topology{dims: [3]int{dx, dy, dz}}
+	counts := [3]int{dy * dz, dx * dz, dx * dy}
+	for d := 0; d < 3; d++ {
+		t.rings[d] = make([]*ring.Topology, counts[d])
+		for i := range t.rings[d] {
+			t.rings[d][i] = ring.New(t.dims[d], linkBW, model)
+		}
+	}
+	return t
+}
+
+// Nodes returns the machine size.
+func (t *Topology) Nodes() int { return t.dims[0] * t.dims[1] * t.dims[2] }
+
+// Dims returns the torus dimensions.
+func (t *Topology) Dims() [3]int { return t.dims }
+
+// NodeID flattens coordinates (x fastest).
+func (t *Topology) NodeID(x, y, z int) int {
+	t.check(x, y, z)
+	return x + t.dims[0]*(y+t.dims[1]*z)
+}
+
+// Coords unflattens a node id.
+func (t *Topology) Coords(id int) (x, y, z int) {
+	if id < 0 || id >= t.Nodes() {
+		panic(fmt.Sprintf("torus: node %d outside machine of %d", id, t.Nodes()))
+	}
+	x = id % t.dims[0]
+	y = (id / t.dims[0]) % t.dims[1]
+	z = id / (t.dims[0] * t.dims[1])
+	return
+}
+
+func (t *Topology) check(x, y, z int) {
+	if x < 0 || x >= t.dims[0] || y < 0 || y >= t.dims[1] || z < 0 || z >= t.dims[2] {
+		panic(fmt.Sprintf("torus: coordinates (%d,%d,%d) outside %v", x, y, z, t.dims))
+	}
+}
+
+// lineIndex returns which ringlet of dimension d the node's line is.
+func (t *Topology) lineIndex(d, x, y, z int) int {
+	switch d {
+	case 0:
+		return y + t.dims[1]*z
+	case 1:
+		return x + t.dims[0]*z
+	default:
+		return x + t.dims[0]*y
+	}
+}
+
+// coord returns the node's position on its dimension-d ring.
+func coord(d, x, y, z int) int {
+	switch d {
+	case 0:
+		return x
+	case 1:
+		return y
+	default:
+		return z
+	}
+}
+
+// Route returns the segments of the dimension-ordered path from node a to
+// node b: x-ring first, then y, then z. A self-route is empty.
+func (t *Topology) Route(a, b int) []*flow.Link {
+	ax, ay, az := t.Coords(a)
+	bx, by, bz := t.Coords(b)
+	var path []*flow.Link
+	// Correct one coordinate at a time; the current position updates as
+	// we hop between rings.
+	cx, cy, cz := ax, ay, az
+	targets := [3]int{bx, by, bz}
+	for d := 0; d < 3; d++ {
+		from := coord(d, cx, cy, cz)
+		to := targets[d]
+		if from == to {
+			continue
+		}
+		r := t.rings[d][t.lineIndex(d, cx, cy, cz)]
+		path = append(path, r.Route(from, to)...)
+		switch d {
+		case 0:
+			cx = to
+		case 1:
+			cy = to
+		default:
+			cz = to
+		}
+	}
+	return path
+}
+
+// HopCount returns the number of segments on the dimension-ordered path.
+func (t *Topology) HopCount(a, b int) int { return len(t.Route(a, b)) }

@@ -1,0 +1,97 @@
+package torus
+
+import (
+	"testing"
+
+	"scimpich/internal/ring"
+)
+
+func TestCoordsRoundTrip(t *testing.T) {
+	to := New(4, 3, 2, 633*ring.MiB, nil)
+	if to.Nodes() != 24 {
+		t.Fatalf("nodes = %d, want 24", to.Nodes())
+	}
+	for id := 0; id < to.Nodes(); id++ {
+		x, y, z := to.Coords(id)
+		if to.NodeID(x, y, z) != id {
+			t.Fatalf("coords round trip failed for %d -> (%d,%d,%d)", id, x, y, z)
+		}
+	}
+}
+
+func TestSelfRouteEmpty(t *testing.T) {
+	to := New(3, 3, 3, 633*ring.MiB, nil)
+	if len(to.Route(13, 13)) != 0 {
+		t.Error("self route not empty")
+	}
+}
+
+func TestDimensionOrderedRouting(t *testing.T) {
+	to := New(4, 4, 4, 633*ring.MiB, nil)
+	a := to.NodeID(0, 0, 0)
+	b := to.NodeID(2, 3, 1)
+	// Ring distances: x 2 hops, y 3 hops, z 1 hop = 6 segments.
+	if got := to.HopCount(a, b); got != 6 {
+		t.Errorf("hop count = %d, want 6", got)
+	}
+	// Single-dimension moves stay on one ring.
+	c := to.NodeID(3, 0, 0)
+	if got := to.HopCount(a, c); got != 3 {
+		t.Errorf("x-only hop count = %d, want 3 (ring distance)", got)
+	}
+}
+
+func TestRingsAreDisjointLines(t *testing.T) {
+	to := New(2, 2, 2, 633*ring.MiB, nil)
+	// Routes within different x-lines must not share links.
+	p1 := to.Route(to.NodeID(0, 0, 0), to.NodeID(1, 0, 0))
+	p2 := to.Route(to.NodeID(0, 1, 0), to.NodeID(1, 1, 0))
+	for _, l1 := range p1 {
+		for _, l2 := range p2 {
+			if l1 == l2 {
+				t.Fatal("distinct x-lines share a link")
+			}
+		}
+	}
+}
+
+func TestRouteReachesEveryPair(t *testing.T) {
+	to := New(3, 2, 2, 633*ring.MiB, nil)
+	n := to.Nodes()
+	maxHops := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			h := to.HopCount(a, b)
+			if a == b && h != 0 {
+				t.Fatalf("self route %d has %d hops", a, h)
+			}
+			if a != b && h == 0 {
+				t.Fatalf("no route %d -> %d", a, b)
+			}
+			if h > maxHops {
+				maxHops = h
+			}
+		}
+	}
+	// Diameter of unidirectional rings: sum of (dim-1).
+	if want := 2 + 1 + 1; maxHops != want {
+		t.Errorf("diameter = %d, want %d", maxHops, want)
+	}
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dims":   func() { New(0, 2, 2, 1, nil) },
+		"coords": func() { New(2, 2, 2, 1, nil).NodeID(2, 0, 0) },
+		"id":     func() { New(2, 2, 2, 1, nil).Coords(8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

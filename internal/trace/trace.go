@@ -1,0 +1,85 @@
+// Package trace records a timeline of protocol events from a simulation
+// run: which rank did what, when (virtual time), and through which
+// protocol path. A Tracer is attached to a cluster configuration; nil
+// tracers are free.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	At       time.Duration
+	Actor    string // "rank3", "dev1", ...
+	Category string // "send", "recv", "rdv", "osc", "coll", ...
+	Detail   string
+}
+
+// Tracer collects events. The zero value is ready to use; a nil *Tracer
+// discards everything.
+type Tracer struct {
+	events []Event
+	limit  int
+}
+
+// New returns a tracer retaining at most limit events (0 = unlimited).
+func New(limit int) *Tracer {
+	return &Tracer{limit: limit}
+}
+
+// Record appends an event. Safe on a nil tracer.
+func (t *Tracer) Record(at time.Duration, actor, category, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	if t.limit > 0 && len(t.events) >= t.limit {
+		return
+	}
+	t.events = append(t.events, Event{
+		At: at, Actor: actor, Category: category,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded timeline.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Filter returns the events of one category.
+func (t *Tracer) Filter(category string) []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range t.events {
+		if e.Category == category {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the timeline, one event per line.
+func (t *Tracer) Dump(w io.Writer) {
+	if t == nil {
+		return
+	}
+	for _, e := range t.events {
+		fmt.Fprintf(w, "%12v %-8s %-6s %s\n", e.At, e.Actor, e.Category, e.Detail)
+	}
+}

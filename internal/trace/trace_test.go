@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordAndFilter(t *testing.T) {
+	tr := New(0)
+	tr.Record(time.Microsecond, "rank0", "send", "-> 1: %d bytes", 100)
+	tr.Record(2*time.Microsecond, "dev1", "recv", "<- 0")
+	tr.Record(3*time.Microsecond, "rank0", "send", "-> 1 again")
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	sends := tr.Filter("send")
+	if len(sends) != 2 || !strings.Contains(sends[0].Detail, "100 bytes") {
+		t.Errorf("filter = %+v", sends)
+	}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	tr.Record(0, "x", "y", "z") // must not panic
+	if tr.Len() != 0 || tr.Events() != nil || tr.Filter("y") != nil {
+		t.Error("nil tracer leaked state")
+	}
+	var sb strings.Builder
+	tr.Dump(&sb)
+	if sb.Len() != 0 {
+		t.Error("nil tracer dumped output")
+	}
+}
+
+func TestLimitCapsRetention(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(time.Duration(i), "a", "c", "e%d", i)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want capped 2", tr.Len())
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	tr := New(0)
+	tr.Record(1500*time.Nanosecond, "rank7", "osc", "put 64 bytes")
+	var sb strings.Builder
+	tr.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"1.5µs", "rank7", "osc", "put 64 bytes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q: %s", want, out)
+		}
+	}
+}
