@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# check is the tier-1 gate: vet, build everything, then the full test suite
+# with the race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -10,12 +10,14 @@
 package scimpich_test
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 	"time"
 
 	"scimpich/internal/bench"
 	"scimpich/internal/datatype"
+	"scimpich/internal/fault"
 	"scimpich/internal/mpi"
 	"scimpich/internal/nic"
 	"scimpich/internal/osc"
@@ -24,6 +26,11 @@ import (
 	"scimpich/internal/sci"
 	"scimpich/internal/sim"
 )
+
+// faultSeed seeds the fault plans of BenchmarkFaultedExchange: the same
+// seed reproduces the same fault schedule (and hence identical modeled
+// metrics) run after run.
+var faultSeed = flag.Uint64("fault.seed", 42, "seed for fault-injection benchmark plans")
 
 // BenchmarkFig1RawSCI regenerates Figure 1 (raw PIO/DMA latency and
 // bandwidth) and reports the 64 kiB operating point.
@@ -348,6 +355,88 @@ func BenchmarkAblationDMARendezvous(b *testing.B) {
 		b.ReportMetric(run(0), "pio-MiB/s")
 		b.ReportMetric(run(32<<10), "dma-MiB/s")
 	}
+}
+
+// BenchmarkFaultedExchange measures the robustness machinery under a
+// deterministic fault plan (seeded by -fault.seed): injected CRC/sequence
+// errors, duplicated control packets and transfer-check failures on a busy
+// exchange. It reports the modeled slowdown against the clean run plus the
+// recovery counters (retries, dropped duplicates, check retries).
+func BenchmarkFaultedExchange(b *testing.B) {
+	const size = 64 << 10
+	src := make([]byte, size)
+	run := func(plan *fault.Plan) (time.Duration, *mpi.World) {
+		cfg := mpi.DefaultConfig(4, 1)
+		cfg.SCI.Fault = plan
+		var w *mpi.World
+		d := mpi.Run(cfg, func(c *mpi.Comm) {
+			if c.Rank() == 0 {
+				w = c.World()
+			}
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			in := make([]byte, size)
+			for r := 0; r < 8; r++ {
+				c.Sendrecv(src, size, datatype.Byte, next, r, in, size, datatype.Byte, prev, r)
+			}
+		})
+		return d, w
+	}
+	var clean, faulted time.Duration
+	var w *mpi.World
+	for i := 0; i < b.N; i++ {
+		clean, _ = run(nil)
+		faulted, w = run(fault.New(*faultSeed).
+			WithWriteErrors(0.1).WithCheckErrors(0.05).WithDuplicates(0.1))
+	}
+	var retries, duplicates, checkRetries int64
+	for r := 0; r < w.Size(); r++ {
+		duplicates += w.Stats(r).Duplicates
+		retries += w.Stats(r).SendRetries
+	}
+	for n := 0; n < 4; n++ {
+		checkRetries += w.InterconnectStats(n).CheckRetries
+	}
+	b.ReportMetric(faulted.Seconds()/clean.Seconds(), "slowdown-x")
+	b.ReportMetric(float64(retries), "send-retries")
+	b.ReportMetric(float64(duplicates), "dropped-duplicates")
+	b.ReportMetric(float64(checkRetries), "check-retries")
+}
+
+// BenchmarkFaultedOneSided measures graceful degradation: a window view
+// revoked mid-run forces the one-sided layer off its direct path onto the
+// emulation path, and the metric is the cost ratio between the two.
+func BenchmarkFaultedOneSided(b *testing.B) {
+	const n = 32 << 10
+	var direct, degraded time.Duration
+	var degradations int64
+	for i := 0; i < b.N; i++ {
+		run := func(plan *fault.Plan) (time.Duration, int64) {
+			cfg := mpi.DefaultConfig(2, 1)
+			cfg.SCI.Fault = plan
+			var lat time.Duration
+			var degr int64
+			mpi.Run(cfg, func(c *mpi.Comm) {
+				s := osc.NewSystem(c)
+				w := s.CreateShared(c.AllocShared(n), osc.DefaultConfig())
+				w.Fence()
+				c.Proc().Sleep(2 * time.Millisecond)
+				if c.Rank() == 0 {
+					buf := make([]byte, n)
+					start := c.WtimeDuration()
+					w.Put(buf, n, datatype.Byte, 1, 0)
+					lat = c.WtimeDuration() - start
+					degr = w.Stats.Degradations
+				}
+				w.Fence()
+			})
+			return lat, degr
+		}
+		direct, _ = run(nil)
+		degraded, degradations = run(fault.New(*faultSeed).RevokeSegment(1, 1, time.Millisecond))
+	}
+	b.ReportMetric(degraded.Seconds()/direct.Seconds(), "degraded-cost-x")
+	b.ReportMetric(float64(degradations), "degradations")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: events per

@@ -7,6 +7,7 @@ import (
 	"scimpich/internal/memmodel"
 	"scimpich/internal/sci"
 	"scimpich/internal/sim"
+	"scimpich/internal/trace"
 )
 
 // Comm is a rank's handle on the communicator (MPI_COMM_WORLD plus an
@@ -78,6 +79,10 @@ func (c *Comm) Wtime() float64 { return c.p.Now().Seconds() }
 // WtimeDuration returns the virtual time as a duration.
 func (c *Comm) WtimeDuration() time.Duration { return c.p.Now() }
 
+// Tracer returns the world's event tracer (for libraries layered on the
+// runtime that record their own fault/recovery events).
+func (c *Comm) Tracer() *trace.Tracer { return c.w.cfg.Tracer }
+
 // mem returns the node's memory model.
 func (c *Comm) mem() *memmodel.Model { return c.w.cfg.Shm.Mem }
 
@@ -133,4 +138,13 @@ func (w *World) InterconnectStats(node int) sci.Stats {
 		return sci.Stats{}
 	}
 	return w.ic.Node(node).Stats
+}
+
+// NodeAlive reports whether a rank's node is currently up (always true on
+// single-node clusters with no SCI interconnect).
+func (w *World) NodeAlive(rank int) bool {
+	if w.ic == nil {
+		return true
+	}
+	return w.ic.Alive(w.ranks[rank].node)
 }

@@ -23,6 +23,11 @@ type device struct {
 	probes     []*probeReq
 	rdv        map[int64]*rdvRecv
 
+	// lastSeq[src] is the highest envelope sequence number accepted from
+	// src; lower-or-equal arrivals are injected duplicates and dropped
+	// (exactly-once delivery under retransmission faults).
+	lastSeq []int64
+
 	// oscHandler serves envOSC requests (registered by the osc package:
 	// the remote handler that emulates direct access for private windows).
 	oscHandler func(p *sim.Proc, env *envelope)
@@ -38,6 +43,15 @@ type DeviceStats struct {
 	Unexpected  int64
 	BytesRecvd  int64
 	OSCRequests int64
+
+	// Duplicates counts injected retransmissions dropped by the receive
+	// side (sequence check or stale rendezvous chunk).
+	Duplicates int64
+	// SendRetries counts sender-side retransmissions of failed data
+	// deposits (eager slots, rendezvous chunks).
+	SendRetries int64
+	// SendTimeouts counts expired rendezvous control-traffic watchdogs.
+	SendTimeouts int64
 }
 
 // rdvRecv tracks one in-progress rendezvous receive.
@@ -60,9 +74,10 @@ const (
 
 func newDevice(rk *rank) *device {
 	d := &device{
-		rk:    rk,
-		inbox: sim.NewChan(1 << 20),
-		rdv:   make(map[int64]*rdvRecv),
+		rk:      rk,
+		inbox:   sim.NewChan(1 << 20),
+		rdv:     make(map[int64]*rdvRecv),
+		lastSeq: make([]int64, rk.w.size),
 	}
 	d.p = rk.w.engine.GoDaemon(fmt.Sprintf("dev%d", rk.id), d.run)
 	return d
@@ -118,6 +133,15 @@ func (d *device) handlePost(p *sim.Proc, req *recvReq) {
 
 // handleIncoming processes a fresh message-bearing envelope.
 func (d *device) handleIncoming(p *sim.Proc, env *envelope) {
+	if env.seq != 0 {
+		if env.seq <= d.lastSeq[env.src] {
+			d.stats.Duplicates++
+			d.rk.w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("dev%d", d.rk.id), "fault",
+				"dropped duplicate %v from %d (seq %d)", env.kind, env.src, env.seq)
+			return
+		}
+		d.lastSeq[env.src] = env.seq
+	}
 	for i, req := range d.posted {
 		if req.matches(env.src, env.tag, env.ctx) {
 			d.posted = append(d.posted[:i], d.posted[i+1:]...)
@@ -288,8 +312,14 @@ func leafCopies(f *datatype.Flat) int64 {
 // handleRdvData drains one rendezvous chunk into the user buffer.
 func (d *device) handleRdvData(p *sim.Proc, env *envelope) {
 	st, ok := d.rdv[env.reqID]
-	if !ok {
-		panic(fmt.Sprintf("mpi: rank %d: rendezvous data for unknown request %d", d.rk.id, env.reqID))
+	if !ok || env.chunk < st.nextChunk {
+		// A duplicated chunk announcement: either the transfer already
+		// completed (request gone) or the chunk was already drained. Drop
+		// it without a second ack — the sender counted the first one.
+		d.stats.Duplicates++
+		d.rk.w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("dev%d", d.rk.id), "fault",
+			"dropped duplicate rendezvous chunk %d (req %d) from %d", env.chunk, env.reqID, env.src)
+		return
 	}
 	mem := d.rk.ports[env.src].mem
 	off := d.rk.w.rdvOff(env.chunk)

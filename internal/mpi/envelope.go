@@ -71,6 +71,11 @@ type envelope struct {
 	tag      int
 	ctx      int // communicator context
 	bytes    int64
+	// seq is a per-(sender, receiver) sequence number stamped on
+	// message-bearing envelopes so the receiving device can drop injected
+	// duplicates (exactly-once delivery under retransmission faults).
+	// 0 means unsequenced (control traffic).
+	seq int64
 	// type-signature hash of the send datatype (0 when byte-only: the
 	// wildcard raw-buffer idiom).
 	sig uint64

@@ -2,10 +2,13 @@ package mpi
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
 	"scimpich/internal/datatype"
+	"scimpich/internal/fault"
+	"scimpich/internal/sci"
 )
 
 // Fault-injection integration tests: with transmission errors injected at
@@ -124,6 +127,145 @@ func TestFaultyRunsRemainDeterministic(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("faulty runs diverge: %v vs %v", a, b)
+	}
+}
+
+// --- fault.Plan-driven tests: deterministic crashes, duplicates and
+// injected transfer errors across the full protocol stack. ---
+
+// TestNodeCrashMidRendezvousYieldsConnectionLost: a node crash scheduled
+// mid-transfer must surface as a typed sci.ErrConnectionLost at the MPI
+// layer (no hang, no panic), and the receiver's watchdog must fire too.
+func TestNodeCrashMidRendezvousYieldsConnectionLost(t *testing.T) {
+	run := func() (time.Duration, error, error) {
+		cfg := DefaultConfig(2, 1)
+		cfg.SCI.Fault = fault.New(3).CrashNode(1, 500*time.Microsecond)
+		cfg.Protocol.RendezvousTimeout = 300 * time.Microsecond
+		payload := fill(2 << 20) // long enough to straddle the crash
+		var sendErr, recvErr error
+		d := Run(cfg, func(c *Comm) {
+			switch c.Rank() {
+			case 0:
+				sendErr = c.SendChecked(payload, len(payload), datatype.Byte, 1, 0)
+			case 1:
+				dst := make([]byte, len(payload))
+				_, recvErr = c.RecvChecked(dst, len(dst), datatype.Byte, 0, 0, 5*time.Millisecond)
+			}
+		})
+		return d, sendErr, recvErr
+	}
+	d1, sendErr, recvErr := run()
+	var lost sci.ErrConnectionLost
+	if !errors.As(sendErr, &lost) {
+		t.Fatalf("send error = %v, want sci.ErrConnectionLost", sendErr)
+	}
+	if lost.To != 1 {
+		t.Errorf("connection lost toward node %d, want 1", lost.To)
+	}
+	if recvErr == nil {
+		t.Error("receiver completed despite its own node crashing mid-transfer")
+	}
+	d2, sendErr2, _ := run()
+	if d1 != d2 || !errors.As(sendErr2, &lost) {
+		t.Errorf("same-seed crash runs diverge: %v/%v vs %v/%v", d1, sendErr, d2, sendErr2)
+	}
+}
+
+// TestDuplicateInjectionExactlyOnce: with control packets randomly
+// retransmitted, the per-peer sequence numbers must drop every duplicate so
+// each message is delivered exactly once with intact contents.
+func TestDuplicateInjectionExactlyOnce(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.SCI.Fault = fault.New(7).WithDuplicates(0.4)
+	sizes := []int{64, 4 << 10, 256 << 10} // short, eager, rendezvous
+	var w *World
+	Run(cfg, func(c *Comm) {
+		if c.Rank() == 0 {
+			w = c.World()
+		}
+		for round := 0; round < 4; round++ {
+			for _, size := range sizes {
+				src := fill(size)
+				switch c.Rank() {
+				case 0:
+					c.Send(src, size, datatype.Byte, 1, round)
+				case 1:
+					dst := make([]byte, size)
+					st := c.Recv(dst, size, datatype.Byte, 0, round)
+					if !bytes.Equal(dst, src) {
+						t.Errorf("round %d size %d: contents corrupted under duplicates", round, size)
+					}
+					if st.Bytes != int64(size) {
+						t.Errorf("round %d size %d: status reports %d bytes", round, size, st.Bytes)
+					}
+				}
+			}
+		}
+	})
+	var dropped int64
+	for r := 0; r < 2; r++ {
+		dropped += w.Stats(r).Duplicates
+	}
+	if dropped == 0 {
+		t.Error("no duplicates dropped at a 40% duplication rate")
+	}
+}
+
+// TestEagerRetryBackoff: injected CRC/sequence errors on the eager deposit
+// path are retried with backoff and counted, and the data still arrives
+// intact.
+func TestEagerRetryBackoff(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.SCI.Fault = fault.New(9).WithWriteErrors(0.3)
+	cfg.SCI.RetryLatency = 20 * time.Microsecond
+	src := fill(8 << 10) // eager-sized
+	var w *World
+	Run(cfg, func(c *Comm) {
+		if c.Rank() == 0 {
+			w = c.World()
+		}
+		for i := 0; i < 8; i++ {
+			switch c.Rank() {
+			case 0:
+				if err := c.SendChecked(src, len(src), datatype.Byte, 1, i); err != nil {
+					t.Errorf("send %d failed despite retry budget: %v", i, err)
+				}
+			case 1:
+				dst := make([]byte, len(src))
+				c.Recv(dst, len(dst), datatype.Byte, 0, i)
+				if !bytes.Equal(dst, src) {
+					t.Errorf("send %d: contents corrupted under injected write errors", i)
+				}
+			}
+		}
+	})
+	if w.Stats(0).SendRetries == 0 {
+		t.Error("no send retries recorded at a 30% write-error rate")
+	}
+	if w.InterconnectStats(0).TransferErrors == 0 {
+		t.Error("no transfer errors recorded in the adapter stats")
+	}
+}
+
+// TestRendezvousTimeoutWithoutReceiver: a rendezvous toward a live peer
+// that never posts a receive must trip the watchdog with a typed Timeout
+// fault instead of hanging the sender forever.
+func TestRendezvousTimeoutWithoutReceiver(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.Protocol.RendezvousTimeout = 200 * time.Microsecond
+	payload := fill(256 << 10)
+	var sendErr error
+	Run(cfg, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			sendErr = c.SendChecked(payload, len(payload), datatype.Byte, 1, 0)
+		case 1:
+			c.Proc().Sleep(2 * time.Millisecond) // never posts the receive
+		}
+	})
+	var fe *fault.Error
+	if !errors.As(sendErr, &fe) || fe.Kind != fault.Timeout {
+		t.Fatalf("send error = %v, want fault.Timeout", sendErr)
 	}
 }
 

@@ -1,6 +1,8 @@
 package mpi
 
 import (
+	"time"
+
 	"scimpich/internal/sim"
 	"scimpich/internal/smi"
 )
@@ -40,6 +42,27 @@ func (c *Comm) OSCCall(target int, req any, interrupt bool) any {
 	}, interrupt)
 	env := c.p.Recv(reply).(*envelope)
 	return env.osc
+}
+
+// OSCCallTimeout is OSCCall with a watchdog: it returns (reply, true) on
+// success, or (nil, false) if no reply arrives within timeout (virtual
+// time) — the target's node having crashed, for instance. A timeout of 0
+// waits forever (always returning ok).
+func (c *Comm) OSCCallTimeout(target int, req any, interrupt bool, timeout time.Duration) (any, bool) {
+	if timeout <= 0 {
+		return c.OSCCall(target, req, interrupt), true
+	}
+	reply := sim.NewChan(1)
+	c.w.ring(c.p, c.rk.id, target, &envelope{
+		kind: envOSC, src: c.rk.id, dst: target,
+		osc: req, reply: reply,
+	}, interrupt)
+	v, ok := c.p.RecvTimeout(reply, timeout)
+	if !ok {
+		c.rk.dev.stats.SendTimeouts++
+		return nil, false
+	}
+	return v.(*envelope).osc, true
 }
 
 // OSCNotify invokes the remote handler without waiting for a reply.

@@ -86,7 +86,9 @@ func (c *Comm) Ssend(buf []byte, count int, dt *datatype.Type, dst, tag int) {
 		panic("mpi: synchronous self-send would deadlock")
 	}
 	bytes := dt.Size() * int64(count)
-	c.sendRendezvousTo(buf, count, dt, worldDst, tag, c.ctx, bytes)
+	if err := c.sendRendezvousTo(buf, count, dt, worldDst, tag, c.ctx, bytes); err != nil {
+		panic(err)
+	}
 }
 
 // Alltoallv is the variable-count all-to-all (MPI_Alltoallv): the slice for

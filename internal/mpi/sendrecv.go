@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"scimpich/internal/datatype"
+	"scimpich/internal/fault"
 	"scimpich/internal/pack"
+	"scimpich/internal/sci"
 	"scimpich/internal/sim"
 	"scimpich/internal/smi"
 )
@@ -19,8 +21,22 @@ func genericTraversalPenalty(blocks int64) time.Duration {
 
 // Send transmits count instances of dt from buf to rank dst with the given
 // tag, blocking (in virtual time) until the user buffer is reusable.
+// Unrecoverable transfer failures (a crashed peer node under an active
+// fault plan) panic; use SendChecked to handle them as errors.
 func (c *Comm) Send(buf []byte, count int, dt *datatype.Type, dst, tag int) {
-	c.send(buf, count, dt, dst, tag, c.ctx)
+	if err := c.send(buf, count, dt, dst, tag, c.ctx); err != nil {
+		panic(err)
+	}
+}
+
+// SendChecked is Send returning transfer failures as typed errors: a
+// crashed peer node yields sci.ErrConnectionLost, an expired rendezvous
+// watchdog (ProtocolConfig.RendezvousTimeout) a *fault.Error of kind
+// Timeout, and persistent injected transfer errors their fault kind.
+// Transient faults are retried with exponential backoff before any error
+// is surfaced (ProtocolConfig.SendRetryMax / SendBackoff).
+func (c *Comm) SendChecked(buf []byte, count int, dt *datatype.Type, dst, tag int) error {
+	return c.send(buf, count, dt, dst, tag, c.ctx)
 }
 
 // sendSig returns the envelope signature of a datatype (0 for the
@@ -33,7 +49,7 @@ func sendSig(dt *datatype.Type) uint64 {
 	return sig
 }
 
-func (c *Comm) send(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int) {
+func (c *Comm) send(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int) error {
 	p := c.p
 	w := c.rk.w
 	proto := w.protocol()
@@ -53,16 +69,60 @@ func (c *Comm) send(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int)
 			kind: envShort, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
 			bytes: bytes, payload: payload, sig: sendSig(dt),
 		}, false)
-		return
+		return nil
 	}
 
 	switch {
 	case bytes <= proto.ShortMax:
-		c.sendShort(buf, count, dt, dst, tag, ctx, bytes)
+		return c.sendShort(buf, count, dt, dst, tag, ctx, bytes)
 	case bytes <= proto.EagerMax:
-		c.sendEager(buf, count, dt, dst, tag, ctx, bytes)
+		return c.sendEager(buf, count, dt, dst, tag, ctx, bytes)
 	default:
-		c.sendRendezvous(buf, count, dt, dst, tag, ctx, bytes)
+		return c.sendRendezvous(buf, count, dt, dst, tag, ctx, bytes)
+	}
+}
+
+// peerLost reports whether the destination rank's node is currently down,
+// as the typed connection error (nil otherwise).
+func (c *Comm) peerLost(dst int) error {
+	w := c.rk.w
+	if w.ic == nil {
+		return nil
+	}
+	node := w.ranks[dst].node
+	if node == c.rk.node || w.ic.Alive(node) {
+		return nil
+	}
+	return sci.ErrConnectionLost{From: c.rk.node, To: node}
+}
+
+// retryTransfer runs a fallible data deposit, retrying retryable injected
+// faults with exponential backoff (SendRetryMax attempts, SendBackoff
+// initial delay) before surfacing the error.
+func (c *Comm) retryTransfer(dst int, op func() error) error {
+	proto := c.rk.w.protocol()
+	max := proto.SendRetryMax
+	if max <= 0 {
+		max = 6
+	}
+	backoff := proto.SendBackoff
+	if backoff <= 0 {
+		backoff = 20 * time.Microsecond
+	}
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		fe, ok := err.(*fault.Error)
+		if !ok || !fe.Retryable() || attempt >= max {
+			return err
+		}
+		c.rk.dev.stats.SendRetries++
+		c.rk.w.cfg.Tracer.Record(c.p.Now(), fmt.Sprintf("rank%d", c.rk.id), "fault",
+			"deposit to %d failed (%v), retry %d after %v", dst, fe.Kind, attempt+1, backoff)
+		c.p.Sleep(backoff)
+		backoff *= 2
 	}
 }
 
@@ -97,7 +157,10 @@ func (c *Comm) chargePackBlocks(st pack.Stats, ff bool) {
 }
 
 // sendShort carries the payload inline in the control packet.
-func (c *Comm) sendShort(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) {
+func (c *Comm) sendShort(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) error {
+	if err := c.peerLost(dst); err != nil {
+		return err
+	}
 	payload := c.packCanonical(buf, count, dt, bytes)
 	w := c.rk.w
 	// Charge the wire cost of the payload riding along the control packet.
@@ -112,41 +175,82 @@ func (c *Comm) sendShort(buf []byte, count int, dt *datatype.Type, dst, tag, ctx
 		kind: envShort, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
 		bytes: bytes, payload: payload, sig: sendSig(dt),
 	}, false)
+	return nil
 }
 
 // sendEager deposits the message in a preallocated eager slot at the
-// receiver and announces it.
-func (c *Comm) sendEager(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) {
+// receiver and announces it. Failed deposits are retried with backoff; a
+// persistent failure returns the eager credit and surfaces the error.
+func (c *Comm) sendEager(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) error {
 	w := c.rk.w
 	out := c.rk.out[dst]
 	slot := c.p.Recv(out.credits).(int) // eager flow control
 	off := w.eagerOff(slot)
-	if dt.Contiguous() {
-		out.mem.WriteStream(c.p, off, buf[:bytes], bytes)
-	} else {
+	var payload []byte
+	if !dt.Contiguous() {
 		// Canonical pack into a scratch buffer, then one streamed write
 		// (eager messages cannot negotiate ff: the receive type is not
 		// known yet).
-		payload := c.packCanonical(buf, count, dt, bytes)
-		out.mem.WriteStream(c.p, off, payload, bytes)
+		payload = c.packCanonical(buf, count, dt, bytes)
 	}
-	out.mem.Sync(c.p)
+	err := c.retryTransfer(dst, func() error {
+		if err := c.peerLost(dst); err != nil {
+			return err
+		}
+		src := payload
+		if src == nil {
+			src = buf[:bytes]
+		}
+		if err := out.mem.TryWriteStream(c.p, off, src, bytes); err != nil {
+			return err
+		}
+		return out.mem.TrySync(c.p)
+	})
+	if err != nil {
+		sim.Post(out.credits, slot) // the slot was never announced
+		return err
+	}
 	w.ring(c.p, c.rk.id, dst, &envelope{
 		kind: envEager, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
 		bytes: bytes, slot: slot, sig: sendSig(dt),
 	}, false)
+	return nil
 }
 
 // sendRendezvousTo is sendRendezvous with a pre-translated world rank (the
 // synchronous-send entry point).
-func (c *Comm) sendRendezvousTo(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) {
-	c.sendRendezvous(buf, count, dt, dst, tag, ctx, bytes)
+func (c *Comm) sendRendezvousTo(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) error {
+	return c.sendRendezvous(buf, count, dt, dst, tag, ctx, bytes)
+}
+
+// recvCtl waits for the next rendezvous control packet from dst, bounded by
+// the rendezvous watchdog (ProtocolConfig.RendezvousTimeout; 0 waits
+// forever). On expiry the peer's liveness decides the error: a dead node
+// yields sci.ErrConnectionLost, otherwise a *fault.Error of kind Timeout.
+func (c *Comm) recvCtl(reply *sim.Chan, dst int) (*envelope, error) {
+	to := c.rk.w.protocol().RendezvousTimeout
+	if to <= 0 {
+		return c.p.Recv(reply).(*envelope), nil
+	}
+	v, ok := c.p.RecvTimeout(reply, to)
+	if !ok {
+		c.rk.dev.stats.SendTimeouts++
+		c.rk.w.cfg.Tracer.Record(c.p.Now(), fmt.Sprintf("rank%d", c.rk.id), "fault",
+			"rendezvous watchdog expired waiting on %d after %v", dst, to)
+		if err := c.peerLost(dst); err != nil {
+			return nil, err
+		}
+		return nil, &fault.Error{Kind: fault.Timeout, From: c.rk.id, To: dst, At: c.p.Now()}
+	}
+	return v.(*envelope), nil
 }
 
 // sendRendezvous performs the handshaked large-message transfer, packing
 // each chunk directly into the receiver's rendezvous buffer (direct_pack_ff
-// when both sides agree) or through the generic pipeline.
-func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) {
+// when both sides agree) or through the generic pipeline. Chunk deposits
+// retry transient injected faults with backoff; control-packet waits are
+// bounded by the rendezvous watchdog.
+func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) error {
 	w := c.rk.w
 	proto := w.protocol()
 	out := c.rk.out[dst]
@@ -155,6 +259,9 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 	p.Lock(out.rdvLock)
 	defer p.Unlock(out.rdvLock)
 
+	if err := c.peerLost(dst); err != nil {
+		return err
+	}
 	reply := sim.NewChan(16)
 	reqID := c.rk.nextReqID()
 	var fp uint64
@@ -165,7 +272,10 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 		kind: envRdvReq, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
 		bytes: bytes, reqID: reqID, fingerprt: fp, reply: reply, sig: sendSig(dt),
 	}, false)
-	cts := p.Recv(reply).(*envelope)
+	cts, err := c.recvCtl(reply, dst)
+	if err != nil {
+		return err
+	}
 	if cts.kind != envRdvCTS {
 		panic(fmt.Sprintf("mpi: expected CTS, got %v", cts.kind))
 	}
@@ -177,7 +287,10 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 	for chunk := 0; chunk < nChunks; chunk++ {
 		// Double-buffered slots: wait for the ack freeing slot chunk-2.
 		for chunk-acked >= 2 {
-			ack := p.Recv(reply).(*envelope)
+			ack, err := c.recvCtl(reply, dst)
+			if err != nil {
+				return err
+			}
 			if ack.kind != envRdvAck {
 				panic(fmt.Sprintf("mpi: expected chunk ack, got %v", ack.kind))
 			}
@@ -189,35 +302,52 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 			n = bytes - skip
 		}
 		off := w.rdvOff(chunk)
-		c.packChunkInto(out.mem, off, buf, count, dt, skip, n, mode)
-		out.mem.Sync(p) // store barrier: data complete before the flag
+		err := c.retryTransfer(dst, func() error {
+			if err := c.peerLost(dst); err != nil {
+				return err
+			}
+			if err := c.packChunkInto(out.mem, off, buf, count, dt, skip, n, mode); err != nil {
+				return err
+			}
+			return out.mem.TrySync(p) // store barrier: data complete before the flag
+		})
+		if err != nil {
+			return err
+		}
 		w.ring(p, c.rk.id, dst, &envelope{
 			kind: envRdvData, src: c.rk.id, dst: dst,
 			reqID: reqID, chunk: chunk, chunkLen: n, reply: reply,
 		}, false)
 	}
 	for acked < nChunks {
-		ack := p.Recv(reply).(*envelope)
+		ack, err := c.recvCtl(reply, dst)
+		if err != nil {
+			return err
+		}
 		if ack.kind != envRdvAck {
 			panic(fmt.Sprintf("mpi: expected chunk ack, got %v", ack.kind))
 		}
 		acked++
 	}
+	return nil
 }
 
-// packChunkInto moves one rendezvous chunk into the receiver's buffer.
-func (c *Comm) packChunkInto(mem smi.Mem, off int64, buf []byte, count int, dt *datatype.Type, skip, n int64, mode rdvMode) {
+// packChunkInto moves one rendezvous chunk into the receiver's buffer,
+// surfacing injected transfer faults for the caller to retry.
+func (c *Comm) packChunkInto(mem smi.Mem, off int64, buf []byte, count int, dt *datatype.Type, skip, n int64, mode rdvMode) error {
 	switch {
 	case dt.Contiguous():
 		if min := c.rk.w.protocol().DMAMin; min > 0 && n >= min {
 			if fut, ok := mem.DMAWrite(c.p, off, buf[skip:skip+n]); ok {
 				// The CPU is free during the transfer; the protocol simply
 				// waits for the engine before signalling the chunk.
-				c.p.Await(fut)
-				return
+				if v := c.p.Await(fut); v != nil {
+					return v.(error)
+				}
+				return nil
 			}
 		}
-		mem.WriteStream(c.p, off, buf[skip:skip+n], dt.Size()*int64(count))
+		return mem.TryWriteStream(c.p, off, buf[skip:skip+n], dt.Size()*int64(count))
 	case mode == rdvFF && c.rk.w.protocol().UseFF:
 		// direct_pack_ff: pack straight into the (possibly remote) buffer.
 		// The working set per handshake cycle is the chunk plus its gaps
@@ -225,13 +355,13 @@ func (c *Comm) packChunkInto(mem smi.Mem, off int64, buf []byte, count int, dt *
 		bw := mem.BlockWriter(c.p, 2*n)
 		sink := offsetSink{w: bw, base: off}
 		pack.FFPack(sink, buf, dt, count, skip, n)
-		bw.Flush()
+		return bw.TryFlush()
 	default:
 		// Generic baseline: local pack, then one streamed copy.
 		scratch := make([]byte, n)
 		_, st := pack.GenericPack(scratch, buf, dt, count, skip, n)
 		c.chargePackBlocks(st, false)
-		mem.WriteStream(c.p, off, scratch, n)
+		return mem.TryWriteStream(c.p, off, scratch, n)
 	}
 }
 
@@ -255,6 +385,32 @@ func (c *Comm) Recv(buf []byte, count int, dt *datatype.Type, src, tag int) *Sta
 func (c *Comm) recv(buf []byte, count int, dt *datatype.Type, src, tag, ctx int) *Status {
 	r := c.irecv(buf, count, dt, src, tag, ctx)
 	return r.Wait()
+}
+
+// RecvChecked is Recv with a watchdog: if no matching message arrives
+// within timeout (virtual time) it returns a *fault.Error of kind Timeout —
+// or sci.ErrConnectionLost when a specific source rank's node is down —
+// instead of blocking forever. A timeout of 0 waits indefinitely.
+func (c *Comm) RecvChecked(buf []byte, count int, dt *datatype.Type, src, tag int, timeout time.Duration) (*Status, error) {
+	r := c.irecv(buf, count, dt, src, tag, c.ctx)
+	if timeout <= 0 {
+		return r.Wait(), nil
+	}
+	v, ok := c.p.AwaitTimeout(r.done, timeout)
+	if !ok {
+		c.rk.dev.stats.SendTimeouts++
+		c.rk.w.cfg.Tracer.Record(c.p.Now(), fmt.Sprintf("rank%d", c.rk.id), "fault",
+			"receive watchdog expired (src %d tag %d) after %v", src, tag, timeout)
+		if src != AnySource {
+			if err := c.peerLost(c.worldRank(src)); err != nil {
+				return nil, err
+			}
+		}
+		return nil, &fault.Error{Kind: fault.Timeout, From: c.rk.id, To: src, At: c.p.Now()}
+	}
+	st := *v.(*Status)
+	st.Source = c.localRank(st.Source)
+	return &st, nil
 }
 
 // Request is a handle on an outstanding nonblocking operation.
@@ -311,7 +467,9 @@ func (c *Comm) Isend(buf []byte, count int, dt *datatype.Type, dst, tag int) *Re
 	c.rk.w.engine.Go(fmt.Sprintf("isend%d->%d", c.rk.id, dst), func(p *sim.Proc) {
 		h := helper
 		h.p = p
-		h.send(buf, count, dt, dst, tag, c.ctx)
+		if err := h.send(buf, count, dt, dst, tag, c.ctx); err != nil {
+			panic(err)
+		}
 		done.Complete(nil)
 	})
 	return &Request{p: c.p, c: c, done: done}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"scimpich/internal/fault"
 	"scimpich/internal/flow"
 	"scimpich/internal/nic"
 	"scimpich/internal/sci"
@@ -54,6 +55,19 @@ type ProtocolConfig struct {
 	HandlerLatency time.Duration
 	// CallOverhead is the software cost of entering an MPI call.
 	CallOverhead time.Duration
+
+	// RendezvousTimeout bounds each wait for rendezvous control traffic
+	// (CTS, chunk acks). 0 waits forever (the legacy behaviour); with a
+	// timeout, an expired wait surfaces as sci.ErrConnectionLost when the
+	// peer's node is down, or a fault.Timeout error otherwise, instead of
+	// hanging the simulation.
+	RendezvousTimeout time.Duration
+	// SendRetryMax bounds the retransmission attempts of a failed data
+	// deposit (eager slot write, rendezvous chunk) before the typed error
+	// is surfaced; SendBackoff is the initial backoff, doubled per retry.
+	SendRetryMax int
+	// SendBackoff is the initial retry backoff (doubled each attempt).
+	SendBackoff time.Duration
 }
 
 // DefaultProtocol returns the SCI-MPICH-like protocol parameters.
@@ -68,6 +82,10 @@ func DefaultProtocol() ProtocolConfig {
 		FFMinBlock:      0,
 		HandlerLatency:  500 * time.Nanosecond,
 		CallOverhead:    250 * time.Nanosecond,
+
+		RendezvousTimeout: 0, // wait forever unless a run opts into watchdogs
+		SendRetryMax:      6,
+		SendBackoff:       20 * time.Microsecond,
 	}
 }
 
@@ -170,6 +188,7 @@ type sendPort struct {
 	rdvLock *sim.Mutex // serializes rendezvous transfers on this pair
 	oscLock *sim.Mutex // serializes one-sided staging on this pair
 	slot    int        // next eager slot (round-robin, guarded by credits)
+	msgSeq  int64      // sequence stamp for message-bearing envelopes
 }
 
 func (w *World) protocol() *ProtocolConfig { return &w.cfg.Protocol }
@@ -202,6 +221,10 @@ func newWorld(e *sim.Engine, cfg Config) *World {
 	if cfg.Nodes > 1 {
 		switch cfg.Kind {
 		case InterconnectSCI:
+			if cfg.SCI.Tracer == nil {
+				cfg.SCI.Tracer = cfg.Tracer
+			}
+			w.cfg.SCI.Tracer = cfg.SCI.Tracer
 			w.ic = sci.New(e, cfg.SCI)
 		case InterconnectNIC:
 			w.nicNet = nic.New(e, cfg.Nodes, cfg.NIC)
@@ -317,12 +340,53 @@ func (w *World) ring(p *sim.Proc, src, dst int, env *envelope, interrupt bool) {
 	}
 	cfg := &w.cfg.SCI
 	p.Sleep(cfg.WriteIssueOverhead + sim.RateDuration(envelopeWireBytes, cfg.PIOWritePeakBW))
+	if w.ic != nil && (!w.ic.Alive(from.node) || !w.ic.Alive(to.node)) {
+		// A crashed endpoint black-holes the control packet: the sender has
+		// paid the issue cost but nothing arrives. Recovery layers detect
+		// this via watchdog timeouts, not via a magic error here.
+		w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("rank%d", src), "fault",
+			"control packet %v -> %d dropped (node down)", env.kind, dst)
+		return
+	}
+	if dedupable(env.kind) {
+		out := from.out[dst]
+		out.msgSeq++
+		env.seq = out.msgSeq
+	}
 	delay := cfg.PIOWriteLatency
 	if interrupt {
 		delay += cfg.InterruptLatency
 	}
 	inbox := to.dev.inbox
 	w.engine.After(delay, func() { sim.Post(inbox, env) })
+	if w.plan().DrawDuplicate() && dedupable(env.kind) {
+		// Injected retransmission: the same packet arrives a second time one
+		// retry latency later. The receiving device must stay exactly-once.
+		w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("rank%d", src), "fault",
+			"duplicated %v envelope -> %d (seq %d)", env.kind, dst, env.seq)
+		w.engine.After(delay+cfg.RetryLatency, func() { sim.Post(inbox, env) })
+	}
+}
+
+// dedupable reports whether an envelope kind carries a message the
+// receiving device can recognize as a duplicate (sequence-numbered kinds
+// plus rendezvous data chunks, deduped by chunk index). Control replies
+// (CTS/acks) are never duplicated by the injector: the sender counts them.
+func dedupable(k envKind) bool {
+	switch k {
+	case envShort, envEager, envRdvReq, envRdvData:
+		return true
+	}
+	return false
+}
+
+// plan returns the SCI fault plan (nil without one; Plan queries are
+// nil-safe).
+func (w *World) plan() *fault.Plan {
+	if w.ic == nil {
+		return nil
+	}
+	return w.ic.Plan()
 }
 
 // envelopeWireBytes is the size of a control packet on the wire.

@@ -27,6 +27,8 @@ const (
 	reqUnlock
 	reqPost
 	reqComplete
+	// reqFence announces a rank's arrival at a checked fence round.
+	reqFence
 )
 
 // oscReq is a one-sided handler request.
@@ -40,6 +42,7 @@ type oscReq struct {
 	dt     *datatype.Type
 	count  int
 	op     mpi.Op
+	round  int // checked-fence round number (reqFence)
 }
 
 // oscReply is the handler's answer.
@@ -84,6 +87,8 @@ func (s *System) handle(p *sim.Proc, src int, req any) any {
 		sim.Post(w.postQ, src)
 	case reqComplete:
 		sim.Post(w.completeQ, src)
+	case reqFence:
+		sim.Post(w.fenceQ, r.round)
 	default:
 		panic(fmt.Sprintf("osc: unknown request kind %d", r.kind))
 	}

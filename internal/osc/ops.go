@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"scimpich/internal/datatype"
+	"scimpich/internal/fault"
 	"scimpich/internal/mpi"
 	"scimpich/internal/pack"
+	"scimpich/internal/sim"
 )
 
 // The data operations. All take the origin buffer, an element count and
@@ -32,28 +34,56 @@ func (w *Win) Put(buf []byte, count int, dt *datatype.Type, target int, targetOf
 		w.localApply(buf, count, dt, targetOff, false)
 		return
 	}
-	if w.isShared[target] {
-		// Direct transparent remote write.
-		w.Stats.DirectPuts++
-		view := w.views[target]
-		if dt.Contiguous() {
-			stride := w.estimateStride(target, targetOff, n)
-			view.WritePut(p, targetOff, buf[:n], n, stride)
+	if w.isShared[target] && !w.degraded[target] {
+		// Direct transparent remote write. A failing view (segment revoked,
+		// persistent transfer faults) degrades to the emulation path below.
+		if err := w.tryDirectPut(p, buf, count, dt, target, targetOff, n, span); err == nil {
+			w.Stats.DirectPuts++
 			return
+		} else {
+			w.degrade(target, err)
 		}
-		// Mirror the layout: deposit every block at its own displacement
-		// (the direct_pack machinery writing into the window).
-		bw := view.BlockWriter(p, span)
-		pack.Walk(dt, count, func(off, size int64) {
-			bw.Write(targetOff+off, buf[off:off+size])
-		})
-		bw.Flush()
-		return
 	}
 	// Emulation: stage the linearized data into the pair's staging area
 	// and invoke the remote handler.
 	w.Stats.EmulatedPuts++
 	w.emulatedPut(buf, count, dt, target, targetOff, n)
+}
+
+// tryDirectPut deposits through the transparent remote view, retrying
+// transient injected faults before reporting failure.
+func (w *Win) tryDirectPut(p *sim.Proc, buf []byte, count int, dt *datatype.Type, target int, targetOff, n, span int64) error {
+	view := w.views[target]
+	if dt.Contiguous() {
+		stride := w.estimateStride(target, targetOff, n)
+		return w.retryDirect(func() error {
+			return view.TryWritePut(p, targetOff, buf[:n], n, stride)
+		})
+	}
+	// Mirror the layout: deposit every block at its own displacement
+	// (the direct_pack machinery writing into the window).
+	return w.retryDirect(func() error {
+		bw := view.BlockWriter(p, span)
+		pack.Walk(dt, count, func(off, size int64) {
+			bw.Write(targetOff+off, buf[off:off+size])
+		})
+		return bw.TryFlush()
+	})
+}
+
+// retryDirect runs a fallible direct-view access, retrying retryable
+// injected faults a few times before handing the error to degrade().
+func (w *Win) retryDirect(op func() error) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if fe, ok := err.(*fault.Error); !ok || !fe.Retryable() {
+			return err
+		}
+	}
+	return err
 }
 
 // estimateStride watches successive puts to reconstruct the access stride
@@ -160,23 +190,42 @@ func (w *Win) Get(buf []byte, count int, dt *datatype.Type, target int, targetOf
 		w.localApply(buf, count, dt, targetOff, true)
 		return
 	}
-	if w.isShared[target] && n <= w.cfg.GetDirectMax {
-		// Direct transparent remote read: the CPU stalls per block.
-		w.Stats.DirectGets++
-		view := w.views[target]
-		if dt.Contiguous() {
-			view.Read(p, targetOff, buf[:n])
+	if w.isShared[target] && !w.degraded[target] && n <= w.cfg.GetDirectMax {
+		// Direct transparent remote read: the CPU stalls per block. A
+		// failing view degrades to the remote-put path below, which rereads
+		// the whole amount.
+		if err := w.tryDirectGet(p, buf, count, dt, target, targetOff, n); err == nil {
+			w.Stats.DirectGets++
 			return
+		} else {
+			w.degrade(target, err)
 		}
-		pack.Walk(dt, count, func(off, size int64) {
-			view.Read(p, targetOff+off, buf[off:off+size])
-		})
-		return
 	}
 	// Remote-put: the handler at the target writes the data into this
 	// process's staging area (its own address space view of us).
 	w.Stats.RemotePuts++
 	w.remotePutGet(buf, count, dt, target, targetOff, n)
+}
+
+// tryDirectGet reads through the transparent remote view, retrying
+// transient injected faults before reporting failure.
+func (w *Win) tryDirectGet(p *sim.Proc, buf []byte, count int, dt *datatype.Type, target int, targetOff, n int64) error {
+	view := w.views[target]
+	if dt.Contiguous() {
+		return w.retryDirect(func() error {
+			return view.TryRead(p, targetOff, buf[:n])
+		})
+	}
+	return w.retryDirect(func() error {
+		var err error
+		pack.Walk(dt, count, func(off, size int64) {
+			if err != nil {
+				return
+			}
+			err = view.TryRead(p, targetOff+off, buf[off:off+size])
+		})
+		return err
+	})
 }
 
 // remotePutGet drains a get through the staging area in chunks.

@@ -10,6 +10,24 @@ import (
 // an epoch; the library optimizes across the epoch boundary (store barriers
 // are issued at the closing call, not per access).
 
+// ErrSyncTimeout reports a checked synchronization call (FenceChecked,
+// LockChecked) that waited longer than Config.SyncTimeout for a peer —
+// typically because its node crashed mid-epoch.
+type ErrSyncTimeout struct {
+	Op     string // "fence" or "lock"
+	Win    int
+	Target int // locked target rank, or -1 for fence
+	Waited time.Duration
+}
+
+func (e ErrSyncTimeout) Error() string {
+	if e.Target >= 0 {
+		return fmt.Sprintf("osc: %s on window %d timed out after %v waiting for rank %d",
+			e.Op, e.Win, e.Waited, e.Target)
+	}
+	return fmt.Sprintf("osc: %s on window %d timed out after %v", e.Op, e.Win, e.Waited)
+}
+
 // Fence closes the current access epoch (completing all outstanding posted
 // stores with a store barrier), synchronizes all ranks barrier-style, and
 // opens the next epoch (MPI_Win_fence).
@@ -21,15 +39,72 @@ func (w *Win) Fence() {
 	w.resetPattern()
 }
 
+// FenceChecked is Fence with a watchdog: instead of the collective barrier
+// (which deadlocks if a peer crashed), every rank announces its fence
+// arrival to all others and waits for the full round with a bounded wait.
+// Waiting longer than Config.SyncTimeout for any peer returns an
+// ErrSyncTimeout; with SyncTimeout zero it waits forever. All ranks of the
+// window must use FenceChecked for the same fence (the announcement rounds
+// are counted separately from plain Fence barriers).
+func (w *Win) FenceChecked() error {
+	w.Stats.Fences++
+	w.syncViews()
+	c := w.sys.c
+	p := c.Proc()
+	w.fenceRound++
+	round := w.fenceRound
+	me := c.Rank()
+	for r := 0; r < c.Size(); r++ {
+		if r != me {
+			c.OSCNotify(c.GroupToWorld(r), &oscReq{kind: reqFence, win: w.id, round: round}, false)
+		}
+	}
+	need := c.Size() - 1
+	var waited time.Duration
+	for w.pendingFence[round] < need {
+		if w.cfg.SyncTimeout <= 0 {
+			w.pendingFence[p.Recv(w.fenceQ).(int)]++
+			continue
+		}
+		remaining := w.cfg.SyncTimeout - waited
+		if remaining <= 0 {
+			w.Stats.SyncTimeouts++
+			c.Tracer().Record(p.Now(), fmt.Sprintf("rank%d", c.WorldRank()), "fault",
+				"window %d: fence round %d timed out (%d/%d peers)", w.id, round, w.pendingFence[round], need)
+			return ErrSyncTimeout{Op: "fence", Win: w.id, Target: -1, Waited: waited}
+		}
+		before := p.Now()
+		v, ok := p.RecvTimeout(w.fenceQ, remaining)
+		waited += p.Now() - before
+		if !ok {
+			w.Stats.SyncTimeouts++
+			c.Tracer().Record(p.Now(), fmt.Sprintf("rank%d", c.WorldRank()), "fault",
+				"window %d: fence round %d timed out (%d/%d peers)", w.id, round, w.pendingFence[round], need)
+			return ErrSyncTimeout{Op: "fence", Win: w.id, Target: -1, Waited: waited}
+		}
+		w.pendingFence[v.(int)]++
+	}
+	delete(w.pendingFence, round)
+	w.ep = epochFence
+	w.resetPattern()
+	return nil
+}
+
 // syncViews guarantees delivery of every posted store this rank issued
 // into the window (one store barrier covers all SCI traffic of the node).
+// A view whose transfer check fails persistently is degraded to the
+// emulation path and the next healthy view carries the barrier.
 func (w *Win) syncViews() {
 	p := w.sys.c.Proc()
 	for r, v := range w.views {
-		if v != nil && r != w.sys.c.Rank() && v.Remote() {
-			v.Sync(p)
-			return // one barrier flushes the whole adapter
+		if v == nil || r == w.sys.c.Rank() || !v.Remote() || w.degraded[r] {
+			continue
 		}
+		if err := v.TrySync(p); err != nil {
+			w.degrade(r, err)
+			continue // the next healthy view still flushes the adapter
+		}
+		return // one barrier flushes the whole adapter
 	}
 }
 
@@ -132,6 +207,67 @@ func (w *Win) Lock(target int) {
 	w.ep = epochLock
 	w.lockHeld = target
 	w.resetPattern()
+}
+
+// LockChecked is Lock with a watchdog: it polls for the lock (and, for
+// shared windows, the target node's liveness) and gives up with an
+// ErrSyncTimeout after Config.SyncTimeout instead of blocking forever on a
+// crashed or lock-hogging target. With SyncTimeout zero it behaves like
+// Lock. On success the epoch is open exactly as after Lock.
+func (w *Win) LockChecked(target int) error {
+	if w.ep != epochNone {
+		panic("osc: Lock inside another access epoch")
+	}
+	if w.cfg.SyncTimeout <= 0 {
+		w.Lock(target)
+		return nil
+	}
+	w.Stats.Locks++
+	c := w.sys.c
+	p := c.Proc()
+	world := c.GroupToWorld(target)
+	var waited time.Duration
+	backoff := 5 * time.Microsecond
+	for {
+		start := p.Now()
+		if w.isShared[target] {
+			// A dead target node cannot serve its exported lock; keep
+			// polling (it may be restored) until the watchdog expires.
+			if c.World().NodeAlive(world) {
+				if target != c.Rank() {
+					p.Sleep(c.World().LockLatency(world, c.WorldRank()))
+				}
+				if w.sharedLocks[target].TryLock() {
+					break
+				}
+			}
+		} else {
+			rep, ok := c.OSCCallTimeout(world, &oscReq{kind: reqLockTry, win: w.id}, true, w.cfg.SyncTimeout-waited)
+			if ok && rep.(*oscReply).ok {
+				break
+			}
+		}
+		waited += p.Now() - start
+		if waited >= w.cfg.SyncTimeout {
+			w.Stats.SyncTimeouts++
+			c.Tracer().Record(p.Now(), fmt.Sprintf("rank%d", c.WorldRank()), "fault",
+				"window %d: lock of rank %d timed out after %v", w.id, target, waited)
+			return ErrSyncTimeout{Op: "lock", Win: w.id, Target: target, Waited: waited}
+		}
+		sleep := backoff
+		if waited+sleep > w.cfg.SyncTimeout {
+			sleep = w.cfg.SyncTimeout - waited
+		}
+		p.Sleep(sleep)
+		waited += sleep
+		if backoff < 160*time.Microsecond {
+			backoff *= 2
+		}
+	}
+	w.ep = epochLock
+	w.lockHeld = target
+	w.resetPattern()
+	return nil
 }
 
 // Unlock closes the passive-target epoch: completes all transfers to the

@@ -22,6 +22,7 @@ package osc
 
 import (
 	"fmt"
+	"time"
 
 	"scimpich/internal/mpi"
 	"scimpich/internal/sim"
@@ -53,6 +54,10 @@ type Config struct {
 	// InlineMax is the largest payload carried inline in a handler request
 	// instead of the staging area.
 	InlineMax int64
+	// SyncTimeout bounds the checked synchronization calls (FenceChecked,
+	// LockChecked): waiting longer than this for a peer yields an
+	// ErrSyncTimeout instead of deadlocking. 0 disables the watchdog.
+	SyncTimeout time.Duration
 }
 
 // DefaultConfig returns the calibrated transfer policy.
@@ -86,6 +91,10 @@ type Win struct {
 	sizes    []int64 // window size per rank
 	isShared []bool  // per rank: direct access possible
 	views    []smi.Mem
+	// degraded[t] marks rank t's direct view as lost (segment revoked or
+	// transfers persistently failing); accesses fall back to the emulation
+	// path transparently.
+	degraded []bool
 	// sharedLocks[t] serializes passive-target access to rank t's shared
 	// window without involving t's CPU (shared-memory spinlock).
 	sharedLocks []*sim.Mutex
@@ -108,6 +117,11 @@ type Win struct {
 	// privLockBusy: handler-side lock state for passive target on private
 	// windows.
 	privLockBusy bool
+	// fence watchdog state: fenceQ receives peer fence-arrival rounds,
+	// pendingFence counts arrivals that ran ahead of this rank's round.
+	fenceQ       *sim.Chan
+	fenceRound   int
+	pendingFence map[int]int
 	// ownLock is the shared-memory lock guarding this rank's own shared
 	// window, handed to origins through the exchange table.
 	ownLock *sim.Mutex
@@ -125,6 +139,10 @@ type Stats struct {
 	EmulatedAccumulates  int64
 	BytesPut, BytesGot   int64
 	Fences, Locks, Posts int64
+	// Degradations counts direct views abandoned for the emulation path;
+	// SyncTimeouts counts checked synchronization calls that expired.
+	Degradations int64
+	SyncTimeouts int64
 }
 
 // CreateShared collectively creates a window whose local memory is the
@@ -149,8 +167,10 @@ func (s *System) create(seg *mpi.SharedSeg, buf []byte, cfg Config) *Win {
 		sys: s, id: id, cfg: cfg,
 		shared: seg, private: buf,
 		lastTarget: -1, lockHeld: -1,
-		postQ:     sim.NewChan(1 << 16),
-		completeQ: sim.NewChan(1 << 16),
+		postQ:        sim.NewChan(1 << 16),
+		completeQ:    sim.NewChan(1 << 16),
+		fenceQ:       sim.NewChan(1 << 16),
+		pendingFence: make(map[int]int),
 	}
 	key := fmt.Sprintf("osc.win.%d.%d", c.ContextID(), id)
 	c.World().Deposit(key, c.Rank(), w)
@@ -160,6 +180,7 @@ func (s *System) create(seg *mpi.SharedSeg, buf []byte, cfg Config) *Win {
 	w.sizes = make([]int64, n)
 	w.isShared = make([]bool, n)
 	w.views = make([]smi.Mem, n)
+	w.degraded = make([]bool, n)
 	w.sharedLocks = make([]*sim.Mutex, n)
 	for r := 0; r < n; r++ {
 		rw := all[r].(*Win)
@@ -211,6 +232,24 @@ func (w *Win) Free() {
 	w.sys.c.Barrier()
 	delete(w.sys.wins, w.id)
 }
+
+// degrade abandons the direct view of rank target: all further accesses to
+// it take the emulation path (handler-mediated, using the standard transfer
+// mechanisms), transparently to the caller.
+func (w *Win) degrade(target int, err error) {
+	if w.degraded[target] {
+		return
+	}
+	w.degraded[target] = true
+	w.Stats.Degradations++
+	c := w.sys.c
+	c.Tracer().Record(c.Proc().Now(), fmt.Sprintf("rank%d", c.WorldRank()), "fault",
+		"window %d: direct view of rank %d degraded to emulation (%v)", w.id, target, err)
+}
+
+// Degraded reports whether the direct view of rank target has been
+// abandoned for the emulation path.
+func (w *Win) Degraded(target int) bool { return w.degraded[target] }
 
 func (w *Win) checkEpoch(op string) {
 	if w.ep == epochNone {

@@ -1,6 +1,8 @@
 package sci
 
 import (
+	"fmt"
+
 	"scimpich/internal/sim"
 )
 
@@ -30,11 +32,31 @@ func (d *dmaEngine) run(p *sim.Proc) {
 		req := p.Recv(d.queue).(*dmaRequest)
 		p.Sleep(cfg.DMAStartup)
 		d.node.ic.faults.maybeRetry(p, &d.node.Stats)
-		bw := cfg.Mem.EffectiveSourceBW(cfg.DMAPeakBW, int64(len(req.data)))
-		d.node.transferCost(p, req.m.seg.owner, int64(len(req.data)), bw)
+		n := int64(len(req.data))
+		// Failures complete the future with the typed error instead of
+		// panicking inside the engine daemon: the submitter inspects the
+		// awaited value and runs its own recovery.
+		if err := req.m.stateErr(); err != nil {
+			req.done.Complete(err)
+			continue
+		}
+		if req.m.Remote() {
+			if fe := cfg.Fault.DrawDMAError(p.Now(), d.node.id, req.m.seg.owner.id); fe != nil {
+				d.node.Stats.TransferErrors++
+				d.node.ic.tracef(fmt.Sprintf("node%d", d.node.id), "%v error on DMA to node %d", fe.Kind, req.m.seg.owner.id)
+				p.Sleep(cfg.RetryLatency)
+				req.done.Complete(fe)
+				continue
+			}
+		}
+		bw := cfg.Mem.EffectiveSourceBW(cfg.DMAPeakBW, n)
+		if err := d.node.tryTransferCost(p, req.m.seg.owner, n, bw); err != nil {
+			req.done.Complete(err)
+			continue
+		}
 		copy(req.m.seg.buf[req.off:], req.data)
 		d.node.Stats.DMATransfers++
-		d.node.Stats.BytesWritten += int64(len(req.data))
+		d.node.Stats.BytesWritten += n
 		req.done.Complete(nil)
 	}
 }
@@ -42,13 +64,31 @@ func (d *dmaEngine) run(p *sim.Proc) {
 // DMAWrite submits a DMA transfer of src to offset off of the mapped
 // segment and returns a future that completes when the data has been
 // delivered. The submitting CPU only pays the (small) descriptor setup
-// cost; transfers queue per adapter.
+// cost; transfers queue per adapter. The future's value is nil on success
+// or the typed transfer error; callers that ignore it get the legacy
+// fire-and-forget behaviour.
 func (m *Mapping) DMAWrite(p *sim.Proc, off int64, src []byte) *sim.Future {
+	fut, err := m.TryDMAWrite(p, off, src)
+	if err != nil {
+		panic(err)
+	}
+	return fut
+}
+
+// TryDMAWrite is the fallible DMAWrite: submission-time failures (range
+// violation, revoked segment) are returned immediately; transfer-time
+// failures complete the future with a typed error.
+func (m *Mapping) TryDMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, error) {
 	n := int64(len(src))
-	m.checkRange(off, n)
+	if err := m.rangeErr(off, n); err != nil {
+		return nil, err
+	}
+	if err := m.stateErr(); err != nil {
+		return nil, err
+	}
 	done := sim.NewFuture()
 	p.Sleep(2 * m.from.ic.Cfg.WriteIssueOverhead)
 	req := &dmaRequest{m: m, off: off, data: append([]byte(nil), src...), done: done}
 	p.Send(m.from.dma.queue, req)
-	return done
+	return done, nil
 }

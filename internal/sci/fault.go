@@ -22,9 +22,21 @@ type faultInjector struct {
 	state   uint64
 }
 
+// maxRetryRate caps the retransmit probability: a rate at or above 1.0
+// would make every trial fail and spin maybeRetry forever.
+const maxRetryRate = 0.95
+
+// maxConsecutiveRetries bounds the retransmit storm of one transfer even
+// under an (already clamped) extreme rate: a real adapter gives up and
+// reports the error long before this.
+const maxConsecutiveRetries = 8
+
 func newFaultInjector(rate float64, latency time.Duration, seed uint64) *faultInjector {
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
+	}
+	if rate > maxRetryRate {
+		rate = maxRetryRate
 	}
 	return &faultInjector{rate: rate, latency: latency, state: seed}
 }
@@ -40,12 +52,13 @@ func (fi *faultInjector) next() float64 {
 }
 
 // maybeRetry injects a retry delay with the configured probability,
-// possibly several times in a row (independent trials).
+// possibly several times in a row (independent trials, capped so a
+// pathological rate cannot stall a transfer forever).
 func (fi *faultInjector) maybeRetry(p *sim.Proc, stats *Stats) {
 	if fi.rate <= 0 {
 		return
 	}
-	for fi.next() < fi.rate {
+	for i := 0; i < maxConsecutiveRetries && fi.next() < fi.rate; i++ {
 		stats.Retries++
 		p.Sleep(fi.latency)
 	}

@@ -2,7 +2,9 @@ package sci
 
 import (
 	"fmt"
+	"time"
 
+	"scimpich/internal/fault"
 	"scimpich/internal/flow"
 	"scimpich/internal/ring"
 	"scimpich/internal/sim"
@@ -30,6 +32,13 @@ type Stats struct {
 	StoreBarriers int64
 	Retries       int64
 	DMATransfers  int64
+
+	// TransferErrors counts injected CRC/sequence/link faults surfaced to
+	// this node's operations as typed errors (as opposed to Retries,
+	// which only cost latency).
+	TransferErrors int64
+	// CheckRetries counts transfer-check barrier retries (CheckedSync).
+	CheckRetries int64
 }
 
 // Node is one cluster node with its adapter.
@@ -70,6 +79,12 @@ func New(e *sim.Engine, cfg Config) *Interconnect {
 		Cfg:  cfg,
 	}
 	ic.faults = newFaultInjector(cfg.FaultRate, cfg.RetryLatency, cfg.FaultSeed)
+	if ic.Cfg.CheckRetryMax <= 0 {
+		ic.Cfg.CheckRetryMax = 4
+	}
+	if ic.Cfg.CheckBackoff <= 0 {
+		ic.Cfg.CheckBackoff = 10 * time.Microsecond
+	}
 	ic.nodes = make([]*Node, cfg.Nodes)
 	for i := range ic.nodes {
 		n := &Node{
@@ -83,8 +98,52 @@ func New(e *sim.Engine, cfg Config) *Interconnect {
 		n.dma = newDMAEngine(n)
 		ic.nodes[i] = n
 	}
+	ic.applyPlan()
 	return ic
 }
+
+// applyPlan schedules the fault plan's node crashes/restorations and
+// segment revocations as engine events.
+func (ic *Interconnect) applyPlan() {
+	plan := ic.Cfg.Fault
+	if plan == nil {
+		return
+	}
+	for _, ev := range plan.NodeSchedule() {
+		ev := ev
+		if ev.Node < 0 || ev.Node >= len(ic.nodes) {
+			continue
+		}
+		ic.E.At(ev.At, func() {
+			if ev.Up {
+				ic.RestoreNode(ev.Node)
+				ic.tracef(fmt.Sprintf("node%d", ev.Node), "node restored (plan)")
+			} else {
+				ic.FailNode(ev.Node)
+				ic.tracef(fmt.Sprintf("node%d", ev.Node), "node crashed (plan)")
+			}
+		})
+	}
+	for _, ev := range plan.SegmentSchedule() {
+		ev := ev
+		if ev.Owner < 0 || ev.Owner >= len(ic.nodes) {
+			continue
+		}
+		ic.E.At(ev.At, func() {
+			ic.RevokeSegment(ev.Owner, ev.Seg)
+			ic.tracef(fmt.Sprintf("node%d", ev.Owner), "segment %d revoked (plan)", ev.Seg)
+		})
+	}
+}
+
+// tracef records a fault/recovery event on the configured tracer (nil-safe).
+func (ic *Interconnect) tracef(actor, format string, args ...any) {
+	ic.Cfg.Tracer.Record(ic.E.Now(), actor, "fault", format, args...)
+}
+
+// Plan returns the configured fault plan (possibly nil; all Plan query
+// methods are nil-safe).
+func (ic *Interconnect) Plan() *fault.Plan { return ic.Cfg.Fault }
 
 // Node returns node i.
 func (ic *Interconnect) Node(i int) *Node { return ic.nodes[i] }
@@ -154,18 +213,53 @@ func (n *Node) StoreBarrier(p *sim.Proc) {
 const flowThreshold = 2048
 
 func (n *Node) transferCost(p *sim.Proc, owner *Node, bytes int64, srcCap float64) {
+	if err := n.tryTransferCost(p, owner, bytes, srcCap); err != nil {
+		panic(err)
+	}
+}
+
+// tryTransferCost is the fallible transfer path: it charges the virtual
+// time of moving bytes toward owner and reports unreachable targets and
+// link disturbances as typed errors instead of panicking.
+func (n *Node) tryTransferCost(p *sim.Proc, owner *Node, bytes int64, srcCap float64) error {
 	if bytes <= 0 {
-		return
+		return nil
 	}
 	n.ic.faults.maybeRetry(p, &n.Stats)
 	if n == owner {
 		// Local access: charged by the caller's memory model instead.
-		return
+		return nil
 	}
-	n.checkReachable(p, owner)
+	if err := n.tryReachable(p, owner); err != nil {
+		return err
+	}
+	if err := n.tryLinkClear(p, owner); err != nil {
+		return err
+	}
 	if bytes < flowThreshold {
 		p.Sleep(sim.RateDuration(bytes, srcCap))
-		return
+		return nil
 	}
 	n.ic.Net.Transfer(p, n.path(owner), bytes, srcCap)
+	return nil
+}
+
+// tryLinkClear retries through a scheduled link-disturbance window; if the
+// disturbance outlasts the bounded retries it surfaces as a retryable
+// LinkDisturbed fault.
+func (n *Node) tryLinkClear(p *sim.Proc, owner *Node) error {
+	plan := n.ic.Cfg.Fault
+	if !plan.Disturbed(n.id, owner.id, p.Now()) {
+		return nil
+	}
+	for i := 0; i < maxTransferRetries; i++ {
+		n.Stats.Retries++
+		p.Sleep(n.ic.Cfg.RetryLatency)
+		if !plan.Disturbed(n.id, owner.id, p.Now()) {
+			return nil
+		}
+	}
+	n.Stats.TransferErrors++
+	n.ic.tracef(fmt.Sprintf("node%d", n.id), "link to node %d disturbed, transfer aborted", owner.id)
+	return &fault.Error{Kind: fault.LinkDisturbed, From: n.id, To: owner.id, At: p.Now()}
 }

@@ -27,6 +27,17 @@ func (ic *Interconnect) RestoreNode(n int) {
 	ic.nodes[n].dead = false
 }
 
+// RevokeSegment withdraws an exported segment mid-run (the driver unmaps
+// it): existing mappings fail subsequent accesses with ErrSegmentLost and
+// new imports no longer find it.
+func (ic *Interconnect) RevokeSegment(owner, segID int) {
+	n := ic.nodes[owner]
+	if seg, ok := n.segs[segID]; ok {
+		seg.revoked = true
+		delete(n.segs, segID)
+	}
+}
+
 // Alive reports whether the node is reachable.
 func (ic *Interconnect) Alive(n int) bool { return !ic.nodes[n].dead }
 
@@ -65,17 +76,27 @@ func (n *Node) CheckConnection(p *sim.Proc, target int) (bool, time.Duration) {
 const maxTransferRetries = 3
 
 func (n *Node) checkReachable(p *sim.Proc, target *Node) {
+	if err := n.tryReachable(p, target); err != nil {
+		panic(err)
+	}
+}
+
+// tryReachable is the fallible variant: it retries toward a dead node with
+// bounded RetryLatency delays and returns ErrConnectionLost instead of
+// panicking when the retries are exhausted.
+func (n *Node) tryReachable(p *sim.Proc, target *Node) error {
 	if !target.dead {
-		return
+		return nil
 	}
 	for i := 0; i < maxTransferRetries; i++ {
 		n.Stats.Retries++
 		p.Sleep(n.ic.Cfg.RetryLatency)
 		if !target.dead {
-			return // the connection came back mid-retry
+			return nil // the connection came back mid-retry
 		}
 	}
-	panic(ErrConnectionLost{From: n.id, To: target.id})
+	n.ic.tracef(fmt.Sprintf("node%d", n.id), "connection to node %d lost after %d retries", target.id, maxTransferRetries)
+	return ErrConnectionLost{From: n.id, To: target.id}
 }
 
 // MonitorEvent records a connectivity change observed by a Monitor.
@@ -92,19 +113,35 @@ type Monitor struct {
 	peers    []int
 	interval time.Duration
 	stopped  bool
+	stopCh   *sim.Chan
 
 	state  map[int]bool
 	Events []MonitorEvent
 }
 
-// Stop ends the monitoring loop after the current interval. Without a Stop
-// the daemon polls forever, which keeps the simulation alive.
-func (m *Monitor) Stop() { m.stopped = true }
+// Stop ends the monitoring loop. It is safe to call from any proc (or an
+// event callback) and is idempotent: the request is posted on a channel
+// the daemon drains, and a probe sweep in progress terminates at the next
+// peer boundary. Without a Stop the daemon polls forever, which keeps the
+// simulation alive.
+func (m *Monitor) Stop() {
+	if m.stopped {
+		return
+	}
+	m.stopped = true
+	sim.Post(m.stopCh, struct{}{})
+}
 
 // StartMonitor launches the daemon. It probes each peer every interval and
 // appends an event whenever a peer's reachability changes.
 func (n *Node) StartMonitor(peers []int, interval time.Duration) *Monitor {
-	m := &Monitor{node: n, peers: peers, interval: interval, state: make(map[int]bool)}
+	m := &Monitor{
+		node:     n,
+		peers:    peers,
+		interval: interval,
+		stopCh:   sim.NewChan(1),
+		state:    make(map[int]bool),
+	}
 	for _, t := range peers {
 		m.state[t] = true
 	}
@@ -113,9 +150,16 @@ func (n *Node) StartMonitor(peers []int, interval time.Duration) *Monitor {
 }
 
 func (m *Monitor) run(p *sim.Proc) {
-	for !m.stopped {
-		p.Sleep(m.interval)
+	for {
+		if _, stop := p.RecvTimeout(m.stopCh, m.interval); stop {
+			return
+		}
 		for _, t := range m.peers {
+			if m.stopped {
+				// Stop arrived mid-sweep (possibly while a probe toward a
+				// dead peer was stalling); abandon the rest of the sweep.
+				return
+			}
 			alive, _ := m.node.CheckConnection(p, t)
 			if alive != m.state[t] {
 				m.state[t] = alive

@@ -1,8 +1,10 @@
 package sci
 
 import (
+	"fmt"
 	"time"
 
+	"scimpich/internal/fault"
 	"scimpich/internal/sim"
 )
 
@@ -13,14 +15,59 @@ import (
 // the contention-aware flow network) — and become visible at the target one
 // wire latency later. StoreBarrier waits for all outstanding deliveries.
 
+// mustRetry runs a fallible transfer, retrying retryable injected faults
+// (CRC/sequence/link disturbance) a bounded number of times and panicking
+// on persistent or non-retryable failure — the behaviour of the legacy
+// infallible entry points, under which a fault plan still cannot make an
+// operation silently fail.
+func (m *Mapping) mustRetry(try func() error) {
+	for attempt := 0; ; attempt++ {
+		err := try()
+		if err == nil {
+			return
+		}
+		if fe, ok := err.(*fault.Error); ok && fe.Retryable() && attempt < maxTransferRetries {
+			m.from.Stats.Retries++
+			continue
+		}
+		panic(err)
+	}
+}
+
+// drawPIOFault consults the fault plan for an injected CRC/sequence error
+// on one remote PIO transfer. The failed attempt costs one retry latency.
+func (m *Mapping) drawPIOFault(p *sim.Proc) error {
+	from := m.from
+	fe := from.ic.Cfg.Fault.DrawWriteError(p.Now(), from.id, m.seg.owner.id)
+	if fe == nil {
+		return nil
+	}
+	from.Stats.TransferErrors++
+	from.ic.tracef(fmt.Sprintf("node%d", from.id), "%v error on transfer to node %d", fe.Kind, m.seg.owner.id)
+	p.Sleep(from.ic.Cfg.RetryLatency)
+	return fe
+}
+
 // WriteStream performs a contiguous remote write of src at offset off: the
 // best case for the adapter's stream buffers (strictly sequential ascending
 // addresses). srcWorkingSet is the size of the source data structure, used
 // to cap the rate at the local memory read bandwidth (the paper's PIO dip
 // beyond 128 kiB).
 func (m *Mapping) WriteStream(p *sim.Proc, off int64, src []byte, srcWorkingSet int64) {
+	m.mustRetry(func() error { return m.TryWriteStream(p, off, src, srcWorkingSet) })
+}
+
+// TryWriteStream is the fallible WriteStream: out-of-range accesses,
+// revoked segments, unreachable owners and injected transfer errors are
+// returned as typed errors instead of panicking.
+func (m *Mapping) TryWriteStream(p *sim.Proc, off int64, src []byte, srcWorkingSet int64) error {
 	n := int64(len(src))
-	m.checkRange(off, n)
+	if err := m.rangeErr(off, n); err != nil {
+		return err
+	}
+	if err := m.stateErr(); err != nil {
+		return err
+	}
 	from := m.from
 	from.Stats.WriteOps++
 	from.Stats.BytesWritten += n
@@ -29,16 +76,22 @@ func (m *Mapping) WriteStream(p *sim.Proc, off int64, src []byte, srcWorkingSet 
 		// Local store through the mapping: plain memory copy.
 		p.Sleep(cfg.Mem.CopyCost(n, n, srcWorkingSet))
 		copy(m.seg.buf[off:], src)
-		return
+		return nil
+	}
+	if err := m.drawPIOFault(p); err != nil {
+		return err
 	}
 	bw := cfg.StreamWriteBW(n)
 	if srcWorkingSet > 0 {
 		bw = cfg.Mem.EffectiveSourceBW(bw, srcWorkingSet)
 	}
-	from.transferCost(p, m.seg.owner, n, bw)
+	if err := from.tryTransferCost(p, m.seg.owner, n, bw); err != nil {
+		return err
+	}
 	data := append([]byte(nil), src...)
 	seg, o := m.seg, off
 	from.trackDelivery(func() { copy(seg.buf[o:], data) })
+	return nil
 }
 
 // WriteStrided writes len(src) bytes as accesses of accessSize bytes placed
@@ -80,9 +133,14 @@ func (m *Mapping) WriteStrided(p *sim.Proc, off int64, src []byte, accessSize, s
 // measures ~121-123 MiB/s per node for the one-sided put workload, below
 // the raw strided-store peak of the §4.3 microbenchmark).
 func (m *Mapping) WritePut(p *sim.Proc, off int64, src []byte, accessSize, stride int64) {
+	m.mustRetry(func() error { return m.TryWritePut(p, off, src, accessSize, stride) })
+}
+
+// TryWritePut is the fallible WritePut: typed errors instead of panics.
+func (m *Mapping) TryWritePut(p *sim.Proc, off int64, src []byte, accessSize, stride int64) error {
 	n := int64(len(src))
 	if n == 0 {
-		return
+		return nil
 	}
 	if accessSize <= 0 || accessSize > n {
 		accessSize = n
@@ -92,7 +150,12 @@ func (m *Mapping) WritePut(p *sim.Proc, off int64, src []byte, accessSize, strid
 	}
 	accesses := (n + accessSize - 1) / accessSize
 	span := (accesses-1)*stride + (n - (accesses-1)*accessSize)
-	m.checkRange(off, span)
+	if err := m.rangeErr(off, span); err != nil {
+		return err
+	}
+	if err := m.stateErr(); err != nil {
+		return err
+	}
 	from := m.from
 	from.Stats.WriteOps += accesses
 	from.Stats.BytesWritten += n
@@ -100,16 +163,22 @@ func (m *Mapping) WritePut(p *sim.Proc, off int64, src []byte, accessSize, strid
 	if !m.Remote() {
 		p.Sleep(cfg.Mem.CopyCost(n, accessSize, span))
 		scatter(m.seg.buf[off:], src, accessSize, stride)
-		return
+		return nil
+	}
+	if err := m.drawPIOFault(p); err != nil {
+		return err
 	}
 	bw := cfg.StridedWriteBW(accessSize, stride)
 	if bw > cfg.SustainedPutBW {
 		bw = cfg.SustainedPutBW
 	}
-	from.transferCost(p, m.seg.owner, n, bw)
+	if err := from.tryTransferCost(p, m.seg.owner, n, bw); err != nil {
+		return err
+	}
 	data := append([]byte(nil), src...)
 	seg, o, as, st := m.seg, off, accessSize, stride
 	from.trackDelivery(func() { scatter(seg.buf[o:], data, as, st) })
+	return nil
 }
 
 // WriteWord writes a small value (at most one SCI transaction) and returns
@@ -135,8 +204,19 @@ func (m *Mapping) WriteWord(p *sim.Proc, off int64, src []byte) {
 // the data arrives; bandwidth is a fraction of the write bandwidth (the
 // paper's motivation for the remote-put optimization of MPI_Get).
 func (m *Mapping) Read(p *sim.Proc, off int64, dst []byte) {
+	m.mustRetry(func() error { return m.TryRead(p, off, dst) })
+}
+
+// TryRead is the fallible Read: typed errors instead of panics. A failed
+// read leaves dst untouched.
+func (m *Mapping) TryRead(p *sim.Proc, off int64, dst []byte) error {
 	n := int64(len(dst))
-	m.checkRange(off, n)
+	if err := m.rangeErr(off, n); err != nil {
+		return err
+	}
+	if err := m.stateErr(); err != nil {
+		return err
+	}
 	from := m.from
 	from.Stats.ReadOps++
 	from.Stats.BytesRead += n
@@ -144,11 +224,21 @@ func (m *Mapping) Read(p *sim.Proc, off int64, dst []byte) {
 	if !m.Remote() {
 		p.Sleep(cfg.Mem.CopyCost(n, n, n))
 		copy(dst, m.seg.buf[off:off+n])
-		return
+		return nil
 	}
 	from.ic.faults.maybeRetry(p, &from.Stats)
+	if err := from.tryReachable(p, m.seg.owner); err != nil {
+		return err
+	}
+	if err := from.tryLinkClear(p, m.seg.owner); err != nil {
+		return err
+	}
+	if err := m.drawPIOFault(p); err != nil {
+		return err
+	}
 	p.Sleep(sim.RateDuration(n, cfg.ReadBW(n)))
 	copy(dst, m.seg.buf[off:off+n])
+	return nil
 }
 
 // ReadStrided reads count accesses of accessSize bytes placed stride bytes
@@ -227,6 +317,7 @@ type BlockWriter struct {
 	bytes      int64
 	cost       time.Duration
 	flushed    bool
+	err        error // first deposit error; reported by TryFlush
 }
 
 // NewBlockWriter starts a batched block write session through the mapping.
@@ -237,13 +328,22 @@ func (m *Mapping) NewBlockWriter(p *sim.Proc, workingSet int64) *BlockWriter {
 }
 
 // Write deposits one contiguous block at off and accounts its cost:
-// per-block issue overhead plus the stream-buffer gather model.
+// per-block issue overhead plus the stream-buffer gather model. After a
+// deposit has failed (range violation or revoked segment) further writes
+// are ignored; the sticky error is reported by TryFlush (Flush panics).
 func (w *BlockWriter) Write(off int64, src []byte) {
 	n := int64(len(src))
-	if n == 0 {
+	if n == 0 || w.err != nil {
 		return
 	}
-	w.m.checkRange(off, n)
+	if err := w.m.rangeErr(off, n); err != nil {
+		w.err = err
+		return
+	}
+	if err := w.m.stateErr(); err != nil {
+		w.err = err
+		return
+	}
 	copy(w.m.seg.buf[off:], src)
 	cfg := &w.m.from.ic.Cfg
 	w.bytes += n
@@ -260,19 +360,40 @@ func (w *BlockWriter) Write(off int64, src []byte) {
 // as one flow transfer at the equivalent bandwidth, so it contends with
 // other ring traffic; the delivery is tracked for StoreBarrier.
 func (w *BlockWriter) Flush() {
+	if err := w.TryFlush(); err != nil {
+		panic(err)
+	}
+}
+
+// TryFlush is the fallible Flush: deposit errors, unreachable owners and
+// injected transfer errors are returned instead of panicking. Flushing
+// twice still panics (a programming error, not a fault).
+func (w *BlockWriter) TryFlush() error {
 	if w.flushed {
 		panic("sci: BlockWriter flushed twice")
 	}
 	w.flushed = true
+	if w.err != nil {
+		return w.err
+	}
 	if w.bytes == 0 {
-		return
+		return nil
 	}
 	from := w.m.from
 	if !w.m.Remote() {
 		w.p.Sleep(w.cost)
-		return
+		return nil
+	}
+	if err := w.m.stateErr(); err != nil {
+		return err
+	}
+	if err := w.m.drawPIOFault(w.p); err != nil {
+		return err
 	}
 	eff := float64(w.bytes) / w.cost.Seconds()
-	from.transferCost(w.p, w.m.seg.owner, w.bytes, eff)
+	if err := from.tryTransferCost(w.p, w.m.seg.owner, w.bytes, eff); err != nil {
+		return err
+	}
 	from.trackDelivery(nil)
+	return nil
 }

@@ -3,16 +3,39 @@ package sci
 import (
 	"fmt"
 
+	"scimpich/internal/fault"
 	"scimpich/internal/sim"
 )
+
+// ErrOutOfRange is returned (on the fallible Try* entry points) or
+// panicked (on the legacy entry points) when an access falls outside the
+// mapped segment.
+type ErrOutOfRange struct {
+	Off, Len, Size int64
+}
+
+func (e ErrOutOfRange) Error() string {
+	return fmt.Sprintf("sci: access [%d, %d) outside segment of %d bytes", e.Off, e.Off+e.Len, e.Size)
+}
+
+// ErrSegmentLost is returned when a mapping's segment has been revoked
+// (unmapped by its owner or withdrawn by the driver) while still in use.
+type ErrSegmentLost struct {
+	Owner, Seg int
+}
+
+func (e ErrSegmentLost) Error() string {
+	return fmt.Sprintf("sci: segment %d of node %d was revoked", e.Seg, e.Owner)
+}
 
 // Segment is a region of a node's physical memory exported for remote
 // access. The backing buffer is real: remote writes actually deposit bytes
 // here, so every protocol built on top is testable for correctness.
 type Segment struct {
-	owner *Node
-	id    int
-	buf   []byte
+	owner   *Node
+	id      int
+	buf     []byte
+	revoked bool
 }
 
 // Export allocates and exports a new segment of the given size on the node.
@@ -70,6 +93,10 @@ func (n *Node) Import(owner int, segID int) (*Mapping, error) {
 	if owner < 0 || owner >= len(n.ic.nodes) {
 		return nil, fmt.Errorf("sci: import from unknown node %d", owner)
 	}
+	if n.ic.Cfg.Fault.TakeImportFailure(owner, segID) {
+		n.ic.tracef(fmt.Sprintf("node%d", n.id), "import of segment %d@node%d denied (plan)", segID, owner)
+		return nil, &fault.Error{Kind: fault.ImportDenied, From: n.id, To: owner, At: n.ic.E.Now()}
+	}
 	seg, ok := n.ic.nodes[owner].segs[segID]
 	if !ok {
 		return nil, fmt.Errorf("sci: node %d exports no segment %d", owner, segID)
@@ -95,14 +122,89 @@ func (m *Mapping) Remote() bool { return m.from != m.seg.owner }
 // Size returns the mapped segment's size.
 func (m *Mapping) Size() int64 { return m.seg.Size() }
 
+// Valid reports whether the mapping's segment is still exported (not
+// revoked).
+func (m *Mapping) Valid() bool { return !m.seg.revoked }
+
 // Sync issues a store barrier on the importing node, guaranteeing delivery
 // of all writes this node has posted (not just through this mapping).
 func (m *Mapping) Sync(p *sim.Proc) {
 	m.from.StoreBarrier(p)
 }
 
-func (m *Mapping) checkRange(off, n int64) {
-	if off < 0 || n < 0 || off+n > m.seg.Size() {
-		panic(fmt.Sprintf("sci: access [%d, %d) outside segment of %d bytes", off, off+n, m.seg.Size()))
+// CheckedSync is the transfer-check barrier (check-after-store-barrier, as
+// SCI-MPICH performs after each Sync): a store barrier followed by a check
+// of the adapter's transfer status toward the segment owner. Failed checks
+// of retryable faults (CRC/sequence/link disturbance) are retried with
+// exponential backoff, bounded by Config.CheckRetryMax; exhausting the cap
+// converts the persistent failure into ErrConnectionLost. Non-retryable
+// failures (dead owner, revoked segment) surface immediately as their
+// typed error.
+func (m *Mapping) CheckedSync(p *sim.Proc) error {
+	from := m.from
+	cfg := &from.ic.Cfg
+	backoff := cfg.CheckBackoff
+	for attempt := 0; ; attempt++ {
+		from.StoreBarrier(p)
+		err := m.checkStatus(p)
+		if err == nil {
+			return nil
+		}
+		fe, ok := err.(*fault.Error)
+		if !ok || !fe.Retryable() {
+			return err
+		}
+		if attempt >= cfg.CheckRetryMax {
+			from.ic.tracef(fmt.Sprintf("node%d", from.id),
+				"transfer check toward node %d failed %d times, connection lost", m.seg.owner.id, attempt+1)
+			return ErrConnectionLost{From: from.id, To: m.seg.owner.id}
+		}
+		from.Stats.CheckRetries++
+		from.ic.tracef(fmt.Sprintf("node%d", from.id),
+			"transfer check toward node %d failed (%v), retry %d after %v", m.seg.owner.id, fe.Kind, attempt+1, backoff)
+		p.Sleep(backoff)
+		backoff *= 2
 	}
+}
+
+// checkStatus inspects the (simulated) adapter status registers for the
+// path of this mapping after a store barrier.
+func (m *Mapping) checkStatus(p *sim.Proc) error {
+	if err := m.stateErr(); err != nil {
+		return err
+	}
+	if !m.Remote() {
+		return nil
+	}
+	owner := m.seg.owner
+	if owner.dead {
+		return ErrConnectionLost{From: m.from.id, To: owner.id}
+	}
+	if fe := m.from.ic.Cfg.Fault.DrawCheckError(p.Now(), m.from.id, owner.id); fe != nil {
+		m.from.Stats.TransferErrors++
+		return fe
+	}
+	return nil
+}
+
+func (m *Mapping) checkRange(off, n int64) {
+	if err := m.rangeErr(off, n); err != nil {
+		panic(err)
+	}
+}
+
+// rangeErr validates an access window against the segment bounds.
+func (m *Mapping) rangeErr(off, n int64) error {
+	if off < 0 || n < 0 || off+n > m.seg.Size() {
+		return ErrOutOfRange{Off: off, Len: n, Size: m.seg.Size()}
+	}
+	return nil
+}
+
+// stateErr reports a revoked mapping as ErrSegmentLost.
+func (m *Mapping) stateErr() error {
+	if m.seg.revoked {
+		return ErrSegmentLost{Owner: m.seg.owner.id, Seg: m.seg.id}
+	}
+	return nil
 }

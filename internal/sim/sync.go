@@ -1,5 +1,7 @@
 package sim
 
+import "time"
+
 // Virtual-time synchronization primitives. All of them are deterministic:
 // waiters are queued and released in FIFO order.
 
@@ -41,6 +43,35 @@ func (p *Proc) Await(f *Future) any {
 	f.waiters = append(f.waiters, p)
 	p.park()
 	return f.value
+}
+
+// AwaitTimeout blocks p until the future completes or d elapses. It
+// returns (value, true) on completion and (nil, false) on timeout; in the
+// latter case p is no longer registered as a waiter.
+func (p *Proc) AwaitTimeout(f *Future, d time.Duration) (any, bool) {
+	if f.done {
+		return f.value, true
+	}
+	f.waiters = append(f.waiters, p)
+	timedOut := false
+	t := p.e.After(d, func() {
+		// Complete clears f.waiters before waking, so if the future has
+		// fired we will not find p here and must not wake it again.
+		for i, w := range f.waiters {
+			if w == p {
+				f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+				timedOut = true
+				p.wake()
+				return
+			}
+		}
+	})
+	p.park()
+	if timedOut {
+		return nil, false
+	}
+	t.Cancel()
+	return f.value, true
 }
 
 // AwaitAll blocks p until every future in fs has completed.
@@ -145,6 +176,36 @@ func (p *Proc) TryRecv(c *Chan) (any, bool) {
 	return nil, false
 }
 
+// RecvTimeout takes the next value from the channel, giving up after d of
+// virtual time. It returns (value, true) on success and (nil, false) on
+// timeout; in the latter case p is no longer queued as a receiver.
+func (p *Proc) RecvTimeout(c *Chan, d time.Duration) (any, bool) {
+	if v, ok := p.TryRecv(c); ok {
+		return v, true
+	}
+	var box any
+	c.recvers = append(c.recvers, chanWaiter{p: p, box: &box})
+	timedOut := false
+	t := p.e.After(d, func() {
+		// Send/Post remove the waiter before waking, so finding our box
+		// here means no value was handed off.
+		for i := range c.recvers {
+			if c.recvers[i].box == &box {
+				c.recvers = append(c.recvers[:i], c.recvers[i+1:]...)
+				timedOut = true
+				p.wake()
+				return
+			}
+		}
+	})
+	p.park()
+	if timedOut {
+		return nil, false
+	}
+	t.Cancel()
+	return box, true
+}
+
 // Mutex is a virtual-time mutual-exclusion lock with FIFO waiters.
 type Mutex struct {
 	held    bool
@@ -160,6 +221,15 @@ func (p *Proc) Lock(m *Mutex) {
 	m.waiters = append(m.waiters, p)
 	p.park()
 	// Ownership is transferred directly by Unlock; held stays true.
+}
+
+// TryLock acquires m if it is free, without blocking.
+func (m *Mutex) TryLock() bool {
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
 }
 
 // Unlock releases m, handing it to the oldest waiter if any.

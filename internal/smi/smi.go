@@ -52,13 +52,31 @@ type Mem interface {
 	// Bytes exposes the raw backing buffer. Only the owning side may use
 	// it without cost accounting (e.g. to initialize window contents).
 	Bytes() []byte
+
+	// Fallible entry points: on transports that can fail (SCI), injected
+	// faults, revoked segments and unreachable owners are surfaced as
+	// typed errors for the caller's recovery machinery; reliable
+	// transports (intra-node memory, message NICs) always return nil.
+
+	// TryWriteStream is WriteStream returning transfer errors.
+	TryWriteStream(p *sim.Proc, off int64, src []byte, srcWorkingSet int64) error
+	// TryWritePut is WritePut returning transfer errors.
+	TryWritePut(p *sim.Proc, off int64, src []byte, accessSize, stride int64) error
+	// TryRead is Read returning transfer errors.
+	TryRead(p *sim.Proc, off int64, dst []byte) error
+	// TrySync is the transfer-check barrier: Sync followed by a check of
+	// the transfer status, with bounded retry/backoff on SCI (see
+	// sci.Mapping.CheckedSync).
+	TrySync(p *sim.Proc) error
 }
 
 // BlockWriter receives a sequence of contiguous blocks at ascending offsets
-// and charges their cost on Flush.
+// and charges their cost on Flush. TryFlush is the fallible variant:
+// deposit and transfer errors are returned instead of panicking.
 type BlockWriter interface {
 	Write(off int64, src []byte)
 	Flush()
+	TryFlush() error
 }
 
 // Signal is a one-way notification channel with transport-appropriate
@@ -107,6 +125,14 @@ func (s sciMem) DMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, bool)
 }
 func (s sciMem) Sync(p *sim.Proc) { s.m.Sync(p) }
 func (s sciMem) Bytes() []byte    { return s.m.Segment().Local() }
+func (s sciMem) TryWriteStream(p *sim.Proc, off int64, src []byte, ws int64) error {
+	return s.m.TryWriteStream(p, off, src, ws)
+}
+func (s sciMem) TryWritePut(p *sim.Proc, off int64, src []byte, a, st int64) error {
+	return s.m.TryWritePut(p, off, src, a, st)
+}
+func (s sciMem) TryRead(p *sim.Proc, off int64, dst []byte) error { return s.m.TryRead(p, off, dst) }
+func (s sciMem) TrySync(p *sim.Proc) error                        { return s.m.CheckedSync(p) }
 
 type sciSignal struct {
 	sig  *sci.Signal
@@ -145,12 +171,30 @@ func (s nicMem) Read(p *sim.Proc, off int64, dst []byte) { s.v.Read(p, off, dst)
 func (s nicMem) ReadStrided(p *sim.Proc, off int64, dst []byte, a, st int64) {
 	s.v.ReadStrided(p, off, dst, a, st)
 }
-func (s nicMem) BlockWriter(p *sim.Proc, ws int64) BlockWriter { return s.v.NewBlockWriter(p, ws) }
+func (s nicMem) BlockWriter(p *sim.Proc, ws int64) BlockWriter {
+	return reliableBW{s.v.NewBlockWriter(p, ws)}
+}
 func (s nicMem) DMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, bool) {
 	return s.v.DMAWrite(p, off, src)
 }
 func (s nicMem) Sync(p *sim.Proc) { s.v.Sync(p) }
 func (s nicMem) Bytes() []byte    { return s.v.Bytes() }
+func (s nicMem) TryWriteStream(p *sim.Proc, off int64, src []byte, ws int64) error {
+	s.v.WriteStream(p, off, src, ws)
+	return nil
+}
+func (s nicMem) TryWritePut(p *sim.Proc, off int64, src []byte, a, st int64) error {
+	s.v.WritePut(p, off, src, a, st)
+	return nil
+}
+func (s nicMem) TryRead(p *sim.Proc, off int64, dst []byte) error {
+	s.v.Read(p, off, dst)
+	return nil
+}
+func (s nicMem) TrySync(p *sim.Proc) error {
+	s.v.Sync(p)
+	return nil
+}
 
 // --- Intra-node adapters ---
 
@@ -177,12 +221,40 @@ func (s shmMem) Read(p *sim.Proc, off int64, dst []byte) { s.r.Read(p, off, dst)
 func (s shmMem) ReadStrided(p *sim.Proc, off int64, dst []byte, a, st int64) {
 	s.r.ReadStrided(p, off, dst, a, st)
 }
-func (s shmMem) BlockWriter(p *sim.Proc, ws int64) BlockWriter { return s.r.NewBlockWriter(p, ws) }
+func (s shmMem) BlockWriter(p *sim.Proc, ws int64) BlockWriter {
+	return reliableBW{s.r.NewBlockWriter(p, ws)}
+}
 func (s shmMem) DMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, bool) {
 	return nil, false // intra-node memory has no DMA engine
 }
 func (s shmMem) Sync(p *sim.Proc) {}
 func (s shmMem) Bytes() []byte    { return s.r.Local() }
+func (s shmMem) TryWriteStream(p *sim.Proc, off int64, src []byte, ws int64) error {
+	s.r.WriteStream(p, off, src, ws)
+	return nil
+}
+func (s shmMem) TryWritePut(p *sim.Proc, off int64, src []byte, a, st int64) error {
+	s.r.WriteStrided(p, off, src, a, st)
+	return nil
+}
+func (s shmMem) TryRead(p *sim.Proc, off int64, dst []byte) error {
+	s.r.Read(p, off, dst)
+	return nil
+}
+func (s shmMem) TrySync(p *sim.Proc) error { return nil }
+
+// reliableBW adapts the block writers of transports that cannot fail
+// (intra-node memory, message NICs) to the fallible BlockWriter interface.
+type reliableBW struct {
+	bw interface {
+		Write(off int64, src []byte)
+		Flush()
+	}
+}
+
+func (r reliableBW) Write(off int64, src []byte) { r.bw.Write(off, src) }
+func (r reliableBW) Flush()                      { r.bw.Flush() }
+func (r reliableBW) TryFlush() error             { r.bw.Flush(); return nil }
 
 type shmSignal struct {
 	sig *shmem.Signal
@@ -214,6 +286,14 @@ func NewLock(acquire, release time.Duration) *Lock {
 func (l *Lock) Acquire(p *sim.Proc) {
 	p.Sleep(l.acquire)
 	p.Lock(&l.mu)
+}
+
+// TryAcquire attempts one acquisition round trip without queueing: it
+// pays the acquire latency and reports whether the lock was free. Used by
+// watchdog-bounded lock acquisition (osc.Win.LockChecked).
+func (l *Lock) TryAcquire(p *sim.Proc) bool {
+	p.Sleep(l.acquire)
+	return l.mu.TryLock()
 }
 
 // Release drops the lock.
