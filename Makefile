@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench trace-demo
 
 # check is the tier-1 gate: vet, build everything, then the full test suite
 # with the race detector.
@@ -20,3 +20,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# trace-demo produces a Chrome trace-event timeline from a ping-pong sweep
+# (load /tmp/scimpich-trace.json in Perfetto or chrome://tracing) and
+# aggregates it with tracestat. See docs/OBSERVABILITY.md.
+trace-demo:
+	$(GO) run ./cmd/pingpong -min 64 -max 262144 \
+		-trace-out /tmp/scimpich-trace.json \
+		-metrics-out /tmp/scimpich-metrics.txt
+	$(GO) run ./cmd/tracestat -actors /tmp/scimpich-trace.json

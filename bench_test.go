@@ -426,7 +426,7 @@ func BenchmarkFaultedOneSided(b *testing.B) {
 					start := c.WtimeDuration()
 					w.Put(buf, n, datatype.Byte, 1, 0)
 					lat = c.WtimeDuration() - start
-					degr = w.Stats.Degradations
+					degr = w.Snapshot().Degradations
 				}
 				w.Fence()
 			})

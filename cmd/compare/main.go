@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
@@ -19,6 +20,9 @@ import (
 )
 
 func main() {
+	finish := bench.ObsFlags()
+	flag.Parse()
+	defer finish()
 	r := bench.RunOneVsTwoSided()
 	fmt.Println("# One-sided vs two-sided communication (paper §6)")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

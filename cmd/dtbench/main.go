@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
@@ -18,6 +19,9 @@ import (
 )
 
 func main() {
+	finish := bench.ObsFlags()
+	flag.Parse()
+	defer finish()
 	results := bench.RunDTBench()
 	fmt.Println("# Derived-datatype suite (cf. paper ref [24]), 2 nodes via SCI")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"scimpich/internal/bench"
 	"scimpich/internal/datatype"
 )
 
@@ -49,10 +51,10 @@ func exampleTypes() []struct {
 }
 
 func main() {
-	want := ""
-	if len(os.Args) > 1 {
-		want = os.Args[1]
-	}
+	finish := bench.ObsFlags()
+	flag.Parse()
+	defer finish()
+	want := flag.Arg(0)
 	shown := 0
 	for _, ex := range exampleTypes() {
 		if want != "" && ex.Name != want {

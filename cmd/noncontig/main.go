@@ -24,7 +24,9 @@ func main() {
 	doubleStrided := flag.Bool("2d", false, "run the double-strided (figure 2) variant")
 	min := flag.Int64("min", 8, "smallest block size in bytes")
 	max := flag.Int64("max", 128<<10, "largest block size in bytes")
+	finish := bench.ObsFlags()
 	flag.Parse()
+	defer finish()
 
 	sizes := bench.Sizes(*min, *max)
 	if *doubleStrided {

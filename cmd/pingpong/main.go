@@ -20,7 +20,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	min := flag.Int64("min", 1, "smallest message in bytes")
 	max := flag.Int64("max", 1<<20, "largest message in bytes")
+	finish := bench.ObsFlags()
 	flag.Parse()
+	defer finish()
 
 	fig := bench.PingPongFigure(bench.RunPingPong(bench.Sizes(*min, *max)))
 	if *csv {

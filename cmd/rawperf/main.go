@@ -18,7 +18,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	min := flag.Int64("min", 8, "smallest transfer size in bytes")
 	max := flag.Int64("max", 512<<10, "largest transfer size in bytes")
+	finish := bench.ObsFlags()
 	flag.Parse()
+	defer finish()
 
 	results := bench.RunRaw(bench.Sizes(*min, *max))
 	lat := bench.RawLatencyFigure(results)

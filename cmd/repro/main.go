@@ -20,7 +20,9 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "coarser sweeps (fewer sizes)")
+	finish := bench.ObsFlags()
 	flag.Parse()
+	defer finish()
 	start := time.Now()
 
 	lo, hi := int64(8), int64(128<<10)
@@ -37,6 +39,9 @@ func main() {
 	raw := bench.RunRaw(bench.Sizes(8, 512<<10))
 	bench.RawLatencyFigure(raw).Print(os.Stdout)
 	bench.RawFigure(raw).Print(os.Stdout)
+
+	section("Protocol sweep: ping-pong across short/eager/rendezvous")
+	bench.PingPongFigure(bench.RunPingPong(sizes)).Print(os.Stdout)
 
 	section("Figure 7: non-contiguous datatype transfers")
 	bench.NoncontigFigure(bench.RunNoncontig(sizes)).Print(os.Stdout)

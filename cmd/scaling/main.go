@@ -23,7 +23,9 @@ func main() {
 	torusProj := flag.Bool("torus", false, "print the §6 3D-torus scaling projection")
 	mhz := flag.Float64("mhz", 166, "SCI link frequency for Table 2")
 	access := flag.Int64("access", 64<<10, "access size for the Figure 12 workload")
+	finish := bench.ObsFlags()
 	flag.Parse()
+	defer finish()
 
 	if *torusProj {
 		rows := bench.RunTorusProjection(200)

@@ -21,7 +21,9 @@ func main() {
 	platforms := flag.Bool("platforms", false, "run the Figure 11 cross-platform comparison")
 	min := flag.Int64("min", 8, "smallest access size in bytes")
 	max := flag.Int64("max", 64<<10, "largest access size in bytes")
+	finish := bench.ObsFlags()
 	flag.Parse()
+	defer finish()
 
 	sizes := bench.Sizes(*min, *max)
 	emit := func(f *bench.Figure) {

@@ -25,7 +25,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	accessList := flag.String("access", "8,64,256,1024", "comma-separated access sizes in bytes")
 	sweep := flag.Int64("sweep", 256, "access size for the full stride sweep printout (0 to skip)")
+	finish := bench.ObsFlags()
 	flag.Parse()
+	defer finish()
 
 	var accesses []int64
 	for _, s := range strings.Split(*accessList, ",") {

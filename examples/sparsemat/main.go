@@ -120,7 +120,7 @@ func main() {
 		if me == 0 {
 			checksum = mpi.BytesFloat64(recv)[0]
 			fmt.Printf("y = A*x computed over %d ranks: checksum %.6f, stats %+v\n",
-				c.Size(), checksum, xWin.Stats)
+				c.Size(), checksum, xWin.Snapshot())
 		}
 	})
 	if checksum == 0 {

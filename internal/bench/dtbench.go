@@ -114,7 +114,7 @@ func RunDTBench() []DTResult {
 
 // dtRun measures one pattern's transfer bandwidth.
 func dtRun(ty *datatype.Type, count int, useFF bool) float64 {
-	cfg := mpi.DefaultConfig(2, 1)
+	cfg := instrument(mpi.DefaultConfig(2, 1))
 	cfg.Protocol.UseFF = useFF
 	span := ty.Extent()*int64(count-1) + ty.UB() + 64
 	src := make([]byte, span)

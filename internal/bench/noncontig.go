@@ -59,7 +59,7 @@ func vectorType(bs int64) (*datatype.Type, int) {
 // noncontigBW measures the strided-vector bandwidth on a cluster of the
 // given shape.
 func noncontigBW(nodes, procs int, bs int64, useFF bool) float64 {
-	cfg := mpi.DefaultConfig(nodes, procs)
+	cfg := instrument(mpi.DefaultConfig(nodes, procs))
 	return noncontigBWWith(cfg, bs, useFF)
 }
 
@@ -97,13 +97,13 @@ func noncontigBWWith(cfg mpi.Config, bs int64, useFF bool) float64 {
 
 // contigBW measures the contiguous 256 kiB reference transfer.
 func contigBW(nodes, procs int) float64 {
-	return contigBWCfg(mpi.DefaultConfig(nodes, procs))
+	return contigBWCfg(instrument(mpi.DefaultConfig(nodes, procs)))
 }
 
 // contigBWWithDMA measures the contiguous transfer with the DMA rendezvous
 // option (dmaMin 0 = PIO).
 func contigBWWithDMA(dmaMin int64) float64 {
-	cfg := mpi.DefaultConfig(2, 1)
+	cfg := instrument(mpi.DefaultConfig(2, 1))
 	cfg.Protocol.DMAMin = dmaMin
 	return contigBWCfg(cfg)
 }
@@ -166,7 +166,7 @@ func RunNoncontig2D(blockSizes []int64) []Noncontig2DResult {
 }
 
 func noncontig2DBW(bs int64, useFF bool) float64 {
-	cfg := mpi.DefaultConfig(2, 1)
+	cfg := instrument(mpi.DefaultConfig(2, 1))
 	cfg.Protocol.UseFF = useFF
 	ty := doubleStridedType(bs)
 	src := make([]byte, ty.Extent()+64)

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"scimpich/internal/mpi"
+	"scimpich/internal/obs"
+	"scimpich/internal/sci"
+	"scimpich/internal/trace"
+)
+
+// Ambient observability: a cmd binary opts in with ObsFlags (or a harness
+// with SetObservability), and every driver in this package attaches
+// whatever is installed to the clusters and interconnects it builds. With
+// nothing installed, instrumenting a config is the identity.
+var (
+	obsTrace   *obs.Trace
+	obsMetrics *obs.Registry
+)
+
+// SetObservability installs the ambient trace and metrics registry picked
+// up by every benchmark driver (nil disables either). ObsFlags wires this
+// to the -trace-out/-metrics-out command line flags; harnesses and tests
+// can call it directly.
+func SetObservability(t *obs.Trace, r *obs.Registry) {
+	obsTrace, obsMetrics = t, r
+}
+
+// Observability returns the ambient trace and registry (nil when disabled).
+func Observability() (*obs.Trace, *obs.Registry) { return obsTrace, obsMetrics }
+
+// instrument attaches the ambient observability to a cluster config. A
+// tracer or registry the driver already set wins.
+func instrument(cfg mpi.Config) mpi.Config {
+	if cfg.Tracer == nil && obsTrace != nil {
+		cfg.Tracer = trace.FromObs(obsTrace)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obsMetrics
+	}
+	return cfg
+}
+
+// instrumentSCI is instrument for the drivers that run the raw
+// interconnect without the MPI runtime.
+func instrumentSCI(cfg sci.Config) sci.Config {
+	if cfg.Tracer == nil && obsTrace != nil {
+		cfg.Tracer = trace.FromObs(obsTrace)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obsMetrics
+	}
+	return cfg
+}
+
+// ObsFlags registers the -trace-out and -metrics-out flags on the default
+// flag set. Giving either flag on the command line enables the ambient
+// trace/registry before the drivers run (the flag package invokes the
+// callbacks during flag.Parse). The returned finish function writes the
+// collected outputs — call it (or defer it) after the benchmarks ran:
+// -trace-out produces Chrome trace-event JSON (load it in Perfetto or
+// chrome://tracing, or aggregate it with cmd/tracestat) plus a
+// per-category span summary on stdout; -metrics-out produces the
+// plain-text metrics dump.
+func ObsFlags() func() {
+	var traceFile, metricsFile string
+	flag.Func("trace-out", "write a Chrome trace-event JSON timeline to `file`", func(s string) error {
+		traceFile = s
+		if obsTrace == nil {
+			obsTrace = obs.NewTrace(0)
+		}
+		return nil
+	})
+	flag.Func("metrics-out", "write a plain-text metrics dump to `file`", func(s string) error {
+		metricsFile = s
+		if obsMetrics == nil {
+			obsMetrics = obs.NewRegistry()
+		}
+		return nil
+	})
+	return func() {
+		if traceFile != "" {
+			if err := writeFile(traceFile, obsTrace.WriteChrome); err != nil {
+				fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			}
+			WriteObsSummary(os.Stdout)
+		}
+		if metricsFile != "" {
+			if err := writeFile(metricsFile, func(w io.Writer) error {
+				obsMetrics.WriteText(w)
+				return nil
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+			}
+		}
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

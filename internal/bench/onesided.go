@@ -49,7 +49,7 @@ const ppRounds = 32
 
 func twoSidedPingPong() time.Duration {
 	var d time.Duration
-	mpi.Run(mpi.DefaultConfig(2, 1), func(c *mpi.Comm) {
+	mpi.Run(instrument(mpi.DefaultConfig(2, 1)), func(c *mpi.Comm) {
 		buf := make([]byte, 8)
 		c.Barrier()
 		start := c.WtimeDuration()
@@ -71,7 +71,7 @@ func twoSidedPingPong() time.Duration {
 
 func oneSidedPingPong() time.Duration {
 	var d time.Duration
-	mpi.Run(mpi.DefaultConfig(2, 1), func(c *mpi.Comm) {
+	mpi.Run(instrument(mpi.DefaultConfig(2, 1)), func(c *mpi.Comm) {
 		s := osc.NewSystem(c)
 		w := s.CreateShared(c.AllocShared(16), osc.DefaultConfig())
 		buf := make([]byte, 8)
@@ -106,7 +106,7 @@ const (
 // communication exists to avoid). Rank 0 issues request-reply accesses.
 func twoSidedBusyTarget() time.Duration {
 	var d time.Duration
-	mpi.Run(mpi.DefaultConfig(2, 1), func(c *mpi.Comm) {
+	mpi.Run(instrument(mpi.DefaultConfig(2, 1)), func(c *mpi.Comm) {
 		switch c.Rank() {
 		case 0:
 			c.Barrier()
@@ -161,7 +161,7 @@ func twoSidedBusyTarget() time.Duration {
 // shared window while the target computes, uninvolved.
 func oneSidedBusyTarget() time.Duration {
 	var d time.Duration
-	mpi.Run(mpi.DefaultConfig(2, 1), func(c *mpi.Comm) {
+	mpi.Run(instrument(mpi.DefaultConfig(2, 1)), func(c *mpi.Comm) {
 		s := osc.NewSystem(c)
 		w := s.CreateShared(c.AllocShared(4096), osc.DefaultConfig())
 		w.Fence()

@@ -37,7 +37,7 @@ func pingPong(nodes, procs int, size int64) (latUS, bw float64) {
 	const rounds = 16
 	var elapsed time.Duration
 	buf := make([]byte, size)
-	mpi.Run(mpi.DefaultConfig(nodes, procs), func(c *mpi.Comm) {
+	mpi.Run(instrument(mpi.DefaultConfig(nodes, procs)), func(c *mpi.Comm) {
 		c.Barrier()
 		start := c.WtimeDuration()
 		for i := 0; i < rounds; i++ {

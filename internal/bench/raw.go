@@ -36,7 +36,7 @@ func RunRaw(sizes []int64) []RawResult {
 
 func runRawSize(size int64) RawResult {
 	e := sim.NewEngine()
-	ic := sci.New(e, sci.DefaultConfig(2))
+	ic := sci.New(e, instrumentSCI(sci.DefaultConfig(2)))
 	seg := ic.Node(1).Export(size)
 	src := make([]byte, size)
 	dst := make([]byte, size)

@@ -9,6 +9,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"scimpich/internal/obs"
 )
 
 // MiB is one mebibyte.
@@ -112,4 +114,20 @@ func BWMiB(bytes int64, d time.Duration) float64 {
 		return 0
 	}
 	return float64(bytes) / d.Seconds() / MiB
+}
+
+// WriteObsSummary renders the per-category span summary of the ambient
+// observability trace — spans, bytes and latency quantiles per protocol
+// category — as an aligned table. A no-op while tracing is disabled.
+func WriteObsSummary(w io.Writer) {
+	if obsTrace == nil {
+		return
+	}
+	sums := obsTrace.Summarize()
+	if len(sums) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "# span summary (per category)")
+	obs.WriteSummaries(w, sums)
+	fmt.Fprintln(w)
 }

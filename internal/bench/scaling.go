@@ -74,7 +74,7 @@ func ringScenario(mhz float64, activeNodes, procsPerNode int, neighbour bool, di
 	e := sim.NewEngine()
 	cfg := sci.DefaultConfig(RingNodes)
 	cfg.LinkMHz = mhz
-	ic := sci.New(e, cfg)
+	ic := sci.New(e, instrumentSCI(cfg))
 	srcCap := cfg.SustainedPutBW / float64(procsPerNode)
 	const bytesPerFlow = 32 << 20
 

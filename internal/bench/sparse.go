@@ -48,7 +48,7 @@ func sparseRun(accessSize int64, put, shared bool) (float64, float64) {
 	var elapsed time.Duration
 	var calls int64
 	var moved int64
-	mpi.Run(mpi.DefaultConfig(2, 1), func(c *mpi.Comm) {
+	mpi.Run(instrument(mpi.DefaultConfig(2, 1)), func(c *mpi.Comm) {
 		s := osc.NewSystem(c)
 		var w *osc.Win
 		if shared {
@@ -172,7 +172,7 @@ func RunPlatformSparse(accessSizes []int64) []PlatformSparseResult {
 func sparseIntraRun(accessSize int64) (float64, float64) {
 	var elapsed time.Duration
 	var calls, moved int64
-	mpi.Run(mpi.DefaultConfig(1, 2), func(c *mpi.Comm) {
+	mpi.Run(instrument(mpi.DefaultConfig(1, 2)), func(c *mpi.Comm) {
 		s := osc.NewSystem(c)
 		w := s.CreateShared(c.AllocShared(SparseWinSize), osc.DefaultConfig())
 		partner := 1 - c.Rank()

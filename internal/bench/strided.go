@@ -46,7 +46,7 @@ func stridedBW(access, stride int64, writeCombine bool) float64 {
 	e := sim.NewEngine()
 	cfg := sci.DefaultConfig(2)
 	cfg.WriteCombine = writeCombine
-	ic := sci.New(e, cfg)
+	ic := sci.New(e, instrumentSCI(cfg))
 	const total = 1 << 20
 	span := total / access * stride
 	seg := ic.Node(1).Export(span + stride)

@@ -49,6 +49,7 @@ func ringletScenario(mhz float64) float64 {
 func torusScenario(mhz float64) float64 {
 	e := sim.NewEngine()
 	net := flow.NewNetwork(e)
+	net.SetMetrics(obsMetrics)
 	cfg := sci.DefaultConfig(RingNodes)
 	cfg.LinkMHz = mhz
 	to := torus.New(8, 8, 8, ring.BandwidthForMHz(mhz), flow.SCIRingCongestion{})
@@ -80,6 +81,7 @@ func torusScenario(mhz float64) float64 {
 func giantRingScenario(mhz float64) float64 {
 	e := sim.NewEngine()
 	net := flow.NewNetwork(e)
+	net.SetMetrics(obsMetrics)
 	cfg := sci.DefaultConfig(RingNodes)
 	cfg.LinkMHz = mhz
 	r := ring.New(512, ring.BandwidthForMHz(mhz), flow.SCIRingCongestion{})

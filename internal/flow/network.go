@@ -17,6 +17,7 @@ import (
 	"math"
 	"time"
 
+	"scimpich/internal/obs"
 	"scimpich/internal/sim"
 )
 
@@ -89,6 +90,8 @@ type Flow struct {
 	remaining float64 // bytes left
 	rate      float64 // current allocated rate
 	done      *sim.Future
+	started   time.Duration // virtual start time (for the duration metric)
+	bytes     int64         // total transfer size
 
 	// fields used during rate computation
 	frozen bool
@@ -106,6 +109,12 @@ type Network struct {
 	flows      map[*Flow]struct{}
 	lastSettle time.Duration
 	next       *sim.Timer
+
+	// metric collectors (nil without SetMetrics; nil collectors are no-ops).
+	transferNS *obs.Histogram
+	metBytes   *obs.Counter
+	activeHW   *obs.Gauge
+	highWater  int
 }
 
 // NewNetwork returns an empty flow network bound to the engine.
@@ -113,8 +122,35 @@ func NewNetwork(e *sim.Engine) *Network {
 	return &Network{e: e, flows: make(map[*Flow]struct{})}
 }
 
+// SetMetrics registers the network's collectors in r: a completed-transfer
+// duration histogram (flow.transfer.ns), a delivered-bytes counter
+// (flow.bytes) and a concurrent-flows high-water gauge (flow.active.max).
+// Call it right after NewNetwork; a nil registry leaves metrics disabled.
+func (n *Network) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	n.transferNS = r.Histogram("flow.transfer.ns")
+	n.metBytes = r.Counter("flow.bytes")
+	n.activeHW = r.Gauge("flow.active.max")
+}
+
 // ActiveFlows returns the number of in-flight transfers.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// noteStarted records a flow's admission for the high-water gauge.
+func (n *Network) noteStarted() {
+	if len(n.flows) > n.highWater {
+		n.highWater = len(n.flows)
+		n.activeHW.Max(int64(n.highWater))
+	}
+}
+
+// noteFinished feeds a completed flow into the duration and byte metrics.
+func (n *Network) noteFinished(f *Flow) {
+	n.transferNS.ObserveDuration(n.e.Now() - f.started)
+	n.metBytes.Add(f.bytes)
+}
 
 // Start begins a transfer of bytes over path, capped at srcCap bytes/second.
 // It returns immediately; the flow's Done future completes when the last
@@ -129,7 +165,8 @@ func (n *Network) Start(path []Hop, bytes int64, srcCap float64) *Flow {
 			panic("flow: hop weight must be positive")
 		}
 	}
-	f := &Flow{path: path, srcCap: srcCap, remaining: float64(bytes), done: sim.NewFuture()}
+	f := &Flow{path: path, srcCap: srcCap, remaining: float64(bytes), done: sim.NewFuture(),
+		started: n.e.Now(), bytes: bytes}
 	if bytes <= 0 {
 		f.done.Complete(nil)
 		return f
@@ -139,6 +176,7 @@ func (n *Network) Start(path []Hop, bytes int64, srcCap float64) *Flow {
 	for _, h := range path {
 		h.Link.flows[f] += h.Weight
 	}
+	n.noteStarted()
 	n.reallocate()
 	return f
 }
@@ -154,7 +192,8 @@ func (n *Network) StartBatch(paths [][]Hop, bytes int64, srcCap float64) []*Flow
 	n.settle()
 	flows := make([]*Flow, len(paths))
 	for i, path := range paths {
-		f := &Flow{path: path, srcCap: srcCap, remaining: float64(bytes), done: sim.NewFuture()}
+		f := &Flow{path: path, srcCap: srcCap, remaining: float64(bytes), done: sim.NewFuture(),
+			started: n.e.Now(), bytes: bytes}
 		flows[i] = f
 		if bytes <= 0 {
 			f.done.Complete(nil)
@@ -168,6 +207,7 @@ func (n *Network) StartBatch(paths [][]Hop, bytes int64, srcCap float64) []*Flow
 			h.Link.flows[f] += h.Weight
 		}
 	}
+	n.noteStarted()
 	n.reallocate()
 	return flows
 }
@@ -214,6 +254,7 @@ func (n *Network) reallocate() {
 	if len(finished) > 0 {
 		for _, f := range finished {
 			n.remove(f)
+			n.noteFinished(f)
 		}
 		// Rates changed again; recurse (bounded by flow count).
 		n.reallocate()

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"scimpich/internal/obs"
 	"scimpich/internal/sim"
 )
 
@@ -281,5 +282,42 @@ func TestStartBatchZeroBytes(t *testing.T) {
 			t.Errorf("zero-byte batched flow %d not complete", i)
 		}
 	}
+	e.Run()
+}
+
+func TestNetworkMetrics(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNetwork(e)
+	reg := obs.NewRegistry()
+	n.SetMetrics(reg)
+	l := NewLink("l", 1000*mib, nil)
+	e.Go("a", func(p *sim.Proc) {
+		n.Transfer(p, Path(l), 100*mib, 100*mib)
+	})
+	e.Go("b", func(p *sim.Proc) {
+		n.Transfer(p, Path(l), 50*mib, 100*mib)
+	})
+	e.Run()
+	if got := reg.Counter("flow.bytes").Value(); got != 150*mib {
+		t.Errorf("flow.bytes = %d, want %d", got, 150*mib)
+	}
+	if got := reg.Gauge("flow.active.max").Value(); got != 2 {
+		t.Errorf("flow.active.max = %d, want 2", got)
+	}
+	hs := reg.Histogram("flow.transfer.ns").Snapshot()
+	if hs.Count != 2 {
+		t.Errorf("flow.transfer.ns count = %d, want 2", hs.Count)
+	}
+	if hs.Max < int64(499*time.Millisecond) || hs.Max > int64(1100*time.Millisecond) {
+		t.Errorf("flow.transfer.ns max = %v, implausible", time.Duration(hs.Max))
+	}
+}
+
+func TestNetworkMetricsNilRegistry(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNetwork(e)
+	n.SetMetrics(nil) // must stay a no-op
+	l := NewLink("l", 1000*mib, nil)
+	e.Go("a", func(p *sim.Proc) { n.Transfer(p, Path(l), mib, mib) })
 	e.Run()
 }

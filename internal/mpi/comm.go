@@ -2,9 +2,12 @@ package mpi
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"scimpich/internal/memmodel"
+	"scimpich/internal/obs"
+	"scimpich/internal/pack"
 	"scimpich/internal/sci"
 	"scimpich/internal/sim"
 	"scimpich/internal/trace"
@@ -83,6 +86,11 @@ func (c *Comm) WtimeDuration() time.Duration { return c.p.Now() }
 // runtime that record their own fault/recovery events).
 func (c *Comm) Tracer() *trace.Tracer { return c.w.cfg.Tracer }
 
+// Metrics returns the world's metrics registry (nil when none is
+// configured); libraries layered on the runtime register their collectors
+// here.
+func (c *Comm) Metrics() *obs.Registry { return c.w.cfg.Metrics }
+
 // mem returns the node's memory model.
 func (c *Comm) mem() *memmodel.Model { return c.w.cfg.Shm.Mem }
 
@@ -94,12 +102,18 @@ func (c *Comm) collective() *Comm {
 }
 
 // Run builds a cluster from cfg, runs main once per rank, and returns the
-// virtual time at which the last rank finished.
+// virtual time at which the last rank finished. With a metrics registry
+// configured, the per-rank and per-node statistics gauges are published
+// into it after the run.
 func Run(cfg Config, main func(c *Comm)) time.Duration {
 	e := sim.NewEngine()
 	w := NewWorld(e, cfg)
 	w.Spawn(main)
-	return e.Run()
+	end := e.Run()
+	if cfg.Metrics != nil {
+		w.PublishMetrics(cfg.Metrics)
+	}
+	return end
 }
 
 // NewWorld wires a cluster onto an existing engine (for harnesses that mix
@@ -125,19 +139,69 @@ func (w *World) Spawn(main func(c *Comm)) {
 	}
 }
 
-// Stats returns the device statistics of a rank.
-func (w *World) Stats(rank int) DeviceStats { return w.ranks[rank].dev.stats }
+// Stats returns a race-free snapshot of the device statistics of a rank.
+func (w *World) Stats(rank int) DeviceStats { return w.ranks[rank].dev.stats.snapshot() }
+
+// PublishMetrics exports the end-of-run statistics into a registry as
+// labelled gauges: per-rank device counters (mpi.device.*{rank=r}) and
+// per-node interconnect counters (sci.node.*{node=n}). Run calls this
+// automatically when Config.Metrics is set; harnesses driving the engine
+// themselves call it after Engine.Run.
+func (w *World) PublishMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	for rank := range w.ranks {
+		ds := w.Stats(rank)
+		l := strconv.Itoa(rank)
+		r.SetGauge(obs.Name("mpi.device.short_recvd", "rank", l), ds.ShortRecvd)
+		r.SetGauge(obs.Name("mpi.device.eager_recvd", "rank", l), ds.EagerRecvd)
+		r.SetGauge(obs.Name("mpi.device.rdv_recvd", "rank", l), ds.RdvRecvd)
+		r.SetGauge(obs.Name("mpi.device.unexpected", "rank", l), ds.Unexpected)
+		r.SetGauge(obs.Name("mpi.device.bytes_recvd", "rank", l), ds.BytesRecvd)
+		r.SetGauge(obs.Name("mpi.device.osc_requests", "rank", l), ds.OSCRequests)
+		r.SetGauge(obs.Name("mpi.device.duplicates", "rank", l), ds.Duplicates)
+		r.SetGauge(obs.Name("mpi.device.send_retries", "rank", l), ds.SendRetries)
+		r.SetGauge(obs.Name("mpi.device.send_timeouts", "rank", l), ds.SendTimeouts)
+	}
+	ff, gen := w.PackStats()
+	for _, e := range []struct {
+		engine string
+		st     pack.CumulativeStats
+	}{{"direct_pack_ff", ff}, {"generic", gen}} {
+		r.SetGauge(obs.Name("pack.ops", "engine", e.engine), e.st.Ops)
+		r.SetGauge(obs.Name("pack.blocks", "engine", e.engine), e.st.Blocks)
+		r.SetGauge(obs.Name("pack.bytes", "engine", e.engine), e.st.Bytes)
+		r.SetGauge(obs.Name("pack.max_block", "engine", e.engine), e.st.MaxBlock)
+	}
+	if w.ic == nil {
+		return
+	}
+	for node := 0; node < w.cfg.Nodes; node++ {
+		ns := w.InterconnectStats(node)
+		l := strconv.Itoa(node)
+		r.SetGauge(obs.Name("sci.node.bytes_written", "node", l), ns.BytesWritten)
+		r.SetGauge(obs.Name("sci.node.bytes_read", "node", l), ns.BytesRead)
+		r.SetGauge(obs.Name("sci.node.write_ops", "node", l), ns.WriteOps)
+		r.SetGauge(obs.Name("sci.node.read_ops", "node", l), ns.ReadOps)
+		r.SetGauge(obs.Name("sci.node.store_barriers", "node", l), ns.StoreBarriers)
+		r.SetGauge(obs.Name("sci.node.retries", "node", l), ns.Retries)
+		r.SetGauge(obs.Name("sci.node.dma_transfers", "node", l), ns.DMATransfers)
+		r.SetGauge(obs.Name("sci.node.transfer_errors", "node", l), ns.TransferErrors)
+		r.SetGauge(obs.Name("sci.node.check_retries", "node", l), ns.CheckRetries)
+	}
+}
 
 // MemModel returns the per-node memory hierarchy model.
 func (w *World) MemModel() *memmodel.Model { return w.cfg.Shm.Mem }
 
-// InterconnectStats returns the SCI adapter statistics of a node (zero
-// value on single-node clusters).
+// InterconnectStats returns a race-free snapshot of the SCI adapter
+// statistics of a node (zero value on single-node clusters).
 func (w *World) InterconnectStats(node int) sci.Stats {
 	if w.ic == nil {
 		return sci.Stats{}
 	}
-	return w.ic.Node(node).Stats
+	return w.ic.Node(node).Snapshot()
 }
 
 // NodeAlive reports whether a rank's node is currently up (always true on

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"scimpich/internal/datatype"
 	"scimpich/internal/memmodel"
@@ -15,6 +16,7 @@ import (
 // executes the receive side of the short/eager/rendezvous protocols.
 type device struct {
 	rk    *rank
+	actor string // cached "dev<i>"
 	inbox *sim.Chan
 	p     *sim.Proc
 
@@ -32,10 +34,11 @@ type device struct {
 	// the remote handler that emulates direct access for private windows).
 	oscHandler func(p *sim.Proc, env *envelope)
 
-	stats DeviceStats
+	stats devStats
 }
 
-// DeviceStats counts protocol activity on one rank.
+// DeviceStats is a point-in-time snapshot of one rank's protocol activity
+// (see World.Stats).
 type DeviceStats struct {
 	ShortRecvd  int64
 	EagerRecvd  int64
@@ -52,6 +55,35 @@ type DeviceStats struct {
 	SendRetries int64
 	// SendTimeouts counts expired rendezvous control-traffic watchdogs.
 	SendTimeouts int64
+}
+
+// devStats is the live counter set behind DeviceStats. Counters are
+// atomics: they are bumped both by the device daemon and by sender procs
+// (retries, watchdogs), and read from ordinary goroutines after a run.
+type devStats struct {
+	shortRecvd   atomic.Int64
+	eagerRecvd   atomic.Int64
+	rdvRecvd     atomic.Int64
+	unexpected   atomic.Int64
+	bytesRecvd   atomic.Int64
+	oscRequests  atomic.Int64
+	duplicates   atomic.Int64
+	sendRetries  atomic.Int64
+	sendTimeouts atomic.Int64
+}
+
+func (s *devStats) snapshot() DeviceStats {
+	return DeviceStats{
+		ShortRecvd:   s.shortRecvd.Load(),
+		EagerRecvd:   s.eagerRecvd.Load(),
+		RdvRecvd:     s.rdvRecvd.Load(),
+		Unexpected:   s.unexpected.Load(),
+		BytesRecvd:   s.bytesRecvd.Load(),
+		OSCRequests:  s.oscRequests.Load(),
+		Duplicates:   s.duplicates.Load(),
+		SendRetries:  s.sendRetries.Load(),
+		SendTimeouts: s.sendTimeouts.Load(),
+	}
 }
 
 // rdvRecv tracks one in-progress rendezvous receive.
@@ -75,11 +107,12 @@ const (
 func newDevice(rk *rank) *device {
 	d := &device{
 		rk:      rk,
+		actor:   fmt.Sprintf("dev%d", rk.id),
 		inbox:   sim.NewChan(1 << 20),
 		rdv:     make(map[int64]*rdvRecv),
 		lastSeq: make([]int64, rk.w.size),
 	}
-	d.p = rk.w.engine.GoDaemon(fmt.Sprintf("dev%d", rk.id), d.run)
+	d.p = rk.w.engine.GoDaemon(d.actor, d.run)
 	return d
 }
 
@@ -106,7 +139,7 @@ func (d *device) run(p *sim.Proc) {
 			// Return the eager slot credit to this rank's sender state.
 			sim.Post(d.rk.out[env.src].credits, env.slot)
 		case envOSC:
-			d.stats.OSCRequests++
+			d.stats.oscRequests.Add(1)
 			if d.oscHandler == nil {
 				panic("mpi: one-sided request with no handler registered")
 			}
@@ -135,8 +168,8 @@ func (d *device) handlePost(p *sim.Proc, req *recvReq) {
 func (d *device) handleIncoming(p *sim.Proc, env *envelope) {
 	if env.seq != 0 {
 		if env.seq <= d.lastSeq[env.src] {
-			d.stats.Duplicates++
-			d.rk.w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("dev%d", d.rk.id), "fault",
+			d.stats.duplicates.Add(1)
+			d.rk.w.cfg.Tracer.Record(p.Now(), d.actor, "fault",
 				"dropped duplicate %v from %d (seq %d)", env.kind, env.src, env.seq)
 			return
 		}
@@ -149,7 +182,7 @@ func (d *device) handleIncoming(p *sim.Proc, env *envelope) {
 			return
 		}
 	}
-	d.stats.Unexpected++
+	d.stats.unexpected.Add(1)
 	d.unexpected = append(d.unexpected, env)
 	// Wake blocking probes that match the new arrival.
 	for i, pr := range d.probes {
@@ -178,14 +211,21 @@ func (d *device) handleProbe(pr *probeReq) {
 
 // deliver executes the receive side of a matched message.
 func (d *device) deliver(p *sim.Proc, req *recvReq, env *envelope) {
-	d.rk.w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("dev%d", d.rk.id), "recv",
+	tr := d.rk.w.cfg.Tracer
+	tr.Record(p.Now(), d.actor, "recv",
 		"<- %d tag %d: %d bytes via %v", env.src, env.tag, env.bytes, env.kind)
 	d.checkSignature(req, env)
 	switch env.kind {
 	case envShort:
+		sp := tr.Start(p.Now(), d.actor, "recv", "short")
+		sp.SetBytes(env.bytes)
 		d.deliverShort(p, req, env)
+		sp.End(p.Now())
 	case envEager:
+		sp := tr.Start(p.Now(), d.actor, "recv", "eager")
+		sp.SetBytes(env.bytes)
 		d.deliverEager(p, req, env)
+		sp.End(p.Now())
 	case envRdvReq:
 		d.startRendezvous(p, req, env)
 	default:
@@ -220,8 +260,8 @@ func (d *device) checkSignature(req *recvReq, env *envelope) {
 // deliverShort unpacks an inline payload.
 func (d *device) deliverShort(p *sim.Proc, req *recvReq, env *envelope) {
 	d.capacity(req, env.bytes)
-	d.stats.ShortRecvd++
-	d.stats.BytesRecvd += env.bytes
+	d.stats.shortRecvd.Add(1)
+	d.stats.bytesRecvd.Add(env.bytes)
 	if req.dt.Contiguous() {
 		p.Sleep(d.mem().CopyCost(env.bytes, env.bytes, env.bytes))
 		copy(req.buf, env.payload)
@@ -235,8 +275,8 @@ func (d *device) deliverShort(p *sim.Proc, req *recvReq, env *envelope) {
 // deliverEager copies data out of the eager slot and returns the credit.
 func (d *device) deliverEager(p *sim.Proc, req *recvReq, env *envelope) {
 	d.capacity(req, env.bytes)
-	d.stats.EagerRecvd++
-	d.stats.BytesRecvd += env.bytes
+	d.stats.eagerRecvd.Add(1)
+	d.stats.bytesRecvd.Add(env.bytes)
 	mem := d.rk.ports[env.src].mem
 	off := d.rk.w.eagerOff(env.slot)
 	if req.dt.Contiguous() {
@@ -256,7 +296,7 @@ func (d *device) deliverEager(p *sim.Proc, req *recvReq, env *envelope) {
 // rendezvous buffer.
 func (d *device) startRendezvous(p *sim.Proc, req *recvReq, env *envelope) {
 	d.capacity(req, env.bytes)
-	d.stats.RdvRecvd++
+	d.stats.rdvRecvd.Add(1)
 	mode := rdvGeneric
 	switch {
 	case req.dt.Contiguous():
@@ -316,34 +356,44 @@ func (d *device) handleRdvData(p *sim.Proc, env *envelope) {
 		// A duplicated chunk announcement: either the transfer already
 		// completed (request gone) or the chunk was already drained. Drop
 		// it without a second ack — the sender counted the first one.
-		d.stats.Duplicates++
-		d.rk.w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("dev%d", d.rk.id), "fault",
+		d.stats.duplicates.Add(1)
+		d.rk.w.cfg.Tracer.Record(p.Now(), d.actor, "fault",
 			"dropped duplicate rendezvous chunk %d (req %d) from %d", env.chunk, env.reqID, env.src)
 		return
 	}
+	tr := d.rk.w.cfg.Tracer
 	mem := d.rk.ports[env.src].mem
 	off := d.rk.w.rdvOff(env.chunk)
 	skip := st.received
 	n := env.chunkLen
+	csp := tr.Start(p.Now(), d.actor, "recv", "rdv-chunk")
+	csp.SetBytes(n)
 	switch st.mode {
 	case rdvContig:
 		mem.Read(p, off, st.req.buf[skip:skip+n])
 	case rdvFF:
+		usp := tr.Start(p.Now(), d.actor, "pack", "ff_unpack")
+		usp.SetBytes(n)
 		slot := mem.Bytes()[off : off+n]
 		_, pst := pack.FFUnpack(st.req.buf, slot, st.req.dt, st.req.count, skip, n)
 		d.chargeBlocks(p, pst, true)
+		usp.End(p.Now())
 	case rdvGeneric:
 		// Baseline: copy the chunk out of the buffer, then unpack locally
 		// (two passes over the data — figure 4, top).
+		usp := tr.Start(p.Now(), d.actor, "pack", "generic_unpack")
+		usp.SetBytes(n)
 		scratch := make([]byte, n)
 		mem.Read(p, off, scratch)
 		_, pst := pack.GenericUnpack(st.req.buf, scratch, st.req.dt, st.req.count, skip, n)
 		d.chargeBlocks(p, pst, false)
+		usp.End(p.Now())
 	}
+	csp.End(p.Now())
 	st.received += n
 	st.nextChunk++
-	d.stats.BytesRecvd += n
-	d.rk.w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("dev%d", d.rk.id), "rdv",
+	d.stats.bytesRecvd.Add(n)
+	tr.Record(p.Now(), d.actor, "rdv",
 		"chunk %d (%d bytes) from %d, mode %d", env.chunk, n, env.src, st.mode)
 	d.rk.w.ring(p, d.rk.id, env.src, &envelope{
 		kind: envRdvAck, src: d.rk.id, dst: env.src,
@@ -362,6 +412,7 @@ func (d *device) chargeBlocks(p *sim.Proc, st pack.Stats, ff bool) {
 	if st.Bytes == 0 {
 		return
 	}
+	d.rk.w.countPack(st, ff)
 	m := d.mem()
 	bus := d.rk.w.buses[d.rk.node]
 	ws := st.Bytes * 2 // source chunk + scattered destination

@@ -59,7 +59,7 @@ func (c *Comm) OSCCallTimeout(target int, req any, interrupt bool, timeout time.
 	}, interrupt)
 	v, ok := c.p.RecvTimeout(reply, timeout)
 	if !ok {
-		c.rk.dev.stats.SendTimeouts++
+		c.rk.dev.stats.sendTimeouts.Add(1)
 		return nil, false
 	}
 	return v.(*envelope).osc, true

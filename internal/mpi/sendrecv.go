@@ -59,26 +59,55 @@ func (c *Comm) send(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int)
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
 	bytes := dt.Size() * int64(count)
-	w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("rank%d", c.rk.id), "send",
+	tr := w.cfg.Tracer
+	tr.Record(p.Now(), c.rk.actor, "send",
 		"-> %d tag %d: %d bytes", dst, tag, bytes)
 
 	if dst == c.rk.id {
 		// Self send: buffered through an inline payload.
+		sp := tr.Start(p.Now(), c.rk.actor, "send", "self")
+		sp.SetBytes(bytes)
 		payload := c.packCanonical(buf, count, dt, bytes)
 		w.ring(p, c.rk.id, dst, &envelope{
 			kind: envShort, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
 			bytes: bytes, payload: payload, sig: sendSig(dt),
 		}, false)
+		sp.End(p.Now())
 		return nil
 	}
 
+	start := p.Now()
 	switch {
 	case bytes <= proto.ShortMax:
-		return c.sendShort(buf, count, dt, dst, tag, ctx, bytes)
+		sp := tr.Start(start, c.rk.actor, "send", "short")
+		sp.SetBytes(bytes)
+		sp.SetDetail("-> %d tag %d", dst, tag)
+		err := c.sendShort(buf, count, dt, dst, tag, ctx, bytes)
+		sp.End(p.Now())
+		w.met.sendsShort.Inc()
+		w.met.bytesShort.Add(bytes)
+		w.met.sendShortNS.ObserveDuration(p.Now() - start)
+		return err
 	case bytes <= proto.EagerMax:
-		return c.sendEager(buf, count, dt, dst, tag, ctx, bytes)
+		sp := tr.Start(start, c.rk.actor, "send", "eager")
+		sp.SetBytes(bytes)
+		sp.SetDetail("-> %d tag %d", dst, tag)
+		err := c.sendEager(buf, count, dt, dst, tag, ctx, bytes)
+		sp.End(p.Now())
+		w.met.sendsEager.Inc()
+		w.met.bytesEager.Add(bytes)
+		w.met.sendEagerNS.ObserveDuration(p.Now() - start)
+		return err
 	default:
-		return c.sendRendezvous(buf, count, dt, dst, tag, ctx, bytes)
+		sp := tr.Start(start, c.rk.actor, "send", "rdv")
+		sp.SetBytes(bytes)
+		sp.SetDetail("-> %d tag %d", dst, tag)
+		err := c.sendRendezvous(buf, count, dt, dst, tag, ctx, bytes)
+		sp.End(p.Now())
+		w.met.sendsRdv.Inc()
+		w.met.bytesRdv.Add(bytes)
+		w.met.sendRdvNS.ObserveDuration(p.Now() - start)
+		return err
 	}
 }
 
@@ -118,8 +147,8 @@ func (c *Comm) retryTransfer(dst int, op func() error) error {
 		if !ok || !fe.Retryable() || attempt >= max {
 			return err
 		}
-		c.rk.dev.stats.SendRetries++
-		c.rk.w.cfg.Tracer.Record(c.p.Now(), fmt.Sprintf("rank%d", c.rk.id), "fault",
+		c.rk.dev.stats.sendRetries.Add(1)
+		c.rk.w.cfg.Tracer.Record(c.p.Now(), c.rk.actor, "fault",
 			"deposit to %d failed (%v), retry %d after %v", dst, fe.Kind, attempt+1, backoff)
 		c.p.Sleep(backoff)
 		backoff *= 2
@@ -145,6 +174,7 @@ func (c *Comm) chargePackBlocks(st pack.Stats, ff bool) {
 	if st.Bytes == 0 {
 		return
 	}
+	c.rk.w.countPack(st, ff)
 	m := c.mem()
 	ws := st.Bytes * 2
 	cost := m.CopyCost(st.Bytes, st.AvgBlock(), ws)
@@ -234,8 +264,8 @@ func (c *Comm) recvCtl(reply *sim.Chan, dst int) (*envelope, error) {
 	}
 	v, ok := c.p.RecvTimeout(reply, to)
 	if !ok {
-		c.rk.dev.stats.SendTimeouts++
-		c.rk.w.cfg.Tracer.Record(c.p.Now(), fmt.Sprintf("rank%d", c.rk.id), "fault",
+		c.rk.dev.stats.sendTimeouts.Add(1)
+		c.rk.w.cfg.Tracer.Record(c.p.Now(), c.rk.actor, "fault",
 			"rendezvous watchdog expired waiting on %d after %v", dst, to)
 		if err := c.peerLost(dst); err != nil {
 			return nil, err
@@ -335,9 +365,11 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 // packChunkInto moves one rendezvous chunk into the receiver's buffer,
 // surfacing injected transfer faults for the caller to retry.
 func (c *Comm) packChunkInto(mem smi.Mem, off int64, buf []byte, count int, dt *datatype.Type, skip, n int64, mode rdvMode) error {
+	w := c.rk.w
+	tr := w.cfg.Tracer
 	switch {
 	case dt.Contiguous():
-		if min := c.rk.w.protocol().DMAMin; min > 0 && n >= min {
+		if min := w.protocol().DMAMin; min > 0 && n >= min {
 			if fut, ok := mem.DMAWrite(c.p, off, buf[skip:skip+n]); ok {
 				// The CPU is free during the transfer; the protocol simply
 				// waits for the engine before signalling the chunk.
@@ -348,20 +380,34 @@ func (c *Comm) packChunkInto(mem smi.Mem, off int64, buf []byte, count int, dt *
 			}
 		}
 		return mem.TryWriteStream(c.p, off, buf[skip:skip+n], dt.Size()*int64(count))
-	case mode == rdvFF && c.rk.w.protocol().UseFF:
+	case mode == rdvFF && w.protocol().UseFF:
 		// direct_pack_ff: pack straight into the (possibly remote) buffer.
 		// The working set per handshake cycle is the chunk plus its gaps
 		// (the reason the chunk must stay below the L2 size).
+		start := c.p.Now()
+		sp := tr.Start(start, c.rk.actor, "pack", "direct_pack_ff")
+		sp.SetBytes(n)
 		bw := mem.BlockWriter(c.p, 2*n)
 		sink := offsetSink{w: bw, base: off}
 		pack.FFPack(sink, buf, dt, count, skip, n)
-		return bw.TryFlush()
+		err := bw.TryFlush()
+		sp.End(c.p.Now())
+		w.met.packFFBytes.Add(n)
+		w.met.packFFNS.ObserveDuration(c.p.Now() - start)
+		return err
 	default:
 		// Generic baseline: local pack, then one streamed copy.
+		start := c.p.Now()
+		sp := tr.Start(start, c.rk.actor, "pack", "generic")
+		sp.SetBytes(n)
 		scratch := make([]byte, n)
 		_, st := pack.GenericPack(scratch, buf, dt, count, skip, n)
 		c.chargePackBlocks(st, false)
-		return mem.TryWriteStream(c.p, off, scratch, n)
+		err := mem.TryWriteStream(c.p, off, scratch, n)
+		sp.End(c.p.Now())
+		w.met.packGenBytes.Add(n)
+		w.met.packGenericNS.ObserveDuration(c.p.Now() - start)
+		return err
 	}
 }
 
@@ -398,8 +444,8 @@ func (c *Comm) RecvChecked(buf []byte, count int, dt *datatype.Type, src, tag in
 	}
 	v, ok := c.p.AwaitTimeout(r.done, timeout)
 	if !ok {
-		c.rk.dev.stats.SendTimeouts++
-		c.rk.w.cfg.Tracer.Record(c.p.Now(), fmt.Sprintf("rank%d", c.rk.id), "fault",
+		c.rk.dev.stats.sendTimeouts.Add(1)
+		c.rk.w.cfg.Tracer.Record(c.p.Now(), c.rk.actor, "fault",
 			"receive watchdog expired (src %d tag %d) after %v", src, tag, timeout)
 		if src != AnySource {
 			if err := c.peerLost(c.worldRank(src)); err != nil {

@@ -15,6 +15,8 @@ import (
 	"scimpich/internal/fault"
 	"scimpich/internal/flow"
 	"scimpich/internal/nic"
+	"scimpich/internal/obs"
+	"scimpich/internal/pack"
 	"scimpich/internal/sci"
 	"scimpich/internal/shmem"
 	"scimpich/internal/sim"
@@ -119,8 +121,15 @@ type Config struct {
 	Shm shmem.Config
 	// Protocol configures the device.
 	Protocol ProtocolConfig
-	// Tracer, when non-nil, records a protocol event timeline.
+	// Tracer, when non-nil, records a protocol event timeline (instant
+	// events and nested spans; see internal/obs).
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives the runtime's counters and latency
+	// histograms (mpi.send.*{path=...}, mpi.pack.*) and, after Run, the
+	// per-rank device and per-node interconnect gauges published by
+	// World.PublishMetrics. It is inherited by the SCI layer unless
+	// SCI.Metrics is set explicitly.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a cluster of nodes dual-SMP nodes matching the
@@ -156,6 +165,69 @@ type World struct {
 	exchange   map[string][]any
 	seq        map[string][]int
 	ctxCounter int
+
+	met worldMetrics
+	// packFF/packGeneric accumulate the block structure of every pack and
+	// unpack operation charged on this world, per engine (see PackStats).
+	packFF      pack.Cumulative
+	packGeneric pack.Cumulative
+}
+
+// PackStats returns race-free cumulative totals of all pack/unpack
+// operations performed on the world, split by engine (direct_pack_ff
+// versus the generic recursive baseline).
+func (w *World) PackStats() (ff, generic pack.CumulativeStats) {
+	return w.packFF.Snapshot(), w.packGeneric.Snapshot()
+}
+
+// countPack folds one pack/unpack operation into the per-engine totals.
+func (w *World) countPack(st pack.Stats, ff bool) {
+	if ff {
+		w.packFF.Add(st)
+	} else {
+		w.packGeneric.Add(st)
+	}
+}
+
+// worldMetrics caches the runtime's registry collectors so the send hot
+// path never performs a map lookup. With metrics disabled every field is a
+// nil collector and every update below is an allocation-free no-op.
+type worldMetrics struct {
+	sendShortNS *obs.Histogram
+	sendEagerNS *obs.Histogram
+	sendRdvNS   *obs.Histogram
+
+	sendsShort *obs.Counter
+	sendsEager *obs.Counter
+	sendsRdv   *obs.Counter
+	bytesShort *obs.Counter
+	bytesEager *obs.Counter
+	bytesRdv   *obs.Counter
+
+	packFFNS      *obs.Histogram
+	packGenericNS *obs.Histogram
+	packFFBytes   *obs.Counter
+	packGenBytes  *obs.Counter
+}
+
+func newWorldMetrics(r *obs.Registry) worldMetrics {
+	return worldMetrics{
+		sendShortNS: r.Histogram(obs.Name("mpi.send.ns", "path", "short")),
+		sendEagerNS: r.Histogram(obs.Name("mpi.send.ns", "path", "eager")),
+		sendRdvNS:   r.Histogram(obs.Name("mpi.send.ns", "path", "rdv")),
+
+		sendsShort: r.Counter(obs.Name("mpi.sends", "path", "short")),
+		sendsEager: r.Counter(obs.Name("mpi.sends", "path", "eager")),
+		sendsRdv:   r.Counter(obs.Name("mpi.sends", "path", "rdv")),
+		bytesShort: r.Counter(obs.Name("mpi.send.bytes", "path", "short")),
+		bytesEager: r.Counter(obs.Name("mpi.send.bytes", "path", "eager")),
+		bytesRdv:   r.Counter(obs.Name("mpi.send.bytes", "path", "rdv")),
+
+		packFFNS:      r.Histogram(obs.Name("mpi.pack.ns", "engine", "direct_pack_ff")),
+		packGenericNS: r.Histogram(obs.Name("mpi.pack.ns", "engine", "generic")),
+		packFFBytes:   r.Counter(obs.Name("mpi.pack.bytes", "engine", "direct_pack_ff")),
+		packGenBytes:  r.Counter(obs.Name("mpi.pack.bytes", "engine", "generic")),
+	}
 }
 
 // rank is one MPI process.
@@ -163,6 +235,7 @@ type rank struct {
 	w          *World
 	id         int
 	node       int
+	actor      string // cached "rank<i>" (avoids Sprintf on the send hot path)
 	dev        *device
 	p          *sim.Proc // the user process, set when spawned
 	reqCounter int64
@@ -218,13 +291,18 @@ func newWorld(e *sim.Engine, cfg Config) *World {
 		panic("mpi: need at least one node and one proc per node")
 	}
 	w := &World{cfg: cfg, engine: e, size: cfg.Nodes * cfg.ProcsPerNode}
+	w.met = newWorldMetrics(cfg.Metrics)
 	if cfg.Nodes > 1 {
 		switch cfg.Kind {
 		case InterconnectSCI:
 			if cfg.SCI.Tracer == nil {
 				cfg.SCI.Tracer = cfg.Tracer
 			}
+			if cfg.SCI.Metrics == nil {
+				cfg.SCI.Metrics = cfg.Metrics
+			}
 			w.cfg.SCI.Tracer = cfg.SCI.Tracer
+			w.cfg.SCI.Metrics = cfg.SCI.Metrics
 			w.ic = sci.New(e, cfg.SCI)
 		case InterconnectNIC:
 			w.nicNet = nic.New(e, cfg.Nodes, cfg.NIC)
@@ -235,13 +313,14 @@ func newWorld(e *sim.Engine, cfg Config) *World {
 	// All intra-node buses share one flow network so that, on request,
 	// cross-transport interactions stay in one simulation.
 	net := flow.NewNetwork(e)
+	net.SetMetrics(cfg.Metrics)
 	w.buses = make([]*shmem.Bus, cfg.Nodes)
 	for n := range w.buses {
 		w.buses[n] = shmem.NewBus(e, net, fmt.Sprintf("node%d", n), cfg.Shm)
 	}
 	w.ranks = make([]*rank, w.size)
 	for r := range w.ranks {
-		w.ranks[r] = &rank{w: w, id: r, node: r / cfg.ProcsPerNode}
+		w.ranks[r] = &rank{w: w, id: r, node: r / cfg.ProcsPerNode, actor: fmt.Sprintf("rank%d", r)}
 	}
 	for _, rk := range w.ranks {
 		rk.buildPorts()
@@ -344,7 +423,7 @@ func (w *World) ring(p *sim.Proc, src, dst int, env *envelope, interrupt bool) {
 		// A crashed endpoint black-holes the control packet: the sender has
 		// paid the issue cost but nothing arrives. Recovery layers detect
 		// this via watchdog timeouts, not via a magic error here.
-		w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("rank%d", src), "fault",
+		w.cfg.Tracer.Record(p.Now(), from.actor, "fault",
 			"control packet %v -> %d dropped (node down)", env.kind, dst)
 		return
 	}
@@ -362,7 +441,7 @@ func (w *World) ring(p *sim.Proc, src, dst int, env *envelope, interrupt bool) {
 	if w.plan().DrawDuplicate() && dedupable(env.kind) {
 		// Injected retransmission: the same packet arrives a second time one
 		// retry latency later. The receiving device must stay exactly-once.
-		w.cfg.Tracer.Record(p.Now(), fmt.Sprintf("rank%d", src), "fault",
+		w.cfg.Tracer.Record(p.Now(), from.actor, "fault",
 			"duplicated %v envelope -> %d (seq %d)", env.kind, dst, env.seq)
 		w.engine.After(delay+cfg.RetryLatency, func() { sim.Post(inbox, env) })
 	}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event JSON export: the JSON Object Format of the Trace
+// Event spec (one {"traceEvents": [...]} object), loadable in
+// chrome://tracing and Perfetto. Spans become complete ("X") events with
+// microsecond timestamps on one thread per actor; instant events become
+// "i" events; actor names are emitted as thread_name metadata.
+
+// ChromeEvent is one entry of the traceEvents array (both what we write
+// and what tracestat reads back).
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object.
+type chromeFile struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usPerNs converts virtual-time nanoseconds to trace-event microseconds.
+const usPerNs = 1e-3
+
+// WriteChrome writes the trace as Chrome trace-event JSON. Open
+// (never-ended) spans are dropped; instant events are included. The export
+// is a snapshot: tracing may continue afterwards.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: WriteChrome on a nil trace")
+	}
+	t.mu.Lock()
+	actors := append([]string(nil), t.actors...)
+	actorID := make(map[string]int, len(actors))
+	for id, a := range actors {
+		actorID[a] = id
+	}
+	t.mu.Unlock()
+
+	var evs []ChromeEvent
+	for id, a := range actors {
+		evs = append(evs, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: id,
+			Args: map[string]any{"name": a},
+		})
+	}
+	for _, s := range t.Spans() {
+		args := map[string]any{"id": s.ID}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		if s.Bytes != 0 {
+			args["bytes"] = s.Bytes
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		evs = append(evs, ChromeEvent{
+			Name: s.Name, Cat: s.Category, Ph: "X",
+			Ts: float64(s.Start) * usPerNs, Dur: float64(s.EndAt-s.Start) * usPerNs,
+			Pid: 0, Tid: actorID[s.Actor], Args: args,
+		})
+	}
+	for _, e := range t.Events() {
+		evs = append(evs, ChromeEvent{
+			Name: e.Detail, Cat: e.Category, Ph: "i", S: "t",
+			Ts: float64(e.At) * usPerNs, Pid: 0, Tid: actorID[e.Actor],
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: evs, DisplayTimeUnit: "ns"})
+}
+
+// ReadChrome parses a Chrome trace-event JSON file (the object format
+// WriteChrome emits; a bare traceEvents array is accepted too) and returns
+// its events.
+func ReadChrome(r io.Reader) ([]ChromeEvent, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err == nil && f.TraceEvents != nil {
+		return f.TraceEvents, nil
+	}
+	var evs []ChromeEvent
+	if err := json.Unmarshal(data, &evs); err != nil {
+		return nil, fmt.Errorf("obs: not a Chrome trace-event file: %w", err)
+	}
+	return evs, nil
+}

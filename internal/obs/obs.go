@@ -1,0 +1,23 @@
+// Package obs is the unified observability layer of the simulation: a
+// metrics registry of named counters, gauges and log-bucketed latency
+// histograms, plus span-based tracing layered on virtual time.
+//
+// Every protocol layer (sci, mpi, osc, pack, flow, fault) reports into
+// these two sinks:
+//
+//   - A Registry holds labelled metrics. Counters and gauges are atomic;
+//     histograms bucket values by powers of two and answer quantile
+//     queries (p50/p95/p99/max), which is how the drivers attribute cost
+//     to protocol paths (direct PIO pack vs. pack-and-send, direct
+//     one-sided vs. emulation, remote-put Gets).
+//   - A Trace records spans (StartSpan/End with parent/child links, so a
+//     rendezvous send or an OSC epoch shows up as one nested tree) and
+//     instant events, all timestamped in virtual time. Traces export to
+//     Chrome trace-event JSON (loadable in chrome://tracing or Perfetto),
+//     and aggregate into per-category latency/byte summaries.
+//
+// Everything is nil-safe: a nil *Registry hands out nil collectors, and
+// nil collectors, nil *Trace and nil *Span are no-ops that allocate
+// nothing, so disabled observability costs nothing on the hot paths
+// (asserted by alloc_test.go).
+package obs

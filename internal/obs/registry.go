@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The nil counter discards
+// everything.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can move both ways (set to the latest snapshot
+// value). The nil gauge discards everything.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. No-op on a nil gauge.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Max raises the gauge to n if n is larger (a high-water mark).
+func (g *Gauge) Max(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a process-wide set of named metrics. Collectors are created
+// on first lookup and cached; concurrent lookups and updates are safe. The
+// nil registry hands out nil collectors, which discard everything.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Name builds a labelled metric name: Name("sci.bytes", "node", "3") is
+// "sci.bytes{node=3}". Labels come in key, value pairs.
+func Name(base string, labels ...string) string {
+	if len(labels) == 0 {
+		return base
+	}
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(labels[i])
+		sb.WriteByte('=')
+		sb.WriteString(labels[i+1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetGauge is shorthand for Gauge(name).Set(v).
+func (r *Registry) SetGauge(name string, v int64) { r.Gauge(name).Set(v) }
+
+// WriteText dumps every metric as plain text, sorted by name: counters and
+// gauges one per line, histograms with count/min/quantiles/max. Durations
+// are assumed for histogram values recorded via ObserveDuration (printed
+// in both ns and humane form).
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	type entry struct {
+		name string
+		line string
+	}
+	var entries []entry
+	for name, c := range r.counters {
+		entries = append(entries, entry{name, fmt.Sprintf("counter %-52s %d", name, c.Value())})
+	}
+	for name, g := range r.gauges {
+		entries = append(entries, entry{name, fmt.Sprintf("gauge   %-52s %d", name, g.Value())})
+	}
+	for name, h := range r.hists {
+		s := h.Snapshot()
+		entries = append(entries, entry{name, fmt.Sprintf(
+			"hist    %-52s count=%d min=%v p50=%v p95=%v p99=%v max=%v mean=%v",
+			name, s.Count,
+			time.Duration(s.Min), time.Duration(s.P50), time.Duration(s.P95),
+			time.Duration(s.P99), time.Duration(s.Max), time.Duration(s.Mean))})
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		fmt.Fprintln(w, e.line)
+	}
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one instant on the timeline: which actor did what, when
+// (virtual time), and through which protocol category.
+type Event struct {
+	At       time.Duration
+	Actor    string // "rank3", "dev1", "node0", ...
+	Category string // "send", "recv", "rdv", "osc", "fault", ...
+	Detail   string
+}
+
+// Span is one timed operation on the timeline. Spans on the same actor
+// nest: a span started while another is open becomes its child, so a
+// rendezvous send shows its pack and chunk phases as one tree. A nil span
+// is a no-op.
+type Span struct {
+	ID     int64
+	Parent int64 // 0 = root
+	Actor  string
+	// Category groups spans for aggregation ("send", "osc", "pack", ...);
+	// Name is the operation ("rdv", "epoch", "direct_pack_ff", ...).
+	Category string
+	Name     string
+	Detail   string
+	Start    time.Duration
+	EndAt    time.Duration
+	// Bytes is the payload the span moved (0 if not a data operation).
+	Bytes int64
+
+	tr    *Trace
+	ended bool
+}
+
+// Trace collects spans and instant events, timestamped in virtual time.
+// All methods are safe for concurrent use; the nil trace discards
+// everything at zero cost.
+//
+// With limit > 0 the trace is a ring buffer: the most recent limit spans
+// and limit events are retained and older ones are dropped.
+type Trace struct {
+	mu     sync.Mutex
+	limit  int
+	nextID int64
+
+	events  []Event
+	eshead  int // ring start in events when len == limit
+	edrop   int64
+	spans   []*Span
+	sphead  int
+	spdrop  int64
+	open    map[string][]*Span // per-actor stack of open spans
+	actors  []string           // first-appearance order (stable tids)
+	actorID map[string]int
+}
+
+// NewTrace returns a trace retaining at most limit spans and limit instant
+// events (0 = unlimited). When full, the oldest entries are dropped.
+func NewTrace(limit int) *Trace {
+	return &Trace{
+		limit:   limit,
+		open:    make(map[string][]*Span),
+		actorID: make(map[string]int),
+	}
+}
+
+// Limit returns the configured retention limit (0 = unlimited).
+func (t *Trace) Limit() int {
+	if t == nil {
+		return 0
+	}
+	return t.limit
+}
+
+func (t *Trace) noteActor(actor string) {
+	if _, ok := t.actorID[actor]; !ok {
+		t.actorID[actor] = len(t.actors)
+		t.actors = append(t.actors, actor)
+	}
+}
+
+// Instant records an instantaneous event.
+func (t *Trace) Instant(at time.Duration, actor, category, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.noteActor(actor)
+	e := Event{At: at, Actor: actor, Category: category, Detail: detail}
+	if t.limit > 0 && len(t.events) >= t.limit {
+		// Ring: overwrite the oldest slot, keeping the newest events.
+		t.events[t.eshead] = e
+		t.eshead = (t.eshead + 1) % t.limit
+		t.edrop++
+	} else {
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+// Instantf is Instant with a formatted detail.
+func (t *Trace) Instantf(at time.Duration, actor, category, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Instant(at, actor, category, fmt.Sprintf(format, args...))
+}
+
+// StartSpan opens a span at virtual time at. If the actor already has an
+// open span, the new one becomes its child. End the span with Span.End;
+// spans never ended are dropped at export time. A nil trace returns a nil
+// span and allocates nothing.
+func (t *Trace) StartSpan(at time.Duration, actor, category, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.noteActor(actor)
+	t.nextID++
+	s := &Span{
+		ID: t.nextID, Actor: actor, Category: category, Name: name,
+		Start: at, tr: t,
+	}
+	if stack := t.open[actor]; len(stack) > 0 {
+		s.Parent = stack[len(stack)-1].ID
+	}
+	t.open[actor] = append(t.open[actor], s)
+	t.mu.Unlock()
+	return s
+}
+
+// SetBytes records the span's payload size. No-op on a nil span.
+func (s *Span) SetBytes(n int64) {
+	if s != nil {
+		s.Bytes = n
+	}
+}
+
+// AddBytes accumulates payload moved across several phases of the span.
+func (s *Span) AddBytes(n int64) {
+	if s != nil {
+		s.Bytes += n
+	}
+}
+
+// SetDetail attaches a formatted annotation. No-op on a nil span.
+func (s *Span) SetDetail(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.Detail = fmt.Sprintf(format, args...)
+}
+
+// End closes the span at virtual time at. Ending a span twice is a no-op,
+// so `defer sp.End(...)` composes with early explicit ends.
+func (s *Span) End(at time.Duration) {
+	if s == nil || s.ended {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	if s.ended { // re-check under the lock
+		t.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.EndAt = at
+	// Pop from the actor stack (normally the top; tolerate out-of-order
+	// ends by searching down).
+	stack := t.open[s.Actor]
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == s {
+			stack = append(stack[:i], stack[i+1:]...)
+			break
+		}
+	}
+	t.open[s.Actor] = stack
+	if t.limit > 0 && len(t.spans) >= t.limit {
+		t.spans[t.sphead] = s
+		t.sphead = (t.sphead + 1) % t.limit
+		t.spdrop++
+	} else {
+		t.spans = append(t.spans, s)
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained instant events, oldest first.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.eshead:]...)
+	out = append(out, t.events[:t.eshead]...)
+	return out
+}
+
+// EventCount returns the number of retained instant events.
+func (t *Trace) EventCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// DroppedEvents returns how many instant events the ring has evicted.
+func (t *Trace) DroppedEvents() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.edrop
+}
+
+// Spans returns the retained completed spans, in completion order (oldest
+// first). The returned spans are shared; treat them as read-only.
+func (t *Trace) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return nil
+	}
+	out := make([]*Span, 0, len(t.spans))
+	out = append(out, t.spans[t.sphead:]...)
+	out = append(out, t.spans[:t.sphead]...)
+	return out
+}
+
+// SpanCount returns the number of retained completed spans.
+func (t *Trace) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Actors returns every actor seen, in first-appearance order. The index
+// of an actor in this slice is its stable thread id in exports.
+func (t *Trace) Actors() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.actors...)
+}
+
+// Duration of the span (0 while open).
+func (s *Span) Duration() time.Duration {
+	if s == nil || !s.ended {
+		return 0
+	}
+	return s.EndAt - s.Start
+}

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTrace(0)
+	outer := tr.StartSpan(0, "rank0", "send", "rdv")
+	inner := tr.StartSpan(10, "rank0", "pack", "direct_pack_ff")
+	other := tr.StartSpan(5, "rank1", "recv", "rdv") // different actor: no nesting
+	inner.SetBytes(4096)
+	inner.End(20)
+	outer.SetBytes(65536)
+	outer.End(30)
+	other.End(25)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]*Span{}
+	for _, s := range spans {
+		byName[s.Name+"/"+s.Actor] = s
+	}
+	o := byName["rdv/rank0"]
+	i := byName["direct_pack_ff/rank0"]
+	r1 := byName["rdv/rank1"]
+	if o == nil || i == nil || r1 == nil {
+		t.Fatalf("missing spans: %v", byName)
+	}
+	if o.Parent != 0 {
+		t.Errorf("outer parent = %d, want 0 (root)", o.Parent)
+	}
+	if i.Parent != o.ID {
+		t.Errorf("inner parent = %d, want outer id %d", i.Parent, o.ID)
+	}
+	if r1.Parent != 0 {
+		t.Errorf("rank1 span parent = %d, want 0 (other actor must not nest)", r1.Parent)
+	}
+	if i.Duration() != 10 || o.Duration() != 30 {
+		t.Errorf("durations: inner %v outer %v", i.Duration(), o.Duration())
+	}
+}
+
+func TestSpanSiblingsAfterPop(t *testing.T) {
+	tr := NewTrace(0)
+	epoch := tr.StartSpan(0, "rank0", "osc", "epoch")
+	put1 := tr.StartSpan(1, "rank0", "osc", "put")
+	put1.End(2)
+	put2 := tr.StartSpan(3, "rank0", "osc", "put")
+	put2.End(4)
+	epoch.End(5)
+	if put1.Parent != epoch.ID || put2.Parent != epoch.ID {
+		t.Errorf("siblings should both parent the epoch: %d %d want %d",
+			put1.Parent, put2.Parent, epoch.ID)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace(0)
+	s := tr.StartSpan(0, "a", "c", "n")
+	s.End(10)
+	s.End(99) // must not re-append or move EndAt
+	if got := tr.SpanCount(); got != 1 {
+		t.Fatalf("double End produced %d spans", got)
+	}
+	if s.EndAt != 10 {
+		t.Errorf("EndAt moved to %v", s.EndAt)
+	}
+}
+
+func TestOpenSpansDroppedFromExport(t *testing.T) {
+	tr := NewTrace(0)
+	tr.StartSpan(0, "a", "c", "never-ended")
+	done := tr.StartSpan(1, "a", "c", "done")
+	done.End(2)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range evs {
+		if e.Ph == "X" && e.Name == "never-ended" {
+			t.Errorf("open span exported: %+v", e)
+		}
+	}
+}
+
+func TestRingKeepsNewest(t *testing.T) {
+	tr := NewTrace(3)
+	for i := 0; i < 10; i++ {
+		tr.Instant(time.Duration(i), "a", "c", fmt.Sprintf("e%d", i))
+		s := tr.StartSpan(time.Duration(i), "a", "c", fmt.Sprintf("s%d", i))
+		s.End(time.Duration(i) + 1)
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, want := range []string{"e7", "e8", "e9"} {
+		if evs[i].Detail != want {
+			t.Errorf("event[%d] = %q, want %q (ring must keep newest, oldest-first order)",
+				i, evs[i].Detail, want)
+		}
+	}
+	if tr.DroppedEvents() != 7 {
+		t.Errorf("dropped = %d, want 7", tr.DroppedEvents())
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for i, want := range []string{"s7", "s8", "s9"} {
+		if spans[i].Name != want {
+			t.Errorf("span[%d] = %q, want %q", i, spans[i].Name, want)
+		}
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Instant(5, "rank1", "fault", "crc injected")
+	outer := tr.StartSpan(0, "rank0", "send", "rdv")
+	inner := tr.StartSpan(10, "rank0", "pack", "direct_pack_ff")
+	inner.SetBytes(4096)
+	inner.SetDetail("blocks=%d", 8)
+	inner.End(20)
+	outer.SetBytes(65536)
+	outer.End(30)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatalf("WriteChrome output does not parse back: %v", err)
+	}
+
+	var meta, complete, instant int
+	byName := map[string]ChromeEvent{}
+	for _, e := range evs {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			byName[e.Name] = e
+		case "i":
+			instant++
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if meta != 2 { // rank1 and rank0 thread_name records
+		t.Errorf("thread_name metadata = %d, want 2", meta)
+	}
+	if complete != 2 || instant != 1 {
+		t.Errorf("complete=%d instant=%d, want 2/1", complete, instant)
+	}
+
+	o, i := byName["rdv"], byName["direct_pack_ff"]
+	if o.Cat != "send" || i.Cat != "pack" {
+		t.Errorf("categories: %q %q", o.Cat, i.Cat)
+	}
+	// Span nesting must survive the round trip via args.id / args.parent.
+	oid, ok1 := o.Args["id"].(float64)
+	pid, ok2 := i.Args["parent"].(float64)
+	if !ok1 || !ok2 || oid != pid {
+		t.Errorf("nesting lost: outer id=%v inner parent=%v", o.Args["id"], i.Args["parent"])
+	}
+	if b, _ := i.Args["bytes"].(float64); b != 4096 {
+		t.Errorf("inner bytes = %v", i.Args["bytes"])
+	}
+	if d, _ := i.Args["detail"].(string); d != "blocks=8" {
+		t.Errorf("inner detail = %v", i.Args["detail"])
+	}
+	// Timestamps are microseconds: outer started at 0ns for 30ns = 0.03µs.
+	if o.Ts != 0 || o.Dur != 0.03 {
+		t.Errorf("outer ts/dur = %v/%v, want 0/0.03", o.Ts, o.Dur)
+	}
+	// Inner must lie within the outer span on the same tid.
+	if i.Ts < o.Ts || i.Ts+i.Dur > o.Ts+o.Dur || i.Tid != o.Tid {
+		t.Errorf("inner not nested in outer: inner [%v,+%v] tid %d, outer [%v,+%v] tid %d",
+			i.Ts, i.Dur, i.Tid, o.Ts, o.Dur, o.Tid)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := NewTrace(0)
+	for i := 0; i < 4; i++ {
+		s := tr.StartSpan(time.Duration(i*100), "rank0", "send", "eager")
+		s.SetBytes(1000)
+		s.End(time.Duration(i*100 + 50))
+	}
+	s := tr.StartSpan(0, "rank1", "osc", "put")
+	s.SetBytes(64)
+	s.End(7)
+
+	sums := tr.Summarize()
+	if len(sums) != 2 {
+		t.Fatalf("got %d categories, want 2: %+v", len(sums), sums)
+	}
+	if sums[0].Category != "osc" || sums[1].Category != "send" {
+		t.Fatalf("not sorted by category: %+v", sums)
+	}
+	send := sums[1]
+	if send.Spans != 4 || send.Bytes != 4000 || send.Total != 200 || send.Max != 50 {
+		t.Errorf("send summary = %+v", send)
+	}
+
+	// SummarizeChrome over the exported file must agree on counts and bytes.
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csums := SummarizeChrome(evs)
+	if len(csums) != 2 || csums[1].Spans != 4 || csums[1].Bytes != 4000 {
+		t.Errorf("chrome summary = %+v", csums)
+	}
+}
+
+func TestTraceConcurrency(t *testing.T) {
+	tr := NewTrace(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			actor := fmt.Sprintf("rank%d", g)
+			for i := 0; i < 200; i++ {
+				tr.Instantf(time.Duration(i), actor, "send", "ev %d", i)
+				s := tr.StartSpan(time.Duration(i), actor, "send", "op")
+				s.AddBytes(8)
+				s.End(time.Duration(i + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.EventCount(); got != 64 {
+		t.Errorf("events retained = %d, want limit 64", got)
+	}
+	if got := tr.SpanCount(); got != 64 {
+		t.Errorf("spans retained = %d, want limit 64", got)
+	}
+	if got := len(tr.Actors()); got != 8 {
+		t.Errorf("actors = %d, want 8", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -52,7 +52,7 @@ func TestSharedWindowDegradesMidEpoch(t *testing.T) {
 			w.Fence()
 			switch c.Rank() {
 			case 0:
-				got = w.Stats
+				got = w.Snapshot()
 			case 1:
 				if !bytes.Equal(w.LocalBytes()[:len(srcA)], srcA) {
 					t.Error("pre-revocation put corrupted")
@@ -101,8 +101,8 @@ func TestLockTimeoutRecovery(t *testing.T) {
 			if st.Op != "lock" || st.Target != 1 || st.Waited < oscCfg.SyncTimeout {
 				t.Errorf("timeout detail = %+v", st)
 			}
-			if w.Stats.SyncTimeouts != 1 {
-				t.Errorf("SyncTimeouts = %d, want 1", w.Stats.SyncTimeouts)
+			if w.Snapshot().SyncTimeouts != 1 {
+				t.Errorf("SyncTimeouts = %d, want 1", w.Snapshot().SyncTimeouts)
 			}
 			c.Proc().Sleep(3 * time.Millisecond) // past the restoration
 			if err := w.LockChecked(1); err != nil {
@@ -136,8 +136,8 @@ func TestFenceWatchdogNoDeadlock(t *testing.T) {
 			if st.Op != "fence" || st.Target != -1 {
 				t.Errorf("timeout detail = %+v", st)
 			}
-			if w.Stats.SyncTimeouts != 1 {
-				t.Errorf("SyncTimeouts = %d, want 1", w.Stats.SyncTimeouts)
+			if w.Snapshot().SyncTimeouts != 1 {
+				t.Errorf("SyncTimeouts = %d, want 1", w.Snapshot().SyncTimeouts)
 			}
 		} else {
 			c.Proc().Sleep(time.Millisecond) // never fences
@@ -166,8 +166,8 @@ func TestFenceCheckedCompletesAndTransfers(t *testing.T) {
 		if c.Rank() == 1 && !bytes.Equal(w.LocalBytes()[100:100+len(src)], src) {
 			t.Error("put not visible after checked fence")
 		}
-		if w.Stats.SyncTimeouts != 0 {
-			t.Errorf("spurious SyncTimeouts = %d", w.Stats.SyncTimeouts)
+		if w.Snapshot().SyncTimeouts != 0 {
+			t.Errorf("spurious SyncTimeouts = %d", w.Snapshot().SyncTimeouts)
 		}
 	})
 }
@@ -191,8 +191,8 @@ func TestDegradedGetFallsBackToRemotePut(t *testing.T) {
 			if !bytes.Equal(dst, fill(1024)) {
 				t.Error("degraded get returned wrong data")
 			}
-			if w.Stats.Degradations != 1 || w.Stats.RemotePuts != 1 {
-				t.Errorf("stats = %+v, want 1 degradation, 1 remote-put", w.Stats)
+			if w.Snapshot().Degradations != 1 || w.Snapshot().RemotePuts != 1 {
+				t.Errorf("stats = %+v, want 1 degradation, 1 remote-put", w.Snapshot())
 			}
 		}
 		w.Fence()

@@ -26,11 +26,20 @@ func (w *Win) Put(buf []byte, count int, dt *datatype.Type, target int, targetOf
 		return
 	}
 	w.checkTarget(target, targetOff, span)
-	w.Stats.Puts++
-	w.Stats.BytesPut += n
+	w.stats.puts.Add(1)
+	w.stats.bytesPut.Add(n)
 	p := w.sys.c.Proc()
+	start := p.Now()
+	sp := w.sys.c.Tracer().Start(start, w.actor, "osc", "put")
+	sp.SetBytes(n)
+	defer func() {
+		sp.End(p.Now())
+		w.sys.met.putNS.ObserveDuration(p.Now() - start)
+		w.sys.met.bytesPut.Add(n)
+	}()
 
 	if target == w.sys.c.Rank() {
+		sp.SetDetail("local")
 		w.localApply(buf, count, dt, targetOff, false)
 		return
 	}
@@ -38,7 +47,9 @@ func (w *Win) Put(buf []byte, count int, dt *datatype.Type, target int, targetOf
 		// Direct transparent remote write. A failing view (segment revoked,
 		// persistent transfer faults) degrades to the emulation path below.
 		if err := w.tryDirectPut(p, buf, count, dt, target, targetOff, n, span); err == nil {
-			w.Stats.DirectPuts++
+			w.stats.directPuts.Add(1)
+			w.sys.met.directPuts.Add(1)
+			sp.SetDetail("direct -> %d", target)
 			return
 		} else {
 			w.degrade(target, err)
@@ -46,7 +57,9 @@ func (w *Win) Put(buf []byte, count int, dt *datatype.Type, target int, targetOf
 	}
 	// Emulation: stage the linearized data into the pair's staging area
 	// and invoke the remote handler.
-	w.Stats.EmulatedPuts++
+	w.stats.emulatedPuts.Add(1)
+	w.sys.met.emulatedPuts.Add(1)
+	sp.SetDetail("emulated -> %d", target)
 	w.emulatedPut(buf, count, dt, target, targetOff, n)
 }
 
@@ -182,11 +195,20 @@ func (w *Win) Get(buf []byte, count int, dt *datatype.Type, target int, targetOf
 		return
 	}
 	w.checkTarget(target, targetOff, span)
-	w.Stats.Gets++
-	w.Stats.BytesGot += n
+	w.stats.gets.Add(1)
+	w.stats.bytesGot.Add(n)
 	p := w.sys.c.Proc()
+	start := p.Now()
+	sp := w.sys.c.Tracer().Start(start, w.actor, "osc", "get")
+	sp.SetBytes(n)
+	defer func() {
+		sp.End(p.Now())
+		w.sys.met.getNS.ObserveDuration(p.Now() - start)
+		w.sys.met.bytesGot.Add(n)
+	}()
 
 	if target == w.sys.c.Rank() {
+		sp.SetDetail("local")
 		w.localApply(buf, count, dt, targetOff, true)
 		return
 	}
@@ -195,7 +217,9 @@ func (w *Win) Get(buf []byte, count int, dt *datatype.Type, target int, targetOf
 		// failing view degrades to the remote-put path below, which rereads
 		// the whole amount.
 		if err := w.tryDirectGet(p, buf, count, dt, target, targetOff, n); err == nil {
-			w.Stats.DirectGets++
+			w.stats.directGets.Add(1)
+			w.sys.met.directGets.Add(1)
+			sp.SetDetail("direct <- %d", target)
 			return
 		} else {
 			w.degrade(target, err)
@@ -203,7 +227,9 @@ func (w *Win) Get(buf []byte, count int, dt *datatype.Type, target int, targetOf
 	}
 	// Remote-put: the handler at the target writes the data into this
 	// process's staging area (its own address space view of us).
-	w.Stats.RemotePuts++
+	w.stats.remotePuts.Add(1)
+	w.sys.met.remotePuts.Add(1)
+	sp.SetDetail("remote-put <- %d", target)
 	w.remotePutGet(buf, count, dt, target, targetOff, n)
 }
 
@@ -270,12 +296,20 @@ func (w *Win) Accumulate(buf []byte, count int, dt *datatype.Type, op mpi.Op, ta
 		return
 	}
 	w.checkTarget(target, targetOff, n)
-	w.Stats.Accs++
+	w.stats.accs.Add(1)
 	c := w.sys.c
 	p := c.Proc()
+	start := p.Now()
+	sp := c.Tracer().Start(start, w.actor, "osc", "acc")
+	sp.SetBytes(n)
+	defer func() {
+		sp.End(p.Now())
+		w.sys.met.accNS.ObserveDuration(p.Now() - start)
+	}()
 	interrupt := !w.isShared[target]
 
 	if n <= w.cfg.InlineMax || target == c.Rank() {
+		sp.SetDetail("inline -> %d", target)
 		payload := make([]byte, n)
 		w.chargeLocalBytes(n)
 		copy(payload, buf[:n])
@@ -285,7 +319,8 @@ func (w *Win) Accumulate(buf []byte, count int, dt *datatype.Type, op mpi.Op, ta
 		}, interrupt)
 		return
 	}
-	w.Stats.EmulatedAccumulates++
+	w.stats.emulatedAccumulates.Add(1)
+	sp.SetDetail("staged -> %d", target)
 	stage, base, size, lock := c.OSCStage(c.GroupToWorld(target))
 	half := size / 2
 	p.Lock(lock)

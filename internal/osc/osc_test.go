@@ -45,12 +45,12 @@ func TestPutFenceSharedWindow(t *testing.T) {
 			if !bytes.Equal(w.LocalBytes()[100:100+4096], src) {
 				t.Error("put data not visible after fence")
 			}
-			if w.Stats.Puts != 0 {
+			if w.Snapshot().Puts != 0 {
 				t.Error("target should have issued no puts")
 			}
 		}
-		if c.Rank() == 0 && w.Stats.DirectPuts != 1 {
-			t.Errorf("direct puts = %d, want 1 (shared window)", w.Stats.DirectPuts)
+		if c.Rank() == 0 && w.Snapshot().DirectPuts != 1 {
+			t.Errorf("direct puts = %d, want 1 (shared window)", w.Snapshot().DirectPuts)
 		}
 	})
 }
@@ -68,8 +68,8 @@ func TestPutFencePrivateWindowUsesEmulation(t *testing.T) {
 			t.Error("emulated put data mismatch")
 		}
 		if c.Rank() == 0 {
-			if w.Stats.EmulatedPuts != 1 || w.Stats.DirectPuts != 0 {
-				t.Errorf("stats = %+v, want 1 emulated put", w.Stats)
+			if w.Snapshot().EmulatedPuts != 1 || w.Snapshot().DirectPuts != 0 {
+				t.Errorf("stats = %+v, want 1 emulated put", w.Snapshot())
 			}
 		}
 	})
@@ -88,8 +88,8 @@ func TestGetDirectSmallSharedWindow(t *testing.T) {
 			if !bytes.Equal(dst, fill(512)) {
 				t.Error("direct get mismatch")
 			}
-			if w.Stats.DirectGets != 1 {
-				t.Errorf("stats = %+v, want 1 direct get", w.Stats)
+			if w.Snapshot().DirectGets != 1 {
+				t.Errorf("stats = %+v, want 1 direct get", w.Snapshot())
 			}
 		}
 		w.Fence()
@@ -110,8 +110,8 @@ func TestGetLargeUsesRemotePut(t *testing.T) {
 			if !bytes.Equal(dst, fill(n)) {
 				t.Error("remote-put get mismatch")
 			}
-			if w.Stats.RemotePuts == 0 || w.Stats.DirectGets != 0 {
-				t.Errorf("stats = %+v, want remote-put path", w.Stats)
+			if w.Snapshot().RemotePuts == 0 || w.Snapshot().DirectGets != 0 {
+				t.Errorf("stats = %+v, want remote-put path", w.Snapshot())
 			}
 		}
 		w.Fence()
@@ -442,11 +442,11 @@ func TestMixedSharedAndPrivateWindows(t *testing.T) {
 		if !bytes.Equal(w.LocalBytes()[:len(src)], src) {
 			t.Errorf("rank %d: window contents wrong", c.Rank())
 		}
-		if c.Rank() == 0 && w.Stats.EmulatedPuts != 1 {
-			t.Errorf("rank 0 put to private window: stats %+v", w.Stats)
+		if c.Rank() == 0 && w.Snapshot().EmulatedPuts != 1 {
+			t.Errorf("rank 0 put to private window: stats %+v", w.Snapshot())
 		}
-		if c.Rank() == 1 && w.Stats.DirectPuts != 1 {
-			t.Errorf("rank 1 put to shared window: stats %+v", w.Stats)
+		if c.Rank() == 1 && w.Snapshot().DirectPuts != 1 {
+			t.Errorf("rank 1 put to shared window: stats %+v", w.Snapshot())
 		}
 	})
 }

@@ -32,10 +32,12 @@ func (e ErrSyncTimeout) Error() string {
 // stores with a store barrier), synchronizes all ranks barrier-style, and
 // opens the next epoch (MPI_Win_fence).
 func (w *Win) Fence() {
-	w.Stats.Fences++
+	w.stats.fences.Add(1)
+	w.closeEpoch()
 	w.syncViews()
 	w.sys.c.Barrier()
 	w.ep = epochFence
+	w.openEpoch("fence")
 	w.resetPattern()
 }
 
@@ -47,7 +49,8 @@ func (w *Win) Fence() {
 // window must use FenceChecked for the same fence (the announcement rounds
 // are counted separately from plain Fence barriers).
 func (w *Win) FenceChecked() error {
-	w.Stats.Fences++
+	w.stats.fences.Add(1)
+	w.closeEpoch()
 	w.syncViews()
 	c := w.sys.c
 	p := c.Proc()
@@ -68,8 +71,8 @@ func (w *Win) FenceChecked() error {
 		}
 		remaining := w.cfg.SyncTimeout - waited
 		if remaining <= 0 {
-			w.Stats.SyncTimeouts++
-			c.Tracer().Record(p.Now(), fmt.Sprintf("rank%d", c.WorldRank()), "fault",
+			w.countSyncTimeout()
+			c.Tracer().Record(p.Now(), w.actor, "fault",
 				"window %d: fence round %d timed out (%d/%d peers)", w.id, round, w.pendingFence[round], need)
 			return ErrSyncTimeout{Op: "fence", Win: w.id, Target: -1, Waited: waited}
 		}
@@ -77,8 +80,8 @@ func (w *Win) FenceChecked() error {
 		v, ok := p.RecvTimeout(w.fenceQ, remaining)
 		waited += p.Now() - before
 		if !ok {
-			w.Stats.SyncTimeouts++
-			c.Tracer().Record(p.Now(), fmt.Sprintf("rank%d", c.WorldRank()), "fault",
+			w.countSyncTimeout()
+			c.Tracer().Record(p.Now(), w.actor, "fault",
 				"window %d: fence round %d timed out (%d/%d peers)", w.id, round, w.pendingFence[round], need)
 			return ErrSyncTimeout{Op: "fence", Win: w.id, Target: -1, Waited: waited}
 		}
@@ -86,8 +89,16 @@ func (w *Win) FenceChecked() error {
 	}
 	delete(w.pendingFence, round)
 	w.ep = epochFence
+	w.openEpoch("fence")
 	w.resetPattern()
 	return nil
+}
+
+// countSyncTimeout bumps the window counter and registry metric for an
+// expired checked synchronization call.
+func (w *Win) countSyncTimeout() {
+	w.stats.syncTimeouts.Add(1)
+	w.sys.met.syncTimeouts.Add(1)
 }
 
 // syncViews guarantees delivery of every posted store this rank issued
@@ -117,7 +128,7 @@ func (w *Win) resetPattern() {
 // Post opens an exposure epoch for the origins in group (MPI_Win_post).
 // The notification costs one control message per origin.
 func (w *Win) Post(group []int) {
-	w.Stats.Posts++
+	w.stats.posts.Add(1)
 	c := w.sys.c
 	for _, origin := range group {
 		c.OSCNotify(c.GroupToWorld(origin), &oscReq{kind: reqPost, win: w.id}, false)
@@ -144,6 +155,7 @@ func (w *Win) Start(group []int) {
 		remaining--
 	}
 	w.ep = epochStart
+	w.openEpoch("start")
 	w.resetPattern()
 }
 
@@ -153,6 +165,7 @@ func (w *Win) Complete(group []int) {
 	if w.ep != epochStart {
 		panic("osc: Complete without Start")
 	}
+	w.closeEpoch()
 	w.syncViews()
 	c := w.sys.c
 	for _, t := range group {
@@ -187,7 +200,7 @@ func (w *Win) Lock(target int) {
 	if w.ep != epochNone {
 		panic("osc: Lock inside another access epoch")
 	}
-	w.Stats.Locks++
+	w.stats.locks.Add(1)
 	c := w.sys.c
 	p := c.Proc()
 	if w.isShared[target] {
@@ -206,6 +219,7 @@ func (w *Win) Lock(target int) {
 	}
 	w.ep = epochLock
 	w.lockHeld = target
+	w.openEpoch("lock")
 	w.resetPattern()
 }
 
@@ -222,7 +236,7 @@ func (w *Win) LockChecked(target int) error {
 		w.Lock(target)
 		return nil
 	}
-	w.Stats.Locks++
+	w.stats.locks.Add(1)
 	c := w.sys.c
 	p := c.Proc()
 	world := c.GroupToWorld(target)
@@ -249,8 +263,8 @@ func (w *Win) LockChecked(target int) error {
 		}
 		waited += p.Now() - start
 		if waited >= w.cfg.SyncTimeout {
-			w.Stats.SyncTimeouts++
-			c.Tracer().Record(p.Now(), fmt.Sprintf("rank%d", c.WorldRank()), "fault",
+			w.countSyncTimeout()
+			c.Tracer().Record(p.Now(), w.actor, "fault",
 				"window %d: lock of rank %d timed out after %v", w.id, target, waited)
 			return ErrSyncTimeout{Op: "lock", Win: w.id, Target: target, Waited: waited}
 		}
@@ -266,6 +280,7 @@ func (w *Win) LockChecked(target int) error {
 	}
 	w.ep = epochLock
 	w.lockHeld = target
+	w.openEpoch("lock")
 	w.resetPattern()
 	return nil
 }
@@ -278,6 +293,7 @@ func (w *Win) Unlock(target int) {
 	}
 	c := w.sys.c
 	p := c.Proc()
+	w.closeEpoch()
 	w.syncViews()
 	if w.isShared[target] {
 		if target != c.Rank() {

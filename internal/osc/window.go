@@ -22,9 +22,11 @@ package osc
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"scimpich/internal/mpi"
+	"scimpich/internal/obs"
 	"scimpich/internal/sim"
 	"scimpich/internal/smi"
 )
@@ -36,13 +38,49 @@ type System struct {
 	c       *mpi.Comm
 	wins    map[int]*Win
 	nextWin int
+	met     oscMetrics
 }
 
 // NewSystem installs the one-sided engine on the calling rank.
 func NewSystem(c *mpi.Comm) *System {
-	s := &System{c: c, wins: make(map[int]*Win)}
+	s := &System{c: c, wins: make(map[int]*Win), met: newOSCMetrics(c.Metrics())}
 	c.SetOSCHandler(s.handle)
 	return s
+}
+
+// oscMetrics caches the registry collectors for the one-sided layer,
+// resolved once at System creation so the operation paths never do a map
+// lookup. All fields are nil without a registry; nil collectors are no-ops.
+type oscMetrics struct {
+	putNS, getNS, accNS *obs.Histogram
+	epochNS             *obs.Histogram
+	bytesPut, bytesGot  *obs.Counter
+	directPuts          *obs.Counter
+	emulatedPuts        *obs.Counter
+	directGets          *obs.Counter
+	remotePuts          *obs.Counter
+	degradations        *obs.Counter
+	syncTimeouts        *obs.Counter
+}
+
+func newOSCMetrics(r *obs.Registry) oscMetrics {
+	if r == nil {
+		return oscMetrics{}
+	}
+	return oscMetrics{
+		putNS:        r.Histogram("osc.put.ns"),
+		getNS:        r.Histogram("osc.get.ns"),
+		accNS:        r.Histogram("osc.acc.ns"),
+		epochNS:      r.Histogram("osc.epoch.ns"),
+		bytesPut:     r.Counter("osc.bytes.put"),
+		bytesGot:     r.Counter("osc.bytes.got"),
+		directPuts:   r.Counter(obs.Name("osc.puts", "path", "direct")),
+		emulatedPuts: r.Counter(obs.Name("osc.puts", "path", "emulated")),
+		directGets:   r.Counter(obs.Name("osc.gets", "path", "direct")),
+		remotePuts:   r.Counter(obs.Name("osc.gets", "path", "remote-put")),
+		degradations: r.Counter("osc.degradations"),
+		syncTimeouts: r.Counter("osc.sync_timeouts"),
+	}
 }
 
 // Config tunes a window's transfer policy.
@@ -126,10 +164,21 @@ type Win struct {
 	// window, handed to origins through the exchange table.
 	ownLock *sim.Mutex
 
-	Stats Stats
+	// actor is the cached trace-actor name of the owning rank ("rank<i>").
+	actor string
+	// epochSpan is the open trace span of the current access epoch; data
+	// operation spans on the same actor nest under it. epochOpen/epochStart
+	// track the epoch independently of the span so the epoch-duration
+	// histogram also fills without a tracer.
+	epochSpan  *obs.Span
+	epochOpen  bool
+	epochStart time.Duration
+
+	stats winStats
 }
 
-// Stats counts one-sided activity on this rank.
+// Stats is a point-in-time snapshot of the one-sided activity counters of
+// a window on this rank (see Win.Snapshot).
 type Stats struct {
 	Puts, Gets, Accs     int64
 	DirectPuts           int64
@@ -144,6 +193,45 @@ type Stats struct {
 	Degradations int64
 	SyncTimeouts int64
 }
+
+// winStats holds the live counters. The owning rank's proc mutates them,
+// but harnesses read them from other goroutines after (or during) a run,
+// so every field is atomic.
+type winStats struct {
+	puts, gets, accs     atomic.Int64
+	directPuts           atomic.Int64
+	directGets           atomic.Int64
+	remotePuts           atomic.Int64
+	emulatedPuts         atomic.Int64
+	emulatedAccumulates  atomic.Int64
+	bytesPut, bytesGot   atomic.Int64
+	fences, locks, posts atomic.Int64
+	degradations         atomic.Int64
+	syncTimeouts         atomic.Int64
+}
+
+func (s *winStats) snapshot() Stats {
+	return Stats{
+		Puts:                s.puts.Load(),
+		Gets:                s.gets.Load(),
+		Accs:                s.accs.Load(),
+		DirectPuts:          s.directPuts.Load(),
+		DirectGets:          s.directGets.Load(),
+		RemotePuts:          s.remotePuts.Load(),
+		EmulatedPuts:        s.emulatedPuts.Load(),
+		EmulatedAccumulates: s.emulatedAccumulates.Load(),
+		BytesPut:            s.bytesPut.Load(),
+		BytesGot:            s.bytesGot.Load(),
+		Fences:              s.fences.Load(),
+		Locks:               s.locks.Load(),
+		Posts:               s.posts.Load(),
+		Degradations:        s.degradations.Load(),
+		SyncTimeouts:        s.syncTimeouts.Load(),
+	}
+}
+
+// Snapshot returns a race-free snapshot of the window's statistics.
+func (w *Win) Snapshot() Stats { return w.stats.snapshot() }
 
 // CreateShared collectively creates a window whose local memory is the
 // given AllocMem segment (direct remote access).
@@ -166,6 +254,7 @@ func (s *System) create(seg *mpi.SharedSeg, buf []byte, cfg Config) *Win {
 	w := &Win{
 		sys: s, id: id, cfg: cfg,
 		shared: seg, private: buf,
+		actor:      fmt.Sprintf("rank%d", c.WorldRank()),
 		lastTarget: -1, lockHeld: -1,
 		postQ:        sim.NewChan(1 << 16),
 		completeQ:    sim.NewChan(1 << 16),
@@ -229,8 +318,32 @@ func (w *Win) Free() {
 	if w.ep == epochStart || w.ep == epochLock {
 		panic("osc: Free inside an access epoch")
 	}
+	w.closeEpoch()
 	w.sys.c.Barrier()
 	delete(w.sys.wins, w.id)
+}
+
+// openEpoch starts the trace span covering the access epoch just opened;
+// data operation spans on the same rank nest under it until the closing
+// synchronization call ends it.
+func (w *Win) openEpoch(mode string) {
+	now := w.sys.c.Proc().Now()
+	w.epochOpen, w.epochStart = true, now
+	w.epochSpan = w.sys.c.Tracer().Start(now, w.actor, "osc", "epoch")
+	w.epochSpan.SetDetail("win %d %s", w.id, mode)
+}
+
+// closeEpoch ends the current epoch span (no-op when none is open) and
+// feeds its duration to the epoch histogram.
+func (w *Win) closeEpoch() {
+	if !w.epochOpen {
+		return
+	}
+	now := w.sys.c.Proc().Now()
+	w.sys.met.epochNS.ObserveDuration(now - w.epochStart)
+	w.epochSpan.End(now)
+	w.epochSpan = nil
+	w.epochOpen = false
 }
 
 // degrade abandons the direct view of rank target: all further accesses to
@@ -241,9 +354,10 @@ func (w *Win) degrade(target int, err error) {
 		return
 	}
 	w.degraded[target] = true
-	w.Stats.Degradations++
+	w.stats.degradations.Add(1)
+	w.sys.met.degradations.Add(1)
 	c := w.sys.c
-	c.Tracer().Record(c.Proc().Now(), fmt.Sprintf("rank%d", c.WorldRank()), "fault",
+	c.Tracer().Record(c.Proc().Now(), w.actor, "fault",
 		"window %d: direct view of rank %d degraded to emulation (%v)", w.id, target, err)
 }
 

@@ -1,8 +1,6 @@
 package sci
 
 import (
-	"fmt"
-
 	"scimpich/internal/sim"
 )
 
@@ -30,8 +28,9 @@ func (d *dmaEngine) run(p *sim.Proc) {
 	cfg := &d.node.ic.Cfg
 	for {
 		req := p.Recv(d.queue).(*dmaRequest)
+		start := p.Now()
 		p.Sleep(cfg.DMAStartup)
-		d.node.ic.faults.maybeRetry(p, &d.node.Stats)
+		d.node.ic.faults.maybeRetry(p, &d.node.stats)
 		n := int64(len(req.data))
 		// Failures complete the future with the typed error instead of
 		// panicking inside the engine daemon: the submitter inspects the
@@ -42,8 +41,9 @@ func (d *dmaEngine) run(p *sim.Proc) {
 		}
 		if req.m.Remote() {
 			if fe := cfg.Fault.DrawDMAError(p.Now(), d.node.id, req.m.seg.owner.id); fe != nil {
-				d.node.Stats.TransferErrors++
-				d.node.ic.tracef(fmt.Sprintf("node%d", d.node.id), "%v error on DMA to node %d", fe.Kind, req.m.seg.owner.id)
+				d.node.stats.transferErrors.Add(1)
+				d.node.ic.countFault(fe.Kind)
+				d.node.ic.tracef(d.node.name, "%v error on DMA to node %d", fe.Kind, req.m.seg.owner.id)
 				p.Sleep(cfg.RetryLatency)
 				req.done.Complete(fe)
 				continue
@@ -55,8 +55,10 @@ func (d *dmaEngine) run(p *sim.Proc) {
 			continue
 		}
 		copy(req.m.seg.buf[req.off:], req.data)
-		d.node.Stats.DMATransfers++
-		d.node.Stats.BytesWritten += n
+		d.node.stats.dmaTransfers.Add(1)
+		d.node.stats.bytesWritten.Add(n)
+		d.node.ic.met.bytesWritten.Add(n)
+		d.node.ic.met.dmaNS.ObserveDuration(p.Now() - start)
 		req.done.Complete(nil)
 	}
 }

@@ -141,7 +141,7 @@ func TestInjectedWriteErrorsRetriedTransparently(t *testing.T) {
 		}
 	})
 	e.Run()
-	if ic.Node(0).Stats.TransferErrors == 0 {
+	if ic.Node(0).Snapshot().TransferErrors == 0 {
 		t.Error("no transfer errors recorded at a 40% injection rate")
 	}
 	if plan.Injected.Writes == 0 {
@@ -167,7 +167,7 @@ func TestCheckedSyncRetriesWithBackoff(t *testing.T) {
 			at = p.Now()
 		})
 		e.Run()
-		return at, ic.Node(0).Stats.CheckRetries
+		return at, ic.Node(0).Snapshot().CheckRetries
 	}
 	at1, retries1 := run()
 	at2, retries2 := run()
@@ -212,7 +212,7 @@ func TestLinkDisturbanceWindowRetriesThenClears(t *testing.T) {
 		}
 	})
 	e.Run()
-	if ic.Node(0).Stats.Retries == 0 {
+	if ic.Node(0).Snapshot().Retries == 0 {
 		t.Error("disturbance window recorded no retries")
 	}
 }

@@ -2,10 +2,12 @@ package sci
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"scimpich/internal/fault"
 	"scimpich/internal/flow"
+	"scimpich/internal/obs"
 	"scimpich/internal/ring"
 	"scimpich/internal/sim"
 )
@@ -21,9 +23,11 @@ type Interconnect struct {
 
 	nodes  []*Node
 	faults *faultInjector
+	met    icMetrics
 }
 
-// Stats aggregates per-node transfer counters.
+// Stats is a point-in-time snapshot of one node's transfer counters (see
+// Node.Snapshot).
 type Stats struct {
 	BytesWritten  int64
 	BytesRead     int64
@@ -41,10 +45,76 @@ type Stats struct {
 	CheckRetries int64
 }
 
+// nodeStats is the live, race-free counter set behind Stats. Counters are
+// atomics rather than a mutex because the cooperative scheduler forbids
+// holding a lock across p.Sleep (another proc could block on it and
+// deadlock the engine), and several mutation sites sleep mid-operation.
+type nodeStats struct {
+	bytesWritten   atomic.Int64
+	bytesRead      atomic.Int64
+	writeOps       atomic.Int64
+	readOps        atomic.Int64
+	storeBarriers  atomic.Int64
+	retries        atomic.Int64
+	dmaTransfers   atomic.Int64
+	transferErrors atomic.Int64
+	checkRetries   atomic.Int64
+}
+
+func (s *nodeStats) snapshot() Stats {
+	return Stats{
+		BytesWritten:   s.bytesWritten.Load(),
+		BytesRead:      s.bytesRead.Load(),
+		WriteOps:       s.writeOps.Load(),
+		ReadOps:        s.readOps.Load(),
+		StoreBarriers:  s.storeBarriers.Load(),
+		Retries:        s.retries.Load(),
+		DMATransfers:   s.dmaTransfers.Load(),
+		TransferErrors: s.transferErrors.Load(),
+		CheckRetries:   s.checkRetries.Load(),
+	}
+}
+
+// icMetrics caches the interconnect's registry collectors so the PIO hot
+// path never performs a map lookup. With metrics disabled every field is a
+// nil collector, and every call below is an allocation-free no-op.
+type icMetrics struct {
+	writeStreamNS *obs.Histogram
+	putNS         *obs.Histogram
+	readNS        *obs.Histogram
+	blockFlushNS  *obs.Histogram
+	dmaNS         *obs.Histogram
+	barrierNS     *obs.Histogram
+	bytesWritten  *obs.Counter
+	bytesRead     *obs.Counter
+}
+
+func newICMetrics(r *obs.Registry) icMetrics {
+	return icMetrics{
+		writeStreamNS: r.Histogram("sci.pio.write_stream.ns"),
+		putNS:         r.Histogram("sci.pio.put.ns"),
+		readNS:        r.Histogram("sci.pio.read.ns"),
+		blockFlushNS:  r.Histogram("sci.blockwrite.flush.ns"),
+		dmaNS:         r.Histogram("sci.dma.ns"),
+		barrierNS:     r.Histogram("sci.store_barrier.ns"),
+		bytesWritten:  r.Counter("sci.bytes.written"),
+		bytesRead:     r.Counter("sci.bytes.read"),
+	}
+}
+
+// countFault bumps the per-kind injected-fault counter (nil-registry safe;
+// fault paths are cold, so the labelled lookup is fine here).
+func (ic *Interconnect) countFault(k fault.Kind) {
+	if ic.Cfg.Metrics != nil {
+		ic.Cfg.Metrics.Counter(obs.Name("fault.injected", "kind", k.String())).Inc()
+	}
+}
+
 // Node is one cluster node with its adapter.
 type Node struct {
 	ic      *Interconnect
 	id      int
+	name    string // cached "node<i>" (avoids Sprintf on trace paths)
 	egress  *flow.Link
 	ingress *flow.Link
 
@@ -60,8 +130,13 @@ type Node struct {
 	// dead marks the node unreachable (see monitor.go).
 	dead bool
 
-	Stats Stats
+	stats nodeStats
 }
+
+// Snapshot returns a race-free copy of the node's transfer counters. Use
+// this instead of holding on to internal state: the live counters are
+// updated from device daemons concurrently with application procs.
+func (n *Node) Snapshot() Stats { return n.stats.snapshot() }
 
 // New builds the simulated cluster.
 func New(e *sim.Engine, cfg Config) *Interconnect {
@@ -78,6 +153,7 @@ func New(e *sim.Engine, cfg Config) *Interconnect {
 		Ring: ring.New(cfg.Nodes, linkBW, flow.SCIRingCongestion{}),
 		Cfg:  cfg,
 	}
+	ic.Net.SetMetrics(cfg.Metrics)
 	ic.faults = newFaultInjector(cfg.FaultRate, cfg.RetryLatency, cfg.FaultSeed)
 	if ic.Cfg.CheckRetryMax <= 0 {
 		ic.Cfg.CheckRetryMax = 4
@@ -85,11 +161,13 @@ func New(e *sim.Engine, cfg Config) *Interconnect {
 	if ic.Cfg.CheckBackoff <= 0 {
 		ic.Cfg.CheckBackoff = 10 * time.Microsecond
 	}
+	ic.met = newICMetrics(cfg.Metrics)
 	ic.nodes = make([]*Node, cfg.Nodes)
 	for i := range ic.nodes {
 		n := &Node{
 			ic:      ic,
 			id:      i,
+			name:    fmt.Sprintf("node%d", i),
 			egress:  flow.NewLink(fmt.Sprintf("node%d-egress", i), cfg.PIOWritePeakBW, nil),
 			ingress: flow.NewLink(fmt.Sprintf("node%d-ingress", i), cfg.PIOWritePeakBW, nil),
 			segs:    make(map[int]*Segment),
@@ -195,7 +273,8 @@ func (n *Node) trackDelivery(onArrive func()) {
 // arrived at its target ("ensures complete delivery of all data written at
 // a certain moment of time").
 func (n *Node) StoreBarrier(p *sim.Proc) {
-	n.Stats.StoreBarriers++
+	n.stats.storeBarriers.Add(1)
+	start := p.Now()
 	p.Sleep(n.ic.Cfg.StoreBarrierLatency)
 	for len(n.pending) > 0 {
 		var f *sim.Future
@@ -205,6 +284,7 @@ func (n *Node) StoreBarrier(p *sim.Proc) {
 		}
 		p.Await(f)
 	}
+	n.ic.met.barrierNS.ObserveDuration(p.Now() - start)
 }
 
 // transferCost moves `bytes` from node n toward owner at the given source
@@ -225,7 +305,7 @@ func (n *Node) tryTransferCost(p *sim.Proc, owner *Node, bytes int64, srcCap flo
 	if bytes <= 0 {
 		return nil
 	}
-	n.ic.faults.maybeRetry(p, &n.Stats)
+	n.ic.faults.maybeRetry(p, &n.stats)
 	if n == owner {
 		// Local access: charged by the caller's memory model instead.
 		return nil
@@ -253,13 +333,14 @@ func (n *Node) tryLinkClear(p *sim.Proc, owner *Node) error {
 		return nil
 	}
 	for i := 0; i < maxTransferRetries; i++ {
-		n.Stats.Retries++
+		n.stats.retries.Add(1)
 		p.Sleep(n.ic.Cfg.RetryLatency)
 		if !plan.Disturbed(n.id, owner.id, p.Now()) {
 			return nil
 		}
 	}
-	n.Stats.TransferErrors++
-	n.ic.tracef(fmt.Sprintf("node%d", n.id), "link to node %d disturbed, transfer aborted", owner.id)
+	n.stats.transferErrors.Add(1)
+	n.ic.countFault(fault.LinkDisturbed)
+	n.ic.tracef(n.name, "link to node %d disturbed, transfer aborted", owner.id)
 	return &fault.Error{Kind: fault.LinkDisturbed, From: n.id, To: owner.id, At: p.Now()}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"scimpich/internal/fault"
 	"scimpich/internal/sim"
 )
 
@@ -89,13 +90,14 @@ func (n *Node) tryReachable(p *sim.Proc, target *Node) error {
 		return nil
 	}
 	for i := 0; i < maxTransferRetries; i++ {
-		n.Stats.Retries++
+		n.stats.retries.Add(1)
 		p.Sleep(n.ic.Cfg.RetryLatency)
 		if !target.dead {
 			return nil // the connection came back mid-retry
 		}
 	}
-	n.ic.tracef(fmt.Sprintf("node%d", n.id), "connection to node %d lost after %d retries", target.id, maxTransferRetries)
+	n.ic.countFault(fault.NodeUnreachable)
+	n.ic.tracef(n.name, "connection to node %d lost after %d retries", target.id, maxTransferRetries)
 	return ErrConnectionLost{From: n.id, To: target.id}
 }
 

@@ -70,7 +70,7 @@ func TestTransferRetriesThroughTransientFailure(t *testing.T) {
 		e.After(ic.Cfg.RetryLatency+time.Microsecond, func() { ic.RestoreNode(1) })
 		m.WriteStream(p, 0, make([]byte, 64<<10), 0)
 		ic.Node(0).StoreBarrier(p)
-		if ic.Node(0).Stats.Retries == 0 {
+		if ic.Node(0).Snapshot().Retries == 0 {
 			t.Error("no retries recorded across the transient failure")
 		}
 	})

@@ -1,7 +1,6 @@
 package sci
 
 import (
-	"fmt"
 	"time"
 
 	"scimpich/internal/fault"
@@ -27,7 +26,7 @@ func (m *Mapping) mustRetry(try func() error) {
 			return
 		}
 		if fe, ok := err.(*fault.Error); ok && fe.Retryable() && attempt < maxTransferRetries {
-			m.from.Stats.Retries++
+			m.from.stats.retries.Add(1)
 			continue
 		}
 		panic(err)
@@ -42,8 +41,9 @@ func (m *Mapping) drawPIOFault(p *sim.Proc) error {
 	if fe == nil {
 		return nil
 	}
-	from.Stats.TransferErrors++
-	from.ic.tracef(fmt.Sprintf("node%d", from.id), "%v error on transfer to node %d", fe.Kind, m.seg.owner.id)
+	from.stats.transferErrors.Add(1)
+	from.ic.countFault(fe.Kind)
+	from.ic.tracef(from.name, "%v error on transfer to node %d", fe.Kind, m.seg.owner.id)
 	p.Sleep(from.ic.Cfg.RetryLatency)
 	return fe
 }
@@ -69,8 +69,9 @@ func (m *Mapping) TryWriteStream(p *sim.Proc, off int64, src []byte, srcWorkingS
 		return err
 	}
 	from := m.from
-	from.Stats.WriteOps++
-	from.Stats.BytesWritten += n
+	from.stats.writeOps.Add(1)
+	from.stats.bytesWritten.Add(n)
+	from.ic.met.bytesWritten.Add(n)
 	cfg := &from.ic.Cfg
 	if !m.Remote() {
 		// Local store through the mapping: plain memory copy.
@@ -78,6 +79,7 @@ func (m *Mapping) TryWriteStream(p *sim.Proc, off int64, src []byte, srcWorkingS
 		copy(m.seg.buf[off:], src)
 		return nil
 	}
+	start := p.Now()
 	if err := m.drawPIOFault(p); err != nil {
 		return err
 	}
@@ -91,6 +93,7 @@ func (m *Mapping) TryWriteStream(p *sim.Proc, off int64, src []byte, srcWorkingS
 	data := append([]byte(nil), src...)
 	seg, o := m.seg, off
 	from.trackDelivery(func() { copy(seg.buf[o:], data) })
+	from.ic.met.writeStreamNS.ObserveDuration(p.Now() - start)
 	return nil
 }
 
@@ -113,8 +116,9 @@ func (m *Mapping) WriteStrided(p *sim.Proc, off int64, src []byte, accessSize, s
 	span := (accesses-1)*stride + (n - (accesses-1)*accessSize)
 	m.checkRange(off, span)
 	from := m.from
-	from.Stats.WriteOps += accesses
-	from.Stats.BytesWritten += n
+	from.stats.writeOps.Add(accesses)
+	from.stats.bytesWritten.Add(n)
+	from.ic.met.bytesWritten.Add(n)
 	cfg := &from.ic.Cfg
 	if !m.Remote() {
 		p.Sleep(cfg.Mem.CopyCost(n, accessSize, span))
@@ -157,14 +161,16 @@ func (m *Mapping) TryWritePut(p *sim.Proc, off int64, src []byte, accessSize, st
 		return err
 	}
 	from := m.from
-	from.Stats.WriteOps += accesses
-	from.Stats.BytesWritten += n
+	from.stats.writeOps.Add(accesses)
+	from.stats.bytesWritten.Add(n)
+	from.ic.met.bytesWritten.Add(n)
 	cfg := &from.ic.Cfg
 	if !m.Remote() {
 		p.Sleep(cfg.Mem.CopyCost(n, accessSize, span))
 		scatter(m.seg.buf[off:], src, accessSize, stride)
 		return nil
 	}
+	start := p.Now()
 	if err := m.drawPIOFault(p); err != nil {
 		return err
 	}
@@ -178,6 +184,7 @@ func (m *Mapping) TryWritePut(p *sim.Proc, off int64, src []byte, accessSize, st
 	data := append([]byte(nil), src...)
 	seg, o, as, st := m.seg, off, accessSize, stride
 	from.trackDelivery(func() { scatter(seg.buf[o:], data, as, st) })
+	from.ic.met.putNS.ObserveDuration(p.Now() - start)
 	return nil
 }
 
@@ -188,8 +195,8 @@ func (m *Mapping) WriteWord(p *sim.Proc, off int64, src []byte) {
 	n := int64(len(src))
 	m.checkRange(off, n)
 	from := m.from
-	from.Stats.WriteOps++
-	from.Stats.BytesWritten += n
+	from.stats.writeOps.Add(1)
+	from.stats.bytesWritten.Add(n)
 	p.Sleep(from.ic.Cfg.WriteIssueOverhead)
 	data := append([]byte(nil), src...)
 	seg, o := m.seg, off
@@ -218,15 +225,17 @@ func (m *Mapping) TryRead(p *sim.Proc, off int64, dst []byte) error {
 		return err
 	}
 	from := m.from
-	from.Stats.ReadOps++
-	from.Stats.BytesRead += n
+	from.stats.readOps.Add(1)
+	from.stats.bytesRead.Add(n)
+	from.ic.met.bytesRead.Add(n)
 	cfg := &from.ic.Cfg
 	if !m.Remote() {
 		p.Sleep(cfg.Mem.CopyCost(n, n, n))
 		copy(dst, m.seg.buf[off:off+n])
 		return nil
 	}
-	from.ic.faults.maybeRetry(p, &from.Stats)
+	start := p.Now()
+	from.ic.faults.maybeRetry(p, &from.stats)
 	if err := from.tryReachable(p, m.seg.owner); err != nil {
 		return err
 	}
@@ -238,6 +247,7 @@ func (m *Mapping) TryRead(p *sim.Proc, off int64, dst []byte) error {
 	}
 	p.Sleep(sim.RateDuration(n, cfg.ReadBW(n)))
 	copy(dst, m.seg.buf[off:off+n])
+	from.ic.met.readNS.ObserveDuration(p.Now() - start)
 	return nil
 }
 
@@ -258,15 +268,16 @@ func (m *Mapping) ReadStrided(p *sim.Proc, off int64, dst []byte, accessSize, st
 	span := (accesses-1)*stride + (n - (accesses-1)*accessSize)
 	m.checkRange(off, span)
 	from := m.from
-	from.Stats.ReadOps += accesses
-	from.Stats.BytesRead += n
+	from.stats.readOps.Add(accesses)
+	from.stats.bytesRead.Add(n)
+	from.ic.met.bytesRead.Add(n)
 	cfg := &from.ic.Cfg
 	if !m.Remote() {
 		p.Sleep(cfg.Mem.CopyCost(n, accessSize, span))
 		gather(dst, m.seg.buf[off:], accessSize, stride)
 		return
 	}
-	from.ic.faults.maybeRetry(p, &from.Stats)
+	from.ic.faults.maybeRetry(p, &from.stats)
 	// Each access pays its own stall sequence; strided reads cannot be
 	// gathered by the stream buffers.
 	per := sim.RateDuration(accessSize, cfg.ReadBW(accessSize))
@@ -347,8 +358,9 @@ func (w *BlockWriter) Write(off int64, src []byte) {
 	copy(w.m.seg.buf[off:], src)
 	cfg := &w.m.from.ic.Cfg
 	w.bytes += n
-	w.m.from.Stats.WriteOps++
-	w.m.from.Stats.BytesWritten += n
+	w.m.from.stats.writeOps.Add(1)
+	w.m.from.stats.bytesWritten.Add(n)
+	w.m.from.ic.met.bytesWritten.Add(n)
 	if w.m.Remote() {
 		w.cost += cfg.WriteIssueOverhead + sim.RateDuration(n, cfg.StreamWriteBW(n))
 	} else {
@@ -387,6 +399,7 @@ func (w *BlockWriter) TryFlush() error {
 	if err := w.m.stateErr(); err != nil {
 		return err
 	}
+	start := w.p.Now()
 	if err := w.m.drawPIOFault(w.p); err != nil {
 		return err
 	}
@@ -395,5 +408,6 @@ func (w *BlockWriter) TryFlush() error {
 		return err
 	}
 	from.trackDelivery(nil)
+	from.ic.met.blockFlushNS.ObserveDuration(w.p.Now() - start)
 	return nil
 }

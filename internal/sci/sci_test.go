@@ -324,7 +324,7 @@ func TestFaultInjectionPreservesDataAndAddsRetries(t *testing.T) {
 	if !bytes.Equal(seg.Local(), src) {
 		t.Error("fault injection corrupted delivered data")
 	}
-	if ic.Node(0).Stats.Retries == 0 {
+	if ic.Node(0).Snapshot().Retries == 0 {
 		t.Error("no retries recorded at 20% fault rate over 64 transfers")
 	}
 }
@@ -343,7 +343,7 @@ func TestFaultScheduleDeterministic(t *testing.T) {
 			}
 		})
 		e.Run()
-		return ic.Node(0).Stats.Retries
+		return ic.Node(0).Snapshot().Retries
 	}
 	a, b := run(), run()
 	if a != b {

@@ -94,7 +94,8 @@ func (n *Node) Import(owner int, segID int) (*Mapping, error) {
 		return nil, fmt.Errorf("sci: import from unknown node %d", owner)
 	}
 	if n.ic.Cfg.Fault.TakeImportFailure(owner, segID) {
-		n.ic.tracef(fmt.Sprintf("node%d", n.id), "import of segment %d@node%d denied (plan)", segID, owner)
+		n.ic.countFault(fault.ImportDenied)
+		n.ic.tracef(n.name, "import of segment %d@node%d denied (plan)", segID, owner)
 		return nil, &fault.Error{Kind: fault.ImportDenied, From: n.id, To: owner, At: n.ic.E.Now()}
 	}
 	seg, ok := n.ic.nodes[owner].segs[segID]
@@ -155,12 +156,12 @@ func (m *Mapping) CheckedSync(p *sim.Proc) error {
 			return err
 		}
 		if attempt >= cfg.CheckRetryMax {
-			from.ic.tracef(fmt.Sprintf("node%d", from.id),
+			from.ic.tracef(from.name,
 				"transfer check toward node %d failed %d times, connection lost", m.seg.owner.id, attempt+1)
 			return ErrConnectionLost{From: from.id, To: m.seg.owner.id}
 		}
-		from.Stats.CheckRetries++
-		from.ic.tracef(fmt.Sprintf("node%d", from.id),
+		from.stats.checkRetries.Add(1)
+		from.ic.tracef(from.name,
 			"transfer check toward node %d failed (%v), retry %d after %v", m.seg.owner.id, fe.Kind, attempt+1, backoff)
 		p.Sleep(backoff)
 		backoff *= 2
@@ -181,7 +182,8 @@ func (m *Mapping) checkStatus(p *sim.Proc) error {
 		return ErrConnectionLost{From: m.from.id, To: owner.id}
 	}
 	if fe := m.from.ic.Cfg.Fault.DrawCheckError(p.Now(), m.from.id, owner.id); fe != nil {
-		m.from.Stats.TransferErrors++
+		m.from.stats.transferErrors.Add(1)
+		m.from.ic.countFault(fe.Kind)
 		return fe
 	}
 	return nil

@@ -32,7 +32,7 @@ func (s *Signal) RingFrom(p *sim.Proc, from *Node, v any, interrupt bool) {
 		sim.Post(s.ch, v)
 		return
 	}
-	from.ic.faults.maybeRetry(p, &from.Stats)
+	from.ic.faults.maybeRetry(p, &from.stats)
 	delay := cfg.PIOWriteLatency
 	if interrupt {
 		delay += cfg.InterruptLatency

@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -40,6 +42,66 @@ func TestLimitCapsRetention(t *testing.T) {
 	}
 	if tr.Len() != 2 {
 		t.Fatalf("len = %d, want capped 2", tr.Len())
+	}
+}
+
+func TestLimitKeepsNewest(t *testing.T) {
+	// Regression: the old tracer silently dropped the NEWEST events once
+	// full, losing the tail of long runs. The tracer is now a ring buffer
+	// keeping the most recent limit events.
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Record(time.Duration(i), "a", "c", "e%d", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	for i, want := range []string{"e7", "e8", "e9"} {
+		if evs[i].Detail != want {
+			t.Errorf("events[%d] = %q, want %q (newest retained, oldest-first)",
+				i, evs[i].Detail, want)
+		}
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	// Regression for the data race in the original Tracer: Record appended
+	// to a shared slice with no lock. Run with -race.
+	tr := New(100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			actor := fmt.Sprintf("rank%d", g)
+			for i := 0; i < 250; i++ {
+				tr.Record(time.Duration(i), actor, "send", "msg %d", i)
+				if i%10 == 0 {
+					_ = tr.Events()
+					_ = tr.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 100 {
+		t.Errorf("len = %d, want limit 100", tr.Len())
+	}
+}
+
+func TestStartSpanThroughShim(t *testing.T) {
+	tr := New(0)
+	sp := tr.Start(0, "rank0", "send", "rdv")
+	sp.SetBytes(1024)
+	sp.End(10)
+	spans := tr.Obs().Spans()
+	if len(spans) != 1 || spans[0].Name != "rdv" || spans[0].Bytes != 1024 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	var nilTr *Tracer
+	if nilTr.Start(0, "a", "b", "c") != nil || nilTr.Obs() != nil {
+		t.Error("nil tracer must yield nil span and nil obs trace")
 	}
 }
 
