@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench trace-demo
+.PHONY: check vet build test race bench bench-json alloc-test trace-demo
 
 # check is the tier-1 gate: vet, build everything, then the full test suite
 # with the race detector.
@@ -20,6 +20,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json runs the hot-path microbenchmark suites (direct_pack_ff engine,
+# PIO delivery pipeline) and writes the BENCH_pack.json / BENCH_pio.json
+# regression-gate artifacts. See docs/PERFORMANCE.md.
+bench-json:
+	$(GO) run ./cmd/benchjson -dir .
+
+# alloc-test runs only the allocation-pinned hot-path tests (0 allocs/op on
+# pack and PIO fast paths); CI fails the bench job if these regress.
+alloc-test:
+	$(GO) test -run 'TestAllocs|AllocFree' -v ./internal/pack/ ./internal/sci/ ./internal/bufpool/ ./internal/obs/
 
 # trace-demo produces a Chrome trace-event timeline from a ping-pong sweep
 # (load /tmp/scimpich-trace.json in Perfetto or chrome://tracing) and

@@ -1,0 +1,38 @@
+// Command benchjson runs the hot-path microbenchmark suites (direct_pack_ff
+// engine and PIO delivery pipeline) and writes BENCH_pack.json and
+// BENCH_pio.json — the regression-gate artifacts archived by CI. See
+// docs/PERFORMANCE.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"scimpich/internal/bench"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory the BENCH_*.json artifacts are written to")
+	flag.Parse()
+
+	suites := []struct {
+		name  string
+		file  string
+		suite []bench.NamedBench
+	}{
+		{"pack", "BENCH_pack.json", bench.PackBenchmarks()},
+		{"pio", "BENCH_pio.json", bench.PIOBenchmarks()},
+	}
+	for _, s := range suites {
+		results := bench.RunHotpathSuite(s.suite)
+		fmt.Print(bench.FormatHotpath(s.name, results))
+		path := filepath.Join(*dir, s.file)
+		if err := bench.WriteBenchJSON(path, s.name, results); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

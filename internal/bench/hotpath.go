@@ -1,0 +1,299 @@
+package bench
+
+// Hot-path microbenchmarks and the JSON regression gate behind `make
+// bench-json`. Unlike the experiment drivers in this package (which
+// regenerate the paper's figures in virtual time), these measure the real
+// host-CPU cost of the simulator's own hot paths: the direct_pack_ff engine
+// (full pack, chunked/resumed pack, Walk) and the PIO delivery pipeline.
+// cmd/benchjson runs both suites via testing.Benchmark and emits
+// BENCH_pack.json / BENCH_pio.json; CI archives them so regressions show up
+// in the artifact diff. See docs/PERFORMANCE.md.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/pack"
+	"scimpich/internal/sci"
+	"scimpich/internal/sim"
+)
+
+// NamedBench is one hot-path microbenchmark.
+type NamedBench struct {
+	// Name within the suite (stable: JSON consumers key on it).
+	Name string
+	// Note says what the number means (one line, for the JSON).
+	Note string
+	F    func(b *testing.B)
+}
+
+// hpVectorType is the depth-2 nested vector of the pack benchmarks: 16
+// instances of (32 blocks of 64 B, stride 128 B).
+func hpVectorType() *datatype.Type {
+	inner := datatype.Vector(32, 8, 16, datatype.Float64)
+	return datatype.Vector(16, 1, 2, inner).Commit()
+}
+
+// hpIndexedType is an irregular 128-leaf indexed layout (32 B blocks at
+// 48 B displacements): the case where a per-chunk find_position restart
+// costs O(leaves) and the cursor's O(1) resume pays off most.
+func hpIndexedType() *datatype.Type {
+	nb := 128
+	blocklens := make([]int, nb)
+	displs := make([]int, nb)
+	for i := range blocklens {
+		blocklens[i] = 32
+		displs[i] = i * 48
+	}
+	return datatype.Indexed(blocklens, displs, datatype.Byte).Commit()
+}
+
+// hpSink is a settable-base buffer sink, reused across chunks so the
+// benchmark measures the pack engine, not interface-conversion allocations.
+type hpSink struct {
+	buf  []byte
+	base int64
+}
+
+func (s *hpSink) Write(off int64, src []byte) { copy(s.buf[s.base+off:], src) }
+
+// benchChunkedFindPos packs the linearization in fixed chunks with a
+// per-chunk FFPack(skip) — the pre-cursor pipeline behavior, kept as the
+// comparison baseline.
+func benchChunkedFindPos(t *datatype.Type, count int, chunk int64) func(b *testing.B) {
+	return func(b *testing.B) {
+		total := t.Size() * int64(count)
+		user := make([]byte, t.Extent()*int64(count))
+		s := &hpSink{buf: make([]byte, total)}
+		var sink pack.Sink = s
+		b.SetBytes(total)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for off := int64(0); off < total; off += chunk {
+				n := chunk
+				if off+n > total {
+					n = total - off
+				}
+				s.base = off
+				pack.FFPack(sink, user, t, count, off, n)
+			}
+		}
+	}
+}
+
+// benchChunkedCursor is the same chunked pack through one resumable Cursor.
+func benchChunkedCursor(t *datatype.Type, count int, chunk int64) func(b *testing.B) {
+	return func(b *testing.B) {
+		total := t.Size() * int64(count)
+		user := make([]byte, t.Extent()*int64(count))
+		s := &hpSink{buf: make([]byte, total)}
+		var sink pack.Sink = s
+		cur := pack.NewCursor(t, count)
+		b.SetBytes(total)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cur.Reset()
+			for off := int64(0); off < total; off += chunk {
+				n := chunk
+				if off+n > total {
+					n = total - off
+				}
+				s.base = off
+				cur.Pack(sink, user, n)
+			}
+		}
+	}
+}
+
+// PackBenchmarks is the direct_pack_ff host-cost suite (BENCH_pack.json).
+func PackBenchmarks() []NamedBench {
+	vec, idx := hpVectorType(), hpIndexedType()
+	return []NamedBench{
+		{
+			Name: "chunked-findpos-vector",
+			Note: "8KiB chunks, per-chunk find_position restart (baseline)",
+			F:    benchChunkedFindPos(vec, 16, 8<<10),
+		},
+		{
+			Name: "chunked-cursor-vector",
+			Note: "8KiB chunks resumed through one Cursor",
+			F:    benchChunkedCursor(vec, 16, 8<<10),
+		},
+		{
+			Name: "chunked-findpos-indexed",
+			Note: "1KiB chunks over 128 leaves, per-chunk restart (baseline)",
+			F:    benchChunkedFindPos(idx, 32, 1<<10),
+		},
+		{
+			Name: "chunked-cursor-indexed",
+			Note: "1KiB chunks over 128 leaves resumed through one Cursor",
+			F:    benchChunkedCursor(idx, 32, 1<<10),
+		},
+		{
+			Name: "full-ffpack-vector",
+			Note: "single FFPack of the whole linearization",
+			F: func(b *testing.B) {
+				t := hpVectorType()
+				count := 16
+				total := t.Size() * int64(count)
+				user := make([]byte, t.Extent()*int64(count))
+				var sink pack.Sink = pack.BufferSink{Buf: make([]byte, total)}
+				b.SetBytes(total)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pack.FFPack(sink, user, t, count, 0, -1)
+				}
+			},
+		},
+		{
+			Name: "walk-vector",
+			Note: "block enumeration without copying",
+			F: func(b *testing.B) {
+				t := hpVectorType()
+				count := 16
+				b.SetBytes(t.Size() * int64(count))
+				b.ReportAllocs()
+				fn := func(off, size int64) {}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pack.Walk(t, count, fn)
+				}
+			},
+		},
+	}
+}
+
+// benchRemoteWrite measures one posted-write op (issue + capture + delivery
+// + recycle) on the simulated interconnect: the proc issues the write, then
+// sleeps past the wire latency so the delivery lands inside the measured op.
+func benchRemoteWrite(payload int, issue func(m *sci.Mapping, p *sim.Proc, src []byte)) func(b *testing.B) {
+	return func(b *testing.B) {
+		e := sim.NewEngine()
+		ic := sci.New(e, sci.DefaultConfig(2))
+		seg := ic.Node(1).Export(1 << 20)
+		src := make([]byte, payload)
+		drain := ic.Cfg.PIOWriteLatency + time.Microsecond
+		b.SetBytes(int64(payload))
+		b.ReportAllocs()
+		e.Go("writer", func(p *sim.Proc) {
+			m := ic.Node(0).MustImport(1, seg.ID())
+			for i := 0; i < 8; i++ { // warm pools and the event freelist
+				issue(m, p, src)
+				p.Sleep(drain)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				issue(m, p, src)
+				p.Sleep(drain)
+			}
+		})
+		e.Run()
+	}
+}
+
+// PIOBenchmarks is the transfer-pipeline host-cost suite (BENCH_pio.json).
+// Payloads stay under the flow-network threshold so the numbers isolate the
+// posted-write path: pooled capture, freelist event, delivery, recycle.
+func PIOBenchmarks() []NamedBench {
+	return []NamedBench{
+		{
+			Name: "write-stream-1k",
+			Note: "remote WriteStream + delivery drain, 1 KiB",
+			F: benchRemoteWrite(1024, func(m *sci.Mapping, p *sim.Proc, src []byte) {
+				m.WriteStream(p, 0, src, 0)
+			}),
+		},
+		{
+			Name: "write-put-strided-1k",
+			Note: "remote WritePut (64B accesses, 128B stride) + drain, 1 KiB",
+			F: benchRemoteWrite(1024, func(m *sci.Mapping, p *sim.Proc, src []byte) {
+				m.WritePut(p, 0, src, 64, 128)
+			}),
+		},
+		{
+			Name: "write-word",
+			Note: "remote WriteWord + delivery drain, 8 B",
+			F: benchRemoteWrite(8, func(m *sci.Mapping, p *sim.Proc, src []byte) {
+				m.WriteWord(p, 0, src)
+			}),
+		},
+	}
+}
+
+// BenchResult is one benchmark's measurement as serialized to the JSON
+// artifacts.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Note        string  `json:"note,omitempty"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"alloc_bytes_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// RunHotpathSuite executes every benchmark of a suite via testing.Benchmark.
+func RunHotpathSuite(suite []NamedBench) []BenchResult {
+	results := make([]BenchResult, 0, len(suite))
+	for _, nb := range suite {
+		r := testing.Benchmark(nb.F)
+		res := BenchResult{
+			Name:        nb.Name,
+			Note:        nb.Note,
+			Runs:        r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			res.MBPerS = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// benchFile is the envelope of a BENCH_*.json artifact.
+type benchFile struct {
+	Suite   string        `json:"suite"`
+	Go      string        `json:"go"`
+	GOOS    string        `json:"goos"`
+	GOARCH  string        `json:"goarch"`
+	Results []BenchResult `json:"results"`
+}
+
+// WriteBenchJSON writes one suite's results as an indented JSON artifact.
+func WriteBenchJSON(path, suite string, results []BenchResult) error {
+	data, err := json.MarshalIndent(benchFile{
+		Suite:   suite,
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		Results: results,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatHotpath renders a suite's results as an aligned text table.
+func FormatHotpath(suite string, results []BenchResult) string {
+	out := fmt.Sprintf("%s:\n", suite)
+	for _, r := range results {
+		out += fmt.Sprintf("  %-28s %12.0f ns/op %6d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.MBPerS > 0 {
+			out += fmt.Sprintf(" %9.1f MB/s", r.MBPerS)
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+package bench
+
+import "testing"
+
+// The hot-path suites as ordinary go-test benchmarks:
+//
+//	go test -bench 'Hotpath' ./internal/bench
+//
+// cmd/benchjson runs the same definitions and emits the JSON artifacts.
+
+func BenchmarkHotpathPack(b *testing.B) {
+	for _, nb := range PackBenchmarks() {
+		b.Run(nb.Name, nb.F)
+	}
+}
+
+func BenchmarkHotpathPIO(b *testing.B) {
+	for _, nb := range PIOBenchmarks() {
+		b.Run(nb.Name, nb.F)
+	}
+}

@@ -281,13 +281,30 @@ type Position struct {
 // linearization: O(number of leaves) + O(depth), the paper's bound for
 // resuming a partial pack. off must be in [0, Size].
 func (f *Flat) FindPosition(off int64) Position {
+	var pos Position
+	idx := make([]int64, f.Depth)
+	pos.LeafIndex, pos.Rem = f.FindPositionInto(off, idx)
+	if pos.LeafIndex < len(f.Leaves) {
+		pos.Index = idx[:len(f.Leaves[pos.LeafIndex].Stack)]
+	}
+	return pos
+}
+
+// FindPositionInto is the allocation-free form of FindPosition: it decodes
+// the packed offset into a caller-owned odometer slice (len(idx) must be at
+// least f.Depth) and returns the leaf index and in-block remainder. Odometer
+// entries beyond the found leaf's stack depth are zeroed, so the slice can
+// be handed directly to a leaf-major iterator. When off == Size the returned
+// leaf index is len(f.Leaves).
+func (f *Flat) FindPositionInto(off int64, idx []int64) (leafIndex int, rem int64) {
 	if off < 0 || off > f.Size {
 		panic(fmt.Sprintf("datatype: position %d outside packed size %d", off, f.Size))
 	}
-	var pos Position
+	for j := range idx {
+		idx[j] = 0
+	}
 	if off == f.Size {
-		pos.LeafIndex = len(f.Leaves)
-		return pos
+		return len(f.Leaves), 0
 	}
 	for i := range f.Leaves {
 		l := &f.Leaves[i]
@@ -295,14 +312,11 @@ func (f *Flat) FindPosition(off int64) Position {
 			off -= l.Total
 			continue
 		}
-		pos.LeafIndex = i
-		pos.Index = make([]int64, len(l.Stack))
 		for j := range l.Stack {
-			pos.Index[j] = off / l.Stack[j].Step
-			off -= pos.Index[j] * l.Stack[j].Step
+			idx[j] = off / l.Stack[j].Step
+			off -= idx[j] * l.Stack[j].Step
 		}
-		pos.Rem = off
-		return pos
+		return i, off
 	}
 	panic("datatype: FindPosition fell off the leaf list") // unreachable: totals sum to Size
 }

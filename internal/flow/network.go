@@ -108,7 +108,7 @@ type Network struct {
 	e          *sim.Engine
 	flows      map[*Flow]struct{}
 	lastSettle time.Duration
-	next       *sim.Timer
+	next       sim.Timer
 
 	// metric collectors (nil without SetMetrics; nil collectors are no-ops).
 	transferNS *obs.Histogram
@@ -238,10 +238,8 @@ func (n *Network) settle() {
 // reallocate recomputes max-min fair rates for all active flows and
 // schedules the next completion event.
 func (n *Network) reallocate() {
-	if n.next != nil {
-		n.next.Cancel()
-		n.next = nil
-	}
+	n.next.Cancel()
+	n.next = sim.Timer{}
 	n.computeRates()
 
 	// Finish flows that are already (numerically) done.
@@ -274,7 +272,7 @@ func (n *Network) reallocate() {
 		}
 	}
 	n.next = n.e.After(soonest, func() {
-		n.next = nil
+		n.next = sim.Timer{}
 		n.settle()
 		n.reallocate()
 	})

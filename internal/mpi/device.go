@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"scimpich/internal/bufpool"
 	"scimpich/internal/datatype"
 	"scimpich/internal/memmodel"
 	"scimpich/internal/pack"
@@ -93,6 +94,10 @@ type rdvRecv struct {
 	mode      rdvMode
 	received  int64
 	nextChunk int
+	// cur resumes the ff unpack across chunks (rdvFF mode only): each chunk
+	// continues where the previous one stopped instead of re-running
+	// find_position over the leaf list.
+	cur *pack.Cursor
 }
 
 // rdvMode selects the data engine for a rendezvous transfer.
@@ -269,6 +274,11 @@ func (d *device) deliverShort(p *sim.Proc, req *recvReq, env *envelope) {
 		_, st := pack.GenericUnpack(req.buf, env.payload, req.dt, req.count, 0, env.bytes)
 		d.chargeBlocks(p, st, false)
 	}
+	// Last read of the inline payload: return the pooled buffer. Duplicate
+	// envelopes sharing the pointer are dropped by the sequence check before
+	// reaching here.
+	env.payloadBuf.Put()
+	env.payload, env.payloadBuf = nil, nil
 	req.done.Complete(&Status{Source: env.src, Tag: env.tag, Bytes: env.bytes})
 }
 
@@ -317,6 +327,9 @@ func (d *device) startRendezvous(p *sim.Proc, req *recvReq, env *envelope) {
 		return
 	}
 	st := &rdvRecv{req: req, env: env, mode: mode}
+	if mode == rdvFF {
+		st.cur = pack.NewCursor(req.dt, req.count)
+	}
 	d.rdv[env.reqID] = st
 	d.rk.w.ring(p, d.rk.id, env.src, &envelope{
 		kind: envRdvCTS, src: d.rk.id, dst: env.src,
@@ -375,7 +388,11 @@ func (d *device) handleRdvData(p *sim.Proc, env *envelope) {
 		usp := tr.Start(p.Now(), d.actor, "pack", "ff_unpack")
 		usp.SetBytes(n)
 		slot := mem.Bytes()[off : off+n]
-		_, pst := pack.FFUnpack(st.req.buf, slot, st.req.dt, st.req.count, skip, n)
+		// The cursor resumes at skip from the previous chunk; Seek is free
+		// on the sequential continuation and only pays find_position if a
+		// chunk was replayed.
+		st.cur.SeekTo(skip)
+		_, pst := st.cur.Unpack(st.req.buf, slot, n)
 		d.chargeBlocks(p, pst, true)
 		usp.End(p.Now())
 	case rdvGeneric:
@@ -383,10 +400,11 @@ func (d *device) handleRdvData(p *sim.Proc, env *envelope) {
 		// (two passes over the data — figure 4, top).
 		usp := tr.Start(p.Now(), d.actor, "pack", "generic_unpack")
 		usp.SetBytes(n)
-		scratch := make([]byte, n)
-		mem.Read(p, off, scratch)
-		_, pst := pack.GenericUnpack(st.req.buf, scratch, st.req.dt, st.req.count, skip, n)
+		scratch := bufpool.Get(int(n))
+		mem.Read(p, off, scratch.B)
+		_, pst := pack.GenericUnpack(st.req.buf, scratch.B, st.req.dt, st.req.count, skip, n)
 		d.chargeBlocks(p, pst, false)
+		scratch.Put()
 		usp.End(p.Now())
 	}
 	csp.End(p.Now())

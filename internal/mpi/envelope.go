@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"scimpich/internal/bufpool"
 	"scimpich/internal/datatype"
 	"scimpich/internal/sim"
 )
@@ -80,8 +81,12 @@ type envelope struct {
 	// wildcard raw-buffer idiom).
 	sig uint64
 
-	// short protocol
-	payload []byte
+	// short protocol. payloadBuf is the pooled buffer backing payload (nil
+	// for unpooled payloads); the receiving device recycles it after the
+	// final read. Injected duplicate envelopes share the pointer, but the
+	// sequence check drops them before the payload is touched.
+	payload    []byte
+	payloadBuf *bufpool.Buf
 
 	// eager protocol
 	slot int

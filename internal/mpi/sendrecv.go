@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"scimpich/internal/bufpool"
 	"scimpich/internal/datatype"
 	"scimpich/internal/fault"
 	"scimpich/internal/pack"
@@ -70,7 +71,7 @@ func (c *Comm) send(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int)
 		payload := c.packCanonical(buf, count, dt, bytes)
 		w.ring(p, c.rk.id, dst, &envelope{
 			kind: envShort, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
-			bytes: bytes, payload: payload, sig: sendSig(dt),
+			bytes: bytes, payload: payload.B, payloadBuf: payload, sig: sendSig(dt),
 		}, false)
 		sp.End(p.Now())
 		return nil
@@ -156,15 +157,17 @@ func (c *Comm) retryTransfer(dst int, op func() error) error {
 }
 
 // packCanonical produces the canonical (definition-order) linearization of
-// the message into a fresh payload buffer, charging local copy costs.
-func (c *Comm) packCanonical(buf []byte, count int, dt *datatype.Type, bytes int64) []byte {
-	payload := make([]byte, bytes)
+// the message into a pooled payload buffer, charging local copy costs. The
+// caller owns the returned buffer: scratch uses Put it when done, envelope
+// payloads hand ownership to the receiving device (via envelope.payloadBuf).
+func (c *Comm) packCanonical(buf []byte, count int, dt *datatype.Type, bytes int64) *bufpool.Buf {
+	payload := bufpool.Get(int(bytes))
 	if dt.Contiguous() {
 		c.p.Sleep(c.mem().CopyCost(bytes, bytes, bytes))
-		copy(payload, buf[:bytes])
+		copy(payload.B, buf[:bytes])
 		return payload
 	}
-	_, st := pack.GenericPack(payload, buf, dt, count, 0, -1)
+	_, st := pack.GenericPack(payload.B, buf, dt, count, 0, -1)
 	c.chargePackBlocks(st, false)
 	return payload
 }
@@ -203,7 +206,7 @@ func (c *Comm) sendShort(buf []byte, count int, dt *datatype.Type, dst, tag, ctx
 	}
 	w.ring(c.p, c.rk.id, dst, &envelope{
 		kind: envShort, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
-		bytes: bytes, payload: payload, sig: sendSig(dt),
+		bytes: bytes, payload: payload.B, payloadBuf: payload, sig: sendSig(dt),
 	}, false)
 	return nil
 }
@@ -216,26 +219,29 @@ func (c *Comm) sendEager(buf []byte, count int, dt *datatype.Type, dst, tag, ctx
 	out := c.rk.out[dst]
 	slot := c.p.Recv(out.credits).(int) // eager flow control
 	off := w.eagerOff(slot)
-	var payload []byte
+	var payload *bufpool.Buf
 	if !dt.Contiguous() {
-		// Canonical pack into a scratch buffer, then one streamed write
-		// (eager messages cannot negotiate ff: the receive type is not
-		// known yet).
+		// Canonical pack into a pooled scratch buffer, then one streamed
+		// write (eager messages cannot negotiate ff: the receive type is
+		// not known yet).
 		payload = c.packCanonical(buf, count, dt, bytes)
 	}
 	err := c.retryTransfer(dst, func() error {
 		if err := c.peerLost(dst); err != nil {
 			return err
 		}
-		src := payload
-		if src == nil {
-			src = buf[:bytes]
+		src := buf[:bytes]
+		if payload != nil {
+			src = payload.B
 		}
 		if err := out.mem.TryWriteStream(c.p, off, src, bytes); err != nil {
 			return err
 		}
 		return out.mem.TrySync(c.p)
 	})
+	// TryWriteStream captures the bytes synchronously, so the scratch can go
+	// back to the pool before the announcement.
+	payload.Put()
 	if err != nil {
 		sim.Post(out.credits, slot) // the slot was never announced
 		return err
@@ -311,6 +317,14 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 	}
 	mode := rdvMode(cts.chunk)
 
+	// A resumable cursor carries find_position state across chunks: the
+	// sequential continuation at each chunk boundary is O(1), and a retried
+	// deposit rewinds with one Seek instead of a per-chunk restart.
+	var cur *pack.Cursor
+	if mode == rdvFF && !dt.Contiguous() {
+		cur = pack.NewCursor(dt, count)
+	}
+
 	chunkSize := proto.RendezvousChunk
 	nChunks := int((bytes + chunkSize - 1) / chunkSize)
 	acked := 0
@@ -336,7 +350,7 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 			if err := c.peerLost(dst); err != nil {
 				return err
 			}
-			if err := c.packChunkInto(out.mem, off, buf, count, dt, skip, n, mode); err != nil {
+			if err := c.packChunkInto(out.mem, off, buf, count, dt, cur, skip, n, mode); err != nil {
 				return err
 			}
 			return out.mem.TrySync(p) // store barrier: data complete before the flag
@@ -363,8 +377,10 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 }
 
 // packChunkInto moves one rendezvous chunk into the receiver's buffer,
-// surfacing injected transfer faults for the caller to retry.
-func (c *Comm) packChunkInto(mem smi.Mem, off int64, buf []byte, count int, dt *datatype.Type, skip, n int64, mode rdvMode) error {
+// surfacing injected transfer faults for the caller to retry. cur is the
+// transfer's resumable pack cursor (nil outside the ff mode); Seek makes a
+// retried chunk rewind to its start.
+func (c *Comm) packChunkInto(mem smi.Mem, off int64, buf []byte, count int, dt *datatype.Type, cur *pack.Cursor, skip, n int64, mode rdvMode) error {
 	w := c.rk.w
 	tr := w.cfg.Tracer
 	switch {
@@ -389,7 +405,8 @@ func (c *Comm) packChunkInto(mem smi.Mem, off int64, buf []byte, count int, dt *
 		sp.SetBytes(n)
 		bw := mem.BlockWriter(c.p, 2*n)
 		sink := offsetSink{w: bw, base: off}
-		pack.FFPack(sink, buf, dt, count, skip, n)
+		cur.SeekTo(skip) // free on sequential continuation, O(leaves) on retry
+		cur.Pack(sink, buf, n)
 		err := bw.TryFlush()
 		sp.End(c.p.Now())
 		w.met.packFFBytes.Add(n)
@@ -400,10 +417,11 @@ func (c *Comm) packChunkInto(mem smi.Mem, off int64, buf []byte, count int, dt *
 		start := c.p.Now()
 		sp := tr.Start(start, c.rk.actor, "pack", "generic")
 		sp.SetBytes(n)
-		scratch := make([]byte, n)
-		_, st := pack.GenericPack(scratch, buf, dt, count, skip, n)
+		scratch := bufpool.Get(int(n))
+		_, st := pack.GenericPack(scratch.B, buf, dt, count, skip, n)
 		c.chargePackBlocks(st, false)
-		err := mem.TryWriteStream(c.p, off, scratch, n)
+		err := mem.TryWriteStream(c.p, off, scratch.B, n)
+		scratch.Put()
 		sp.End(c.p.Now())
 		w.met.packGenBytes.Add(n)
 		w.met.packGenericNS.ObserveDuration(c.p.Now() - start)

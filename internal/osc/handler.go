@@ -3,6 +3,7 @@ package osc
 import (
 	"fmt"
 
+	"scimpich/internal/bufpool"
 	"scimpich/internal/datatype"
 	"scimpich/internal/memmodel"
 	"scimpich/internal/mpi"
@@ -113,13 +114,14 @@ func (s *System) handlePut(p *sim.Proc, src int, w *Win, r *oscReq) {
 // the origin's staging area (through this rank's own view of it).
 func (s *System) handleGet(p *sim.Proc, src int, w *Win, r *oscReq) {
 	win := w.LocalBytes()
-	scratch := make([]byte, r.n)
-	_, st := pack.FFPack(pack.BufferSink{Buf: scratch}, win[r.off:], r.dt, r.count, r.skip, r.n)
+	scratch := bufpool.Get(int(r.n))
+	_, st := pack.FFPack(pack.BufferSink{Buf: scratch.B}, win[r.off:], r.dt, r.count, r.skip, r.n)
 	p.Sleep(s.memModel().CopyCost(st.Bytes, st.AvgBlock(), st.Bytes*2))
 	stage, base, size, _ := s.c.OSCStage(src)
 	getBase := base + size/2
-	stage.WriteStream(p, getBase, scratch, r.n)
+	stage.WriteStream(p, getBase, scratch.B, r.n)
 	stage.Sync(p)
+	scratch.Put() // WriteStream captured the bytes synchronously
 }
 
 // handleAcc combines staged (or inline) data into the window.

@@ -3,6 +3,7 @@ package osc
 import (
 	"fmt"
 
+	"scimpich/internal/bufpool"
 	"scimpich/internal/datatype"
 	"scimpich/internal/fault"
 	"scimpich/internal/mpi"
@@ -145,28 +146,36 @@ func (w *Win) emulatedPut(buf []byte, count int, dt *datatype.Type, target int, 
 	c := w.sys.c
 	p := c.Proc()
 	if n <= w.cfg.InlineMax {
-		payload := make([]byte, n)
-		pack.FFPack(pack.BufferSink{Buf: payload}, buf, dt, count, 0, -1)
+		// OSCCall blocks until the handler replied, i.e. after its last read
+		// of the inline bytes — the pooled payload can be recycled here.
+		payload := bufpool.Get(int(n))
+		pack.FFPack(pack.BufferSink{Buf: payload.B}, buf, dt, count, 0, -1)
 		c.OSCCall(c.GroupToWorld(target), &oscReq{
 			kind: reqPut, win: w.id, off: targetOff, n: n,
-			inline: payload, dt: dt, count: count,
+			inline: payload.B, dt: dt, count: count,
 		}, true)
+		payload.Put()
 		return
 	}
 	stage, base, size, lock := c.OSCStage(c.GroupToWorld(target))
 	half := size / 2
 	p.Lock(lock)
 	defer p.Unlock(lock)
+	// One resumable cursor across the segmented transfer: each chunk
+	// continues where the last stopped instead of re-running find_position.
+	cur := pack.NewCursor(dt, count)
+	scratch := bufpool.Get(int(half))
+	defer scratch.Put()
 	var sent int64
 	for sent < n {
 		chunk := half
 		if sent+chunk > n {
 			chunk = n - sent
 		}
-		scratch := make([]byte, chunk)
-		_, st := pack.FFPack(pack.BufferSink{Buf: scratch}, buf, dt, count, sent, chunk)
+		cur.SeekTo(sent) // free: the loop is sequential
+		_, st := cur.Pack(pack.BufferSink{Buf: scratch.B}, buf, chunk)
 		w.chargeLocal(st)
-		stage.WriteStream(p, base, scratch, chunk)
+		stage.WriteStream(p, base, scratch.B[:chunk], chunk)
 		stage.Sync(p)
 		c.OSCCall(c.GroupToWorld(target), &oscReq{
 			kind: reqPut, win: w.id, off: targetOff, n: chunk,
@@ -263,6 +272,9 @@ func (w *Win) remotePutGet(buf []byte, count int, dt *datatype.Type, target int,
 	half := size / 2
 	getBase := base + half
 	interrupt := !w.isShared[target]
+	// The unpack cursor resumes across the segmented drain (mirrors
+	// emulatedPut's pack cursor).
+	cur := pack.NewCursor(dt, count)
 	var got int64
 	for got < n {
 		chunk := half
@@ -276,7 +288,8 @@ func (w *Win) remotePutGet(buf []byte, count int, dt *datatype.Type, target int,
 		// The data now sits in the local staging area; scatter it into
 		// the user buffer.
 		src := stageLocal.Bytes()[getBase : getBase+chunk]
-		_, st := pack.FFUnpack(buf, src, dt, count, got, chunk)
+		cur.SeekTo(got) // free: the loop is sequential
+		_, st := cur.Unpack(buf, src, chunk)
 		w.chargeLocal(st)
 		got += chunk
 	}
@@ -310,13 +323,14 @@ func (w *Win) Accumulate(buf []byte, count int, dt *datatype.Type, op mpi.Op, ta
 
 	if n <= w.cfg.InlineMax || target == c.Rank() {
 		sp.SetDetail("inline -> %d", target)
-		payload := make([]byte, n)
+		payload := bufpool.Get(int(n))
 		w.chargeLocalBytes(n)
-		copy(payload, buf[:n])
+		copy(payload.B, buf[:n])
 		c.OSCCall(c.GroupToWorld(target), &oscReq{
 			kind: reqAcc, win: w.id, off: targetOff, n: n,
-			inline: payload, dt: dt, count: count, op: op,
+			inline: payload.B, dt: dt, count: count, op: op,
 		}, interrupt)
+		payload.Put() // OSCCall returns after the handler's last read
 		return
 	}
 	w.stats.emulatedAccumulates.Add(1)

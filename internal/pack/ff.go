@@ -14,13 +14,21 @@ import (
 // The linearization is leaf-major: all occurrences of leaf 0, then leaf 1,
 // and so on. Sender and receiver use the same committed representation, so
 // the direction swap (pack vs. unpack) is exact.
+//
+// The iteration engine lives in Cursor (cursor.go); the one-shot entry
+// points below drive a stack-allocated cursor so a whole pack, a skip-resume
+// chunk, or a layout walk runs without heap allocations.
 
 // FFPack packs count instances of type t from the user buffer into sink,
 // starting skip bytes into the linearization and packing at most maxBytes
 // bytes (maxBytes < 0 means "to the end"). Sink offsets start at 0.
 // It returns the number of bytes packed and the block statistics.
 func FFPack(sink Sink, user []byte, t *datatype.Type, count int, skip, maxBytes int64) (int64, Stats) {
-	return ffRun(t, count, skip, maxBytes, func(userOff, linOff, n int64) {
+	budget := checkArgs(t, count, skip, maxBytes)
+	var c Cursor
+	c.init(t, count)
+	c.SeekTo(skip)
+	return c.run(budget, func(userOff, linOff, n int64) {
 		sink.Write(linOff, user[userOff:userOff+n])
 	})
 }
@@ -29,7 +37,11 @@ func FFPack(sink Sink, user []byte, t *datatype.Type, count int, skip, maxBytes 
 // src (whose byte 0 corresponds to linearization offset skip) into the
 // non-contiguous user buffer.
 func FFUnpack(user []byte, src []byte, t *datatype.Type, count int, skip, maxBytes int64) (int64, Stats) {
-	return ffRun(t, count, skip, maxBytes, func(userOff, linOff, n int64) {
+	budget := checkArgs(t, count, skip, maxBytes)
+	var c Cursor
+	c.init(t, count)
+	c.SeekTo(skip)
+	return c.run(budget, func(userOff, linOff, n int64) {
 		copy(user[userOff:userOff+n], src[linOff:linOff+n])
 	})
 }
@@ -37,11 +49,13 @@ func FFUnpack(user []byte, src []byte, t *datatype.Type, count int, skip, maxByt
 // Walk visits every contiguous block of count instances of t in leaf-major
 // order, calling fn(off, size) with user-buffer offsets. It is the layout
 // iterator used for mirrored one-sided transfers (same datatype applied at
-// origin and target).
+// origin and target). Unlike the cursor engine it never splits a block, so
+// it runs its own tight loops: fn is invoked directly (no budget clamping,
+// no second indirection) and the odometer lives on the stack.
 func Walk(t *datatype.Type, count int, fn func(off, size int64)) Stats {
 	var st Stats
 	f := t.Flat()
-	if first, ok := denseRun(t, f); ok {
+	if first, ok := denseRun(f); ok {
 		n := f.Size * int64(count)
 		if n > 0 {
 			fn(first, n)
@@ -49,28 +63,50 @@ func Walk(t *datatype.Type, count int, fn func(off, size int64)) Stats {
 		}
 		return st
 	}
-	for inst := 0; inst < count; inst++ {
-		base := int64(inst) * f.Extent
+	var idxBuf [inlineDepth]int64
+	idx := idxBuf[:]
+	if f.Depth > inlineDepth {
+		idx = make([]int64, f.Depth)
+	}
+	for inst := int64(0); inst < int64(count); inst++ {
+		base := inst * f.Extent
 		for li := range f.Leaves {
 			leaf := &f.Leaves[li]
-			idx := make([]int64, len(leaf.Stack))
-			for {
-				off := base + leaf.First
-				for j, lv := range leaf.Stack {
-					off += idx[j] * lv.Stride
-				}
-				fn(off, leaf.Size)
+			switch len(leaf.Stack) {
+			case 0:
+				fn(base+leaf.First, leaf.Size)
 				st.add(leaf.Size)
-				j := len(idx) - 1
-				for ; j >= 0; j-- {
-					idx[j]++
-					if idx[j] < leaf.Stack[j].Count {
+			case 1:
+				lv := &leaf.Stack[0]
+				off := base + leaf.First
+				for i := int64(0); i < lv.Count; i++ {
+					fn(off, leaf.Size)
+					st.add(leaf.Size)
+					off += lv.Stride
+				}
+			default:
+				stack := leaf.Stack
+				o := idx[:len(stack)]
+				for {
+					off := base + leaf.First
+					for j := range stack {
+						off += o[j] * stack[j].Stride
+					}
+					fn(off, leaf.Size)
+					st.add(leaf.Size)
+					// Odometer increment, innermost level first; wraps back
+					// to all zeros when the leaf is exhausted.
+					j := len(o) - 1
+					for ; j >= 0; j-- {
+						o[j]++
+						if o[j] < stack[j].Count {
+							break
+						}
+						o[j] = 0
+					}
+					if j < 0 {
 						break
 					}
-					idx[j] = 0
-				}
-				if j < 0 {
-					break
 				}
 			}
 		}
@@ -78,10 +114,10 @@ func Walk(t *datatype.Type, count int, fn func(off, size int64)) Stats {
 	return st
 }
 
-// denseRun reports whether count instances of t occupy one gap-free run,
-// returning the run's starting user-buffer offset. This requires a single
-// once-occurring leaf covering the whole extent.
-func denseRun(t *datatype.Type, f *datatype.Flat) (int64, bool) {
+// denseRun reports whether count instances of the flattened type occupy one
+// gap-free run, returning the run's starting user-buffer offset. This
+// requires a single once-occurring leaf covering the whole extent.
+func denseRun(f *datatype.Flat) (int64, bool) {
 	if f.Size == 0 || f.Size != f.Extent || len(f.Leaves) != 1 {
 		return 0, false
 	}
@@ -90,83 +126,4 @@ func denseRun(t *datatype.Type, f *datatype.Flat) (int64, bool) {
 		return 0, false
 	}
 	return l.First, true
-}
-
-// ffRun drives the leaf/stack iteration, invoking move for every contiguous
-// block: move(userOff, linOff, n) where linOff is relative to skip.
-func ffRun(t *datatype.Type, count int, skip, maxBytes int64, move func(userOff, linOff, n int64)) (int64, Stats) {
-	var st Stats
-	budget := checkArgs(t, count, skip, maxBytes)
-	if budget == 0 {
-		return 0, st
-	}
-	f := t.Flat()
-	size := f.Size
-	// Fast path: count instances of a dense type form one contiguous run
-	// (starting at the first leaf's displacement).
-	if first, ok := denseRun(t, f); ok {
-		move(first+skip, 0, budget)
-		st.add(budget)
-		return budget, st
-	}
-	var written int64
-
-	inst := skip / size
-	innerOff := skip - inst*size
-	for ; inst < int64(count) && written < budget; inst++ {
-		base := inst * f.Extent
-		pos := f.FindPosition(innerOff) // O(N)+O(D), the paper's find_position
-		written = ffInstance(f, base, pos, move, written, budget, &st)
-		innerOff = 0
-	}
-	return written, st
-}
-
-// ffInstance packs one type instance starting at pos, stopping at the byte
-// budget. It returns the updated written count.
-func ffInstance(f *datatype.Flat, base int64, pos datatype.Position, move func(userOff, linOff, n int64), written, budget int64, st *Stats) int64 {
-	for li := pos.LeafIndex; li < len(f.Leaves); li++ {
-		leaf := &f.Leaves[li]
-		var idx []int64
-		rem := int64(0)
-		if li == pos.LeafIndex {
-			idx = pos.Index
-			rem = pos.Rem
-		} else {
-			idx = make([]int64, len(leaf.Stack))
-		}
-		for {
-			// Address of the current occurrence: first + sum(idx*stride).
-			off := base + leaf.First
-			for j, lv := range leaf.Stack {
-				off += idx[j] * lv.Stride
-			}
-			n := leaf.Size - rem
-			if written+n > budget {
-				n = budget - written // copy the leading part of a split block
-			}
-			if n > 0 {
-				move(off+rem, written, n)
-				st.add(n)
-				written += n
-			}
-			if written >= budget {
-				return written
-			}
-			rem = 0
-			// Odometer increment, innermost level first.
-			j := len(idx) - 1
-			for ; j >= 0; j-- {
-				idx[j]++
-				if idx[j] < leaf.Stack[j].Count {
-					break
-				}
-				idx[j] = 0
-			}
-			if j < 0 {
-				break // leaf exhausted
-			}
-		}
-	}
-	return written
 }

@@ -54,7 +54,7 @@ func (c *genCursor) done() bool { return c.written >= c.limit }
 
 func (c *genCursor) run(t *datatype.Type, count int) {
 	// Fast path: dense instances form one contiguous run.
-	if first, ok := denseRun(t, t.Flat()); ok {
+	if first, ok := denseRun(t.Flat()); ok {
 		c.block(first, t.Size()*int64(count))
 		return
 	}

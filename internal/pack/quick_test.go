@@ -257,3 +257,116 @@ func TestQuickWalkCoversTypeMap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestQuickCursorChunkedEqualsFullPack is the cursor-resume property: a
+// pack split into N random-sized chunks continued by one Cursor must be
+// byte-identical to a single FFPack, for any generated derived type.
+func TestQuickCursorChunkedEqualsFullPack(t *testing.T) {
+	prop := func(s typeSpec, seed int64, chunkSeed uint16) bool {
+		ty := s.build()
+		if ty.Size() == 0 {
+			return true
+		}
+		const count = 2
+		user := userBufFor(ty, count, seed)
+		total := ty.Size() * count
+		full := make([]byte, total)
+		FFPack(BufferSink{full}, user, ty, count, 0, -1)
+		got := make([]byte, total)
+		cur := NewCursor(ty, count)
+		rng := rand.New(rand.NewSource(int64(chunkSeed)))
+		for !cur.Done() {
+			chunk := int64(rng.Intn(29) + 1)
+			off := cur.Offset()
+			n, _ := cur.Pack(offsetSink{BufferSink{got}, off}, user, chunk)
+			if n == 0 || cur.Offset() != off+n {
+				return false
+			}
+		}
+		return bytes.Equal(got, full)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCursorUnpackChunkedRoundTrip drives the receive direction: a
+// chunked cursor unpack of a full pack must land every byte.
+func TestQuickCursorUnpackChunkedRoundTrip(t *testing.T) {
+	prop := func(s typeSpec, seed int64, chunkSeed uint16) bool {
+		ty := s.build()
+		if ty.Size() == 0 {
+			return true
+		}
+		const count = 2
+		user := userBufFor(ty, count, seed)
+		total := ty.Size() * count
+		packed := make([]byte, total)
+		FFPack(BufferSink{packed}, user, ty, count, 0, -1)
+		out := make([]byte, len(user))
+		cur := NewCursor(ty, count)
+		rng := rand.New(rand.NewSource(int64(chunkSeed)))
+		for !cur.Done() {
+			chunk := int64(rng.Intn(29) + 1)
+			off := cur.Offset()
+			end := off + chunk
+			if end > total {
+				end = total
+			}
+			cur.Unpack(out, packed[off:end], chunk)
+		}
+		ref := make([]byte, len(user))
+		FFUnpack(ref, packed, ty, count, 0, -1)
+		return bytes.Equal(out, ref)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCursorSeekEqualsSkip: seeking to an arbitrary offset (the
+// O(leaves)+O(depth) find_position entry) then packing the remainder must
+// match FFPack with the same skip.
+func TestQuickCursorSeekEqualsSkip(t *testing.T) {
+	prop := func(s typeSpec, seed int64, skipSeed uint16) bool {
+		ty := s.build()
+		if ty.Size() == 0 {
+			return true
+		}
+		const count = 2
+		user := userBufFor(ty, count, seed)
+		total := ty.Size() * count
+		skip := int64(skipSeed) % total
+		want := make([]byte, total-skip)
+		FFPack(BufferSink{want}, user, ty, count, skip, -1)
+		got := make([]byte, total-skip)
+		cur := NewCursor(ty, count)
+		cur.SeekTo(skip)
+		n, _ := cur.Pack(BufferSink{got}, user, -1)
+		return n == total-skip && cur.Done() && bytes.Equal(got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWalkMatchesFFPackStats: the layout iterator and the packing
+// engine must agree on the block structure (count, bytes, min/max) of any
+// derived type.
+func TestQuickWalkMatchesFFPackStats(t *testing.T) {
+	prop := func(s typeSpec, seed int64) bool {
+		ty := s.build()
+		if ty.Size() == 0 {
+			return true
+		}
+		const count = 3
+		user := userBufFor(ty, count, seed)
+		out := make([]byte, ty.Size()*count)
+		_, ps := FFPack(BufferSink{out}, user, ty, count, 0, -1)
+		ws := Walk(ty, count, func(off, size int64) {})
+		return ws == ps
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

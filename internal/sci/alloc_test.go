@@ -1,0 +1,83 @@
+package sci
+
+import (
+	"testing"
+	"time"
+
+	"scimpich/internal/sim"
+)
+
+// TestAllocsRemoteDeliveryCapture pins the posted-write delivery pipeline at
+// zero allocations per operation: issuing a remote write captures the source
+// bytes in a pooled buffer, schedules the arrival through the engine's event
+// freelist, and lands + recycles everything in deliverArrive. Payloads stay
+// under flowThreshold so the test exercises the PIO fast path rather than the
+// flow network.
+func TestAllocsRemoteDeliveryCapture(t *testing.T) {
+	e, ic := testCluster(2)
+	seg := ic.Node(1).Export(1 << 20)
+	src := fill(1024)
+	word := fill(8)
+	drain := ic.Cfg.PIOWriteLatency + time.Microsecond
+	e.Go("writer", func(p *sim.Proc) {
+		m := ic.Node(0).MustImport(1, seg.ID())
+		cases := []struct {
+			name string
+			fn   func()
+		}{
+			// Each op sleeps past the wire latency so its delivery lands and
+			// returns the pooled buffer before the next iteration grabs one.
+			{"WriteStream", func() {
+				m.WriteStream(p, 0, src, 0)
+				p.Sleep(drain)
+			}},
+			{"WritePut-strided", func() {
+				m.WritePut(p, 0, src, 64, 128)
+				p.Sleep(drain)
+			}},
+			{"WritePut-dense", func() {
+				m.WritePut(p, 0, src, 64, 64)
+				p.Sleep(drain)
+			}},
+			{"WriteWord", func() {
+				m.WriteWord(p, 4096, word)
+				p.Sleep(drain)
+			}},
+		}
+		for _, tc := range cases {
+			// Warm the buffer pool, delivery pool and event freelist.
+			for i := 0; i < 8; i++ {
+				tc.fn()
+			}
+			if n := testing.AllocsPerRun(100, tc.fn); n != 0 {
+				t.Errorf("%s: %v allocs/op, want 0", tc.name, n)
+			}
+		}
+	})
+	e.Run()
+}
+
+// TestAllocsStoreBarrierDrained checks that a store barrier over an already
+// drained node (no posted writes in flight) does not allocate: the shared
+// barrier future is only created when there is something to wait for.
+func TestAllocsStoreBarrierDrained(t *testing.T) {
+	e, ic := testCluster(2)
+	seg := ic.Node(1).Export(4096)
+	src := fill(256)
+	drain := ic.Cfg.PIOWriteLatency + time.Microsecond
+	e.Go("writer", func(p *sim.Proc) {
+		m := ic.Node(0).MustImport(1, seg.ID())
+		fn := func() {
+			m.WriteStream(p, 0, src, 0)
+			p.Sleep(drain)
+			ic.Node(0).StoreBarrier(p)
+		}
+		for i := 0; i < 8; i++ {
+			fn()
+		}
+		if n := testing.AllocsPerRun(100, fn); n != 0 {
+			t.Errorf("write+drained barrier: %v allocs/op, want 0", n)
+		}
+	})
+	e.Run()
+}

@@ -1,6 +1,7 @@
 package sci
 
 import (
+	"scimpich/internal/bufpool"
 	"scimpich/internal/sim"
 )
 
@@ -14,7 +15,7 @@ type dmaEngine struct {
 type dmaRequest struct {
 	m    *Mapping
 	off  int64
-	data []byte
+	data *bufpool.Buf // staged source bytes; recycled when the engine is done
 	done *sim.Future
 }
 
@@ -31,11 +32,12 @@ func (d *dmaEngine) run(p *sim.Proc) {
 		start := p.Now()
 		p.Sleep(cfg.DMAStartup)
 		d.node.ic.faults.maybeRetry(p, &d.node.stats)
-		n := int64(len(req.data))
+		n := int64(len(req.data.B))
 		// Failures complete the future with the typed error instead of
 		// panicking inside the engine daemon: the submitter inspects the
 		// awaited value and runs its own recovery.
 		if err := req.m.stateErr(); err != nil {
+			req.data.Put()
 			req.done.Complete(err)
 			continue
 		}
@@ -45,16 +47,19 @@ func (d *dmaEngine) run(p *sim.Proc) {
 				d.node.ic.countFault(fe.Kind)
 				d.node.ic.tracef(d.node.name, "%v error on DMA to node %d", fe.Kind, req.m.seg.owner.id)
 				p.Sleep(cfg.RetryLatency)
+				req.data.Put()
 				req.done.Complete(fe)
 				continue
 			}
 		}
 		bw := cfg.Mem.EffectiveSourceBW(cfg.DMAPeakBW, n)
 		if err := d.node.tryTransferCost(p, req.m.seg.owner, n, bw); err != nil {
+			req.data.Put()
 			req.done.Complete(err)
 			continue
 		}
-		copy(req.m.seg.buf[req.off:], req.data)
+		copy(req.m.seg.buf[req.off:], req.data.B)
+		req.data.Put()
 		d.node.stats.dmaTransfers.Add(1)
 		d.node.stats.bytesWritten.Add(n)
 		d.node.ic.met.bytesWritten.Add(n)
@@ -90,7 +95,7 @@ func (m *Mapping) TryDMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, 
 	}
 	done := sim.NewFuture()
 	p.Sleep(2 * m.from.ic.Cfg.WriteIssueOverhead)
-	req := &dmaRequest{m: m, off: off, data: append([]byte(nil), src...), done: done}
+	req := &dmaRequest{m: m, off: off, data: bufpool.Clone(src), done: done}
 	p.Send(m.from.dma.queue, req)
 	return done, nil
 }

@@ -2,9 +2,11 @@ package sci
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"scimpich/internal/bufpool"
 	"scimpich/internal/fault"
 	"scimpich/internal/flow"
 	"scimpich/internal/obs"
@@ -121,9 +123,13 @@ type Node struct {
 	segs    map[int]*Segment
 	nextSeg int
 
-	// pending holds delivery futures of posted writes that have not yet
-	// arrived at their targets; StoreBarrier waits for them.
-	pending map[*sim.Future]struct{}
+	// pendingWrites counts posted writes that have not yet arrived at
+	// their targets; StoreBarrier waits on the shared barrier future,
+	// completed when the count drains to zero. A counter plus one future
+	// replaces the old per-write future map: posting a write is then
+	// allocation-free (the deliveries themselves are pooled).
+	pendingWrites int
+	barrier       *sim.Future
 
 	dma *dmaEngine
 
@@ -171,7 +177,6 @@ func New(e *sim.Engine, cfg Config) *Interconnect {
 			egress:  flow.NewLink(fmt.Sprintf("node%d-egress", i), cfg.PIOWritePeakBW, nil),
 			ingress: flow.NewLink(fmt.Sprintf("node%d-ingress", i), cfg.PIOWritePeakBW, nil),
 			segs:    make(map[int]*Segment),
-			pending: make(map[*sim.Future]struct{}),
 		}
 		n.dma = newDMAEngine(n)
 		ic.nodes[i] = n
@@ -254,19 +259,53 @@ func (n *Node) path(owner *Node) []flow.Hop {
 	return hops
 }
 
-// trackDelivery registers a posted-write delivery future on the node and
-// schedules its completion after the wire latency. onArrive (optional) runs
-// at arrival time, before barrier waiters are released.
-func (n *Node) trackDelivery(onArrive func()) {
-	fut := sim.NewFuture()
-	n.pending[fut] = struct{}{}
-	n.ic.E.After(n.ic.Cfg.PIOWriteLatency, func() {
-		if onArrive != nil {
-			onArrive()
+// delivery is one posted write in flight: the captured source bytes (a
+// pooled buffer, nil for cost-only flushes) and where to land them. The
+// structs themselves are pooled; arrival recycles both struct and buffer.
+type delivery struct {
+	node   *Node
+	seg    *Segment
+	off    int64
+	buf    *bufpool.Buf
+	access int64 // 0: contiguous copy; >0: scatter access size
+	stride int64
+}
+
+var deliveryPool = sync.Pool{New: func() any { return new(delivery) }}
+
+// deliverArrive lands one posted write at its target. It is a top-level
+// function scheduled through AfterCall so posting a write allocates
+// neither a closure nor an event.
+func deliverArrive(a any) {
+	d := a.(*delivery)
+	n := d.node
+	if d.buf != nil {
+		if d.access > 0 {
+			scatter(d.seg.buf[d.off:], d.buf.B, d.access, d.stride)
+		} else {
+			copy(d.seg.buf[d.off:], d.buf.B)
 		}
-		delete(n.pending, fut)
-		fut.Complete(nil)
-	})
+		d.buf.Put()
+	}
+	n.pendingWrites--
+	if n.pendingWrites == 0 && n.barrier != nil {
+		f := n.barrier
+		n.barrier = nil
+		f.Complete(nil)
+	}
+	*d = delivery{}
+	deliveryPool.Put(d)
+}
+
+// postDelivery registers a posted write on the node and schedules its
+// arrival one wire latency out. buf ownership transfers to the delivery
+// (recycled on arrival); a nil buf tracks a write whose bytes were already
+// deposited (BlockWriter) and only needs barrier accounting.
+func (n *Node) postDelivery(seg *Segment, off int64, buf *bufpool.Buf, access, stride int64) {
+	d := deliveryPool.Get().(*delivery)
+	d.node, d.seg, d.off, d.buf, d.access, d.stride = n, seg, off, buf, access, stride
+	n.pendingWrites++
+	n.ic.E.AfterCall(n.ic.Cfg.PIOWriteLatency, deliverArrive, d)
 }
 
 // StoreBarrier blocks until every posted write issued by this node has
@@ -276,13 +315,11 @@ func (n *Node) StoreBarrier(p *sim.Proc) {
 	n.stats.storeBarriers.Add(1)
 	start := p.Now()
 	p.Sleep(n.ic.Cfg.StoreBarrierLatency)
-	for len(n.pending) > 0 {
-		var f *sim.Future
-		for fut := range n.pending {
-			f = fut
-			break
+	for n.pendingWrites > 0 {
+		if n.barrier == nil {
+			n.barrier = sim.NewFuture()
 		}
-		p.Await(f)
+		p.Await(n.barrier)
 	}
 	n.ic.met.barrierNS.ObserveDuration(p.Now() - start)
 }

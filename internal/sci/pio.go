@@ -3,6 +3,7 @@ package sci
 import (
 	"time"
 
+	"scimpich/internal/bufpool"
 	"scimpich/internal/fault"
 	"scimpich/internal/sim"
 )
@@ -90,9 +91,7 @@ func (m *Mapping) TryWriteStream(p *sim.Proc, off int64, src []byte, srcWorkingS
 	if err := from.tryTransferCost(p, m.seg.owner, n, bw); err != nil {
 		return err
 	}
-	data := append([]byte(nil), src...)
-	seg, o := m.seg, off
-	from.trackDelivery(func() { copy(seg.buf[o:], data) })
+	from.postDelivery(m.seg, off, bufpool.Clone(src), 0, 0)
 	from.ic.met.writeStreamNS.ObserveDuration(p.Now() - start)
 	return nil
 }
@@ -125,11 +124,17 @@ func (m *Mapping) WriteStrided(p *sim.Proc, off int64, src []byte, accessSize, s
 		scatter(m.seg.buf[off:], src, accessSize, stride)
 		return
 	}
-	bw := cfg.StridedWriteBW(accessSize, stride)
+	var bw float64
+	if stride == accessSize {
+		// Dense run: consecutive accesses form one contiguous stream, so
+		// the stream-buffer gather model applies, not the strided
+		// write-combine penalty.
+		bw = cfg.StreamWriteBW(n)
+	} else {
+		bw = cfg.StridedWriteBW(accessSize, stride)
+	}
 	from.transferCost(p, m.seg.owner, n, bw)
-	data := append([]byte(nil), src...)
-	seg, o, as, st := m.seg, off, accessSize, stride
-	from.trackDelivery(func() { scatter(seg.buf[o:], data, as, st) })
+	from.postDelivery(m.seg, off, bufpool.Clone(src), accessSize, stride)
 }
 
 // WritePut is the MPI put path: a strided write whose sustained rate is
@@ -174,16 +179,21 @@ func (m *Mapping) TryWritePut(p *sim.Proc, off int64, src []byte, accessSize, st
 	if err := m.drawPIOFault(p); err != nil {
 		return err
 	}
-	bw := cfg.StridedWriteBW(accessSize, stride)
+	var bw float64
+	if stride == accessSize {
+		// Dense put: contiguous ascending stores, priced by the stream
+		// model (see WriteStrided).
+		bw = cfg.StreamWriteBW(n)
+	} else {
+		bw = cfg.StridedWriteBW(accessSize, stride)
+	}
 	if bw > cfg.SustainedPutBW {
 		bw = cfg.SustainedPutBW
 	}
 	if err := from.tryTransferCost(p, m.seg.owner, n, bw); err != nil {
 		return err
 	}
-	data := append([]byte(nil), src...)
-	seg, o, as, st := m.seg, off, accessSize, stride
-	from.trackDelivery(func() { scatter(seg.buf[o:], data, as, st) })
+	from.postDelivery(m.seg, off, bufpool.Clone(src), accessSize, stride)
 	from.ic.met.putNS.ObserveDuration(p.Now() - start)
 	return nil
 }
@@ -198,13 +208,11 @@ func (m *Mapping) WriteWord(p *sim.Proc, off int64, src []byte) {
 	from.stats.writeOps.Add(1)
 	from.stats.bytesWritten.Add(n)
 	p.Sleep(from.ic.Cfg.WriteIssueOverhead)
-	data := append([]byte(nil), src...)
-	seg, o := m.seg, off
 	if !m.Remote() {
-		copy(seg.buf[o:], data)
+		copy(m.seg.buf[off:], src)
 		return
 	}
-	from.trackDelivery(func() { copy(seg.buf[o:], data) })
+	from.postDelivery(m.seg, off, bufpool.Clone(src), 0, 0)
 }
 
 // Read performs a transparent remote read into dst. The CPU stalls until
@@ -403,11 +411,18 @@ func (w *BlockWriter) TryFlush() error {
 	if err := w.m.drawPIOFault(w.p); err != nil {
 		return err
 	}
-	eff := float64(w.bytes) / w.cost.Seconds()
+	cost := w.cost
+	if cost <= 0 {
+		// WriteIssueOverhead 0 plus sub-nanosecond stream costs can round
+		// the batch cost to zero; charge a minimal cost instead of deriving
+		// an infinite bandwidth below.
+		cost = time.Nanosecond
+	}
+	eff := float64(w.bytes) / cost.Seconds()
 	if err := from.tryTransferCost(w.p, w.m.seg.owner, w.bytes, eff); err != nil {
 		return err
 	}
-	from.trackDelivery(nil)
+	from.postDelivery(w.m.seg, 0, nil, 0, 0)
 	from.ic.met.blockFlushNS.ObserveDuration(w.p.Now() - start)
 	return nil
 }

@@ -26,6 +26,7 @@ type Engine struct {
 	now    time.Duration
 	seq    uint64
 	queue  eventHeap
+	free   []*event // recycled events (hot paths schedule without allocating)
 	yield  chan struct{} // procs signal the engine here when they block
 	cur    *Proc
 	nprocs int // procs spawned and not yet finished
@@ -52,46 +53,85 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are recycled through the engine's
+// freelist; gen distinguishes a live incarnation from a recycled one so a
+// stale Timer cannot cancel an unrelated later event.
 type event struct {
 	at       time.Duration
 	seq      uint64
 	fn       func()
+	fnArg    func(any) // set (with arg) instead of fn by AtCall/AfterCall
+	arg      any
 	index    int
 	canceled bool
+	gen      uint64
 }
 
-// Timer is a handle to a scheduled event that can be canceled.
+// Timer is a handle to a scheduled event that can be canceled. It is a
+// small value; the zero Timer is valid and Cancel on it is a no-op.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancel prevents the timer's callback from running. Canceling an
 // already-fired or already-canceled timer is a no-op.
-func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
+func (t Timer) Cancel() {
+	if t.ev != nil && t.ev.gen == t.gen {
 		t.ev.canceled = true
 	}
 }
 
-// At schedules fn to run at virtual time t. Scheduling in the past (t before
-// Now) panics: it would corrupt causality.
-func (e *Engine) At(t time.Duration, fn func()) *Timer {
+// schedule grabs an event (from the freelist when possible) and queues it.
+func (e *Engine) schedule(t time.Duration, fn func(), fnArg func(any), arg any) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	ev.at, ev.seq, ev.fn, ev.fnArg, ev.arg, ev.canceled = t, e.seq, fn, fnArg, arg, false
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// recycle invalidates outstanding Timers for ev and returns it to the
+// freelist.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.fnArg, ev.arg = nil, nil, nil
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past (t before
+// Now) panics: it would corrupt causality.
+func (e *Engine) At(t time.Duration, fn func()) Timer {
+	return e.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d from now. Negative d is clamped to zero.
-func (e *Engine) After(d time.Duration, fn func()) *Timer {
+func (e *Engine) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return e.At(e.now+d, fn)
+	return e.schedule(e.now+d, fn, nil, nil)
+}
+
+// AfterCall schedules fn(arg) to run d from now. It exists for hot paths:
+// passing the argument explicitly instead of closing over it lets callers
+// schedule with a shared top-level function and avoid a closure allocation
+// per event. Negative d is clamped to zero.
+func (e *Engine) AfterCall(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.schedule(e.now+d, nil, fn, arg)
 }
 
 // Stop makes Run return after the currently dispatched event completes.
@@ -104,10 +144,19 @@ func (e *Engine) Run() time.Duration {
 	for e.queue.Len() > 0 && !e.stopped {
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
-		ev.fn()
+		// Detach the callback and recycle before invoking it: the callback
+		// may schedule new events, which can then reuse this slot.
+		fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
+		e.recycle(ev)
+		if fnArg != nil {
+			fnArg(arg)
+		} else {
+			fn()
+		}
 	}
 	if !e.stopped && e.nprocs > 0 {
 		panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked at %v with no pending events", e.nprocs, e.now))

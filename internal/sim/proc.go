@@ -21,6 +21,9 @@ type Proc struct {
 	// expected to stay blocked forever once the workload has drained
 	// (device handlers, DMA engines).
 	daemon bool
+	// dispatchFn is the cached self-dispatch closure, created once at spawn
+	// so Sleep and wake schedule without allocating.
+	dispatchFn func()
 }
 
 // Engine returns the engine this process belongs to.
@@ -48,6 +51,7 @@ func (e *Engine) GoDaemon(name string, body func(p *Proc)) *Proc {
 
 func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
 	p := &Proc{e: e, name: name, resume: make(chan struct{}), daemon: daemon}
+	p.dispatchFn = func() { e.dispatch(p) }
 	if !daemon {
 		e.nprocs++
 	}
@@ -66,7 +70,7 @@ func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
 		}()
 		body(p)
 	}()
-	e.After(0, func() { e.dispatch(p) })
+	e.After(0, p.dispatchFn)
 	return p
 }
 
@@ -94,7 +98,7 @@ func (p *Proc) yieldToEngine() {
 // zero; Sleep(0) still yields, letting same-time events run.
 func (p *Proc) Sleep(d time.Duration) {
 	p.checkCurrent("Sleep")
-	p.e.After(d, func() { p.e.dispatch(p) })
+	p.e.After(d, p.dispatchFn)
 	p.yieldToEngine()
 }
 
@@ -114,7 +118,7 @@ func (p *Proc) wake() {
 		panic(fmt.Sprintf("sim: wake of non-parked process %q", p.name))
 	}
 	p.parked = false
-	p.e.After(0, func() { p.e.dispatch(p) })
+	p.e.After(0, p.dispatchFn)
 }
 
 func (p *Proc) checkCurrent(op string) {
