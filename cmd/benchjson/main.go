@@ -1,7 +1,7 @@
 // Command benchjson runs the hot-path microbenchmark suites (direct_pack_ff
-// engine and PIO delivery pipeline) and writes BENCH_pack.json and
-// BENCH_pio.json — the regression-gate artifacts archived by CI. See
-// docs/PERFORMANCE.md.
+// engine and PIO delivery pipeline) plus the virtual-time DMA path-selection
+// matrix, and writes BENCH_pack.json, BENCH_pio.json and BENCH_dma.json —
+// the regression-gate artifacts archived by CI. See docs/PERFORMANCE.md.
 package main
 
 import (
@@ -35,4 +35,16 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
+
+	// The DMA path-selection matrix runs in virtual time (forced deposit
+	// engines vs the adaptive chooser per block size) and has its own
+	// result schema.
+	dma := bench.RunDMAPathBench(bench.DMAPathBlockSizes())
+	fmt.Print(bench.FormatDMAPath(dma))
+	path := filepath.Join(*dir, "BENCH_dma.json")
+	if err := bench.WriteDMAJSON(path, dma); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

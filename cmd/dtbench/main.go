@@ -25,10 +25,10 @@ func main() {
 	results := bench.RunDTBench()
 	fmt.Println("# Derived-datatype suite (cf. paper ref [24]), 2 nodes via SCI")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "pattern\tbytes\tgeneric MiB/s\tff MiB/s\tcontig MiB/s\tgeneric eff\tff eff")
+	fmt.Fprintln(w, "pattern\tbytes\tgeneric MiB/s\tff MiB/s\tadaptive MiB/s\tcontig MiB/s\tgeneric eff\tff eff\tadaptive eff\tchosen")
 	for _, r := range results {
-		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\n",
-			r.Name, r.Bytes, r.GenericBW, r.FFBW, r.ContigBW, r.GenericEff, r.FFEff)
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\t%s\n",
+			r.Name, r.Bytes, r.GenericBW, r.FFBW, r.AdaptiveBW, r.ContigBW, r.GenericEff, r.FFEff, r.AdaptiveEff, r.Chosen)
 	}
 	w.Flush()
 }

@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// The BENCH_dma.json claims, pinned as tests: descriptor-list DMA beats the
+// generic pack-and-stream pipeline once blocks average >= 64 B, and the
+// adaptive chooser lands on (or within a few percent of) the measured-best
+// deposit engine in every size class.
+func TestDMAPathSelectionClaims(t *testing.T) {
+	results := RunDMAPathBench(DMAPathBlockSizes())
+	for _, r := range results {
+		if r.BlockSize >= 64 && r.DMASG <= r.Generic {
+			t.Errorf("at %d B blocks: dma-sg %.1f MiB/s does not beat generic %.1f",
+				r.BlockSize, r.DMASG, r.Generic)
+		}
+		if r.Adaptive < 0.9*r.Best {
+			t.Errorf("at %d B blocks: adaptive %.1f MiB/s below 0.9x best forced path %.1f (%s)",
+				r.BlockSize, r.Adaptive, r.Best, r.BestPath)
+		}
+		// Where one engine clearly dominates, the chooser must name it;
+		// near-ties may legitimately go either way.
+		second := 0.0
+		for _, bw := range []float64{r.PIOFF, r.Staged, r.DMASG} {
+			if bw < r.Best && bw > second {
+				second = bw
+			}
+		}
+		if r.Best > 1.05*second && r.Chosen != r.BestPath {
+			t.Errorf("at %d B blocks: adaptive chose %s, measured best is clearly %s (%.1f vs %.1f MiB/s)",
+				r.BlockSize, r.Chosen, r.BestPath, r.Best, second)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"scimpich/internal/datatype"
 	"scimpich/internal/mpi"
+	"scimpich/internal/obs"
 )
 
 // A derived-datatype benchmark suite in the spirit of the paper's reference
@@ -89,6 +90,11 @@ type DTResult struct {
 	ContigBW   float64
 	GenericEff float64 // relative to contiguous
 	FFEff      float64
+	// AdaptiveBW is the bandwidth under the adaptive path chooser, and
+	// Chosen the deposit engine it settled on for the pattern.
+	AdaptiveBW  float64
+	AdaptiveEff float64
+	Chosen      string
 }
 
 // RunDTBench executes the suite between two nodes.
@@ -99,23 +105,46 @@ func RunDTBench() []DTResult {
 		ty, count := pat.Build()
 		gen := dtRun(ty, count, false)
 		ff := dtRun(ty, count, true)
+		ad, chosen := dtRunAdaptive(ty, count)
 		out = append(out, DTResult{
-			Name:       pat.Name,
-			Bytes:      ty.Size() * int64(count),
-			GenericBW:  gen,
-			FFBW:       ff,
-			ContigBW:   contig,
-			GenericEff: gen / contig,
-			FFEff:      ff / contig,
+			Name:        pat.Name,
+			Bytes:       ty.Size() * int64(count),
+			GenericBW:   gen,
+			FFBW:        ff,
+			ContigBW:    contig,
+			GenericEff:  gen / contig,
+			FFEff:       ff / contig,
+			AdaptiveBW:  ad,
+			AdaptiveEff: ad / contig,
+			Chosen:      chosen,
 		})
 	}
 	return out
 }
 
-// dtRun measures one pattern's transfer bandwidth.
+// dtRun measures one pattern's transfer bandwidth with the static engines
+// (the suite's generic-vs-ff ablation is about the engines themselves).
 func dtRun(ty *datatype.Type, count int, useFF bool) float64 {
 	cfg := instrument(mpi.DefaultConfig(2, 1))
 	cfg.Protocol.UseFF = useFF
+	cfg.Protocol.Path = mpi.PathStatic
+	return dtRunCfg(cfg, ty, count)
+}
+
+// dtRunAdaptive measures the pattern under the adaptive chooser and reports
+// the deposit engine it picked for the majority of chunks.
+func dtRunAdaptive(ty *datatype.Type, count int) (float64, string) {
+	cfg := instrument(mpi.DefaultConfig(2, 1))
+	cfg.Protocol.UseFF = true
+	cfg.Protocol.Path = mpi.PathAdaptive
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	bw := dtRunCfg(cfg, ty, count)
+	return bw, dominantPath(reg)
+}
+
+// dtRunCfg runs the pattern's ping stream on the given configuration.
+func dtRunCfg(cfg mpi.Config, ty *datatype.Type, count int) float64 {
 	span := ty.Extent()*int64(count-1) + ty.UB() + 64
 	src := make([]byte, span)
 	dst := make([]byte, span)

@@ -67,6 +67,17 @@ func noncontigBW(nodes, procs int, bs int64, useFF bool) float64 {
 // configuration (used by the UltraSparc II reproduction).
 func noncontigBWWith(cfg mpi.Config, bs int64, useFF bool) float64 {
 	cfg.Protocol.UseFF = useFF
+	// This is an engine ablation reproducing figure 7: pin the legacy
+	// static paths so UseFF measures direct_pack_ff itself, not whatever
+	// the adaptive chooser prefers at this block size.
+	cfg.Protocol.Path = mpi.PathStatic
+	return noncontigRun(cfg, bs)
+}
+
+// noncontigRun measures the strided-vector workload with the protocol
+// configuration exactly as given (the DMA path-selection suite pins its own
+// deposit policy).
+func noncontigRun(cfg mpi.Config, bs int64) float64 {
 	ty, _ := vectorType(bs)
 	span := ty.Extent()
 	src := make([]byte, span+64)
@@ -168,6 +179,7 @@ func RunNoncontig2D(blockSizes []int64) []Noncontig2DResult {
 func noncontig2DBW(bs int64, useFF bool) float64 {
 	cfg := instrument(mpi.DefaultConfig(2, 1))
 	cfg.Protocol.UseFF = useFF
+	cfg.Protocol.Path = mpi.PathStatic // engine ablation, as in noncontigBWWith
 	ty := doubleStridedType(bs)
 	src := make([]byte, ty.Extent()+64)
 	dst := make([]byte, ty.Extent()+64)

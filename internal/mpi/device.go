@@ -56,6 +56,9 @@ type DeviceStats struct {
 	SendRetries int64
 	// SendTimeouts counts expired rendezvous control-traffic watchdogs.
 	SendTimeouts int64
+	// RdvCancels counts rendezvous transfers torn down on the receive side
+	// after the sender abandoned them (envRdvCancel).
+	RdvCancels int64
 }
 
 // devStats is the live counter set behind DeviceStats. Counters are
@@ -71,6 +74,7 @@ type devStats struct {
 	duplicates   atomic.Int64
 	sendRetries  atomic.Int64
 	sendTimeouts atomic.Int64
+	rdvCancels   atomic.Int64
 }
 
 func (s *devStats) snapshot() DeviceStats {
@@ -84,6 +88,7 @@ func (s *devStats) snapshot() DeviceStats {
 		Duplicates:   s.duplicates.Load(),
 		SendRetries:  s.sendRetries.Load(),
 		SendTimeouts: s.sendTimeouts.Load(),
+		RdvCancels:   s.rdvCancels.Load(),
 	}
 }
 
@@ -137,6 +142,8 @@ func (d *device) run(p *sim.Proc) {
 			d.handleIncoming(p, env)
 		case envRdvData:
 			d.handleRdvData(p, env)
+		case envRdvCancel:
+			d.handleRdvCancel(p, env)
 		case envRdvCTS, envRdvAck:
 			// Sender-side control: forward to the waiting send operation.
 			sim.Post(env.reply, env)
@@ -421,6 +428,25 @@ func (d *device) handleRdvData(p *sim.Proc, env *envelope) {
 		delete(d.rdv, env.reqID)
 		st.req.done.Complete(&Status{Source: st.env.src, Tag: st.env.tag, Bytes: st.env.bytes})
 	}
+}
+
+// handleRdvCancel tears down an abandoned rendezvous: the sender gave up
+// after a permanent deposit failure, so the transfer state is freed and
+// the posted receive fails with a typed *CancelledError instead of waiting
+// for the watchdog. Cancels for unknown requests (already completed, or a
+// request packet that never arrived) are ignored.
+func (d *device) handleRdvCancel(p *sim.Proc, env *envelope) {
+	st, ok := d.rdv[env.reqID]
+	if !ok {
+		d.rk.w.cfg.Tracer.Record(p.Now(), d.actor, "fault",
+			"ignoring cancel for unknown rendezvous %d from %d", env.reqID, env.src)
+		return
+	}
+	delete(d.rdv, env.reqID)
+	d.stats.rdvCancels.Add(1)
+	d.rk.w.cfg.Tracer.Record(p.Now(), d.actor, "fault",
+		"rendezvous %d cancelled by %d after %d bytes", env.reqID, env.src, st.received)
+	st.req.done.Complete(&CancelledError{Sender: env.src, ReqID: env.reqID})
 }
 
 // chargeBlocks bills the local block-copy work of an unpack operation.

@@ -24,6 +24,11 @@ const (
 	envRdvData
 	// envRdvAck confirms a chunk has been drained (slot reusable).
 	envRdvAck
+	// envRdvCancel aborts an in-flight rendezvous after the sender gives
+	// up (permanent deposit failure): the receiver frees its rendezvous
+	// state and fails the posted receive instead of waiting for the
+	// watchdog.
+	envRdvCancel
 	// envLocalPost is a local posting from the rank's own process to its
 	// device (posted receive); it never crosses the wire.
 	envLocalPost
@@ -52,6 +57,8 @@ func (k envKind) String() string {
 		return "rdv-data"
 	case envRdvAck:
 		return "rdv-ack"
+	case envRdvCancel:
+		return "rdv-cancel"
 	case envLocalPost:
 		return "local-post"
 	case envOSC:

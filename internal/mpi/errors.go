@@ -1,0 +1,29 @@
+package mpi
+
+import "fmt"
+
+// ProtocolError reports an out-of-protocol control packet: the sender
+// waited for one control kind and received another (e.g. an injected
+// duplicate CTS where a chunk ack was due). It degrades the operation
+// instead of crashing the rank.
+type ProtocolError struct {
+	Want, Got string // envelope kinds
+	From, To  int    // the pair, sender first
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("mpi: protocol error on pair %d->%d: expected %s, got %s",
+		e.From, e.To, e.Want, e.Got)
+}
+
+// CancelledError completes a posted receive whose rendezvous the sender
+// cancelled after a permanent deposit failure (envRdvCancel). The
+// sender's own Send call returns the underlying transfer error.
+type CancelledError struct {
+	Sender int
+	ReqID  int64
+}
+
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("mpi: rendezvous %d cancelled by sender %d", e.ReqID, e.Sender)
+}

@@ -269,6 +269,49 @@ func TestRendezvousTimeoutWithoutReceiver(t *testing.T) {
 	}
 }
 
+// TestCancelledRendezvousTearsDownReceiver: a permanent chunk-deposit
+// failure (every data write faulted, retry budget exhausted) must surface a
+// typed error at the sender, tear down the receiver's transfer state via
+// the cancel packet, and fail the posted receive with a *CancelledError —
+// no leaked rendezvous state, no hang, no panic.
+func TestCancelledRendezvousTearsDownReceiver(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.SCI.Fault = fault.New(13).WithWriteErrors(1).WithDMAErrors(1)
+	cfg.SCI.RetryLatency = 10 * time.Microsecond
+	cfg.Protocol.SendRetryMax = 2
+	cfg.Protocol.SendBackoff = 10 * time.Microsecond
+	payload := fill(256 << 10) // rendezvous-sized
+	var w *World
+	var sendErr, recvErr error
+	Run(cfg, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			w = c.World()
+			sendErr = c.SendChecked(payload, len(payload), datatype.Byte, 1, 0)
+		case 1:
+			dst := make([]byte, len(payload))
+			_, recvErr = c.RecvChecked(dst, len(dst), datatype.Byte, 0, 0, 10*time.Millisecond)
+		}
+	})
+	var fe *fault.Error
+	if !errors.As(sendErr, &fe) {
+		t.Fatalf("send error = %v, want *fault.Error after exhausted retries", sendErr)
+	}
+	var cancelled *CancelledError
+	if !errors.As(recvErr, &cancelled) {
+		t.Fatalf("recv error = %v, want *CancelledError", recvErr)
+	}
+	if cancelled.Sender != 0 {
+		t.Errorf("cancellation names sender %d, want 0", cancelled.Sender)
+	}
+	if got := w.Stats(1).RdvCancels; got == 0 {
+		t.Error("receiver recorded no rendezvous cancellations")
+	}
+	if n := len(w.ranks[1].dev.rdv); n != 0 {
+		t.Errorf("receiver leaked %d rendezvous transfer states after cancel", n)
+	}
+}
+
 func TestDMAPathDeliversData(t *testing.T) {
 	cfg := DefaultConfig(2, 1)
 	cfg.Protocol.DMAMin = 32 << 10

@@ -36,6 +36,7 @@ func (c *Comm) SetOSCHandler(h func(p *sim.Proc, src int, req any) any) {
 // passive-target case).
 func (c *Comm) OSCCall(target int, req any, interrupt bool) any {
 	reply := sim.NewChan(1)
+	c.countOSCDelivery(interrupt)
 	c.w.ring(c.p, c.rk.id, target, &envelope{
 		kind: envOSC, src: c.rk.id, dst: target,
 		osc: req, reply: reply,
@@ -53,6 +54,7 @@ func (c *Comm) OSCCallTimeout(target int, req any, interrupt bool, timeout time.
 		return c.OSCCall(target, req, interrupt), true
 	}
 	reply := sim.NewChan(1)
+	c.countOSCDelivery(interrupt)
 	c.w.ring(c.p, c.rk.id, target, &envelope{
 		kind: envOSC, src: c.rk.id, dst: target,
 		osc: req, reply: reply,
@@ -67,10 +69,23 @@ func (c *Comm) OSCCallTimeout(target int, req any, interrupt bool, timeout time.
 
 // OSCNotify invokes the remote handler without waiting for a reply.
 func (c *Comm) OSCNotify(target int, req any, interrupt bool) {
+	c.countOSCDelivery(interrupt)
 	c.w.ring(c.p, c.rk.id, target, &envelope{
 		kind: envOSC, src: c.rk.id, dst: target,
 		osc: req, reply: nil,
 	}, interrupt)
+}
+
+// countOSCDelivery records which delivery path a one-sided request used
+// (mpi.osc.calls{delivery=interrupt|poll}): interrupt delivery is required
+// whenever the target may not be polling — including shared-window targets
+// whose direct view has degraded mid-epoch.
+func (c *Comm) countOSCDelivery(interrupt bool) {
+	if interrupt {
+		c.w.met.oscCallsInterrupt.Inc()
+		return
+	}
+	c.w.met.oscCallsPoll.Inc()
 }
 
 // OSCStage returns the calling rank's sender-side view of the one-sided

@@ -281,11 +281,49 @@ func (c *Comm) recvCtl(reply *sim.Chan, dst int) (*envelope, error) {
 	return v.(*envelope), nil
 }
 
+// expectCtl waits for a rendezvous control packet of the given kind from
+// dst. A stray CTS while an ack is due (an injected retransmission racing
+// the data chunks) is counted and skipped; any other unexpected kind
+// surfaces as a *ProtocolError so the operation degrades instead of
+// crashing the rank.
+func (c *Comm) expectCtl(reply *sim.Chan, dst int, want envKind) (*envelope, error) {
+	for {
+		env, err := c.recvCtl(reply, dst)
+		if err != nil {
+			return nil, err
+		}
+		if env.kind == want {
+			return env, nil
+		}
+		if want == envRdvAck && env.kind == envRdvCTS {
+			c.rk.dev.stats.duplicates.Add(1)
+			c.rk.w.cfg.Tracer.Record(c.p.Now(), c.rk.actor, "fault",
+				"ignoring stray %v from %d while waiting for %v", env.kind, dst, want)
+			continue
+		}
+		return nil, &ProtocolError{Want: want.String(), Got: env.kind.String(), From: c.rk.id, To: dst}
+	}
+}
+
+// cancelRendezvous tells the receiver (best-effort) that the sender has
+// abandoned an in-flight rendezvous, so it frees its transfer state and
+// fails the posted receive instead of waiting for the watchdog. Delivered
+// with an interrupt: a rank stuck in the broken transfer is not polling.
+func (c *Comm) cancelRendezvous(dst int, reqID int64) {
+	w := c.rk.w
+	w.cfg.Tracer.Record(c.p.Now(), c.rk.actor, "fault",
+		"cancelling rendezvous %d to %d", reqID, dst)
+	w.ring(c.p, c.rk.id, dst, &envelope{
+		kind: envRdvCancel, src: c.rk.id, dst: dst, reqID: reqID,
+	}, true)
+}
+
 // sendRendezvous performs the handshaked large-message transfer, packing
 // each chunk directly into the receiver's rendezvous buffer (direct_pack_ff
 // when both sides agree) or through the generic pipeline. Chunk deposits
 // retry transient injected faults with backoff; control-packet waits are
-// bounded by the rendezvous watchdog.
+// bounded by the rendezvous watchdog. Once the request has been announced,
+// every error return also cancels the receiver's transfer state.
 func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int, bytes int64) error {
 	w := c.rk.w
 	proto := w.protocol()
@@ -308,19 +346,19 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 		kind: envRdvReq, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
 		bytes: bytes, reqID: reqID, fingerprt: fp, reply: reply, sig: sendSig(dt),
 	}, false)
-	cts, err := c.recvCtl(reply, dst)
+	cts, err := c.expectCtl(reply, dst, envRdvCTS)
 	if err != nil {
+		c.cancelRendezvous(dst, reqID)
 		return err
-	}
-	if cts.kind != envRdvCTS {
-		panic(fmt.Sprintf("mpi: expected CTS, got %v", cts.kind))
 	}
 	mode := rdvMode(cts.chunk)
 
 	// A resumable cursor carries find_position state across chunks: the
 	// sequential continuation at each chunk boundary is O(1), and a retried
-	// deposit rewinds with one Seek instead of a per-chunk restart.
+	// deposit rewinds with one Seek instead of a per-chunk restart. The
+	// descriptor slice is reused across chunks by the DMA-SG path.
 	var cur *pack.Cursor
+	var descs []pack.Descriptor
 	if mode == rdvFF && !dt.Contiguous() {
 		cur = pack.NewCursor(dt, count)
 	}
@@ -331,12 +369,9 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 	for chunk := 0; chunk < nChunks; chunk++ {
 		// Double-buffered slots: wait for the ack freeing slot chunk-2.
 		for chunk-acked >= 2 {
-			ack, err := c.recvCtl(reply, dst)
-			if err != nil {
+			if _, err := c.expectCtl(reply, dst, envRdvAck); err != nil {
+				c.cancelRendezvous(dst, reqID)
 				return err
-			}
-			if ack.kind != envRdvAck {
-				panic(fmt.Sprintf("mpi: expected chunk ack, got %v", ack.kind))
 			}
 			acked++
 		}
@@ -350,12 +385,13 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 			if err := c.peerLost(dst); err != nil {
 				return err
 			}
-			if err := c.packChunkInto(out.mem, off, buf, count, dt, cur, skip, n, mode); err != nil {
+			if err := c.packChunkInto(out, off, buf, count, dt, cur, &descs, skip, n, mode); err != nil {
 				return err
 			}
 			return out.mem.TrySync(p) // store barrier: data complete before the flag
 		})
 		if err != nil {
+			c.cancelRendezvous(dst, reqID)
 			return err
 		}
 		w.ring(p, c.rk.id, dst, &envelope{
@@ -364,12 +400,9 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 		}, false)
 	}
 	for acked < nChunks {
-		ack, err := c.recvCtl(reply, dst)
-		if err != nil {
+		if _, err := c.expectCtl(reply, dst, envRdvAck); err != nil {
+			c.cancelRendezvous(dst, reqID)
 			return err
-		}
-		if ack.kind != envRdvAck {
-			panic(fmt.Sprintf("mpi: expected chunk ack, got %v", ack.kind))
 		}
 		acked++
 	}
@@ -379,43 +412,86 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 // packChunkInto moves one rendezvous chunk into the receiver's buffer,
 // surfacing injected transfer faults for the caller to retry. cur is the
 // transfer's resumable pack cursor (nil outside the ff mode); Seek makes a
-// retried chunk rewind to its start.
-func (c *Comm) packChunkInto(mem smi.Mem, off int64, buf []byte, count int, dt *datatype.Type, cur *pack.Cursor, skip, n int64, mode rdvMode) error {
+// retried chunk rewind to its start. descs is the transfer's reusable
+// descriptor slice (DMA-SG path).
+func (c *Comm) packChunkInto(out *sendPort, off int64, buf []byte, count int, dt *datatype.Type, cur *pack.Cursor, descs *[]pack.Descriptor, skip, n int64, mode rdvMode) error {
 	w := c.rk.w
-	tr := w.cfg.Tracer
+	mem := out.mem
+	proto := w.protocol()
 	switch {
 	case dt.Contiguous():
-		if min := w.protocol().DMAMin; min > 0 && n >= min {
+		// Contiguous chunks keep the legacy static gate (DMAMin) under the
+		// adaptive policy too: the choice is a fixed engine crossover, not
+		// a per-type regime. Forced policies override it.
+		useDMA := proto.DMAMin > 0 && n >= proto.DMAMin
+		switch proto.Path {
+		case PathDMA:
+			useDMA = true
+		case PathPIO, PathStaged:
+			useDMA = false
+		}
+		if useDMA {
 			if fut, ok := mem.DMAWrite(c.p, off, buf[skip:skip+n]); ok {
 				// The CPU is free during the transfer; the protocol simply
 				// waits for the engine before signalling the chunk.
-				if v := c.p.Await(fut); v != nil {
+				start := c.p.Now()
+				sp := w.cfg.Tracer.Start(start, c.rk.actor, "transfer", "dma")
+				sp.SetBytes(n)
+				v := c.p.Await(fut)
+				sp.End(c.p.Now())
+				w.met.pathDMAContig.Inc()
+				w.met.transferDMABytes.Add(n)
+				w.met.transferDMANS.ObserveDuration(c.p.Now() - start)
+				if v != nil {
 					return v.(error)
 				}
 				return nil
 			}
 		}
+		w.met.pathPIOStream.Inc()
 		return mem.TryWriteStream(c.p, off, buf[skip:skip+n], dt.Size()*int64(count))
-	case mode == rdvFF && w.protocol().UseFF:
-		// direct_pack_ff: pack straight into the (possibly remote) buffer.
-		// The working set per handshake cycle is the chunk plus its gaps
-		// (the reason the chunk must stay below the L2 size).
+	case mode == rdvFF && proto.UseFF:
+		// The receiver ff-unpacks, so every candidate engine must deposit
+		// the cursor's leaf-major linearization: direct_pack_ff, a staged
+		// cursor pack + stream, or descriptor-list DMA.
+		f := dt.Flat()
+		avgBlock := f.Size / leafCopies(f)
+		if avgBlock <= 0 {
+			avgBlock = 1
+		}
+		blocks := (n + avgBlock - 1) / avgBlock
+		path := depositFF
+		if proto.Path != PathStatic &&
+			(proto.Path != PathAdaptive || (w.ic != nil && mem.Remote())) {
+			// Adaptive ranking only where the SCI cost models apply; forced
+			// policies always take effect (SG falls back below if the
+			// transport has no descriptor engine).
+			path = c.chooseDeposit(out, n, avgBlock, blocks)
+		}
 		start := c.p.Now()
-		sp := tr.Start(start, c.rk.actor, "pack", "direct_pack_ff")
-		sp.SetBytes(n)
-		bw := mem.BlockWriter(c.p, 2*n)
-		sink := offsetSink{w: bw, base: off}
-		cur.SeekTo(skip) // free on sequential continuation, O(leaves) on retry
-		cur.Pack(sink, buf, n)
-		err := bw.TryFlush()
-		sp.End(c.p.Now())
-		w.met.packFFBytes.Add(n)
-		w.met.packFFNS.ObserveDuration(c.p.Now() - start)
+		var err error
+		switch path {
+		case depositStaged:
+			err = c.depositStaged(mem, off, buf, cur, skip, n)
+		case depositSG:
+			var ok bool
+			ok, err = c.depositSG(out, off, buf, cur, descs, skip, n)
+			if !ok {
+				path = depositFF
+				err = c.depositFF(mem, off, buf, cur, skip, n)
+			}
+		default:
+			err = c.depositFF(mem, off, buf, cur, skip, n)
+		}
+		w.met.pathChosen[path].Inc()
+		if err == nil {
+			c.observeDeposit(out, path, n, c.p.Now()-start)
+		}
 		return err
 	default:
 		// Generic baseline: local pack, then one streamed copy.
 		start := c.p.Now()
-		sp := tr.Start(start, c.rk.actor, "pack", "generic")
+		sp := w.cfg.Tracer.Start(start, c.rk.actor, "pack", "generic")
 		sp.SetBytes(n)
 		scratch := bufpool.Get(int(n))
 		_, st := pack.GenericPack(scratch.B, buf, dt, count, skip, n)
@@ -423,10 +499,81 @@ func (c *Comm) packChunkInto(mem smi.Mem, off int64, buf []byte, count int, dt *
 		err := mem.TryWriteStream(c.p, off, scratch.B, n)
 		scratch.Put()
 		sp.End(c.p.Now())
+		w.met.pathGeneric.Inc()
 		w.met.packGenBytes.Add(n)
 		w.met.packGenericNS.ObserveDuration(c.p.Now() - start)
 		return err
 	}
+}
+
+// depositFF packs one chunk straight into the (possibly remote) buffer
+// with direct_pack_ff. The working set per handshake cycle is the chunk
+// plus its gaps (the reason the chunk must stay below the L2 size).
+func (c *Comm) depositFF(mem smi.Mem, off int64, buf []byte, cur *pack.Cursor, skip, n int64) error {
+	w := c.rk.w
+	start := c.p.Now()
+	sp := w.cfg.Tracer.Start(start, c.rk.actor, "pack", "direct_pack_ff")
+	sp.SetBytes(n)
+	bw := mem.BlockWriter(c.p, 2*n)
+	sink := offsetSink{w: bw, base: off}
+	cur.SeekTo(skip) // free on sequential continuation, O(leaves) on retry
+	cur.Pack(sink, buf, n)
+	err := bw.TryFlush()
+	sp.End(c.p.Now())
+	w.met.packFFBytes.Add(n)
+	w.met.packFFNS.ObserveDuration(c.p.Now() - start)
+	return err
+}
+
+// depositStaged cursor-packs one chunk into local scratch, then issues a
+// single contiguous stream write. For tiny blocks this beats the per-block
+// PIO issue cost of depositFF: the extra local copy runs at cache speed
+// while the wire sees one full-size stream.
+func (c *Comm) depositStaged(mem smi.Mem, off int64, buf []byte, cur *pack.Cursor, skip, n int64) error {
+	w := c.rk.w
+	start := c.p.Now()
+	sp := w.cfg.Tracer.Start(start, c.rk.actor, "pack", "staged_ff")
+	sp.SetBytes(n)
+	scratch := bufpool.Get(int(n))
+	cur.SeekTo(skip)
+	_, st := cur.Pack(pack.BufferSink{Buf: scratch.B}, buf, n)
+	c.chargePackBlocks(st, true)
+	err := mem.TryWriteStream(c.p, off, scratch.B, n)
+	scratch.Put()
+	sp.End(c.p.Now())
+	w.met.packFFBytes.Add(n)
+	w.met.packFFNS.ObserveDuration(c.p.Now() - start)
+	return err
+}
+
+// depositSG builds the chunk's scatter-gather descriptor list and offloads
+// the deposit to the DMA engine — no local pack pass at all. ok=false
+// means the transport has no descriptor engine and nothing was deposited
+// (the cursor is rewound); the caller falls back to depositFF.
+func (c *Comm) depositSG(out *sendPort, off int64, buf []byte, cur *pack.Cursor, descs *[]pack.Descriptor, skip, n int64) (ok bool, err error) {
+	w := c.rk.w
+	start := c.p.Now()
+	cur.SeekTo(skip)
+	ds, st := cur.Descriptors((*descs)[:0], n)
+	*descs = ds
+	fut, ok := out.mem.DMAWriteSG(c.p, off, buf, ds)
+	if !ok {
+		cur.SeekTo(skip)
+		return false, nil
+	}
+	sp := w.cfg.Tracer.Start(start, c.rk.actor, "pack", "dma_sg")
+	sp.SetBytes(n)
+	// The descriptor build is the ff traversal; it counts as ff pack work
+	// even though no bytes move through the CPU.
+	w.countPack(st, true)
+	v := c.p.Await(fut)
+	sp.End(c.p.Now())
+	w.met.packSGBytes.Add(n)
+	w.met.packSGNS.ObserveDuration(c.p.Now() - start)
+	if v != nil {
+		return true, v.(error)
+	}
+	return true, nil
 }
 
 // offsetSink adapts an smi.BlockWriter to a pack.Sink with a base offset.
@@ -458,7 +605,7 @@ func (c *Comm) recv(buf []byte, count int, dt *datatype.Type, src, tag, ctx int)
 func (c *Comm) RecvChecked(buf []byte, count int, dt *datatype.Type, src, tag int, timeout time.Duration) (*Status, error) {
 	r := c.irecv(buf, count, dt, src, tag, c.ctx)
 	if timeout <= 0 {
-		return r.Wait(), nil
+		return r.WaitChecked()
 	}
 	v, ok := c.p.AwaitTimeout(r.done, timeout)
 	if !ok {
@@ -471,6 +618,9 @@ func (c *Comm) RecvChecked(buf []byte, count int, dt *datatype.Type, src, tag in
 			}
 		}
 		return nil, &fault.Error{Kind: fault.Timeout, From: c.rk.id, To: src, At: c.p.Now()}
+	}
+	if err, ok := v.(error); ok {
+		return nil, err
 	}
 	st := *v.(*Status)
 	st.Source = c.localRank(st.Source)
@@ -485,17 +635,32 @@ type Request struct {
 }
 
 // Wait blocks until the operation completes, returning the receive status
-// (nil for sends). The status Source is communicator-local.
+// (nil for sends). The status Source is communicator-local. An operation
+// that failed (e.g. the sender cancelled its rendezvous after a permanent
+// deposit failure) panics; use WaitChecked to handle it as an error.
 func (r *Request) Wait() *Status {
+	st, err := r.WaitChecked()
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// WaitChecked is Wait returning failures as typed errors: a receive whose
+// rendezvous the sender abandoned completes with a *CancelledError.
+func (r *Request) WaitChecked() (*Status, error) {
 	v := r.p.Await(r.done)
 	if v == nil {
-		return nil
+		return nil, nil
+	}
+	if err, ok := v.(error); ok {
+		return nil, err
 	}
 	st := *v.(*Status)
 	if r.c != nil {
 		st.Source = r.c.localRank(st.Source)
 	}
-	return &st
+	return &st, nil
 }
 
 // Done reports whether the operation has completed (MPI_Test).

@@ -49,6 +49,19 @@ type ProtocolConfig struct {
 	// PIO (the paper's §6 outlook: "non-contiguous data transfers with
 	// DMA-based interconnects"). 0 disables DMA.
 	DMAMin int64
+	// Path selects the deposit engine for non-contiguous rendezvous chunks
+	// on remote-memory transports: adaptive prediction (the default),
+	// the legacy static thresholds, or a forced path (see PathPolicy).
+	Path PathPolicy
+	// PathEWMA is the blend factor of the adaptive chooser's per-peer
+	// bandwidth estimator (0 uses the default 0.25).
+	PathEWMA float64
+	// DMASGMinBlock keeps the scatter-gather DMA path away from types
+	// whose average contiguous block is smaller (a floor for deployments
+	// whose engines choke on tiny descriptors). 0, the default, disables
+	// the floor: the cost model already accounts for per-descriptor
+	// overheads, so the chooser is left to rank the paths itself.
+	DMASGMinBlock int64
 	// OSCBuf is the per-pair staging area for emulated one-sided transfers
 	// into private windows.
 	OSCBuf int64
@@ -84,6 +97,10 @@ func DefaultProtocol() ProtocolConfig {
 		FFMinBlock:      0,
 		HandlerLatency:  500 * time.Nanosecond,
 		CallOverhead:    250 * time.Nanosecond,
+
+		Path:          PathAdaptive,
+		PathEWMA:      defaultPathEWMA,
+		DMASGMinBlock: 0,
 
 		RendezvousTimeout: 0, // wait forever unless a run opts into watchdogs
 		SendRetryMax:      6,
@@ -208,6 +225,22 @@ type worldMetrics struct {
 	packGenericNS *obs.Histogram
 	packFFBytes   *obs.Counter
 	packGenBytes  *obs.Counter
+
+	packSGNS    *obs.Histogram
+	packSGBytes *obs.Counter
+
+	transferDMANS    *obs.Histogram
+	transferDMABytes *obs.Counter
+
+	// pathChosen counts adaptive/static deposit decisions per chunk, one
+	// counter per path label.
+	pathChosen [depositPathCount]*obs.Counter
+	pathGeneric,
+	pathPIOStream,
+	pathDMAContig *obs.Counter
+
+	oscCallsInterrupt *obs.Counter
+	oscCallsPoll      *obs.Counter
 }
 
 func newWorldMetrics(r *obs.Registry) worldMetrics {
@@ -227,6 +260,24 @@ func newWorldMetrics(r *obs.Registry) worldMetrics {
 		packGenericNS: r.Histogram(obs.Name("mpi.pack.ns", "engine", "generic")),
 		packFFBytes:   r.Counter(obs.Name("mpi.pack.bytes", "engine", "direct_pack_ff")),
 		packGenBytes:  r.Counter(obs.Name("mpi.pack.bytes", "engine", "generic")),
+
+		packSGNS:    r.Histogram(obs.Name("mpi.pack.ns", "engine", "dma_sg")),
+		packSGBytes: r.Counter(obs.Name("mpi.pack.bytes", "engine", "dma_sg")),
+
+		transferDMANS:    r.Histogram(obs.Name("mpi.transfer.ns", "path", "dma")),
+		transferDMABytes: r.Counter(obs.Name("mpi.transfer.bytes", "path", "dma")),
+
+		pathChosen: [depositPathCount]*obs.Counter{
+			depositFF:     r.Counter(obs.Name("mpi.path.chosen", "path", "pio-ff")),
+			depositStaged: r.Counter(obs.Name("mpi.path.chosen", "path", "staged")),
+			depositSG:     r.Counter(obs.Name("mpi.path.chosen", "path", "dma-sg")),
+		},
+		pathGeneric:   r.Counter(obs.Name("mpi.path.chosen", "path", "generic")),
+		pathPIOStream: r.Counter(obs.Name("mpi.path.chosen", "path", "pio-stream")),
+		pathDMAContig: r.Counter(obs.Name("mpi.path.chosen", "path", "dma")),
+
+		oscCallsInterrupt: r.Counter(obs.Name("mpi.osc.calls", "delivery", "interrupt")),
+		oscCallsPoll:      r.Counter(obs.Name("mpi.osc.calls", "delivery", "poll")),
 	}
 }
 
@@ -262,6 +313,11 @@ type sendPort struct {
 	oscLock *sim.Mutex // serializes one-sided staging on this pair
 	slot    int        // next eager slot (round-robin, guarded by credits)
 	msgSeq  int64      // sequence stamp for message-bearing envelopes
+
+	// paths holds the adaptive chooser's per-path EWMA of achieved deposit
+	// bandwidth toward this peer, bytes/sec (0 = never exercised). Guarded
+	// by rdvLock, like the transfers it describes.
+	paths [depositPathCount]float64
 }
 
 func (w *World) protocol() *ProtocolConfig { return &w.cfg.Protocol }

@@ -9,6 +9,7 @@ import (
 	"scimpich/internal/datatype"
 	"scimpich/internal/fault"
 	"scimpich/internal/mpi"
+	"scimpich/internal/obs"
 )
 
 // Fault-injection tests for the one-sided layer: a direct window view that
@@ -169,6 +170,43 @@ func TestFenceCheckedCompletesAndTransfers(t *testing.T) {
 		if w.Snapshot().SyncTimeouts != 0 {
 			t.Errorf("spurious SyncTimeouts = %d", w.Snapshot().SyncTimeouts)
 		}
+	})
+}
+
+// TestDegradedSharedTargetUsesInterruptDelivery: regression for the
+// delivery-path bug — the remote-put and accumulate paths chose polled
+// delivery for any shared-window target, but a degraded shared target may
+// be stuck in a broken transfer and not polling. The fallback Get toward a
+// degraded shared target must complete and arrive via remote interrupt.
+func TestDegradedSharedTargetUsesInterruptDelivery(t *testing.T) {
+	cfg := mpi.DefaultConfig(2, 1)
+	cfg.SCI.Fault = fault.New(13).RevokeSegment(1, 1, time.Millisecond)
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	interrupts := reg.Counter(obs.Name("mpi.osc.calls", "delivery", "interrupt"))
+	mpi.Run(cfg, func(c *mpi.Comm) {
+		s := NewSystem(c)
+		w := s.CreateShared(c.AllocShared(4096), DefaultConfig())
+		if c.Rank() == 1 {
+			copy(w.LocalBytes(), fill(1024))
+		}
+		w.Fence()
+		c.Proc().Sleep(2 * time.Millisecond) // revocation strikes here
+		if c.Rank() == 0 {
+			before := interrupts.Value()
+			dst := make([]byte, 1024)
+			w.Get(dst, len(dst), datatype.Byte, 1, 0)
+			if !bytes.Equal(dst, fill(1024)) {
+				t.Error("degraded get returned wrong data")
+			}
+			if !w.Degraded(1) {
+				t.Error("target view not degraded after revoked-segment get")
+			}
+			if interrupts.Value() == before {
+				t.Error("fallback get toward degraded shared target used polled delivery")
+			}
+		}
+		w.Fence()
 	})
 }
 

@@ -166,6 +166,7 @@ func (w *Win) emulatedPut(buf []byte, count int, dt *datatype.Type, target int, 
 	cur := pack.NewCursor(dt, count)
 	scratch := bufpool.Get(int(half))
 	defer scratch.Put()
+	var descs []pack.Descriptor
 	var sent int64
 	for sent < n {
 		chunk := half
@@ -173,6 +174,26 @@ func (w *Win) emulatedPut(buf []byte, count int, dt *datatype.Type, target int, 
 			chunk = n - sent
 		}
 		cur.SeekTo(sent) // free: the loop is sequential
+		if w.cfg.DMAStageMin > 0 && chunk >= w.cfg.DMAStageMin {
+			// Scatter-gather offload: descriptors gather straight from the
+			// user buffer into the staging area, no local pack copy (the
+			// engine charges the build and transfer costs). The completed
+			// future already guarantees delivery, so no Sync.
+			descs, _ = cur.Descriptors(descs[:0], chunk)
+			if fut, ok := stage.DMAWriteSG(p, base, buf, descs); ok {
+				if v := p.Await(fut); v == nil {
+					w.stats.dmaStaged.Add(1)
+					w.sys.met.dmaStaged.Add(1)
+					c.OSCCall(c.GroupToWorld(target), &oscReq{
+						kind: reqPut, win: w.id, off: targetOff, n: chunk,
+						skip: sent, dt: dt, count: count,
+					}, true)
+					sent += chunk
+					continue
+				}
+			}
+			cur.SeekTo(sent) // engine missing or transfer failed: PIO fallback
+		}
 		_, st := cur.Pack(pack.BufferSink{Buf: scratch.B}, buf, chunk)
 		w.chargeLocal(st)
 		stage.WriteStream(p, base, scratch.B[:chunk], chunk)
@@ -271,7 +292,11 @@ func (w *Win) remotePutGet(buf []byte, count int, dt *datatype.Type, target int,
 	_, _, size, _ := c.OSCStage(world)
 	half := size / 2
 	getBase := base + half
-	interrupt := !w.isShared[target]
+	// Interrupt delivery whenever the target may not be polling: private
+	// windows, but also shared windows whose direct view degraded
+	// mid-epoch — the target never expected emulation traffic and a
+	// polling-only request could hang until the watchdog.
+	interrupt := !w.isShared[target] || w.degraded[target]
 	// The unpack cursor resumes across the segmented drain (mirrors
 	// emulatedPut's pack cursor).
 	cur := pack.NewCursor(dt, count)
@@ -319,7 +344,9 @@ func (w *Win) Accumulate(buf []byte, count int, dt *datatype.Type, op mpi.Op, ta
 		sp.End(p.Now())
 		w.sys.met.accNS.ObserveDuration(p.Now() - start)
 	}()
-	interrupt := !w.isShared[target]
+	// As in remotePutGet: a degraded shared target is no longer polling
+	// for emulation traffic, so request an interrupt.
+	interrupt := !w.isShared[target] || w.degraded[target]
 
 	if n <= w.cfg.InlineMax || target == c.Rank() {
 		sp.SetDetail("inline -> %d", target)
@@ -346,8 +373,23 @@ func (w *Win) Accumulate(buf []byte, count int, dt *datatype.Type, op mpi.Op, ta
 		if sent+chunk > n {
 			chunk = n - sent
 		}
-		stage.WriteStream(p, base, buf[sent:sent+chunk], n)
-		stage.Sync(p)
+		deposited := false
+		if w.cfg.DMAStageMin > 0 && chunk >= w.cfg.DMAStageMin {
+			// Accumulate operands are contiguous: the plain DMA engine
+			// drains them while the CPU is free. The completed future
+			// guarantees delivery; failures fall back to PIO below.
+			if fut, ok := stage.DMAWrite(p, base, buf[sent:sent+chunk]); ok {
+				if v := p.Await(fut); v == nil {
+					w.stats.dmaStaged.Add(1)
+					w.sys.met.dmaStaged.Add(1)
+					deposited = true
+				}
+			}
+		}
+		if !deposited {
+			stage.WriteStream(p, base, buf[sent:sent+chunk], n)
+			stage.Sync(p)
+		}
 		c.OSCCall(c.GroupToWorld(target), &oscReq{
 			kind: reqAcc, win: w.id, off: targetOff + sent, n: chunk,
 			dt: dt, count: int(chunk / elemSize), op: op,

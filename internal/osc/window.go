@@ -61,6 +61,7 @@ type oscMetrics struct {
 	remotePuts          *obs.Counter
 	degradations        *obs.Counter
 	syncTimeouts        *obs.Counter
+	dmaStaged           *obs.Counter
 }
 
 func newOSCMetrics(r *obs.Registry) oscMetrics {
@@ -80,6 +81,7 @@ func newOSCMetrics(r *obs.Registry) oscMetrics {
 		remotePuts:   r.Counter(obs.Name("osc.gets", "path", "remote-put")),
 		degradations: r.Counter("osc.degradations"),
 		syncTimeouts: r.Counter("osc.sync_timeouts"),
+		dmaStaged:    r.Counter(obs.Name("osc.stage", "path", "dma")),
 	}
 }
 
@@ -96,6 +98,12 @@ type Config struct {
 	// LockChecked): waiting longer than this for a peer yields an
 	// ErrSyncTimeout instead of deadlocking. 0 disables the watchdog.
 	SyncTimeout time.Duration
+	// DMAStageMin, when positive, offloads staging-area deposits of at
+	// least this many bytes (emulated puts, accumulate drains, handler-side
+	// get fills) to the DMA engine — scatter-gather descriptors for
+	// non-contiguous data — freeing the CPU during the transfer. 0 keeps
+	// the PIO staging paths.
+	DMAStageMin int64
 }
 
 // DefaultConfig returns the calibrated transfer policy.
@@ -186,6 +194,9 @@ type Stats struct {
 	RemotePuts           int64 // gets served by the remote-put path
 	EmulatedPuts         int64
 	EmulatedAccumulates  int64
+	// DMAStaged counts staging-area deposits offloaded to the DMA engine
+	// (Config.DMAStageMin).
+	DMAStaged int64
 	BytesPut, BytesGot   int64
 	Fences, Locks, Posts int64
 	// Degradations counts direct views abandoned for the emulation path;
@@ -204,6 +215,7 @@ type winStats struct {
 	remotePuts           atomic.Int64
 	emulatedPuts         atomic.Int64
 	emulatedAccumulates  atomic.Int64
+	dmaStaged            atomic.Int64
 	bytesPut, bytesGot   atomic.Int64
 	fences, locks, posts atomic.Int64
 	degradations         atomic.Int64
@@ -220,6 +232,7 @@ func (s *winStats) snapshot() Stats {
 		RemotePuts:          s.remotePuts.Load(),
 		EmulatedPuts:        s.emulatedPuts.Load(),
 		EmulatedAccumulates: s.emulatedAccumulates.Load(),
+		DMAStaged:           s.dmaStaged.Load(),
 		BytesPut:            s.bytesPut.Load(),
 		BytesGot:            s.bytesGot.Load(),
 		Fences:              s.fences.Load(),

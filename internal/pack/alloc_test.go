@@ -35,6 +35,7 @@ func TestAllocsPackHotPaths(t *testing.T) {
 		walkFn := func(off, size int64) {}
 		cur := NewCursor(ty, count)
 		chunk := total/3 + 1
+		descs := make([]Descriptor, 0, 1024)
 		ops := []struct {
 			name string
 			fn   func()
@@ -52,6 +53,12 @@ func TestAllocsPackHotPaths(t *testing.T) {
 			{"Cursor-seek", func() {
 				cur.SeekTo(total / 2)
 				cur.Pack(sink, user, -1)
+			}},
+			{"Cursor-descriptors", func() {
+				cur.Reset()
+				for !cur.Done() {
+					descs, _ = cur.Descriptors(descs[:0], chunk)
+				}
 			}},
 		}
 		for _, op := range ops {

@@ -1,0 +1,58 @@
+package pack
+
+// Descriptor is one element of a scatter-gather list: a contiguous run of
+// Len bytes at SrcOff in the user buffer that belongs at DstOff of the
+// (dense) linearization. Descriptor lists drive DMA engines that move
+// non-contiguous data without a CPU pack pass (cf. Di Girolamo et al.,
+// "Network-Accelerated Non-Contiguous Memory Transfers").
+type Descriptor struct {
+	SrcOff int64 // user-buffer offset of the run
+	DstOff int64 // linearization offset, relative to the start of the call
+	Len    int64 // run length in bytes
+}
+
+// Descriptors appends the scatter-gather list of the next maxBytes bytes
+// (negative: to the end) of the linearization to dst and advances the
+// cursor, exactly like Pack but emitting descriptors instead of copying.
+// Runs that are contiguous on both the source and the destination side are
+// merged into one descriptor, so a dense sub-layout costs one entry rather
+// than one per leaf block. DstOff is relative to the cursor position at the
+// start of the call (the chunk convention shared with Pack).
+//
+// The returned slice is dst, possibly regrown; callers that reuse a slice
+// with sufficient capacity across chunks (append into descs[:0]) complete
+// the whole operation without allocating. The returned Stats describe the
+// underlying block structure before merging — the traversal work the CPU
+// actually performs to build the list.
+func (c *Cursor) Descriptors(dst []Descriptor, maxBytes int64) ([]Descriptor, Stats) {
+	base := len(dst)
+	_, st := c.run(c.clamp(maxBytes), func(userOff, linOff, n int64) {
+		if k := len(dst); k > base {
+			if last := &dst[k-1]; last.SrcOff+last.Len == userOff && last.DstOff+last.Len == linOff {
+				last.Len += n
+				return
+			}
+		}
+		dst = append(dst, Descriptor{SrcOff: userOff, DstOff: linOff, Len: n})
+	})
+	return dst, st
+}
+
+// DescriptorRuns returns the total byte count and the number of
+// destination-contiguous runs of a descriptor list (the streaming unit of
+// a scatter-gather engine: source gathers that land back-to-back in the
+// destination continue one stream transaction).
+func DescriptorRuns(descs []Descriptor) (bytes int64, runs int) {
+	if len(descs) == 0 {
+		return 0, 0
+	}
+	runs = 1
+	bytes = descs[0].Len
+	for i := 1; i < len(descs); i++ {
+		bytes += descs[i].Len
+		if descs[i].DstOff != descs[i-1].DstOff+descs[i-1].Len {
+			runs++
+		}
+	}
+	return bytes, runs
+}

@@ -350,6 +350,59 @@ func TestQuickCursorSeekEqualsSkip(t *testing.T) {
 	}
 }
 
+// TestQuickDescriptorsEqualFFPack is the scatter-gather property: applying
+// the descriptor lists of a chunked cursor traversal — including a retry
+// replay of random chunks, as the rendezvous path does after a transient
+// DMA fault — must deposit exactly the bytes a one-shot FFPack produces.
+func TestQuickDescriptorsEqualFFPack(t *testing.T) {
+	prop := func(s typeSpec, seed int64, chunkSeed uint16) bool {
+		ty := s.build()
+		if ty.Size() == 0 {
+			return true
+		}
+		const count = 2
+		user := userBufFor(ty, count, seed)
+		total := ty.Size() * count
+		full := make([]byte, total)
+		FFPack(BufferSink{full}, user, ty, count, 0, -1)
+		got := make([]byte, total)
+		cur := NewCursor(ty, count)
+		rng := rand.New(rand.NewSource(int64(chunkSeed)))
+		var descs []Descriptor
+		apply := func(start int64) bool {
+			n, runs := DescriptorRuns(descs)
+			if runs > len(descs) {
+				return false
+			}
+			for _, d := range descs {
+				copy(got[start+d.DstOff:], user[d.SrcOff:d.SrcOff+d.Len])
+			}
+			return n == cur.Offset()-start
+		}
+		for !cur.Done() {
+			chunk := int64(rng.Intn(29) + 1)
+			start := cur.Offset()
+			var st Stats
+			descs, st = cur.Descriptors(descs[:0], chunk)
+			if st.Bytes != cur.Offset()-start || !apply(start) {
+				return false
+			}
+			if rng.Intn(3) == 0 {
+				// Retry: rewind and regenerate, as after a faulted submit.
+				cur.SeekTo(start)
+				descs, _ = cur.Descriptors(descs[:0], chunk)
+				if !apply(start) {
+					return false
+				}
+			}
+		}
+		return bytes.Equal(got, full)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickWalkMatchesFFPackStats: the layout iterator and the packing
 // engine must agree on the block structure (count, bytes, min/max) of any
 // derived type.

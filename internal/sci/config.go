@@ -100,6 +100,25 @@ type Config struct {
 	DMAStartup time.Duration
 	DMAPeakBW  float64
 
+	// Scatter-gather DMA: a descriptor-list engine that gathers scattered
+	// source runs and streams them onto the ring without the CPU. Unlike
+	// the plain block engine (DMAPeakBW, calibrated against the D330's
+	// single-transfer programmed setup), the list engine pipelines
+	// descriptor fetch with data movement and feeds the adapter's stream
+	// buffers directly, so its streaming rate approaches the PIO write
+	// peak; what it pays instead is a per-descriptor processing cost.
+	//
+	// DMASGDesc is the engine-side processing cost per descriptor;
+	// DMASGBuild is the CPU cost of building one descriptor at submission;
+	// DMASGPeakBW is the engine's peak streaming bandwidth; DMASGGap is
+	// the stream restart cost per destination run, in equivalent dead
+	// bytes (the analogue of WriteGatherGap for the engine's own stream
+	// transactions).
+	DMASGDesc   time.Duration
+	DMASGBuild  time.Duration
+	DMASGPeakBW float64
+	DMASGGap    int64
+
 	// InterruptLatency is the cost of raising a remote interrupt (used by
 	// the one-sided emulation path to invoke a remote handler).
 	InterruptLatency time.Duration
@@ -162,6 +181,10 @@ func DefaultConfig(nodes int) Config {
 		EchoFraction:        0.25,
 		DMAStartup:          22 * time.Microsecond,
 		DMAPeakBW:           85 * MiB,
+		DMASGDesc:           30 * time.Nanosecond,
+		DMASGBuild:          15 * time.Nanosecond,
+		DMASGPeakBW:         225 * MiB,
+		DMASGGap:            8,
 		InterruptLatency:    14 * time.Microsecond,
 		FaultRate:           0,
 		RetryLatency:        30 * time.Microsecond,
@@ -188,6 +211,36 @@ func (c *Config) StreamWriteBW(blockSize int64) float64 {
 		peak *= 0.5
 	}
 	return peak * float64(blockSize) / float64(blockSize+gap)
+}
+
+// SGStreamBW returns the effective streaming bandwidth of the
+// scatter-gather DMA engine for destination runs averaging runBytes: each
+// run restart costs DMASGGap equivalent dead bytes, mirroring the stream
+// buffer model of StreamWriteBW but without the CPU write-combine
+// interaction (the engine always emits full SCI transactions).
+func (c *Config) SGStreamBW(runBytes int64) float64 {
+	if runBytes <= 0 {
+		return c.DMASGPeakBW
+	}
+	return c.DMASGPeakBW * float64(runBytes) / float64(runBytes+c.DMASGGap)
+}
+
+// SGTransferCost returns the engine-side duration of a scatter-gather
+// transfer: one startup, per-descriptor list processing, and the merged-run
+// stream of all bytes at the run-dependent rate (capped by the source
+// memory bandwidth for large working sets). It is exported so path
+// choosers above the SCI layer can predict the engine from the same model
+// it is charged with.
+func (c *Config) SGTransferCost(nDesc int, bytes, avgRun int64) time.Duration {
+	if bytes <= 0 {
+		return c.DMAStartup
+	}
+	bw := c.SGStreamBW(avgRun)
+	if c.Mem != nil {
+		bw = c.Mem.EffectiveSourceBW(bw, bytes)
+	}
+	stream := time.Duration(float64(bytes) / bw * float64(time.Second))
+	return c.DMAStartup + time.Duration(nDesc)*c.DMASGDesc + stream
 }
 
 // alignedStrided and worstStrided are the calibrated raw bandwidths

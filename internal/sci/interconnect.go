@@ -39,6 +39,10 @@ type Stats struct {
 	Retries       int64
 	DMATransfers  int64
 
+	// DMASGTransfers counts the subset of DMATransfers that were
+	// scatter-gather descriptor-list submissions.
+	DMASGTransfers int64
+
 	// TransferErrors counts injected CRC/sequence/link faults surfaced to
 	// this node's operations as typed errors (as opposed to Retries,
 	// which only cost latency).
@@ -59,6 +63,7 @@ type nodeStats struct {
 	storeBarriers  atomic.Int64
 	retries        atomic.Int64
 	dmaTransfers   atomic.Int64
+	dmaSGTransfers atomic.Int64
 	transferErrors atomic.Int64
 	checkRetries   atomic.Int64
 }
@@ -72,6 +77,7 @@ func (s *nodeStats) snapshot() Stats {
 		StoreBarriers:  s.storeBarriers.Load(),
 		Retries:        s.retries.Load(),
 		DMATransfers:   s.dmaTransfers.Load(),
+		DMASGTransfers: s.dmaSGTransfers.Load(),
 		TransferErrors: s.transferErrors.Load(),
 		CheckRetries:   s.checkRetries.Load(),
 	}
@@ -89,6 +95,11 @@ type icMetrics struct {
 	barrierNS     *obs.Histogram
 	bytesWritten  *obs.Counter
 	bytesRead     *obs.Counter
+
+	dmaSGNS        *obs.Histogram
+	dmaSGTransfers *obs.Counter
+	dmaSGBytes     *obs.Counter
+	dmaSGDescs     *obs.Counter
 }
 
 func newICMetrics(r *obs.Registry) icMetrics {
@@ -101,6 +112,11 @@ func newICMetrics(r *obs.Registry) icMetrics {
 		barrierNS:     r.Histogram("sci.store_barrier.ns"),
 		bytesWritten:  r.Counter("sci.bytes.written"),
 		bytesRead:     r.Counter("sci.bytes.read"),
+
+		dmaSGNS:        r.Histogram("sci.dma.sg.ns"),
+		dmaSGTransfers: r.Counter("sci.dma.sg.transfers"),
+		dmaSGBytes:     r.Counter("sci.dma.sg.bytes"),
+		dmaSGDescs:     r.Counter("sci.dma.sg.descs"),
 	}
 }
 

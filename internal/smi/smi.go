@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"scimpich/internal/nic"
+	"scimpich/internal/pack"
 	"scimpich/internal/sci"
 	"scimpich/internal/shmem"
 	"scimpich/internal/sim"
@@ -46,6 +47,12 @@ type Mem interface {
 	// a DMA engine, returning its completion future and true; (nil, false)
 	// means DMA is unavailable and the caller should fall back to PIO.
 	DMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, bool)
+	// DMAWriteSG submits a scatter-gather DMA transfer when the transport
+	// has a descriptor-list engine: every descriptor gathers Len bytes at
+	// SrcOff of src and lands them at base+DstOff of the region. src and
+	// descs must stay valid until the future completes. (nil, false) means
+	// the caller should fall back to a CPU pack path.
+	DMAWriteSG(p *sim.Proc, base int64, src []byte, descs []pack.Descriptor) (*sim.Future, bool)
 	// Sync guarantees that all writes issued through this Mem have been
 	// delivered (store barrier on SCI; free on intra-node memory).
 	Sync(p *sim.Proc)
@@ -123,6 +130,19 @@ func (s sciMem) DMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, bool)
 	}
 	return s.m.DMAWrite(p, off, src), true
 }
+func (s sciMem) DMAWriteSG(p *sim.Proc, base int64, src []byte, descs []pack.Descriptor) (*sim.Future, bool) {
+	if !s.m.Remote() {
+		return nil, false
+	}
+	fut, err := s.m.TryDMAWriteSG(p, base, src, descs)
+	if err != nil {
+		// Submission failed (revoked segment, range): surface the error
+		// through the future so callers have one recovery path.
+		fut = sim.NewFuture()
+		fut.Complete(err)
+	}
+	return fut, true
+}
 func (s sciMem) Sync(p *sim.Proc) { s.m.Sync(p) }
 func (s sciMem) Bytes() []byte    { return s.m.Segment().Local() }
 func (s sciMem) TryWriteStream(p *sim.Proc, off int64, src []byte, ws int64) error {
@@ -177,6 +197,9 @@ func (s nicMem) BlockWriter(p *sim.Proc, ws int64) BlockWriter {
 func (s nicMem) DMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, bool) {
 	return s.v.DMAWrite(p, off, src)
 }
+func (s nicMem) DMAWriteSG(p *sim.Proc, base int64, src []byte, descs []pack.Descriptor) (*sim.Future, bool) {
+	return nil, false // message NICs expose no descriptor-list engine
+}
 func (s nicMem) Sync(p *sim.Proc) { s.v.Sync(p) }
 func (s nicMem) Bytes() []byte    { return s.v.Bytes() }
 func (s nicMem) TryWriteStream(p *sim.Proc, off int64, src []byte, ws int64) error {
@@ -226,6 +249,9 @@ func (s shmMem) BlockWriter(p *sim.Proc, ws int64) BlockWriter {
 }
 func (s shmMem) DMAWrite(p *sim.Proc, off int64, src []byte) (*sim.Future, bool) {
 	return nil, false // intra-node memory has no DMA engine
+}
+func (s shmMem) DMAWriteSG(p *sim.Proc, base int64, src []byte, descs []pack.Descriptor) (*sim.Future, bool) {
+	return nil, false
 }
 func (s shmMem) Sync(p *sim.Proc) {}
 func (s shmMem) Bytes() []byte    { return s.r.Local() }
