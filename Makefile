@@ -22,8 +22,9 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-json runs the hot-path microbenchmark suites (direct_pack_ff engine,
-# PIO delivery pipeline) plus the DMA path-selection matrix, and writes the
-# BENCH_pack.json / BENCH_pio.json / BENCH_dma.json regression-gate
+# PIO delivery pipeline) plus the DMA path-selection and collective
+# algorithm-selection matrices, and writes the BENCH_pack.json /
+# BENCH_pio.json / BENCH_dma.json / BENCH_coll.json regression-gate
 # artifacts. See docs/PERFORMANCE.md.
 bench-json:
 	$(GO) run ./cmd/benchjson -dir .

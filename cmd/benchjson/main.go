@@ -47,4 +47,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", path)
+
+	// The collective algorithm-selection matrix (forced algorithm families
+	// vs the adaptive chooser per collective, payload and cluster size).
+	coll := bench.RunCollBench(bench.CollNodeCounts())
+	fmt.Print(bench.FormatColl(coll))
+	path = filepath.Join(*dir, "BENCH_coll.json")
+	if err := bench.WriteCollJSON(path, coll); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

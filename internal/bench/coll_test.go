@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+)
+
+// The claims BENCH_coll.json gates. The sweep is deterministic (virtual
+// time), so these are exact regression gates, not flaky thresholds.
+
+var collOnce = struct {
+	sync.Once
+	rows []CollResult
+}{}
+
+func collRows() []CollResult {
+	collOnce.Do(func() { collOnce.rows = RunCollBench(CollNodeCounts()) })
+	return collOnce.rows
+}
+
+// forcedColumns returns the forced-algorithm measurements of a row keyed
+// by algorithm name.
+func forcedColumns(r CollResult) map[string]float64 {
+	m := map[string]float64{}
+	for k, v := range map[string]float64{
+		"p2p": r.P2P, "recdbl": r.RecDbl, "ring": r.Ring, "onesided": r.OneSided,
+	} {
+		if v > 0 {
+			m[k] = v
+		}
+	}
+	return m
+}
+
+// TestCollAdaptiveTracksBest: the chooser's achieved bandwidth stays
+// within 15% of the measured-best forced algorithm on every row (the
+// cost-model priors are imperfect for cold (kind, alg) pairs; EWMA
+// feedback only narrows the gap once an algorithm has been tried).
+func TestCollAdaptiveTracksBest(t *testing.T) {
+	for _, r := range collRows() {
+		if r.Best <= 0 {
+			t.Fatalf("%s n=%d bytes=%d: no forced measurement", r.Coll, r.Nodes, r.Bytes)
+		}
+		if r.Adaptive < 0.85*r.Best {
+			t.Errorf("%s n=%d bytes=%d: adaptive %.1f MiB/s below 85%% of best %.1f (%s)",
+				r.Coll, r.Nodes, r.Bytes, r.Adaptive, r.Best, r.BestAlg)
+		}
+	}
+}
+
+// TestCollChooserMatchesClearWinners: whenever the measured-best forced
+// algorithm beats the runner-up by more than 20%, the chooser must have
+// picked it. (Closer calls are left to the priors: a sub-20%% miss costs
+// less than the margin the adaptive gate above already bounds.)
+func TestCollChooserMatchesClearWinners(t *testing.T) {
+	gated := 0
+	for _, r := range collRows() {
+		cols := forcedColumns(r)
+		second := 0.0
+		for alg, bw := range cols {
+			if alg != r.BestAlg && bw > second {
+				second = bw
+			}
+		}
+		if second == 0 || r.Best <= 1.2*second {
+			continue // no clear winner; either pick is defensible
+		}
+		gated++
+		if r.Chosen != r.BestAlg {
+			t.Errorf("%s n=%d bytes=%d: chooser picked %s, but %s is best by >20%% (%.1f vs %.1f)",
+				r.Coll, r.Nodes, r.Bytes, r.Chosen, r.BestAlg, r.Best, second)
+		}
+	}
+	if gated == 0 {
+		t.Fatal("no row has a clear winner; the gate is vacuous")
+	}
+}
+
+// TestCollOneSidedBcastWinsLarge: the chunk-pipelined one-sided tree beats
+// the store-and-forward P2P binomial tree by >10% for large contiguous
+// broadcasts, at every cluster size.
+func TestCollOneSidedBcastWinsLarge(t *testing.T) {
+	hit := 0
+	for _, r := range collRows() {
+		if r.Coll != "bcast" || r.Bytes < 2<<20 {
+			continue
+		}
+		hit++
+		if r.OneSided <= 1.1*r.P2P {
+			t.Errorf("bcast n=%d bytes=%d: one-sided %.1f MiB/s does not beat p2p %.1f by >10%%",
+				r.Nodes, r.Bytes, r.OneSided, r.P2P)
+		}
+	}
+	if hit == 0 {
+		t.Fatal("sweep has no large bcast rows")
+	}
+}
+
+// TestCollOneSidedExchangeWinsSmallBlocks: for latency-bound small
+// per-peer blocks, the one-sided window exchange (one deposit and two
+// control packets per block) beats the P2P ring/pairwise algorithms in
+// allgather and alltoall.
+func TestCollOneSidedExchangeWinsSmallBlocks(t *testing.T) {
+	hit := 0
+	for _, r := range collRows() {
+		if (r.Coll != "allgather" && r.Coll != "alltoall") || r.Bytes > 4<<10 {
+			continue
+		}
+		hit++
+		if r.OneSided <= r.P2P {
+			t.Errorf("%s n=%d bytes=%d: one-sided %.1f MiB/s does not beat p2p %.1f",
+				r.Coll, r.Nodes, r.Bytes, r.OneSided, r.P2P)
+		}
+	}
+	if hit == 0 {
+		t.Fatal("sweep has no small allgather/alltoall rows")
+	}
+}
+
+// TestCollRingAllreduceWinsLarge: the bandwidth-optimal ring beats both
+// the naive reduce+bcast composition and recursive doubling for large
+// vectors (the reason the engine exists).
+func TestCollRingAllreduceWinsLarge(t *testing.T) {
+	hit := 0
+	for _, r := range collRows() {
+		if r.Coll != "allreduce" || r.Bytes < 256<<10 {
+			continue
+		}
+		hit++
+		if r.Ring <= r.P2P || r.Ring <= r.RecDbl {
+			t.Errorf("allreduce n=%d bytes=%d: ring %.1f MiB/s not above p2p %.1f and recdbl %.1f",
+				r.Nodes, r.Bytes, r.Ring, r.P2P, r.RecDbl)
+		}
+	}
+	if hit == 0 {
+		t.Fatal("sweep has no large allreduce rows")
+	}
+}

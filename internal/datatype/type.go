@@ -139,6 +139,29 @@ func (t *Type) Displs() []int64 { return t.displs }
 // Fields returns the members of a struct type.
 func (t *Type) Fields() []Field { return t.fields }
 
+// Base returns the single basic type every element of t is built from, or
+// nil when t mixes different basic types (a struct of ints and doubles).
+// Reductions on derived datatypes operate elementwise on this base type
+// after the data has been linearized.
+func (t *Type) Base() *Type {
+	switch t.kind {
+	case KindBasic:
+		return t
+	case KindStruct:
+		var base *Type
+		for _, f := range t.fields {
+			b := f.Type.Base()
+			if b == nil || (base != nil && b != base) {
+				return nil
+			}
+			base = b
+		}
+		return base
+	default:
+		return t.elem.Base()
+	}
+}
+
 // Contiguous reports whether the type's data is one dense block (no gaps),
 // in which case packing is unnecessary.
 func (t *Type) Contiguous() bool {

@@ -1,13 +1,18 @@
 package mpi
 
 import (
-	"fmt"
-
 	"scimpich/internal/datatype"
+	"scimpich/internal/fault"
 )
 
-// Collective operations, built on point-to-point messaging in a separate
-// communicator context so they never match user traffic.
+// Collective operations, built on point-to-point messaging and one-sided
+// window deposits in a separate communicator context so they never match
+// user traffic. Every collective has a checked variant returning typed
+// errors (invalid arguments as *ArgumentError, transfer failures as the
+// send/receive error taxonomy, expired CollTimeout watchdogs as
+// sci.ErrConnectionLost / fault.Timeout); the classic panicking methods
+// are thin wrappers over the checked path. Algorithm selection happens in
+// collalg.go.
 
 // Tags for collective phases.
 const (
@@ -18,45 +23,173 @@ const (
 	tagScatter = 5 << 20
 )
 
-// Barrier blocks until every rank has entered it (dissemination algorithm,
-// log2(P) rounds of zero-byte messages).
-func (c *Comm) Barrier() {
-	cc := c.collective()
-	size := c.Size()
-	if size == 1 {
-		return
+// mustColl panics on a collective error (the legacy non-checked surface).
+func mustColl(err error) {
+	if err != nil {
+		panic(err)
 	}
+}
+
+// checkRoot validates a root rank argument.
+func (c *Comm) checkRoot(call string, root int) error {
+	if root < 0 || root >= c.Size() {
+		return argErrf(call, "root %d out of range for %d ranks", root, c.Size())
+	}
+	return nil
+}
+
+// waitColl awaits an internal collective receive, bounded by CollTimeout:
+// an expired wait surfaces as sci.ErrConnectionLost when the awaited
+// peer's node is down, or a *fault.Error of kind Timeout otherwise.
+func (c *Comm) waitColl(r *Request, src, tag int) error {
+	to := c.rk.w.protocol().CollTimeout
+	if to <= 0 {
+		_, err := r.WaitChecked()
+		return err
+	}
+	v, ok := c.p.AwaitTimeout(r.done, to)
+	if !ok {
+		c.rk.dev.stats.sendTimeouts.Add(1)
+		c.rk.w.cfg.Tracer.Record(c.p.Now(), c.rk.actor, "fault",
+			"collective watchdog expired (src %d tag %d) after %v", src, tag, to)
+		if src != AnySource {
+			if err := c.peerLost(c.worldRank(src)); err != nil {
+				return err
+			}
+		}
+		return &fault.Error{Kind: fault.Timeout, From: c.rk.id, To: src, At: c.p.Now()}
+	}
+	if err, ok := v.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// recvColl is the internal collective receive: irecv + waitColl.
+func (c *Comm) recvColl(buf []byte, count int, dt *datatype.Type, src, tag int) error {
+	r := c.irecv(buf, count, dt, src, tag, c.ctx)
+	return c.waitColl(r, src, tag)
+}
+
+// sendrecvColl is the deadlock-free internal exchange of the ring and
+// doubling algorithms, with the receive side under the watchdog.
+func (c *Comm) sendrecvColl(sendBuf []byte, sendCount int, sendType *datatype.Type, dst, sendTag int,
+	recvBuf []byte, recvCount int, recvType *datatype.Type, src, recvTag int) error {
+	r := c.irecv(recvBuf, recvCount, recvType, src, recvTag, c.ctx)
+	if err := c.send(sendBuf, sendCount, sendType, dst, sendTag, c.ctx); err != nil {
+		return err
+	}
+	return c.waitColl(r, src, recvTag)
+}
+
+// Barrier blocks until every rank has entered it. It panics on transfer
+// failures; use BarrierChecked under fault plans.
+func (c *Comm) Barrier() { mustColl(c.BarrierChecked()) }
+
+// BarrierChecked is Barrier returning failures as typed errors
+// (dissemination algorithm, log2(P) rounds of zero-byte messages).
+func (c *Comm) BarrierChecked() error {
+	if c.Size() == 1 {
+		return nil
+	}
+	op := c.collBegin(collBarrier, CollP2P, 0)
+	return op.end(c.collective().barrierDissemination())
+}
+
+func (c *Comm) barrierDissemination() error {
+	size := c.Size()
 	me := c.Rank()
 	for round, dist := 0, 1; dist < size; round, dist = round+1, dist*2 {
 		to := (me + dist) % size
 		from := (me - dist + size) % size
-		r := cc.irecv(nil, 0, datatype.Byte, from, tagBarrier+round, cc.ctx)
-		cc.send(nil, 0, datatype.Byte, to, tagBarrier+round, cc.ctx)
-		r.Wait()
+		r := c.irecv(nil, 0, datatype.Byte, from, tagBarrier+round, c.ctx)
+		if err := c.send(nil, 0, datatype.Byte, to, tagBarrier+round, c.ctx); err != nil {
+			return err
+		}
+		if err := c.waitColl(r, from, tagBarrier+round); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-// Bcast broadcasts count elements of dt from root to every rank (binomial
-// tree).
+// Bcast broadcasts count elements of dt from root to every rank. It
+// panics on failures; use BcastChecked under fault plans.
 func (c *Comm) Bcast(buf []byte, count int, dt *datatype.Type, root int) {
-	cc := c.collective()
+	mustColl(c.BcastChecked(buf, count, dt, root))
+}
+
+// BcastChecked is Bcast returning failures as typed errors. The engine
+// picks between the binomial tree over point-to-point messages and the
+// chunk-pipelined one-sided tree over window deposits.
+func (c *Comm) BcastChecked(buf []byte, count int, dt *datatype.Type, root int) error {
+	if err := c.checkRoot("Bcast", root); err != nil {
+		return err
+	}
 	size := c.Size()
 	if size == 1 {
-		return
+		return nil
 	}
+	bytes := dt.Size() * int64(count)
+	alg := c.chooseCollAlg(collBcast, size, bytes, bytes)
+	op := c.collBegin(collBcast, alg, bytes)
+	cc := c.collective()
+	if alg != CollOneSided {
+		return op.end(cc.bcastBinomial(buf, count, dt, root))
+	}
+	if dt.Contiguous() {
+		return op.end(cc.bcastOneSided(buf[:bytes], root))
+	}
+	// Non-contiguous payloads travel as their ff linearization: the root
+	// packs, everyone else unpacks after the contiguous broadcast.
+	view := c.newReduceViewRaw(buf, count, dt, c.Rank() == root)
+	err := cc.bcastOneSided(view, root)
+	if err == nil && c.Rank() != root {
+		c.unpackCollView(view, buf, count, dt)
+	}
+	return op.end(err)
+}
+
+func (c *Comm) bcastBinomial(buf []byte, count int, dt *datatype.Type, root int) error {
+	size := c.Size()
 	vrank := (c.Rank() - root + size) % size
 	// Receive from parent.
 	if vrank != 0 {
 		parent := ((vrank & (vrank - 1)) + root) % size
-		cc.recv(buf, count, dt, parent, tagBcast, cc.ctx)
+		if err := c.recvColl(buf, count, dt, parent, tagBcast); err != nil {
+			return err
+		}
 	}
 	// Forward to children.
 	for bit := lowestSetOrSize(vrank, size); bit > 0; bit >>= 1 {
 		child := vrank | bit
 		if child != vrank && child < size {
-			cc.send(buf, count, dt, (child+root)%size, tagBcast, cc.ctx)
+			if err := c.send(buf, count, dt, (child+root)%size, tagBcast, c.ctx); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
+}
+
+// newReduceViewRaw linearizes a buffer for contiguous transport (pack only
+// when the rank actually holds payload, i.e. the root of a bcast).
+func (c *Comm) newReduceViewRaw(buf []byte, count int, dt *datatype.Type, pack bool) []byte {
+	bytes := dt.Size() * int64(count)
+	if pack {
+		base := dt.Base()
+		if base == nil {
+			base = datatype.Byte
+		}
+		return c.newReduceView(buf, count, dt, base).buf
+	}
+	return make([]byte, bytes)
+}
+
+// unpackCollView unpacks a linearized payload back into the user layout.
+func (c *Comm) unpackCollView(view, buf []byte, count int, dt *datatype.Type) {
+	v := &reduceView{base: datatype.Byte, elems: len(view), buf: view}
+	v.writeback(c, buf, count, dt)
 }
 
 // lowestSetOrSize returns the highest bit a node may address as a child in
@@ -73,78 +206,179 @@ func lowestSetOrSize(vrank, size int) int {
 	return (vrank & -vrank) >> 1
 }
 
-// Reduce combines count elements of the basic type dt from every rank with
-// op, leaving the result in recv on root (recv may be nil elsewhere).
-// send must hold the rank's contribution.
+// Reduce combines count elements of dt from every rank with op, leaving
+// the result in recv on root (recv may be nil elsewhere). send must hold
+// the rank's contribution. Derived datatypes reduce through their ff
+// linearization as long as all leaves share one basic type. It panics on
+// failures; use ReduceChecked under fault plans.
 func (c *Comm) Reduce(send, recv []byte, count int, dt *datatype.Type, op Op, root int) {
-	if dt.Kind() != datatype.KindBasic {
-		panic(fmt.Sprintf("mpi: Reduce requires a basic datatype, got %s", dt))
+	mustColl(c.ReduceChecked(send, recv, count, dt, op, root))
+}
+
+// ReduceChecked is Reduce returning failures as typed errors (binomial
+// fold over the base-typed reduction views).
+func (c *Comm) ReduceChecked(send, recv []byte, count int, dt *datatype.Type, op Op, root int) error {
+	if err := c.checkRoot("Reduce", root); err != nil {
+		return err
 	}
-	cc := c.collective()
-	size := c.Size()
+	base, err := checkReduceDT("Reduce", dt)
+	if err != nil {
+		return err
+	}
 	bytes := dt.Size() * int64(count)
+	cop := c.collBegin(collReduce, CollP2P, bytes)
+	view := c.newReduceView(send, count, dt, base)
 	acc := make([]byte, bytes)
-	copy(acc, send[:bytes])
-	if size > 1 {
-		vrank := (c.Rank() - root + size) % size
-		// Binomial reduction: receive from children, fold, send to parent.
-		tmp := make([]byte, bytes)
-		for bit := 1; bit < size; bit <<= 1 {
-			if vrank&bit != 0 {
-				parent := ((vrank &^ bit) + root) % size
-				cc.send(acc, count, dt, parent, tagReduce, cc.ctx)
-				break
-			}
-			child := vrank | bit
-			if child < size {
-				cc.recv(tmp, count, dt, (child+root)%size, tagReduce, cc.ctx)
-				combine(op, dt, acc, tmp, count)
-			}
+	copy(acc, view.buf)
+	if c.Size() > 1 {
+		if err := c.collective().reduceBinomial(acc, view.elems, base, op, root); err != nil {
+			return cop.end(err)
 		}
 	}
 	if c.Rank() == root {
-		copy(recv[:bytes], acc)
+		res := reduceView{base: base, elems: view.elems, buf: acc}
+		res.writeback(c, recv, count, dt)
 	}
+	return cop.end(nil)
 }
 
-// Allreduce is Reduce to rank 0 followed by Bcast.
+// reduceBinomial folds the base-typed views up the binomial tree to root:
+// receive from children, combine, send to the parent.
+func (c *Comm) reduceBinomial(acc []byte, elems int, base *datatype.Type, op Op, root int) error {
+	size := c.Size()
+	vrank := (c.Rank() - root + size) % size
+	tmp := make([]byte, len(acc))
+	for bit := 1; bit < size; bit <<= 1 {
+		if vrank&bit != 0 {
+			parent := ((vrank &^ bit) + root) % size
+			return c.send(acc, elems, base, parent, tagReduce, c.ctx)
+		}
+		child := vrank | bit
+		if child < size {
+			if err := c.recvColl(tmp, elems, base, (child+root)%size, tagReduce); err != nil {
+				return err
+			}
+			c.combineColl(op, base, acc, tmp, elems)
+		}
+	}
+	return nil
+}
+
+// Allreduce leaves op over every rank's send buffer in every rank's recv
+// buffer. It panics on failures; use AllreduceChecked under fault plans.
 func (c *Comm) Allreduce(send, recv []byte, count int, dt *datatype.Type, op Op) {
-	c.Reduce(send, recv, count, dt, op, 0)
-	c.Bcast(recv, count, dt, 0)
+	mustColl(c.AllreduceChecked(send, recv, count, dt, op))
+}
+
+// AllreduceChecked is Allreduce returning failures as typed errors. The
+// engine picks among reduce+bcast (small messages), recursive doubling,
+// the bandwidth-optimal ring (reduce-scatter + allgather), and the ring
+// over one-sided window deposits; all variants run on the contiguous
+// base-typed views, so derived datatypes work everywhere.
+func (c *Comm) AllreduceChecked(send, recv []byte, count int, dt *datatype.Type, op Op) error {
+	base, err := checkReduceDT("Allreduce", dt)
+	if err != nil {
+		return err
+	}
+	bytes := dt.Size() * int64(count)
+	size := c.Size()
+	view := c.newReduceView(send, count, dt, base)
+	if size == 1 {
+		res := reduceView{base: base, elems: view.elems, buf: view.buf}
+		res.writeback(c, recv, count, dt)
+		return nil
+	}
+	alg := c.chooseCollAlg(collAllreduce, size, bytes, bytes)
+	cop := c.collBegin(collAllreduce, alg, bytes)
+	acc := make([]byte, bytes)
+	copy(acc, view.buf)
+	cc := c.collective()
+	switch alg {
+	case CollRecDbl:
+		err = cc.allreduceRecDbl(acc, view.elems, base, op)
+	case CollRing:
+		err = cc.allreduceRing(acc, view.elems, base, op, false)
+	case CollOneSided:
+		err = cc.allreduceRing(acc, view.elems, base, op, true)
+	default:
+		// Reduce to rank 0, then broadcast, both on the packed view.
+		err = cc.reduceBinomial(acc, view.elems, base, op, 0)
+		if err == nil {
+			err = cc.bcastBinomial(acc, view.elems, base, 0)
+		}
+	}
+	if err == nil {
+		res := reduceView{base: base, elems: view.elems, buf: acc}
+		res.writeback(c, recv, count, dt)
+	}
+	return cop.end(err)
 }
 
 // Gather collects each rank's send buffer into recv at root, ordered by
-// rank (recv needs size*count elements at root; ignored elsewhere).
+// rank (recv needs size*count elements at root; ignored elsewhere). It
+// panics on failures; use GatherChecked under fault plans.
 func (c *Comm) Gather(send []byte, count int, dt *datatype.Type, recv []byte, root int) {
+	mustColl(c.GatherChecked(send, count, dt, recv, root))
+}
+
+// GatherChecked is Gather returning failures as typed errors. The root
+// posts all receives up front and then waits, so senders complete
+// concurrently instead of being drained one rank at a time.
+func (c *Comm) GatherChecked(send []byte, count int, dt *datatype.Type, recv []byte, root int) error {
+	if err := c.checkRoot("Gather", root); err != nil {
+		return err
+	}
 	cc := c.collective()
 	bytes := dt.Size() * int64(count)
-	if c.Rank() == root {
-		copy(recv[int64(root)*bytes:], send[:bytes])
-		for i := 0; i < c.Size(); i++ {
-			if i == root {
-				continue
-			}
-			cc.recv(recv[int64(i)*bytes:int64(i+1)*bytes], count, dt, i, tagGather, cc.ctx)
-		}
-		return
+	op := c.collBegin(collGather, CollP2P, bytes)
+	if c.Rank() != root {
+		return op.end(cc.send(send, count, dt, root, tagGather, cc.ctx))
 	}
-	cc.send(send, count, dt, root, tagGather, cc.ctx)
+	copy(recv[int64(root)*bytes:], send[:bytes])
+	reqs := make([]*Request, c.Size())
+	for i := 0; i < c.Size(); i++ {
+		if i == root {
+			continue
+		}
+		reqs[i] = cc.irecv(recv[int64(i)*bytes:int64(i+1)*bytes], count, dt, i, tagGather, cc.ctx)
+	}
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if err := cc.waitColl(r, i, tagGather); err != nil {
+			return op.end(err)
+		}
+	}
+	return op.end(nil)
 }
 
 // Scatter distributes contiguous count-element pieces of send (at root) to
-// every rank's recv buffer.
+// every rank's recv buffer. It panics on failures; use ScatterChecked
+// under fault plans.
 func (c *Comm) Scatter(send []byte, count int, dt *datatype.Type, recv []byte, root int) {
+	mustColl(c.ScatterChecked(send, count, dt, recv, root))
+}
+
+// ScatterChecked is Scatter returning failures as typed errors.
+func (c *Comm) ScatterChecked(send []byte, count int, dt *datatype.Type, recv []byte, root int) error {
+	if err := c.checkRoot("Scatter", root); err != nil {
+		return err
+	}
 	cc := c.collective()
 	bytes := dt.Size() * int64(count)
-	if c.Rank() == root {
-		copy(recv, send[int64(root)*bytes:int64(root+1)*bytes])
-		for i := 0; i < c.Size(); i++ {
-			if i == root {
-				continue
-			}
-			cc.send(send[int64(i)*bytes:int64(i+1)*bytes], count, dt, i, tagScatter, cc.ctx)
-		}
-		return
+	op := c.collBegin(collScatter, CollP2P, bytes)
+	if c.Rank() != root {
+		return op.end(cc.recvColl(recv, count, dt, root, tagScatter))
 	}
-	cc.recv(recv, count, dt, root, tagScatter, cc.ctx)
+	copy(recv, send[int64(root)*bytes:int64(root+1)*bytes])
+	for i := 0; i < c.Size(); i++ {
+		if i == root {
+			continue
+		}
+		if err := cc.send(send[int64(i)*bytes:int64(i+1)*bytes], count, dt, i, tagScatter, cc.ctx); err != nil {
+			return op.end(err)
+		}
+	}
+	return op.end(nil)
 }

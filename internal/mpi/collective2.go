@@ -1,8 +1,6 @@
 package mpi
 
 import (
-	"fmt"
-
 	"scimpich/internal/datatype"
 )
 
@@ -18,90 +16,157 @@ const (
 )
 
 // Allgather collects every rank's count elements of dt into recv (ordered
-// by rank) on all ranks, using the ring algorithm: P-1 steps of passing the
-// next slice to the right neighbour.
+// by rank) on all ranks. It panics on failures; use AllgatherChecked under
+// fault plans.
 func (c *Comm) Allgather(send []byte, count int, dt *datatype.Type, recv []byte) {
-	cc := c.collective()
+	mustColl(c.AllgatherChecked(send, count, dt, recv))
+}
+
+// AllgatherChecked is Allgather returning failures as typed errors. The
+// engine picks between the ring over point-to-point messages and the
+// one-shot window exchange (every rank deposits its block into every
+// peer's slot directly).
+func (c *Comm) AllgatherChecked(send []byte, count int, dt *datatype.Type, recv []byte) error {
 	size := c.Size()
 	me := c.Rank()
 	bytes := dt.Size() * int64(count)
 	copy(recv[int64(me)*bytes:], send[:bytes])
 	if size == 1 {
-		return
+		return nil
+	}
+	alg := c.chooseCollAlg(collAllgather, size, int64(size)*bytes, bytes)
+	op := c.collBegin(collAllgather, alg, int64(size)*bytes)
+	cc := c.collective()
+	if alg == CollOneSided {
+		return op.end(cc.osExchange(
+			func(int) []byte { return recv[int64(me)*bytes : int64(me+1)*bytes] },
+			func(src int) []byte { return recv[int64(src)*bytes : int64(src+1)*bytes] },
+		))
 	}
 	right := (me + 1) % size
 	left := (me - 1 + size) % size
 	for step := 0; step < size-1; step++ {
 		sendIdx := (me - step + size) % size
 		recvIdx := (me - step - 1 + size) % size
-		cc.Sendrecv(
+		if err := cc.sendrecvColl(
 			recv[int64(sendIdx)*bytes:int64(sendIdx+1)*bytes], count, dt, right, tagAllgather+step,
 			recv[int64(recvIdx)*bytes:int64(recvIdx+1)*bytes], count, dt, left, tagAllgather+step,
-		)
+		); err != nil {
+			return op.end(err)
+		}
 	}
+	return op.end(nil)
 }
 
 // Alltoall sends the i-th count-element slice of send to rank i and
-// receives rank i's slice into the i-th slot of recv (pairwise-exchange
-// algorithm).
+// receives rank i's slice into the i-th slot of recv. It panics on
+// failures; use AlltoallChecked under fault plans.
 func (c *Comm) Alltoall(send []byte, count int, dt *datatype.Type, recv []byte) {
-	cc := c.collective()
+	mustColl(c.AlltoallChecked(send, count, dt, recv))
+}
+
+// AlltoallChecked is Alltoall returning failures as typed errors
+// (pairwise exchange, or the one-sided window exchange when the per-peer
+// block fits a slot and the cost model favours it).
+func (c *Comm) AlltoallChecked(send []byte, count int, dt *datatype.Type, recv []byte) error {
 	size := c.Size()
 	me := c.Rank()
 	bytes := dt.Size() * int64(count)
 	copy(recv[int64(me)*bytes:int64(me+1)*bytes], send[int64(me)*bytes:int64(me+1)*bytes])
+	if size == 1 {
+		return nil
+	}
+	alg := c.chooseCollAlg(collAlltoall, size, int64(size)*bytes, bytes)
+	op := c.collBegin(collAlltoall, alg, int64(size)*bytes)
+	cc := c.collective()
+	if alg == CollOneSided {
+		return op.end(cc.osExchange(
+			func(dst int) []byte { return send[int64(dst)*bytes : int64(dst+1)*bytes] },
+			func(src int) []byte { return recv[int64(src)*bytes : int64(src+1)*bytes] },
+		))
+	}
 	for step := 1; step < size; step++ {
 		to := (me + step) % size
 		from := (me - step + size) % size
-		cc.Sendrecv(
+		if err := cc.sendrecvColl(
 			send[int64(to)*bytes:int64(to+1)*bytes], count, dt, to, tagAlltoall+step,
 			recv[int64(from)*bytes:int64(from+1)*bytes], count, dt, from, tagAlltoall+step,
-		)
+		); err != nil {
+			return op.end(err)
+		}
 	}
+	return op.end(nil)
 }
 
 // Scan computes the inclusive prefix reduction: recv on rank r holds
-// op(send_0, ..., send_r). Linear algorithm: receive from the left, fold,
-// forward to the right.
+// op(send_0, ..., send_r). It panics on failures; use ScanChecked under
+// fault plans.
 func (c *Comm) Scan(send, recv []byte, count int, dt *datatype.Type, op Op) {
-	if dt.Kind() != datatype.KindBasic {
-		panic(fmt.Sprintf("mpi: Scan requires a basic datatype, got %s", dt))
+	mustColl(c.ScanChecked(send, recv, count, dt, op))
+}
+
+// ScanChecked is Scan returning failures as typed errors. Linear
+// algorithm on the base-typed views: receive from the left, fold,
+// forward to the right.
+func (c *Comm) ScanChecked(send, recv []byte, count int, dt *datatype.Type, op Op) error {
+	base, err := checkReduceDT("Scan", dt)
+	if err != nil {
+		return err
 	}
-	cc := c.collective()
 	bytes := dt.Size() * int64(count)
+	cop := c.collBegin(collScan, CollP2P, bytes)
+	cc := c.collective()
+	view := c.newReduceView(send, count, dt, base)
 	acc := make([]byte, bytes)
-	copy(acc, send[:bytes])
+	copy(acc, view.buf)
 	me := c.Rank()
 	if me > 0 {
 		prev := make([]byte, bytes)
-		cc.recv(prev, count, dt, me-1, tagScan, cc.ctx)
+		if err := cc.recvColl(prev, view.elems, base, me-1, tagScan); err != nil {
+			return cop.end(err)
+		}
 		// Combine with the running prefix from the left, preserving
 		// left-to-right order: acc = prefix op mine.
-		combine(op, dt, prev, acc, count)
+		c.combineColl(op, base, prev, acc, view.elems)
 		copy(acc, prev)
 	}
 	if me < c.Size()-1 {
-		cc.send(acc, count, dt, me+1, tagScan, cc.ctx)
+		if err := cc.send(acc, view.elems, base, me+1, tagScan, cc.ctx); err != nil {
+			return cop.end(err)
+		}
 	}
-	copy(recv[:bytes], acc)
+	res := reduceView{base: base, elems: view.elems, buf: acc}
+	res.writeback(c, recv, count, dt)
+	return cop.end(nil)
 }
 
 // ReduceScatterBlock reduces size*count elements elementwise across all
 // ranks and scatters equal count-element blocks: rank r receives the
-// reduction of everyone's r-th block (implemented as Reduce + Scatter).
+// reduction of everyone's r-th block. It panics on failures; use
+// ReduceScatterBlockChecked under fault plans.
 func (c *Comm) ReduceScatterBlock(send, recv []byte, count int, dt *datatype.Type, op Op) {
+	mustColl(c.ReduceScatterBlockChecked(send, recv, count, dt, op))
+}
+
+// ReduceScatterBlockChecked is ReduceScatterBlock returning failures as
+// typed errors (implemented as Reduce + Scatter through the checked
+// paths).
+func (c *Comm) ReduceScatterBlockChecked(send, recv []byte, count int, dt *datatype.Type, op Op) error {
 	size := c.Size()
 	total := count * size
 	var full []byte
 	if c.Rank() == 0 {
 		full = make([]byte, dt.Size()*int64(total))
 	}
-	c.Reduce(send, full, total, dt, op, 0)
-	c.Scatter(full, count, dt, recv, 0)
+	if err := c.ReduceChecked(send, full, total, dt, op, 0); err != nil {
+		return err
+	}
+	return c.ScatterChecked(full, count, dt, recv, 0)
 }
 
 // Waitall blocks until every request has completed, returning the statuses
-// (nil entries for sends).
+// (nil entries for sends). It panics on failures; use WaitallChecked under
+// fault plans.
 func (c *Comm) Waitall(reqs []*Request) []*Status {
 	out := make([]*Status, len(reqs))
 	for i, r := range reqs {
@@ -110,4 +175,22 @@ func (c *Comm) Waitall(reqs []*Request) []*Status {
 		}
 	}
 	return out
+}
+
+// WaitallChecked waits for every request, returning the statuses and the
+// first error encountered (all requests are drained either way).
+func (c *Comm) WaitallChecked(reqs []*Request) ([]*Status, error) {
+	out := make([]*Status, len(reqs))
+	var first error
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		st, err := r.WaitChecked()
+		out[i] = st
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return out, first
 }

@@ -1,8 +1,6 @@
 package mpi
 
 import (
-	"fmt"
-
 	"scimpich/internal/datatype"
 )
 
@@ -17,65 +15,112 @@ const (
 )
 
 // checkV validates counts/displs against the communicator size.
-func (c *Comm) checkV(name string, counts, displs []int) {
+func (c *Comm) checkV(call string, counts, displs []int) error {
 	if len(counts) != c.Size() || len(displs) != c.Size() {
-		panic(fmt.Sprintf("mpi: %s: %d counts / %d displs for %d ranks",
-			name, len(counts), len(displs), c.Size()))
+		return argErrf(call, "%d counts / %d displs for %d ranks",
+			len(counts), len(displs), c.Size())
 	}
+	return nil
 }
 
 // Gatherv collects counts[r] elements from each rank r into recv at
-// element displacement displs[r] on root (MPI_Gatherv).
+// element displacement displs[r] on root (MPI_Gatherv). It panics on
+// failures; use GathervChecked under fault plans.
 func (c *Comm) Gatherv(send []byte, count int, dt *datatype.Type, recv []byte, counts, displs []int, root int) {
+	mustColl(c.GathervChecked(send, count, dt, recv, counts, displs, root))
+}
+
+// GathervChecked is Gatherv returning failures as typed errors. The root
+// posts all receives up front and then waits, so senders complete
+// concurrently instead of being drained one rank at a time.
+func (c *Comm) GathervChecked(send []byte, count int, dt *datatype.Type, recv []byte, counts, displs []int, root int) error {
+	if err := c.checkRoot("Gatherv", root); err != nil {
+		return err
+	}
 	cc := c.collective()
 	es := dt.Size()
-	if c.Rank() == root {
-		c.checkV("Gatherv", counts, displs)
-		copy(recv[int64(displs[root])*es:], send[:int64(counts[root])*es])
-		for r := 0; r < c.Size(); r++ {
-			if r == root {
-				continue
-			}
-			off := int64(displs[r]) * es
-			cc.recv(recv[off:off+int64(counts[r])*es], counts[r], dt, r, tagGatherv, cc.ctx)
-		}
-		return
+	op := c.collBegin(collGatherv, CollP2P, es*int64(count))
+	if c.Rank() != root {
+		return op.end(cc.send(send, count, dt, root, tagGatherv, cc.ctx))
 	}
-	cc.send(send, count, dt, root, tagGatherv, cc.ctx)
+	if err := c.checkV("Gatherv", counts, displs); err != nil {
+		return op.end(err)
+	}
+	copy(recv[int64(displs[root])*es:], send[:int64(counts[root])*es])
+	reqs := make([]*Request, c.Size())
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		off := int64(displs[r]) * es
+		reqs[r] = cc.irecv(recv[off:off+int64(counts[r])*es], counts[r], dt, r, tagGatherv, cc.ctx)
+	}
+	for r, req := range reqs {
+		if req == nil {
+			continue
+		}
+		if err := cc.waitColl(req, r, tagGatherv); err != nil {
+			return op.end(err)
+		}
+	}
+	return op.end(nil)
 }
 
 // Scatterv distributes counts[r] elements from send (at displacement
-// displs[r], on root) to each rank r's recv buffer (MPI_Scatterv).
+// displs[r], on root) to each rank r's recv buffer (MPI_Scatterv). It
+// panics on failures; use ScattervChecked under fault plans.
 func (c *Comm) Scatterv(send []byte, counts, displs []int, dt *datatype.Type, recv []byte, count int, root int) {
+	mustColl(c.ScattervChecked(send, counts, displs, dt, recv, count, root))
+}
+
+// ScattervChecked is Scatterv returning failures as typed errors.
+func (c *Comm) ScattervChecked(send []byte, counts, displs []int, dt *datatype.Type, recv []byte, count int, root int) error {
+	if err := c.checkRoot("Scatterv", root); err != nil {
+		return err
+	}
 	cc := c.collective()
 	es := dt.Size()
-	if c.Rank() == root {
-		c.checkV("Scatterv", counts, displs)
-		copy(recv, send[int64(displs[root])*es:int64(displs[root])*es+int64(counts[root])*es])
-		for r := 0; r < c.Size(); r++ {
-			if r == root {
-				continue
-			}
-			off := int64(displs[r]) * es
-			cc.send(send[off:off+int64(counts[r])*es], counts[r], dt, r, tagScatterv, cc.ctx)
-		}
-		return
+	op := c.collBegin(collScatterv, CollP2P, es*int64(count))
+	if c.Rank() != root {
+		return op.end(cc.recvColl(recv, count, dt, root, tagScatterv))
 	}
-	cc.recv(recv, count, dt, root, tagScatterv, cc.ctx)
+	if err := c.checkV("Scatterv", counts, displs); err != nil {
+		return op.end(err)
+	}
+	copy(recv, send[int64(displs[root])*es:int64(displs[root])*es+int64(counts[root])*es])
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		off := int64(displs[r]) * es
+		if err := cc.send(send[off:off+int64(counts[r])*es], counts[r], dt, r, tagScatterv, cc.ctx); err != nil {
+			return op.end(err)
+		}
+	}
+	return op.end(nil)
 }
 
 // Allgatherv collects counts[r] elements from every rank into every rank's
 // recv buffer at displacement displs[r] (MPI_Allgatherv; ring algorithm).
+// It panics on failures; use AllgathervChecked under fault plans.
 func (c *Comm) Allgatherv(send []byte, count int, dt *datatype.Type, recv []byte, counts, displs []int) {
-	c.checkV("Allgatherv", counts, displs)
+	mustColl(c.AllgathervChecked(send, count, dt, recv, counts, displs))
+}
+
+// AllgathervChecked is Allgatherv returning failures as typed errors.
+func (c *Comm) AllgathervChecked(send []byte, count int, dt *datatype.Type, recv []byte, counts, displs []int) error {
+	if err := c.checkV("Allgatherv", counts, displs); err != nil {
+		return err
+	}
 	cc := c.collective()
 	size := c.Size()
 	me := c.Rank()
 	es := dt.Size()
 	copy(recv[int64(displs[me])*es:], send[:int64(counts[me])*es])
 	if size == 1 {
-		return
+		return nil
 	}
+	op := c.collBegin(collAgatherv, CollP2P, es*int64(count))
 	right := (me + 1) % size
 	left := (me - 1 + size) % size
 	for step := 0; step < size-1; step++ {
@@ -83,9 +128,12 @@ func (c *Comm) Allgatherv(send []byte, count int, dt *datatype.Type, recv []byte
 		recvIdx := (me - step - 1 + size) % size
 		so := int64(displs[sendIdx]) * es
 		ro := int64(displs[recvIdx]) * es
-		cc.Sendrecv(
+		if err := cc.sendrecvColl(
 			recv[so:so+int64(counts[sendIdx])*es], counts[sendIdx], dt, right, tagAgatherv+step,
 			recv[ro:ro+int64(counts[recvIdx])*es], counts[recvIdx], dt, left, tagAgatherv+step,
-		)
+		); err != nil {
+			return op.end(err)
+		}
 	}
+	return op.end(nil)
 }

@@ -1,0 +1,90 @@
+package mpi
+
+import (
+	"scimpich/internal/datatype"
+	"scimpich/internal/pack"
+)
+
+// Reductions over derived datatypes: instead of restricting Reduce /
+// Allreduce / Scan to basic types, each rank folds its contribution
+// through a direct_pack_ff view — the leaf-major linearization of the
+// derived type into a contiguous buffer of its base basic type. The
+// reduction algorithms then run elementwise on base elements, and the
+// result is unpacked back through the same view. A type qualifies when all
+// its leaves share one basic type the combiner supports.
+
+// reducible reports whether the combiner implements the basic type.
+func reducible(base *datatype.Type) bool {
+	switch base {
+	case datatype.Float64, datatype.Float32, datatype.Int64, datatype.Int32,
+		datatype.Int16, datatype.Byte, datatype.Char:
+		return true
+	}
+	return false
+}
+
+// reduceView is the contiguous elementwise view of one rank's reduction
+// buffer: elems elements of the base basic type.
+type reduceView struct {
+	base  *datatype.Type
+	elems int
+	buf   []byte // the linearization; aliases the user buffer when dense
+	alias bool
+}
+
+// checkReduceDT validates a reduction datatype, returning its base basic
+// type or the ArgumentError the checked API surfaces.
+func checkReduceDT(call string, dt *datatype.Type) (*datatype.Type, error) {
+	base := dt.Base()
+	if base == nil {
+		return nil, argErrf(call, "datatype %s mixes basic types; reductions need a single base type", dt)
+	}
+	if !reducible(base) {
+		return nil, argErrf(call, "reduction on unsupported base type %s", base)
+	}
+	return base, nil
+}
+
+// newReduceView linearizes count elements of dt from buf into a
+// contiguous base-typed view, charging the ff pack cost. Dense layouts
+// alias the user buffer and cost nothing.
+func (c *Comm) newReduceView(buf []byte, count int, dt, base *datatype.Type) *reduceView {
+	bytes := dt.Size() * int64(count)
+	v := &reduceView{base: base, elems: int(bytes / base.Size())}
+	if dt.Contiguous() {
+		v.buf = buf[:bytes]
+		v.alias = true
+		return v
+	}
+	v.buf = make([]byte, bytes)
+	_, st := pack.FFPack(pack.BufferSink{Buf: v.buf}, buf, dt, count, 0, -1)
+	c.chargePackBlocks(st, true)
+	return v
+}
+
+// writeback unpacks the view's (reduced) contents into a user receive
+// buffer laid out as count elements of dt.
+func (v *reduceView) writeback(c *Comm, buf []byte, count int, dt *datatype.Type) {
+	if dt.Contiguous() {
+		if len(v.buf) > 0 && (!v.alias || &v.buf[0] != &buf[0]) {
+			copy(buf[:len(v.buf)], v.buf)
+		}
+		return
+	}
+	_, st := pack.FFUnpack(buf, v.buf, dt, count, 0, -1)
+	c.chargePackBlocks(st, true)
+}
+
+// chargeCombine bills the elementwise reduction of n bytes on the calling
+// process (memory-bound: two streams in, one out; see modelCombine).
+func (c *Comm) chargeCombine(n int64) {
+	if n > 0 {
+		c.p.Sleep(c.mem().CopyCost(n, n, 3*n))
+	}
+}
+
+// combineColl folds count elements of in into acc and bills the work.
+func (c *Comm) combineColl(op Op, base *datatype.Type, acc, in []byte, count int) {
+	combine(op, base, acc, in, count)
+	c.chargeCombine(base.Size() * int64(count))
+}

@@ -27,3 +27,21 @@ type CancelledError struct {
 func (e *CancelledError) Error() string {
 	return fmt.Sprintf("mpi: rendezvous %d cancelled by sender %d", e.ReqID, e.Sender)
 }
+
+// ArgumentError reports invalid arguments to a collective call (a
+// non-reducible datatype passed to a reduction, mismatched counts/displs
+// lengths, an out-of-range root). The checked collective variants return
+// it; the panicking wrappers panic with it.
+type ArgumentError struct {
+	Call   string // the API entry point, e.g. "Reduce"
+	Reason string
+}
+
+func (e *ArgumentError) Error() string {
+	return fmt.Sprintf("mpi: %s: %s", e.Call, e.Reason)
+}
+
+// argErrf builds an *ArgumentError with a formatted reason.
+func argErrf(call, format string, args ...any) *ArgumentError {
+	return &ArgumentError{Call: call, Reason: fmt.Sprintf(format, args...)}
+}

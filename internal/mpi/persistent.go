@@ -1,8 +1,6 @@
 package mpi
 
 import (
-	"fmt"
-
 	"scimpich/internal/datatype"
 )
 
@@ -93,13 +91,21 @@ func (c *Comm) Ssend(buf []byte, count int, dt *datatype.Type, dst, tag int) {
 
 // Alltoallv is the variable-count all-to-all (MPI_Alltoallv): the slice for
 // rank r starts at element sdispls[r] of send with sendCounts[r] elements,
-// and symmetric for the receive side.
+// and symmetric for the receive side. It panics on failures; use
+// AlltoallvChecked under fault plans.
 func (c *Comm) Alltoallv(send []byte, sendCounts, sdispls []int, dt *datatype.Type,
 	recv []byte, recvCounts, rdispls []int) {
+	mustColl(c.AlltoallvChecked(send, sendCounts, sdispls, dt, recv, recvCounts, rdispls))
+}
+
+// AlltoallvChecked is Alltoallv returning failures as typed errors
+// (pairwise exchange).
+func (c *Comm) AlltoallvChecked(send []byte, sendCounts, sdispls []int, dt *datatype.Type,
+	recv []byte, recvCounts, rdispls []int) error {
 	size := c.Size()
 	if len(sendCounts) != size || len(sdispls) != size || len(recvCounts) != size || len(rdispls) != size {
-		panic(fmt.Sprintf("mpi: Alltoallv argument lengths %d/%d/%d/%d for %d ranks",
-			len(sendCounts), len(sdispls), len(recvCounts), len(rdispls), size))
+		return argErrf("Alltoallv", "argument lengths %d/%d/%d/%d for %d ranks",
+			len(sendCounts), len(sdispls), len(recvCounts), len(rdispls), size)
 	}
 	cc := c.collective()
 	me := c.Rank()
@@ -111,9 +117,12 @@ func (c *Comm) Alltoallv(send []byte, sendCounts, sdispls []int, dt *datatype.Ty
 		from := (me - step + size) % size
 		so := int64(sdispls[to]) * es
 		ro := int64(rdispls[from]) * es
-		cc.Sendrecv(
+		if err := cc.sendrecvColl(
 			send[so:so+int64(sendCounts[to])*es], sendCounts[to], dt, to, tagAlltoall+step,
 			recv[ro:ro+int64(recvCounts[from])*es], recvCounts[from], dt, from, tagAlltoall+step,
-		)
+		); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -24,14 +24,20 @@ type SharedSeg struct {
 // AllocShared allocates size bytes of remotely accessible memory owned by
 // the calling rank.
 func (c *Comm) AllocShared(size int64) *SharedSeg {
-	w := c.w
-	s := &SharedSeg{w: w, owner: c.WorldRank(), buf: make([]byte, size)}
-	s.region = w.buses[c.rk.node].AllocBacked(s.buf)
+	return c.w.allocShared(c.WorldRank(), size)
+}
+
+// allocShared builds a shared segment owned by a world rank (also used by
+// the collective engine for its one-sided windows).
+func (w *World) allocShared(owner int, size int64) *SharedSeg {
+	s := &SharedSeg{w: w, owner: owner, buf: make([]byte, size)}
+	node := w.ranks[owner].node
+	s.region = w.buses[node].AllocBacked(s.buf)
 	if w.ic != nil {
-		s.seg = w.ic.Node(c.rk.node).ExportBuffer(s.buf)
+		s.seg = w.ic.Node(node).ExportBuffer(s.buf)
 	}
 	if w.nicNet != nil {
-		s.nicBuf = w.nicNet.AllocBacked(c.rk.node, s.buf)
+		s.nicBuf = w.nicNet.AllocBacked(node, s.buf)
 	}
 	return s
 }

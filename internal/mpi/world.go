@@ -71,6 +71,25 @@ type ProtocolConfig struct {
 	// CallOverhead is the software cost of entering an MPI call.
 	CallOverhead time.Duration
 
+	// Coll selects the collective algorithm policy: the cost-model +
+	// EWMA chooser (CollAuto, the default), the legacy point-to-point
+	// algorithms (CollP2P), or one forced algorithm family for ablation
+	// runs (see CollAlg).
+	Coll CollAlg
+	// CollSlot is the per-source deposit slot in each rank's one-sided
+	// collective window (each rank exposes size*CollSlot bytes, built on
+	// first use). 0 disables the window and the one-sided collective
+	// algorithms.
+	CollSlot int64
+	// CollEWMA is the blend factor of the collective chooser's per-world
+	// bandwidth estimator (0 uses the deposit chooser's default 0.25).
+	CollEWMA float64
+	// CollTimeout bounds each internal wait inside a checked collective
+	// (BarrierChecked and friends): an expired wait surfaces as
+	// sci.ErrConnectionLost when the awaited peer's node is down, or a
+	// fault.Timeout error otherwise. 0 waits forever.
+	CollTimeout time.Duration
+
 	// RendezvousTimeout bounds each wait for rendezvous control traffic
 	// (CTS, chunk acks). 0 waits forever (the legacy behaviour); with a
 	// timeout, an expired wait surfaces as sci.ErrConnectionLost when the
@@ -101,6 +120,10 @@ func DefaultProtocol() ProtocolConfig {
 		Path:          PathAdaptive,
 		PathEWMA:      defaultPathEWMA,
 		DMASGMinBlock: 0,
+
+		Coll:     CollAuto,
+		CollSlot: 256 << 10, // two double-buffered 128 KiB halves per pair
+		CollEWMA: defaultPathEWMA,
 
 		RendezvousTimeout: 0, // wait forever unless a run opts into watchdogs
 		SendRetryMax:      6,
@@ -183,6 +206,16 @@ type World struct {
 	seq        map[string][]int
 	ctxCounter int
 
+	// Collective algorithm engine state: the lazily built one-sided
+	// windows (one SharedSeg per owning rank, a per-source view matrix)
+	// and the chooser's feedback tables (see collalg.go). All of it is
+	// mutated from rank processes without locking: the simulation is
+	// single-threaded.
+	collWins  []*SharedSeg
+	collViews [][]smi.Mem
+	collLive  collEWMATable
+	collSnaps map[collSnapKey]*collSnap
+
 	met worldMetrics
 	// packFF/packGeneric accumulate the block structure of every pack and
 	// unpack operation charged on this world, per engine (see PackStats).
@@ -241,10 +274,15 @@ type worldMetrics struct {
 
 	oscCallsInterrupt *obs.Counter
 	oscCallsPoll      *obs.Counter
+
+	// collChosen counts collective algorithm decisions, one counter per
+	// (collective, algorithm) pair; collNS times whole collective calls.
+	collChosen [collKindCount][collAlgCount]*obs.Counter
+	collNS     [collKindCount]*obs.Histogram
 }
 
 func newWorldMetrics(r *obs.Registry) worldMetrics {
-	return worldMetrics{
+	m := worldMetrics{
 		sendShortNS: r.Histogram(obs.Name("mpi.send.ns", "path", "short")),
 		sendEagerNS: r.Histogram(obs.Name("mpi.send.ns", "path", "eager")),
 		sendRdvNS:   r.Histogram(obs.Name("mpi.send.ns", "path", "rdv")),
@@ -279,6 +317,14 @@ func newWorldMetrics(r *obs.Registry) worldMetrics {
 		oscCallsInterrupt: r.Counter(obs.Name("mpi.osc.calls", "delivery", "interrupt")),
 		oscCallsPoll:      r.Counter(obs.Name("mpi.osc.calls", "delivery", "poll")),
 	}
+	for k := collKind(0); k < collKindCount; k++ {
+		m.collNS[k] = r.Histogram(obs.Name("mpi.coll.ns", "coll", k.String()))
+		for a := CollAlg(0); a < collAlgCount; a++ {
+			m.collChosen[k][a] = r.Counter(obs.Name("mpi.coll.alg.chosen",
+				"coll", k.String(), "alg", a.String()))
+		}
+	}
+	return m
 }
 
 // rank is one MPI process.

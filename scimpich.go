@@ -52,6 +52,44 @@ type (
 	Op = mpi.Op
 	// SharedSeg is remotely accessible memory (MPI_Alloc_mem).
 	SharedSeg = mpi.SharedSeg
+	// ProtocolConfig tunes the messaging protocols and the collective
+	// engine (point-to-point thresholds, path policy, collective
+	// algorithm choice and window sizing).
+	ProtocolConfig = mpi.ProtocolConfig
+	// PathPolicy selects the transfer engine of large point-to-point
+	// messages.
+	PathPolicy = mpi.PathPolicy
+	// CollAlg selects (or forces) a collective algorithm family.
+	CollAlg = mpi.CollAlg
+)
+
+// Typed errors surfaced by the checked API (SendChecked, BcastChecked,
+// AllreduceChecked, ...).
+type (
+	// ArgumentError reports an invalid argument to an MPI call.
+	ArgumentError = mpi.ArgumentError
+	// ProtocolError reports a messaging-protocol violation.
+	ProtocolError = mpi.ProtocolError
+	// CancelledError reports a request cancelled by fault handling.
+	CancelledError = mpi.CancelledError
+)
+
+// Transfer-path policies (ProtocolConfig.Path).
+const (
+	PathAdaptive = mpi.PathAdaptive
+	PathStatic   = mpi.PathStatic
+	PathPIO      = mpi.PathPIO
+	PathStaged   = mpi.PathStaged
+	PathDMA      = mpi.PathDMA
+)
+
+// Collective algorithm families (ProtocolConfig.Coll).
+const (
+	CollAuto     = mpi.CollAuto
+	CollP2P      = mpi.CollP2P
+	CollRecDbl   = mpi.CollRecDbl
+	CollRing     = mpi.CollRing
+	CollOneSided = mpi.CollOneSided
 )
 
 // Datatypes.
@@ -105,6 +143,10 @@ var Run = mpi.Run
 // DefaultConfig returns a cluster configuration matching the paper's
 // testbed (dual Pentium-III nodes on a 166 MHz SCI ringlet).
 var DefaultConfig = mpi.DefaultConfig
+
+// DefaultProtocol returns the SCI-MPICH-like protocol parameters
+// (thresholds, path policy, collective engine defaults).
+var DefaultProtocol = mpi.DefaultProtocol
 
 // Datatype constructors (MPI_Type_*).
 var (
