@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json alloc-test trace-demo
+.PHONY: check vet build test race bench bench-json alloc-test trace-demo failover
 
-# check is the tier-1 gate: vet, build everything, then the full test suite
-# with the race detector.
-check: vet build race
+# check is the tier-1 gate: vet, build everything, the full test suite with
+# the race detector, then the failover availability claims.
+check: vet build race failover
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,13 @@ bench:
 # artifacts. See docs/PERFORMANCE.md.
 bench-json:
 	$(GO) run ./cmd/benchjson -dir .
+
+# failover runs the replicated remote-memory availability claims: a node
+# crash mid-workload must lose no committed write, fail no client operation
+# after the failover epoch, and keep the get p99 within 3x of the crash-free
+# baseline. See docs/ELASTIC.md.
+failover:
+	$(GO) test -run TestFailoverClaims -count=1 ./internal/rmem
 
 # alloc-test runs only the allocation-pinned hot-path tests (0 allocs/op on
 # pack and PIO fast paths); CI fails the bench job if these regress.

@@ -15,6 +15,7 @@ import (
 
 func main() {
 	dir := flag.String("dir", ".", "directory the BENCH_*.json artifacts are written to")
+	rmemSeed := flag.Uint64("rmem-seed", 42, "fault-plan seed of the rmem failover suite")
 	flag.Parse()
 
 	suites := []struct {
@@ -58,4 +59,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", path)
+
+	// The replicated remote-memory failover suite (crash-free baseline vs
+	// a primary crash mid-workload); its rows carry the availability gates.
+	rmemRows, ok := bench.RunRmemBench(*rmemSeed)
+	fmt.Print(bench.FormatRmem(rmemRows))
+	path = filepath.Join(*dir, "BENCH_rmem.json")
+	if err := bench.WriteRmemJSON(path, rmemRows); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchjson: rmem availability gates failed")
+		os.Exit(1)
+	}
 }

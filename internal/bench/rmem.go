@@ -1,0 +1,154 @@
+package bench
+
+// The replicated remote-memory failover benchmark behind BENCH_rmem.json:
+// the rmem workload runs once crash-free and once with a primary-holding
+// node crashed mid-run. The artifact gates the availability claims — no
+// committed write lost, no client operation failing after the failover
+// epoch, and a p99 get service time under churn within 3x of the crash-free
+// baseline — and reports the ungated recovery economics (failovers, sojourn
+// p99, operation failures during detection) alongside.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"scimpich/internal/fault"
+	"scimpich/internal/mpi"
+	"scimpich/internal/rmem"
+)
+
+// RmemResult is one scenario row of the failover suite.
+type RmemResult struct {
+	Scenario string `json:"scenario"` // "baseline" or "churn"
+	Nodes    int    `json:"nodes"`
+	Seed     uint64 `json:"seed"`
+	Rounds   int    `json:"rounds"`
+	Ops      int64  `json:"ops_ok"`
+
+	Failovers           int   `json:"failovers"`
+	Committed           int64 `json:"committed"`
+	LostWrites          int64 `json:"lost_writes"`
+	LostShards          int   `json:"lost_shards"`
+	OpFailures          int64 `json:"op_failures"`
+	FailedAfterRecovery int64 `json:"failed_after_recovery"`
+
+	GetP50NS     int64 `json:"get_p50_ns"`
+	GetP99NS     int64 `json:"get_p99_ns"`
+	PutP99NS     int64 `json:"put_p99_ns"`
+	SojournP99NS int64 `json:"sojourn_p99_ns"`
+	ElapsedNS    int64 `json:"elapsed_ns"`
+
+	// Gates (churn row only): the availability claims this artifact pins.
+	GateNoLostWrites      bool `json:"gate_no_lost_writes,omitempty"`
+	GatePostFailoverClean bool `json:"gate_post_failover_clean,omitempty"`
+	GateP99Bound          bool `json:"gate_p99_bound,omitempty"`
+}
+
+// RmemNodes and RmemCrashAt pin the benchmark scenario.
+const (
+	RmemNodes   = 4
+	RmemCrashAt = 5200 * time.Microsecond
+)
+
+func rmemConfig(plan *fault.Plan) mpi.Config {
+	cfg := mpi.DefaultConfig(RmemNodes, 1)
+	cfg.SCI.Fault = plan
+	cfg.Protocol.CollTimeout = mpi.AutoTimeout
+	cfg.Protocol.RendezvousTimeout = mpi.AutoTimeout
+	return cfg
+}
+
+func rmemRow(scenario string, seed uint64, reports []rmem.RankReport, end time.Duration) RmemResult {
+	wl := rmem.DefaultWorkload()
+	r := RmemResult{Scenario: scenario, Nodes: RmemNodes, Seed: seed, Rounds: wl.Rounds, ElapsedNS: int64(end)}
+	for _, rr := range reports {
+		if rr.Died {
+			continue
+		}
+		r.Ops += rr.GetOK + rr.PutOK
+		r.Failovers += rr.Failovers
+		r.Committed += int64(rr.Committed)
+		r.LostWrites += rr.LostWrites
+		r.LostShards += rr.LostShards
+		r.OpFailures += rr.OpFailures
+		r.FailedAfterRecovery += rr.FailedAfterRecovery
+		if p := rr.GetNS.P50; p > r.GetP50NS {
+			r.GetP50NS = p
+		}
+		if p := rr.GetNS.P99; p > r.GetP99NS {
+			r.GetP99NS = p
+		}
+		if p := rr.PutNS.P99; p > r.PutP99NS {
+			r.PutP99NS = p
+		}
+		if p := rr.SojournNS.P99; p > r.SojournP99NS {
+			r.SojournP99NS = p
+		}
+	}
+	return r
+}
+
+// RunRmemBench executes the baseline and churn scenarios and evaluates the
+// availability gates on the churn row. ok reports whether every gate holds.
+func RunRmemBench(seed uint64) (rows []RmemResult, ok bool) {
+	wl := rmem.DefaultWorkload()
+	cfg := rmem.DefaultConfig()
+
+	baseRep, baseEnd := rmem.RunWorkload(rmemConfig(fault.New(seed)), cfg, wl)
+	base := rmemRow("baseline", seed, baseRep, baseEnd)
+
+	churnRep, churnEnd := rmem.RunWorkload(rmemConfig(fault.New(seed).CrashNode(1, RmemCrashAt)), cfg, wl)
+	churn := rmemRow("churn", seed, churnRep, churnEnd)
+
+	churn.GateNoLostWrites = churn.LostWrites == 0 && churn.LostShards == 0
+	churn.GatePostFailoverClean = churn.FailedAfterRecovery == 0 && churn.Failovers > 0
+	churn.GateP99Bound = base.GetP99NS > 0 && churn.GetP99NS <= 3*base.GetP99NS
+
+	ok = churn.GateNoLostWrites && churn.GatePostFailoverClean && churn.GateP99Bound
+	return []RmemResult{base, churn}, ok
+}
+
+// rmemFile is the envelope of the BENCH_rmem.json artifact.
+type rmemFile struct {
+	Suite   string       `json:"suite"`
+	Go      string       `json:"go"`
+	GOOS    string       `json:"goos"`
+	GOARCH  string       `json:"goarch"`
+	Results []RmemResult `json:"results"`
+}
+
+// WriteRmemJSON writes the failover suite as an indented JSON artifact (the
+// BENCH_rmem.json availability gate).
+func WriteRmemJSON(path string, results []RmemResult) error {
+	data, err := json.MarshalIndent(rmemFile{
+		Suite:   "rmem",
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		Results: results,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatRmem renders the failover suite as an aligned text table.
+func FormatRmem(results []RmemResult) string {
+	out := "rmem (replicated remote-memory failover):\n"
+	out += fmt.Sprintf("  %-9s %6s %9s %9s %5s %5s %11s %11s %11s  %s\n",
+		"scenario", "ops", "committed", "failures", "fovr", "lost", "get_p99", "put_p99", "sojourn_p99", "gates")
+	for _, r := range results {
+		gates := "-"
+		if r.Scenario == "churn" {
+			gates = fmt.Sprintf("lost=%v clean=%v p99=%v", r.GateNoLostWrites, r.GatePostFailoverClean, r.GateP99Bound)
+		}
+		out += fmt.Sprintf("  %-9s %6d %9d %9d %5d %5d %11v %11v %11v  %s\n",
+			r.Scenario, r.Ops, r.Committed, r.OpFailures, r.Failovers, r.LostWrites,
+			time.Duration(r.GetP99NS), time.Duration(r.PutP99NS), time.Duration(r.SojournP99NS), gates)
+	}
+	return out
+}

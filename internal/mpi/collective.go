@@ -1,6 +1,8 @@
 package mpi
 
 import (
+	"time"
+
 	"scimpich/internal/datatype"
 	"scimpich/internal/fault"
 )
@@ -38,11 +40,18 @@ func (c *Comm) checkRoot(call string, root int) error {
 	return nil
 }
 
-// waitColl awaits an internal collective receive, bounded by CollTimeout:
-// an expired wait surfaces as sci.ErrConnectionLost when the awaited
-// peer's node is down, or a *fault.Error of kind Timeout otherwise.
+// waitColl awaits an internal collective receive, bounded by CollTimeout
+// (AutoTimeout scales the bound with the world; see timeouts.go): an
+// expired wait surfaces as sci.ErrConnectionLost when the awaited peer's
+// node is down, a *RevokedRankError when it was revoked, or a *fault.Error
+// of kind Timeout otherwise.
 func (c *Comm) waitColl(r *Request, src, tag int) error {
-	to := c.rk.w.protocol().CollTimeout
+	return c.waitCollT(r, src, tag, c.rk.w.collTimeoutEff())
+}
+
+// waitCollT is waitColl with an explicit bound (the shrink confirmation
+// barrier forces the scaled bound even in runs whose CollTimeout is 0).
+func (c *Comm) waitCollT(r *Request, src, tag int, to time.Duration) error {
 	if to <= 0 {
 		_, err := r.WaitChecked()
 		return err

@@ -449,6 +449,36 @@ func (d *device) handleRdvCancel(p *sim.Proc, env *envelope) {
 	st.req.done.Complete(&CancelledError{Sender: env.src, ReqID: env.reqID})
 }
 
+// failFrom tears down this rank's in-flight receive-side state against a
+// revoked peer: posted receives bound to the peer and rendezvous transfers
+// it was feeding complete immediately with err instead of waiting for
+// their watchdogs. Wildcard receives are left alone — another sender can
+// still match them.
+func (d *device) failFrom(src int, err error) {
+	kept := d.posted[:0]
+	var failed []*recvReq
+	for _, req := range d.posted {
+		if req.src == src {
+			failed = append(failed, req)
+			continue
+		}
+		kept = append(kept, req)
+	}
+	d.posted = kept
+	for id, st := range d.rdv {
+		if st.env.src == src {
+			delete(d.rdv, id)
+			d.stats.rdvCancels.Add(1)
+			failed = append(failed, st.req)
+		}
+	}
+	for _, req := range failed {
+		if !req.done.Done() {
+			req.done.Complete(err)
+		}
+	}
+}
+
 // chargeBlocks bills the local block-copy work of an unpack operation.
 // ff selects the direct_pack_ff cost model (cheap stack iteration, possible
 // cache bonus) versus the recursive-traversal baseline.

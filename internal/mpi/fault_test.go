@@ -140,7 +140,7 @@ func TestNodeCrashMidRendezvousYieldsConnectionLost(t *testing.T) {
 	run := func() (time.Duration, error, error) {
 		cfg := DefaultConfig(2, 1)
 		cfg.SCI.Fault = fault.New(3).CrashNode(1, 500*time.Microsecond)
-		cfg.Protocol.RendezvousTimeout = 300 * time.Microsecond
+		cfg.Protocol.RendezvousTimeout = AutoTimeout // scaled watchdog, no tuned constant
 		payload := fill(2 << 20) // long enough to straddle the crash
 		var sendErr, recvErr error
 		d := Run(cfg, func(c *Comm) {
@@ -149,7 +149,7 @@ func TestNodeCrashMidRendezvousYieldsConnectionLost(t *testing.T) {
 				sendErr = c.SendChecked(payload, len(payload), datatype.Byte, 1, 0)
 			case 1:
 				dst := make([]byte, len(payload))
-				_, recvErr = c.RecvChecked(dst, len(dst), datatype.Byte, 0, 0, 5*time.Millisecond)
+				_, recvErr = c.RecvChecked(dst, len(dst), datatype.Byte, 0, 0, AutoTimeout)
 			}
 		})
 		return d, sendErr, recvErr

@@ -112,10 +112,19 @@ func (c *Comm) send(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int)
 	}
 }
 
-// peerLost reports whether the destination rank's node is currently down,
-// as the typed connection error (nil otherwise).
+// peerLost reports whether the destination rank is unreachable: a revoked
+// endpoint (either side) fails permanently as *RevokedRankError, a dead
+// node as the typed connection error; nil otherwise. Observing a dead node
+// also feeds the failure detector (World.Suspect), so a later shrink
+// agreement starts from what the protocols already saw.
 func (c *Comm) peerLost(dst int) error {
 	w := c.rk.w
+	if w.revoked[c.rk.id] {
+		return &RevokedRankError{Rank: c.rk.id}
+	}
+	if w.revoked[dst] {
+		return &RevokedRankError{Rank: dst}
+	}
 	if w.ic == nil {
 		return nil
 	}
@@ -123,6 +132,7 @@ func (c *Comm) peerLost(dst int) error {
 	if node == c.rk.node || w.ic.Alive(node) {
 		return nil
 	}
+	w.Suspect(dst)
 	return sci.ErrConnectionLost{From: c.rk.node, To: node}
 }
 
@@ -260,11 +270,12 @@ func (c *Comm) sendRendezvousTo(buf []byte, count int, dt *datatype.Type, dst, t
 }
 
 // recvCtl waits for the next rendezvous control packet from dst, bounded by
-// the rendezvous watchdog (ProtocolConfig.RendezvousTimeout; 0 waits
-// forever). On expiry the peer's liveness decides the error: a dead node
-// yields sci.ErrConnectionLost, otherwise a *fault.Error of kind Timeout.
+// the rendezvous watchdog (ProtocolConfig.RendezvousTimeout; AutoTimeout
+// scales with the world, 0 waits forever). On expiry the peer's liveness
+// decides the error: a dead node yields sci.ErrConnectionLost, otherwise a
+// *fault.Error of kind Timeout.
 func (c *Comm) recvCtl(reply *sim.Chan, dst int) (*envelope, error) {
-	to := c.rk.w.protocol().RendezvousTimeout
+	to := c.rk.w.rendezvousTimeoutEff()
 	if to <= 0 {
 		return c.p.Recv(reply).(*envelope), nil
 	}
@@ -601,9 +612,18 @@ func (c *Comm) recv(buf []byte, count int, dt *datatype.Type, src, tag, ctx int)
 // RecvChecked is Recv with a watchdog: if no matching message arrives
 // within timeout (virtual time) it returns a *fault.Error of kind Timeout —
 // or sci.ErrConnectionLost when a specific source rank's node is down —
-// instead of blocking forever. A timeout of 0 waits indefinitely.
+// instead of blocking forever. A timeout of 0 waits indefinitely;
+// AutoTimeout selects the world-scaled rendezvous bound.
 func (c *Comm) RecvChecked(buf []byte, count int, dt *datatype.Type, src, tag int, timeout time.Duration) (*Status, error) {
+	if src != AnySource {
+		if world := c.worldRank(src); c.rk.w.revoked[world] {
+			return nil, &RevokedRankError{Rank: world}
+		}
+	}
 	r := c.irecv(buf, count, dt, src, tag, c.ctx)
+	if timeout == AutoTimeout {
+		timeout = c.rk.w.ScaledRendezvousTimeout()
+	}
 	if timeout <= 0 {
 		return r.WaitChecked()
 	}

@@ -206,6 +206,13 @@ type World struct {
 	seq        map[string][]int
 	ctxCounter int
 
+	// Failure-detector and revocation state (see elastic.go), indexed by
+	// world rank. suspects is the sticky suspicion set; revoked marks ranks
+	// a shrink agreement excluded — every transport drops their traffic.
+	suspects   []bool
+	revoked    []bool
+	shrinkRecs map[string]*shrinkRec
+
 	// Collective algorithm engine state: the lazily built one-sided
 	// windows (one SharedSeg per owning rank, a per-source view matrix)
 	// and the chooser's feedback tables (see collalg.go). All of it is
@@ -394,6 +401,8 @@ func newWorld(e *sim.Engine, cfg Config) *World {
 	}
 	w := &World{cfg: cfg, engine: e, size: cfg.Nodes * cfg.ProcsPerNode}
 	w.met = newWorldMetrics(cfg.Metrics)
+	w.suspects = make([]bool, w.size)
+	w.revoked = make([]bool, w.size)
 	if cfg.Nodes > 1 {
 		switch cfg.Kind {
 		case InterconnectSCI:
@@ -502,6 +511,14 @@ func (rk *rank) buildSendPorts() {
 func (w *World) ring(p *sim.Proc, src, dst int, env *envelope, interrupt bool) {
 	if src == dst {
 		sim.Post(w.ranks[dst].dev.inbox, env)
+		return
+	}
+	if w.revoked[src] || w.revoked[dst] {
+		// A revoked endpoint is permanently fenced off, on every transport:
+		// even a restored node's stale traffic (old sequence numbers, late
+		// rendezvous chunks) must never reach a world that shrank past it.
+		w.cfg.Tracer.Record(p.Now(), w.ranks[src].actor, "fault",
+			"control packet %v -> %d dropped (rank revoked)", env.kind, dst)
 		return
 	}
 	from, to := w.ranks[src], w.ranks[dst]

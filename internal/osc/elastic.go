@@ -1,0 +1,97 @@
+package osc
+
+import (
+	"fmt"
+
+	"scimpich/internal/mpi"
+	"scimpich/internal/sci"
+)
+
+// Elastic-recovery support: after a node crash and a Comm.ShrinkChecked
+// agreement, a window over the old communicator cannot be freed collectively
+// (Free's barrier would hang on the dead rank) and the System's handler is
+// still bound to the old communicator's context. Abandon and Rebind let a
+// recovery layer tear the old window down unilaterally and re-home the
+// engine on the shrunken communicator, after which fresh windows are created
+// normally.
+
+// ErrWinGone reports a handler refusal: the target no longer has the window
+// (it was freed or abandoned there, typically during crash recovery).
+type ErrWinGone struct {
+	Win    int
+	Target int
+}
+
+func (e ErrWinGone) Error() string {
+	return fmt.Sprintf("osc: window %d no longer exists at rank %d", e.Win, e.Target)
+}
+
+// Abandon releases the window unilaterally, without the collective barrier
+// of Free: after a crash the barrier can never complete, but the local state
+// must still be detached before the recovery layer rebuilds. Any epoch is
+// closed without synchronization; in-flight remote requests against the
+// window id are refused gracefully by the handler (ErrWinGone at the
+// origin). Window ids are never reused, so a stale request cannot alias a
+// rebuilt window.
+func (w *Win) Abandon() {
+	w.closeEpoch()
+	w.ep = epochNone
+	w.lockHeld = -1
+	c := w.sys.c
+	c.Tracer().Record(c.Proc().Now(), w.actor, "fault", "window %d abandoned", w.id)
+	delete(w.sys.wins, w.id)
+}
+
+// Rebind re-homes the one-sided engine on a new communicator — the shrunken
+// communicator returned by ShrinkChecked. The handler moves with it; window
+// ids stay monotonic across the rebind so requests addressed to pre-shrink
+// windows hit the graceful unknown-window path instead of a rebuilt window.
+// All surviving ranks must Rebind before creating new windows.
+func (s *System) Rebind(c *mpi.Comm) {
+	s.c = c
+	c.SetOSCHandler(s.handle)
+}
+
+// lostTarget is the fast-fail reachability check run before (and after) an
+// emulation-path operation: a revoked rank (ours or the target's) yields the
+// typed revocation error, a dead target node sci.ErrConnectionLost. nil
+// means the target looked reachable at the time of the check.
+func (w *Win) lostTarget(target int) error {
+	c := w.sys.c
+	wd := c.World()
+	me := c.WorldRank()
+	world := c.GroupToWorld(target)
+	if wd.RankRevoked(me) {
+		return &mpi.RevokedRankError{Rank: me}
+	}
+	if wd.RankRevoked(world) {
+		return &mpi.RevokedRankError{Rank: world}
+	}
+	if wd.NodeOf(world) != wd.NodeOf(me) && !wd.NodeAlive(world) {
+		return sci.ErrConnectionLost{From: wd.NodeOf(me), To: wd.NodeOf(world)}
+	}
+	return nil
+}
+
+// oscRPC issues a handler request bounded by the window's SyncTimeout (with
+// SyncTimeout zero it blocks like plain OSCCall). An expired watchdog is
+// resolved to the underlying fault when the target is provably gone, else
+// reported as ErrSyncTimeout; a refused reply means the target dropped the
+// window (ErrWinGone).
+func (w *Win) oscRPC(op string, target int, req *oscReq, interrupt bool) error {
+	c := w.sys.c
+	rep, ok := c.OSCCallTimeout(c.GroupToWorld(target), req, interrupt, w.cfg.SyncTimeout)
+	if !ok {
+		w.countSyncTimeout()
+		c.Tracer().Record(c.Proc().Now(), w.actor, "fault",
+			"window %d: %s handler call to rank %d timed out", w.id, op, target)
+		if err := w.lostTarget(target); err != nil {
+			return err
+		}
+		return ErrSyncTimeout{Op: op, Win: w.id, Target: target, Waited: w.cfg.SyncTimeout}
+	}
+	if r, isRep := rep.(*oscReply); isRep && !r.ok {
+		return ErrWinGone{Win: w.id, Target: target}
+	}
+	return nil
+}

@@ -18,13 +18,25 @@ import (
 // accesses in sparse; halo datatypes in the examples).
 
 // Put moves count elements of dt from buf into target's window at
-// displacement targetOff (MPI_Put).
+// displacement targetOff (MPI_Put). It panics on failures against crashed
+// or revoked targets; use PutChecked under fault plans.
 func (w *Win) Put(buf []byte, count int, dt *datatype.Type, target int, targetOff int64) {
+	if err := w.PutChecked(buf, count, dt, target, targetOff); err != nil {
+		panic(err)
+	}
+}
+
+// PutChecked is Put returning failures as typed errors: a dead target node
+// yields sci.ErrConnectionLost, a revoked rank *mpi.RevokedRankError, an
+// expired handler watchdog ErrSyncTimeout, and a target that dropped the
+// window ErrWinGone. Epoch and bounds violations still panic (programming
+// errors).
+func (w *Win) PutChecked(buf []byte, count int, dt *datatype.Type, target int, targetOff int64) error {
 	w.checkEpoch("Put")
 	n := dt.Size() * int64(count)
 	span := dt.Extent()*int64(count-1) + dt.UB() - dt.LB()
 	if count == 0 {
-		return
+		return nil
 	}
 	w.checkTarget(target, targetOff, span)
 	w.stats.puts.Add(1)
@@ -42,16 +54,22 @@ func (w *Win) Put(buf []byte, count int, dt *datatype.Type, target int, targetOf
 	if target == w.sys.c.Rank() {
 		sp.SetDetail("local")
 		w.localApply(buf, count, dt, targetOff, false)
-		return
+		return nil
+	}
+	if err := w.lostTarget(target); err != nil {
+		return err
 	}
 	if w.isShared[target] && !w.degraded[target] {
 		// Direct transparent remote write. A failing view (segment revoked,
-		// persistent transfer faults) degrades to the emulation path below.
+		// persistent transfer faults) degrades to the emulation path below —
+		// unless the target itself is gone, which is the caller's problem.
 		if err := w.tryDirectPut(p, buf, count, dt, target, targetOff, n, span); err == nil {
 			w.stats.directPuts.Add(1)
 			w.sys.met.directPuts.Add(1)
 			sp.SetDetail("direct -> %d", target)
-			return
+			return nil
+		} else if lost := w.lostTarget(target); lost != nil {
+			return lost
 		} else {
 			w.degrade(target, err)
 		}
@@ -61,7 +79,7 @@ func (w *Win) Put(buf []byte, count int, dt *datatype.Type, target int, targetOf
 	w.stats.emulatedPuts.Add(1)
 	w.sys.met.emulatedPuts.Add(1)
 	sp.SetDetail("emulated -> %d", target)
-	w.emulatedPut(buf, count, dt, target, targetOff, n)
+	return w.emulatedPut(buf, count, dt, target, targetOff, n)
 }
 
 // tryDirectPut deposits through the transparent remote view, retrying
@@ -142,20 +160,24 @@ func avgBlock(dt *datatype.Type) int64 {
 
 // emulatedPut stages linearized data and invokes the remote handler, in
 // chunks of half the staging area.
-func (w *Win) emulatedPut(buf []byte, count int, dt *datatype.Type, target int, targetOff, n int64) {
+func (w *Win) emulatedPut(buf []byte, count int, dt *datatype.Type, target int, targetOff, n int64) error {
 	c := w.sys.c
 	p := c.Proc()
 	if n <= w.cfg.InlineMax {
-		// OSCCall blocks until the handler replied, i.e. after its last read
-		// of the inline bytes — the pooled payload can be recycled here.
+		// The RPC blocks until the handler replied, i.e. after its last read
+		// of the inline bytes — on success the pooled payload can be
+		// recycled. On an expired watchdog the handler may still read them
+		// later, so the error path leaks the buffer to the GC instead.
 		payload := bufpool.Get(int(n))
 		pack.FFPack(pack.BufferSink{Buf: payload.B}, buf, dt, count, 0, -1)
-		c.OSCCall(c.GroupToWorld(target), &oscReq{
+		if err := w.oscRPC("put", target, &oscReq{
 			kind: reqPut, win: w.id, off: targetOff, n: n,
 			inline: payload.B, dt: dt, count: count,
-		}, true)
+		}, true); err != nil {
+			return err
+		}
 		payload.Put()
-		return
+		return nil
 	}
 	stage, base, size, lock := c.OSCStage(c.GroupToWorld(target))
 	half := size / 2
@@ -184,10 +206,12 @@ func (w *Win) emulatedPut(buf []byte, count int, dt *datatype.Type, target int, 
 				if v := p.Await(fut); v == nil {
 					w.stats.dmaStaged.Add(1)
 					w.sys.met.dmaStaged.Add(1)
-					c.OSCCall(c.GroupToWorld(target), &oscReq{
+					if err := w.oscRPC("put", target, &oscReq{
 						kind: reqPut, win: w.id, off: targetOff, n: chunk,
 						skip: sent, dt: dt, count: count,
-					}, true)
+					}, true); err != nil {
+						return err
+					}
 					sent += chunk
 					continue
 				}
@@ -196,14 +220,21 @@ func (w *Win) emulatedPut(buf []byte, count int, dt *datatype.Type, target int, 
 		}
 		_, st := cur.Pack(pack.BufferSink{Buf: scratch.B}, buf, chunk)
 		w.chargeLocal(st)
-		stage.WriteStream(p, base, scratch.B[:chunk], chunk)
-		stage.Sync(p)
-		c.OSCCall(c.GroupToWorld(target), &oscReq{
+		if err := stage.TryWriteStream(p, base, scratch.B[:chunk], chunk); err != nil {
+			return err
+		}
+		if err := stage.TrySync(p); err != nil {
+			return err
+		}
+		if err := w.oscRPC("put", target, &oscReq{
 			kind: reqPut, win: w.id, off: targetOff, n: chunk,
 			skip: sent, dt: dt, count: count,
-		}, true)
+		}, true); err != nil {
+			return err
+		}
 		sent += chunk
 	}
+	return nil
 }
 
 func (w *Win) chargeLocal(st pack.Stats) {
@@ -216,13 +247,22 @@ func (w *Win) chargeLocal(st pack.Stats) {
 // Get moves count elements of dt from target's window at displacement
 // targetOff into buf (MPI_Get). Small amounts are read directly; larger
 // ones use the remote-put path (the target writes into the origin's
-// address space), because SCI remote reads are slow.
+// address space), because SCI remote reads are slow. It panics on failures
+// against crashed or revoked targets; use GetChecked under fault plans.
 func (w *Win) Get(buf []byte, count int, dt *datatype.Type, target int, targetOff int64) {
+	if err := w.GetChecked(buf, count, dt, target, targetOff); err != nil {
+		panic(err)
+	}
+}
+
+// GetChecked is Get returning failures as typed errors (see PutChecked for
+// the taxonomy).
+func (w *Win) GetChecked(buf []byte, count int, dt *datatype.Type, target int, targetOff int64) error {
 	w.checkEpoch("Get")
 	n := dt.Size() * int64(count)
 	span := dt.Extent()*int64(count-1) + dt.UB() - dt.LB()
 	if count == 0 {
-		return
+		return nil
 	}
 	w.checkTarget(target, targetOff, span)
 	w.stats.gets.Add(1)
@@ -240,7 +280,10 @@ func (w *Win) Get(buf []byte, count int, dt *datatype.Type, target int, targetOf
 	if target == w.sys.c.Rank() {
 		sp.SetDetail("local")
 		w.localApply(buf, count, dt, targetOff, true)
-		return
+		return nil
+	}
+	if err := w.lostTarget(target); err != nil {
+		return err
 	}
 	if w.isShared[target] && !w.degraded[target] && n <= w.cfg.GetDirectMax {
 		// Direct transparent remote read: the CPU stalls per block. A
@@ -250,7 +293,9 @@ func (w *Win) Get(buf []byte, count int, dt *datatype.Type, target int, targetOf
 			w.stats.directGets.Add(1)
 			w.sys.met.directGets.Add(1)
 			sp.SetDetail("direct <- %d", target)
-			return
+			return nil
+		} else if lost := w.lostTarget(target); lost != nil {
+			return lost
 		} else {
 			w.degrade(target, err)
 		}
@@ -260,7 +305,7 @@ func (w *Win) Get(buf []byte, count int, dt *datatype.Type, target int, targetOf
 	w.stats.remotePuts.Add(1)
 	w.sys.met.remotePuts.Add(1)
 	sp.SetDetail("remote-put <- %d", target)
-	w.remotePutGet(buf, count, dt, target, targetOff, n)
+	return w.remotePutGet(buf, count, dt, target, targetOff, n)
 }
 
 // tryDirectGet reads through the transparent remote view, retrying
@@ -285,7 +330,7 @@ func (w *Win) tryDirectGet(p *sim.Proc, buf []byte, count int, dt *datatype.Type
 }
 
 // remotePutGet drains a get through the staging area in chunks.
-func (w *Win) remotePutGet(buf []byte, count int, dt *datatype.Type, target int, targetOff, n int64) {
+func (w *Win) remotePutGet(buf []byte, count int, dt *datatype.Type, target int, targetOff, n int64) error {
 	c := w.sys.c
 	world := c.GroupToWorld(target)
 	stageLocal, base := c.OSCStageLocal(world)
@@ -306,10 +351,12 @@ func (w *Win) remotePutGet(buf []byte, count int, dt *datatype.Type, target int,
 		if got+chunk > n {
 			chunk = n - got
 		}
-		c.OSCCall(world, &oscReq{
+		if err := w.oscRPC("get", target, &oscReq{
 			kind: reqGet, win: w.id, off: targetOff, n: chunk,
 			skip: got, dt: dt, count: count,
-		}, interrupt)
+		}, interrupt); err != nil {
+			return err
+		}
 		// The data now sits in the local staging area; scatter it into
 		// the user buffer.
 		src := stageLocal.Bytes()[getBase : getBase+chunk]
@@ -318,20 +365,30 @@ func (w *Win) remotePutGet(buf []byte, count int, dt *datatype.Type, target int,
 		w.chargeLocal(st)
 		got += chunk
 	}
+	return nil
 }
 
 // Accumulate combines count elements of the basic type dt from buf into
 // target's window at targetOff using op (MPI_Accumulate). The operation
 // always executes at the target, which makes it atomic with respect to
-// other accumulates.
+// other accumulates. It panics on failures against crashed or revoked
+// targets; use AccumulateChecked under fault plans.
 func (w *Win) Accumulate(buf []byte, count int, dt *datatype.Type, op mpi.Op, target int, targetOff int64) {
+	if err := w.AccumulateChecked(buf, count, dt, op, target, targetOff); err != nil {
+		panic(err)
+	}
+}
+
+// AccumulateChecked is Accumulate returning failures as typed errors (see
+// PutChecked for the taxonomy).
+func (w *Win) AccumulateChecked(buf []byte, count int, dt *datatype.Type, op mpi.Op, target int, targetOff int64) error {
 	w.checkEpoch("Accumulate")
 	if dt.Kind() != datatype.KindBasic {
 		panic(fmt.Sprintf("osc: Accumulate requires a basic datatype, got %s", dt))
 	}
 	n := dt.Size() * int64(count)
 	if count == 0 {
-		return
+		return nil
 	}
 	w.checkTarget(target, targetOff, n)
 	w.stats.accs.Add(1)
@@ -344,21 +401,30 @@ func (w *Win) Accumulate(buf []byte, count int, dt *datatype.Type, op mpi.Op, ta
 		sp.End(p.Now())
 		w.sys.met.accNS.ObserveDuration(p.Now() - start)
 	}()
+	if target != c.Rank() {
+		if err := w.lostTarget(target); err != nil {
+			return err
+		}
+	}
 	// As in remotePutGet: a degraded shared target is no longer polling
 	// for emulation traffic, so request an interrupt.
 	interrupt := !w.isShared[target] || w.degraded[target]
 
 	if n <= w.cfg.InlineMax || target == c.Rank() {
 		sp.SetDetail("inline -> %d", target)
+		// As in emulatedPut: recycle the pooled payload only after a
+		// successful round trip.
 		payload := bufpool.Get(int(n))
 		w.chargeLocalBytes(n)
 		copy(payload.B, buf[:n])
-		c.OSCCall(c.GroupToWorld(target), &oscReq{
+		if err := w.oscRPC("acc", target, &oscReq{
 			kind: reqAcc, win: w.id, off: targetOff, n: n,
 			inline: payload.B, dt: dt, count: count, op: op,
-		}, interrupt)
-		payload.Put() // OSCCall returns after the handler's last read
-		return
+		}, interrupt); err != nil {
+			return err
+		}
+		payload.Put()
+		return nil
 	}
 	w.stats.emulatedAccumulates.Add(1)
 	sp.SetDetail("staged -> %d", target)
@@ -387,15 +453,22 @@ func (w *Win) Accumulate(buf []byte, count int, dt *datatype.Type, op mpi.Op, ta
 			}
 		}
 		if !deposited {
-			stage.WriteStream(p, base, buf[sent:sent+chunk], n)
-			stage.Sync(p)
+			if err := stage.TryWriteStream(p, base, buf[sent:sent+chunk], n); err != nil {
+				return err
+			}
+			if err := stage.TrySync(p); err != nil {
+				return err
+			}
 		}
-		c.OSCCall(c.GroupToWorld(target), &oscReq{
+		if err := w.oscRPC("acc", target, &oscReq{
 			kind: reqAcc, win: w.id, off: targetOff + sent, n: chunk,
 			dt: dt, count: int(chunk / elemSize), op: op,
-		}, interrupt)
+		}, interrupt); err != nil {
+			return err
+		}
 		sent += chunk
 	}
+	return nil
 }
 
 func (w *Win) chargeLocalBytes(n int64) {

@@ -149,7 +149,11 @@ func (w *Win) Start(group []int) {
 	for remaining := len(group); remaining > 0; {
 		src := p.Recv(w.postQ).(int) // world rank
 		if need[src] == 0 {
-			panic(fmt.Sprintf("osc: unexpected post from rank %d", src))
+			// Stale post from a rank outside the group — e.g. a peer revoked
+			// after it notified. Ignore it; only expected posts count.
+			w.sys.c.Tracer().Record(p.Now(), w.actor, "fault",
+				"window %d: ignoring unexpected post from world rank %d", w.id, src)
+			continue
 		}
 		need[src]--
 		remaining--
@@ -185,7 +189,10 @@ func (w *Win) Wait(group []int) {
 	for remaining := len(group); remaining > 0; {
 		src := p.Recv(w.completeQ).(int) // world rank
 		if need[src] == 0 {
-			panic(fmt.Sprintf("osc: unexpected complete from rank %d", src))
+			// Stale complete from outside the group (revoked origin); ignore.
+			w.sys.c.Tracer().Record(p.Now(), w.actor, "fault",
+				"window %d: ignoring unexpected complete from world rank %d", w.id, src)
+			continue
 		}
 		need[src]--
 		remaining--

@@ -95,8 +95,10 @@ type Config struct {
 	// instead of the staging area.
 	InlineMax int64
 	// SyncTimeout bounds the checked synchronization calls (FenceChecked,
-	// LockChecked): waiting longer than this for a peer yields an
-	// ErrSyncTimeout instead of deadlocking. 0 disables the watchdog.
+	// LockChecked) and the checked data operations' handler round-trips:
+	// waiting longer than this for a peer yields an ErrSyncTimeout instead
+	// of deadlocking. 0 disables the watchdog; mpi.AutoTimeout resolves to
+	// the world's scaled bound (ScaledSyncTimeout) at window creation.
 	SyncTimeout time.Duration
 	// DMAStageMin, when positive, offloads staging-area deposits of at
 	// least this many bytes (emulated puts, accumulate drains, handler-side
@@ -262,6 +264,9 @@ func (s *System) CreatePrivate(buf []byte, cfg Config) *Win {
 // same order with its own memory.
 func (s *System) create(seg *mpi.SharedSeg, buf []byte, cfg Config) *Win {
 	c := s.c
+	if cfg.SyncTimeout == mpi.AutoTimeout {
+		cfg.SyncTimeout = c.World().ScaledSyncTimeout()
+	}
 	id := s.nextWin
 	s.nextWin++
 	w := &Win{

@@ -1,0 +1,148 @@
+package rmem
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"scimpich/internal/fault"
+	"scimpich/internal/mpi"
+)
+
+var faultSeed = flag.Uint64("fault.seed", 42, "seed for the fault-injection plans of the failover tests")
+
+// testConfig is a 4-node world with every watchdog on the scaled automatic
+// bound and the given fault plan attached.
+func testConfig(plan *fault.Plan) mpi.Config {
+	cfg := mpi.DefaultConfig(4, 1)
+	cfg.SCI.Fault = plan
+	cfg.Protocol.CollTimeout = mpi.AutoTimeout
+	cfg.Protocol.RendezvousTimeout = mpi.AutoTimeout
+	return cfg
+}
+
+// crashAt is the fault-plan instant of the failover scenarios: mid-workload,
+// several commit rounds in.
+const crashAt = 5200 * time.Microsecond
+
+func churnPlan(seed uint64) *fault.Plan {
+	return fault.New(seed).CrashNode(1, crashAt)
+}
+
+func TestPutGetCommitNoFaults(t *testing.T) {
+	wl := DefaultWorkload()
+	wl.Rounds = 6
+	reports, _ := RunWorkload(testConfig(fault.New(*faultSeed)), DefaultConfig(), wl)
+	for _, r := range reports {
+		if r.Died || r.RecoverErr != "" || r.VerifyErr != "" {
+			t.Fatalf("rank %d: died=%v recoverErr=%q verifyErr=%q", r.Rank, r.Died, r.RecoverErr, r.VerifyErr)
+		}
+		if r.OpFailures != 0 || r.LostWrites != 0 || r.Failovers != 0 {
+			t.Errorf("rank %d: failures=%d lost=%d failovers=%d on a crash-free run",
+				r.Rank, r.OpFailures, r.LostWrites, r.Failovers)
+		}
+		if r.Committed == 0 || r.PutOK == 0 || r.GetOK == 0 {
+			t.Errorf("rank %d: empty run: committed=%d puts=%d gets=%d", r.Rank, r.Committed, r.PutOK, r.GetOK)
+		}
+	}
+}
+
+// TestFailoverClaims is the headline acceptance test: a primary-holding node
+// crashes mid-workload, the survivors agree on the shrunken world, promote
+// and re-replicate, and the service keeps serving. Gates: no committed write
+// is lost, no shard loses both replicas, no client operation fails after
+// the failover completed, and the p99 get service time under churn stays
+// within 3x of the crash-free baseline.
+func TestFailoverClaims(t *testing.T) {
+	wl := DefaultWorkload()
+	base, _ := RunWorkload(testConfig(fault.New(*faultSeed)), DefaultConfig(), wl)
+	churn, _ := RunWorkload(testConfig(churnPlan(*faultSeed)), DefaultConfig(), wl)
+
+	var baseP99, churnP99 int64
+	for _, r := range base {
+		if r.OpFailures != 0 || r.Died {
+			t.Fatalf("baseline rank %d saw failures", r.Rank)
+		}
+		if p := r.GetNS.P99; p > baseP99 {
+			baseP99 = p
+		}
+	}
+	if !churn[1].Died {
+		t.Fatalf("crashed rank 1 did not observe its own revocation: %+v", churn[1])
+	}
+	for _, me := range []int{0, 2, 3} {
+		r := churn[me]
+		if r.Died || r.RecoverErr != "" || r.VerifyErr != "" {
+			t.Fatalf("survivor %d: died=%v recoverErr=%q verifyErr=%q", me, r.Died, r.RecoverErr, r.VerifyErr)
+		}
+		if r.Failovers != 1 {
+			t.Errorf("survivor %d: %d failovers, want 1", me, r.Failovers)
+		}
+		if r.LostShards != 0 {
+			t.Errorf("survivor %d: %d shards lost both replicas", me, r.LostShards)
+		}
+		if r.LostWrites != 0 {
+			t.Errorf("survivor %d: %d committed writes lost", me, r.LostWrites)
+		}
+		if r.FailedAfterRecovery != 0 {
+			t.Errorf("survivor %d: %d operations failed after the failover epoch", me, r.FailedAfterRecovery)
+		}
+		if len(r.Survivors) != 3 || r.Survivors[0] != 0 || r.Survivors[1] != 2 || r.Survivors[2] != 3 {
+			t.Errorf("survivor %d: final membership %v, want [0 2 3]", me, r.Survivors)
+		}
+		if r.OpFailures == 0 {
+			t.Errorf("survivor %d observed no failures at all — crash not exercised", me)
+		}
+		if p := r.GetNS.P99; p > churnP99 {
+			churnP99 = p
+		}
+	}
+	if baseP99 <= 0 {
+		t.Fatalf("baseline p99 not measured")
+	}
+	if churnP99 > 3*baseP99 {
+		t.Errorf("churn get p99 %v exceeds 3x crash-free baseline %v",
+			time.Duration(churnP99), time.Duration(baseP99))
+	}
+}
+
+// TestFailoverDeterministicPerSeed replays the identical churn scenario
+// twice: the virtual end time and every per-rank outcome must match bit for
+// bit (the recovery protocol introduces no hidden nondeterminism).
+func TestFailoverDeterministicPerSeed(t *testing.T) {
+	run := func() ([]RankReport, time.Duration) {
+		wl := DefaultWorkload()
+		return RunWorkload(testConfig(churnPlan(*faultSeed)), DefaultConfig(), wl)
+	}
+	rep1, end1 := run()
+	rep2, end2 := run()
+	if end1 != end2 {
+		t.Fatalf("non-deterministic failover: end times %v vs %v", end1, end2)
+	}
+	for me := range rep1 {
+		a, b := rep1[me], rep2[me]
+		if a.Died != b.Died || a.Failovers != b.Failovers || a.Committed != b.Committed ||
+			a.GetOK != b.GetOK || a.PutOK != b.PutOK || a.OpFailures != b.OpFailures ||
+			a.LostWrites != b.LostWrites {
+			t.Errorf("rank %d: runs diverged:\n  %+v\n  %+v", me, a, b)
+		}
+	}
+}
+
+// TestShardLayout pins the key-to-slot mapping: the key space exactly fills
+// the slots, so no two keys alias.
+func TestShardLayout(t *testing.T) {
+	cfg := DefaultConfig()
+	s := &Service{cfg: cfg}
+	seen := make(map[int64]int64)
+	for key := int64(0); key < cfg.Keys(); key++ {
+		off := s.slotOff(key)
+		if prev, dup := seen[off]; dup {
+			t.Fatalf("keys %d and %d alias slot offset %d", prev, key, off)
+		}
+		seen[off] = key
+		if off < 0 || off+cfg.slotBytes() > cfg.winBytes() {
+			t.Fatalf("key %d: slot [%d, %d) outside window of %d bytes", key, off, off+cfg.slotBytes(), cfg.winBytes())
+		}
+	}
+}

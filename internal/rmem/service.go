@@ -1,0 +1,371 @@
+// Package rmem is a replicated remote-memory (key/value paging) service
+// built on the one-sided communication layer: every rank exports a window
+// holding a set of shards, each shard is replicated on a primary and a
+// backup rank, and clients deposit and fetch fixed-size slots with MPI_Put
+// and MPI_Get. Commits use the epoch protocol of the fence synchronization
+// — a FenceChecked delivers all staged deposits at both replicas, then an
+// MPI_Accumulate(MAX) stamps the replicas' per-shard epoch registers.
+//
+// The service survives node crashes: when an operation or fence fails, the
+// survivors agree on the shrunken membership (Comm.ShrinkChecked), abandon
+// the old window, rebind the one-sided engine on the new communicator,
+// recompute shard placement, and re-replicate every shard from its
+// surviving replica before resuming. Staged-but-uncommitted writes are
+// replayed from the origin after re-replication, so a committed write is
+// never lost and an acknowledged commit survives the crash of either
+// replica holder.
+package rmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/mpi"
+	"scimpich/internal/osc"
+)
+
+// Config shapes the shard layout of the service. The key space is exactly
+// Shards*SlotsPerShard keys: key k lives in shard k%Shards at slot
+// (k/Shards)%SlotsPerShard, so distinct keys never alias a slot.
+type Config struct {
+	// Shards is the number of replicated shard regions.
+	Shards int
+	// SlotsPerShard is the number of fixed-size value slots per shard.
+	SlotsPerShard int
+	// ValBytes is the value payload size of a slot.
+	ValBytes int64
+	// OSC is the transfer policy of the underlying window; SyncTimeout
+	// (or mpi.AutoTimeout) bounds every handler round trip and fence.
+	OSC osc.Config
+}
+
+// DefaultConfig is the calibrated service layout: 8 shards of 32 slots of
+// 32-byte values (a 256-key space), with every watchdog on the scaled
+// automatic bound.
+func DefaultConfig() Config {
+	oc := osc.DefaultConfig()
+	oc.SyncTimeout = mpi.AutoTimeout
+	return Config{Shards: 8, SlotsPerShard: 32, ValBytes: 32, OSC: oc}
+}
+
+// Keys returns the size of the exact key space.
+func (c Config) Keys() int64 { return int64(c.Shards * c.SlotsPerShard) }
+
+// slotHeader is the per-slot metadata: the origin's sequence number and the
+// key, so a fetch can detect an empty or foreign slot.
+const slotHeader = 16
+
+func (c Config) slotBytes() int64  { return slotHeader + c.ValBytes }
+func (c Config) shardBytes() int64 { return 8 + int64(c.SlotsPerShard)*c.slotBytes() }
+func (c Config) winBytes() int64   { return int64(c.Shards) * c.shardBytes() }
+
+// ErrShardLost reports a shard whose primary and backup both crashed before
+// re-replication could re-home it — data loss the protocol cannot mask.
+type ErrShardLost struct{ Shard int }
+
+func (e ErrShardLost) Error() string {
+	return fmt.Sprintf("rmem: shard %d lost both replicas", e.Shard)
+}
+
+// pendingWrite is a staged, not-yet-committed deposit held at the origin
+// for replay across a failover.
+type pendingWrite struct {
+	seq int64
+	val []byte
+}
+
+// Service is one rank's handle on the replicated store. All ranks of the
+// communicator are symmetric: each serves its window shards and runs its
+// own client operations.
+type Service struct {
+	cfg Config
+	c   *mpi.Comm
+	sys *osc.System
+	seg *mpi.SharedSeg
+	win *osc.Win
+
+	// ranks holds the current group membership as world ranks; placement
+	// is computed from it and it is the "previous membership" input of the
+	// next re-replication.
+	ranks []int
+
+	epoch   int64
+	nextSeq int64
+	pending map[int64]*pendingWrite
+	// committed is the origin-side ledger: key -> last acknowledged
+	// sequence number. Verification reads every entry back through the
+	// window and any mismatch is a lost committed write.
+	committed map[int64]int64
+	touched   map[int]bool
+
+	// Failovers counts completed recoveries on this rank; LostShards
+	// counts shards that lost both replicas (zero under single crashes).
+	Failovers  int
+	LostShards int
+}
+
+// New collectively creates the service over the communicator and opens the
+// first access epoch. Every rank must call it.
+func New(c *mpi.Comm, cfg Config) (*Service, error) {
+	s := &Service{
+		cfg:       cfg,
+		c:         c,
+		sys:       osc.NewSystem(c),
+		seg:       c.AllocShared(cfg.winBytes()),
+		pending:   make(map[int64]*pendingWrite),
+		committed: make(map[int64]int64),
+		touched:   make(map[int]bool),
+	}
+	s.ranks = groupWorlds(c)
+	s.win = s.sys.CreateShared(s.seg, cfg.OSC)
+	if err := s.win.FenceChecked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func groupWorlds(c *mpi.Comm) []int {
+	out := make([]int, c.Size())
+	for i := range out {
+		out[i] = c.GroupToWorld(i)
+	}
+	return out
+}
+
+// Comm returns the service's current (possibly shrunken) communicator.
+func (s *Service) Comm() *mpi.Comm { return s.c }
+
+// primary and backup return the group ranks holding shard sh under the
+// current membership; the two are distinct whenever the group has at least
+// two members.
+func (s *Service) primary(sh int) int { return sh % s.c.Size() }
+func (s *Service) backup(sh int) int  { return (sh + 1) % s.c.Size() }
+
+func (s *Service) shardOf(key int64) int { return int(key % int64(s.cfg.Shards)) }
+
+func (s *Service) slotOff(key int64) int64 {
+	sh := s.shardOf(key)
+	slot := (key / int64(s.cfg.Shards)) % int64(s.cfg.SlotsPerShard)
+	return int64(sh)*s.cfg.shardBytes() + 8 + slot*s.cfg.slotBytes()
+}
+
+// Put stages a deposit of val under key: the slot (sequence number, key,
+// value) is written to both replicas of the key's shard and remembered for
+// replay until the next successful Commit. Each key must be written only by
+// its owning origin (the workload partitions the key space); concurrent
+// writers to one key would race on the slot.
+func (s *Service) Put(key int64, val []byte) error {
+	if int64(len(val)) > s.cfg.ValBytes {
+		panic(fmt.Sprintf("rmem: value of %d bytes exceeds slot payload %d", len(val), s.cfg.ValBytes))
+	}
+	s.nextSeq++
+	slot := make([]byte, s.cfg.slotBytes())
+	binary.LittleEndian.PutUint64(slot[0:], uint64(s.nextSeq))
+	binary.LittleEndian.PutUint64(slot[8:], uint64(key))
+	copy(slot[slotHeader:], val)
+	sh := s.shardOf(key)
+	off := s.slotOff(key)
+	for _, tgt := range []int{s.primary(sh), s.backup(sh)} {
+		if err := s.win.PutChecked(slot, len(slot), datatype.Byte, tgt, off); err != nil {
+			return err
+		}
+	}
+	s.pending[key] = &pendingWrite{seq: s.nextSeq, val: append([]byte(nil), val...)}
+	s.touched[sh] = true
+	return nil
+}
+
+// Get fetches the slot of key from the shard's primary. It returns the
+// stored sequence number (zero for a never-written slot) and copies the
+// value payload into val when the slot holds the requested key.
+func (s *Service) Get(key int64, val []byte) (int64, error) {
+	slot := make([]byte, s.cfg.slotBytes())
+	if err := s.win.GetChecked(slot, len(slot), datatype.Byte, s.primary(s.shardOf(key)), s.slotOff(key)); err != nil {
+		return 0, err
+	}
+	seq := int64(binary.LittleEndian.Uint64(slot[0:]))
+	gotKey := int64(binary.LittleEndian.Uint64(slot[8:]))
+	if seq == 0 || gotKey != key {
+		return 0, nil
+	}
+	copy(val, slot[slotHeader:])
+	return seq, nil
+}
+
+// Commit closes the epoch: the fence delivers every staged deposit at both
+// replicas, then the per-shard epoch registers of every touched shard are
+// stamped with the new epoch number (Accumulate MAX — the paper's atomic
+// handler-side read-modify-write). Only after both steps are the staged
+// writes acknowledged into the committed ledger. Commit is collective: all
+// live ranks fence together.
+func (s *Service) Commit() error {
+	if err := s.win.FenceChecked(); err != nil {
+		return err
+	}
+	next := s.epoch + 1
+	var stamp [8]byte
+	binary.LittleEndian.PutUint64(stamp[:], uint64(next))
+	for _, sh := range sortedShards(s.touched) {
+		for _, tgt := range []int{s.primary(sh), s.backup(sh)} {
+			if err := s.win.AccumulateChecked(stamp[:], 1, datatype.Int64, mpi.OpMax, tgt, int64(sh)*s.cfg.shardBytes()); err != nil {
+				return err
+			}
+		}
+	}
+	s.epoch = next
+	for key, pw := range s.pending {
+		s.committed[key] = pw.seq
+	}
+	s.pending = make(map[int64]*pendingWrite)
+	s.touched = make(map[int]bool)
+	return nil
+}
+
+// sortedShards returns the touched shard ids in deterministic order (map
+// iteration order would perturb the simulated timeline).
+func sortedShards(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for sh := range m {
+		out = append(out, sh)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedKeys(m map[int64]*pendingWrite) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Recover is the failover path, called after any operation or commit
+// returned an error. All surviving ranks must call it (they all observe the
+// failure: direct operations fail fast on the dead node, fences expire).
+// It agrees on the shrunken membership, rebuilds the window over the new
+// communicator, re-homes every shard from its surviving replica, replays
+// this origin's staged writes and commits them. On a rank that was itself
+// revoked it returns the *mpi.RevokedRankError — that rank must stop.
+func (s *Service) Recover() error {
+	nc, err := s.c.ShrinkChecked()
+	if err != nil {
+		return err
+	}
+	prev := s.ranks
+	s.win.Abandon()
+	s.sys.Rebind(nc)
+	s.c = nc
+	s.ranks = groupWorlds(nc)
+	// Same backing segment, fresh window over the new communicator: local
+	// shard contents survive in place, only the remote views and the
+	// exchange are rebuilt (the old window id is never reused, so stale
+	// requests are refused, not misdelivered).
+	s.win = s.sys.CreateShared(s.seg, s.cfg.OSC)
+	if err := s.win.FenceChecked(); err != nil {
+		return err
+	}
+	if err := s.rereplicate(prev); err != nil {
+		return err
+	}
+	if err := s.win.FenceChecked(); err != nil {
+		return err
+	}
+	for _, key := range sortedKeys(s.pending) {
+		pw := s.pending[key]
+		sh := s.shardOf(key)
+		slot := make([]byte, s.cfg.slotBytes())
+		binary.LittleEndian.PutUint64(slot[0:], uint64(pw.seq))
+		binary.LittleEndian.PutUint64(slot[8:], uint64(key))
+		copy(slot[slotHeader:], pw.val)
+		for _, tgt := range []int{s.primary(sh), s.backup(sh)} {
+			if err := s.win.PutChecked(slot, len(slot), datatype.Byte, tgt, s.slotOff(key)); err != nil {
+				return err
+			}
+		}
+		s.touched[sh] = true
+	}
+	if err := s.Commit(); err != nil {
+		return err
+	}
+	s.Failovers++
+	return nil
+}
+
+// rereplicate re-homes every shard under the new membership: for each
+// shard, the surviving holder of the old placement (the old primary, or the
+// old backup if the primary died) pushes the whole shard region — epoch
+// register and slots — to the shard's new primary and backup. Shards whose
+// both old holders died are counted in LostShards.
+func (s *Service) rereplicate(prev []int) error {
+	alive := make(map[int]bool, len(s.ranks))
+	for _, w := range s.ranks {
+		alive[w] = true
+	}
+	me := s.c.WorldRank()
+	for sh := 0; sh < s.cfg.Shards; sh++ {
+		oldP := prev[sh%len(prev)]
+		oldB := prev[(sh+1)%len(prev)]
+		holder := -1
+		switch {
+		case alive[oldP]:
+			holder = oldP
+		case alive[oldB]:
+			holder = oldB
+		default:
+			s.LostShards++
+			continue
+		}
+		if holder != me {
+			continue
+		}
+		off := int64(sh) * s.cfg.shardBytes()
+		region := s.seg.Bytes()[off : off+s.cfg.shardBytes()]
+		for _, tgt := range []int{s.primary(sh), s.backup(sh)} {
+			if err := s.win.PutChecked(region, len(region), datatype.Byte, tgt, off); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Verify reads every entry of the committed ledger back through the window
+// (from each key's current primary) and returns the number of committed
+// writes the store no longer serves — the headline durability gate, which
+// must be zero.
+func (s *Service) Verify() (lost int64, err error) {
+	keys := make([]int64, 0, len(s.committed))
+	for k := range s.committed {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	val := make([]byte, s.cfg.ValBytes)
+	for _, key := range keys {
+		seq, gerr := s.Get(key, val)
+		if gerr != nil {
+			return lost, gerr
+		}
+		if seq != s.committed[key] {
+			lost++
+		}
+	}
+	return lost, nil
+}
+
+// CommittedCount returns the size of this origin's committed ledger.
+func (s *Service) CommittedCount() int { return len(s.committed) }
+
+// Epoch returns the service's current commit epoch.
+func (s *Service) Epoch() int64 { return s.epoch }
+
+// IsRevoked reports whether err is the typed revocation error a crashed
+// rank receives from its own Recover.
+func IsRevoked(err error) bool {
+	var rev *mpi.RevokedRankError
+	return errors.As(err, &rev)
+}

@@ -98,6 +98,15 @@ func (n *Node) Import(owner int, segID int) (*Mapping, error) {
 		n.ic.tracef(n.name, "import of segment %d@node%d denied (plan)", segID, owner)
 		return nil, &fault.Error{Kind: fault.ImportDenied, From: n.id, To: owner, At: n.ic.E.Now()}
 	}
+	if !n.ic.Alive(owner) {
+		// Importing from a crashed node is a fault-reachable path (recovery
+		// layers rebuild their windows after a crash), not a programming
+		// error: surface the typed unreachability fault instead of panicking
+		// in MustImport on the missing export table.
+		n.ic.countFault(fault.NodeUnreachable)
+		n.ic.tracef(n.name, "import of segment %d@node%d failed: node down", segID, owner)
+		return nil, &fault.Error{Kind: fault.NodeUnreachable, From: n.id, To: owner, At: n.ic.E.Now()}
+	}
 	seg, ok := n.ic.nodes[owner].segs[segID]
 	if !ok {
 		return nil, fmt.Errorf("sci: node %d exports no segment %d", owner, segID)
