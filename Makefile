@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json alloc-test trace-demo failover
+.PHONY: check vet build test race bench bench-json alloc-test trace-demo failover postmortem-demo
 
 # check is the tier-1 gate: vet, build everything, the full test suite with
 # the race detector, then the failover availability claims.
@@ -39,7 +39,7 @@ failover:
 # alloc-test runs only the allocation-pinned hot-path tests (0 allocs/op on
 # pack and PIO fast paths); CI fails the bench job if these regress.
 alloc-test:
-	$(GO) test -run 'TestAllocs|AllocFree' -v ./internal/pack/ ./internal/sci/ ./internal/bufpool/ ./internal/obs/
+	$(GO) test -run 'TestAllocs|AllocFree' -v ./internal/pack/ ./internal/sci/ ./internal/bufpool/ ./internal/obs/ ./internal/obs/flight/
 
 # trace-demo produces a Chrome trace-event timeline from a ping-pong sweep
 # (load /tmp/scimpich-trace.json in Perfetto or chrome://tracing) and
@@ -49,3 +49,11 @@ trace-demo:
 		-trace-out /tmp/scimpich-trace.json \
 		-metrics-out /tmp/scimpich-metrics.txt
 	$(GO) run ./cmd/tracestat -actors /tmp/scimpich-trace.json
+
+# postmortem-demo crashes a node mid-workload, captures the flight-recorder
+# dump at the first typed error, and renders the causal post-mortem — the
+# full dump-on-failure pipeline in one command. See docs/OBSERVABILITY.md.
+postmortem-demo:
+	$(GO) run ./cmd/rmemserve -crash-node 1 \
+		-flight-out /tmp/scimpich-flight.json
+	$(GO) run ./cmd/postmortem /tmp/scimpich-flight.json

@@ -14,6 +14,7 @@ import (
 	"scimpich/internal/bench"
 	"scimpich/internal/fault"
 	"scimpich/internal/mpi"
+	"scimpich/internal/obs/flight"
 	"scimpich/internal/rmem"
 )
 
@@ -27,6 +28,7 @@ func main() {
 	readFrac := flag.Float64("read-frac", 0.7, "fraction of operations that are gets")
 	gap := flag.Duration("gap", 40*time.Microsecond, "open-loop inter-arrival time")
 	jsonOut := flag.String("json-out", "", "also run the gated baseline/churn suite and write BENCH_rmem.json here")
+	flightOut := flag.String("flight-out", "", "write the flight-recorder dump here (on first failure, or at end of run)")
 	flag.Parse()
 
 	cfg := mpi.DefaultConfig(*nodes, 1)
@@ -37,6 +39,12 @@ func main() {
 		plan = plan.CrashNode(*crashNode, *crashAt)
 	}
 	cfg.SCI.Fault = plan
+	var rec *flight.Recorder
+	if *flightOut != "" {
+		rec = flight.New(512)
+		rec.SetDumpPath(*flightOut)
+		cfg.Flight = rec
+	}
 
 	wl := rmem.DefaultWorkload()
 	wl.Rounds, wl.OpsPerRound = *rounds, *ops
@@ -64,6 +72,18 @@ func main() {
 		if r.VerifyErr != "" {
 			fmt.Printf("       verify error: %s\n", r.VerifyErr)
 		}
+	}
+
+	if rec != nil {
+		if !rec.Dumped() {
+			rec.ForceDump("end of run")
+		}
+		if err := rec.DumpErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "rmemserve: writing flight dump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote flight dump %s (%s) — analyze with: go run ./cmd/postmortem %s\n",
+			*flightOut, rec.Reason(), *flightOut)
 	}
 
 	if *jsonOut != "" {

@@ -27,10 +27,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: tracestat [-actors] trace.json")
 		os.Exit(2)
 	}
-	evs, err := readTrace(flag.Arg(0))
+	evs, other, err := readTrace(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
 		os.Exit(1)
+	}
+	if other.DroppedSpans > 0 || other.DroppedEvents > 0 {
+		fmt.Fprintf(os.Stderr,
+			"tracestat: warning: trace is truncated: the exporter's ring dropped %d spans and %d instants before the export\n",
+			other.DroppedSpans, other.DroppedEvents)
 	}
 
 	spans, instants := 0, 0
@@ -80,15 +85,15 @@ func main() {
 	}
 }
 
-func readTrace(path string) ([]obs.ChromeEvent, error) {
+func readTrace(path string) ([]obs.ChromeEvent, obs.ChromeOther, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, obs.ChromeOther{}, err
 		}
 		defer f.Close()
 		r = f
 	}
-	return obs.ReadChrome(r)
+	return obs.ReadChromeMeta(r)
 }

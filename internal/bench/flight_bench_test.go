@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/mpi"
+	"scimpich/internal/obs/flight"
+)
+
+// Flight-recorder overhead on the latency-critical short-message path: the
+// same inter-node 64B ping-pong with the recorder detached and attached.
+// The recorder is meant to be always-on, so the On variant must stay
+// within a few percent of Off (the acceptance bound is 5%).
+
+func benchPingPongShort(b *testing.B, rec *flight.Recorder) {
+	const size = 64
+	buf := make([]byte, size)
+	cfg := mpi.DefaultConfig(2, 1)
+	cfg.Flight = rec
+	b.ReportAllocs()
+	b.ResetTimer()
+	mpi.Run(cfg, func(c *mpi.Comm) {
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				c.Send(buf, size, datatype.Byte, 1, 0)
+				c.Recv(buf, size, datatype.Byte, 1, 1)
+			} else {
+				c.Recv(buf, size, datatype.Byte, 0, 0)
+				c.Send(buf, size, datatype.Byte, 0, 1)
+			}
+		}
+	})
+}
+
+func BenchmarkPingPongShortFlightOff(b *testing.B) {
+	benchPingPongShort(b, nil)
+}
+
+func BenchmarkPingPongShortFlightOn(b *testing.B) {
+	benchPingPongShort(b, flight.New(512))
+}

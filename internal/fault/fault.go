@@ -129,6 +129,11 @@ type Counters struct {
 	Imports    int64 // denied segment imports
 }
 
+// Observer is notified of every fault the plan actually injects (not of
+// draws that came up clean). Flight recorders hook in here so injected
+// faults land on the same timeline as the protocol events they disturb.
+type Observer func(at time.Duration, kind Kind, from, to int)
+
 // Plan is a deterministic fault schedule. The zero value (and a nil Plan)
 // injects nothing; build one with New and the chainable With*/schedule
 // methods.
@@ -149,6 +154,25 @@ type Plan struct {
 	// Injected counts the faults drawn so far (observability for tests
 	// and benchmark reports).
 	Injected Counters
+
+	observer Observer
+}
+
+// SetObserver installs a callback invoked on each injected fault.
+// Observation must not consume draws or virtual time, so installing one
+// cannot change the fault schedule.
+func (f *Plan) SetObserver(o Observer) {
+	if f == nil {
+		return
+	}
+	f.observer = o
+}
+
+// notify reports one injected fault to the observer, if any.
+func (f *Plan) notify(at time.Duration, kind Kind, from, to int) {
+	if f.observer != nil {
+		f.observer(at, kind, from, to)
+	}
 }
 
 // New returns an empty plan whose probabilistic draws are seeded with
@@ -282,6 +306,7 @@ func (f *Plan) TakeImportFailure(owner, seg int) bool {
 	}
 	f.importFail[k]--
 	f.Injected.Imports++
+	f.notify(0, ImportDenied, owner, seg)
 	return true
 }
 
@@ -292,7 +317,9 @@ func (f *Plan) DrawWriteError(at time.Duration, from, to int) *Error {
 		return nil
 	}
 	f.Injected.Writes++
-	return &Error{Kind: f.drawKind(), From: from, To: to, At: at}
+	k := f.drawKind()
+	f.notify(at, k, from, to)
+	return &Error{Kind: k, From: from, To: to, At: at}
 }
 
 // DrawDMAError draws an injected CRC/sequence error for one DMA transfer.
@@ -301,7 +328,9 @@ func (f *Plan) DrawDMAError(at time.Duration, from, to int) *Error {
 		return nil
 	}
 	f.Injected.DMAs++
-	return &Error{Kind: f.drawKind(), From: from, To: to, At: at}
+	k := f.drawKind()
+	f.notify(at, k, from, to)
+	return &Error{Kind: k, From: from, To: to, At: at}
 }
 
 // DrawCheckError draws a transfer-check failure for a store-barrier
@@ -311,7 +340,9 @@ func (f *Plan) DrawCheckError(at time.Duration, from, to int) *Error {
 		return nil
 	}
 	f.Injected.Checks++
-	return &Error{Kind: f.drawKind(), From: from, To: to, At: at}
+	k := f.drawKind()
+	f.notify(at, k, from, to)
+	return &Error{Kind: k, From: from, To: to, At: at}
 }
 
 // DrawDuplicate reports whether the next control packet should be

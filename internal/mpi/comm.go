@@ -7,6 +7,7 @@ import (
 
 	"scimpich/internal/memmodel"
 	"scimpich/internal/obs"
+	"scimpich/internal/obs/flight"
 	"scimpich/internal/pack"
 	"scimpich/internal/sci"
 	"scimpich/internal/sim"
@@ -90,6 +91,16 @@ func (c *Comm) Tracer() *trace.Tracer { return c.w.cfg.Tracer }
 // configured); libraries layered on the runtime register their collectors
 // here.
 func (c *Comm) Metrics() *obs.Registry { return c.w.cfg.Metrics }
+
+// Flight returns the world's flight recorder (nil when not configured;
+// flight calls are nil-safe).
+func (c *Comm) Flight() *flight.Recorder { return c.w.cfg.Flight }
+
+// FlightRing returns this rank's flight-recorder ring (nil without a
+// recorder). Layered libraries (one-sided windows, rmem) record their
+// protocol events into the owning rank's ring so a post-mortem reads one
+// interleaved timeline per rank.
+func (c *Comm) FlightRing() *flight.Ring { return c.rk.fl }
 
 // mem returns the node's memory model.
 func (c *Comm) mem() *memmodel.Model { return c.w.cfg.Shm.Mem }

@@ -7,6 +7,7 @@ import (
 	"scimpich/internal/bufpool"
 	"scimpich/internal/datatype"
 	"scimpich/internal/memmodel"
+	"scimpich/internal/obs/flight"
 	"scimpich/internal/pack"
 	"scimpich/internal/sim"
 )
@@ -183,6 +184,7 @@ func (d *device) handleIncoming(p *sim.Proc, env *envelope) {
 			d.stats.duplicates.Add(1)
 			d.rk.w.cfg.Tracer.Record(p.Now(), d.actor, "fault",
 				"dropped duplicate %v from %d (seq %d)", env.kind, env.src, env.seq)
+			d.rk.fl.Record(p.Now(), flight.KPacketDrop, int64(env.kind), int64(env.src), flight.DropDuplicate, 0)
 			return
 		}
 		d.lastSeq[env.src] = env.seq
@@ -226,6 +228,7 @@ func (d *device) deliver(p *sim.Proc, req *recvReq, env *envelope) {
 	tr := d.rk.w.cfg.Tracer
 	tr.Record(p.Now(), d.actor, "recv",
 		"<- %d tag %d: %d bytes via %v", env.src, env.tag, env.bytes, env.kind)
+	d.rk.fl.Record(p.Now(), flight.KRecvMatch, int64(env.src), int64(env.tag), env.bytes, int64(env.kind))
 	d.checkSignature(req, env)
 	switch env.kind {
 	case envShort:
@@ -338,6 +341,7 @@ func (d *device) startRendezvous(p *sim.Proc, req *recvReq, env *envelope) {
 		st.cur = pack.NewCursor(req.dt, req.count)
 	}
 	d.rdv[env.reqID] = st
+	d.rk.fl.Record(p.Now(), flight.KRdvCTS, int64(env.src), env.reqID, int64(mode), 0)
 	d.rk.w.ring(p, d.rk.id, env.src, &envelope{
 		kind: envRdvCTS, src: d.rk.id, dst: env.src,
 		reqID: env.reqID, chunk: int(mode), reply: env.reply,
@@ -420,12 +424,14 @@ func (d *device) handleRdvData(p *sim.Proc, env *envelope) {
 	d.stats.bytesRecvd.Add(n)
 	tr.Record(p.Now(), d.actor, "rdv",
 		"chunk %d (%d bytes) from %d, mode %d", env.chunk, n, env.src, st.mode)
+	d.rk.fl.Record(p.Now(), flight.KRdvChunk, int64(env.src), env.reqID, n, st.received)
 	d.rk.w.ring(p, d.rk.id, env.src, &envelope{
 		kind: envRdvAck, src: d.rk.id, dst: env.src,
 		reqID: env.reqID, chunk: env.chunk, reply: env.reply,
 	}, false)
 	if st.received >= st.env.bytes {
 		delete(d.rdv, env.reqID)
+		d.rk.fl.Record(p.Now(), flight.KRdvDone, int64(env.src), env.reqID, st.env.bytes, 0)
 		st.req.done.Complete(&Status{Source: st.env.src, Tag: st.env.tag, Bytes: st.env.bytes})
 	}
 }
@@ -446,6 +452,7 @@ func (d *device) handleRdvCancel(p *sim.Proc, env *envelope) {
 	d.stats.rdvCancels.Add(1)
 	d.rk.w.cfg.Tracer.Record(p.Now(), d.actor, "fault",
 		"rendezvous %d cancelled by %d after %d bytes", env.reqID, env.src, st.received)
+	d.rk.fl.Record(p.Now(), flight.KRdvCancel, int64(env.src), env.reqID, st.received, 0)
 	st.req.done.Complete(&CancelledError{Sender: env.src, ReqID: env.reqID})
 }
 

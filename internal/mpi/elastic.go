@@ -6,6 +6,7 @@ import (
 
 	"scimpich/internal/datatype"
 	"scimpich/internal/fault"
+	"scimpich/internal/obs/flight"
 	"scimpich/internal/sim"
 )
 
@@ -52,6 +53,9 @@ func (e *RevokedRankError) Error() string {
 // Suspicion is sticky: it survives a fault-plan RestoreNode, so a node
 // that crashes and comes back cannot rejoin a world that moved on.
 func (w *World) Suspect(rank int) {
+	if !w.suspects[rank] {
+		w.ranks[rank].fl.Record(w.engine.Now(), flight.KSuspect, int64(rank), 0, 0, 0)
+	}
 	w.suspects[rank] = true
 }
 
@@ -102,6 +106,7 @@ func (w *World) revokeRank(p *sim.Proc, r int) {
 	w.suspects[r] = true
 	w.cfg.Tracer.Record(p.Now(), w.ranks[r].actor, "fault",
 		"rank %d revoked by survivor agreement", r)
+	w.ranks[r].fl.Record(p.Now(), flight.KRevoke, int64(r), 0, 0, 0)
 	err := &RevokedRankError{Rank: r}
 	for _, rk := range w.ranks {
 		if rk.id == r {
@@ -195,6 +200,7 @@ func (c *Comm) ShrinkChecked() (*Comm, error) {
 	for attempt := 0; attempt <= len(c.groupRanks()); attempt++ {
 		next, err := cur.shrinkOnce()
 		if err != nil {
+			c.rk.fl.Fail(c.p.Now(), flight.OpShrink, -1, err)
 			return nil, err
 		}
 		if err := next.confirmShrink(); err == nil {
@@ -204,7 +210,9 @@ func (c *Comm) ShrinkChecked() (*Comm, error) {
 		// the already-shrunken membership.
 		cur = next
 	}
-	return nil, &fault.Error{Kind: fault.Timeout, From: c.rk.id, To: -1, At: c.p.Now()}
+	err := &fault.Error{Kind: fault.Timeout, From: c.rk.id, To: -1, At: c.p.Now()}
+	c.rk.fl.Fail(c.p.Now(), flight.OpShrink, -1, err)
+	return nil, err
 }
 
 // shrinkOnce runs one round of the agreement on this communicator.
@@ -217,12 +225,15 @@ func (c *Comm) shrinkOnce() (*Comm, error) {
 		return nil, &RevokedRankError{Rank: me}
 	}
 	key := fmt.Sprintf("mpi.shrink.%d.%d", c.ctx, w.callSeq("shrink", c.ctx, me))
+	agreeID := flight.DigestString(key)
 	rec := w.shrinkRec(key)
 	c.probeSuspects()
 
 	// Deposit this rank's suspicion snapshot into the agreement record: in
 	// the modelled system one posted control write per live member.
 	rec.deposits[me] = c.suspectSnapshot()
+	c.rk.fl.Record(p.Now(), flight.KShrinkDeposit, agreeID,
+		int64(len(rec.deposits[me])), flight.DigestInts(rec.deposits[me]), 0)
 	live := 0
 	for _, r := range c.groupRanks() {
 		if r != me && !w.suspects[r] {
@@ -296,7 +307,12 @@ func (c *Comm) shrinkOnce() (*Comm, error) {
 			"shrink agreement sealed: %d ranks excluded %v", len(rec.dead), rec.dead)
 	}
 
-	// Adopt the sealed decision.
+	// Adopt the sealed decision. The adoption digest is what the
+	// post-mortem agreement checker compares across members: any two
+	// members of the same agreement adopting different dead sets is a
+	// split-brain.
+	c.rk.fl.Record(p.Now(), flight.KShrinkAdopt, agreeID,
+		int64(len(rec.dead)), flight.DigestInts(rec.dead), 0)
 	for _, r := range rec.dead {
 		if r == me {
 			return nil, &RevokedRankError{Rank: me}

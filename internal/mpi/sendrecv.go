@@ -7,6 +7,7 @@ import (
 	"scimpich/internal/bufpool"
 	"scimpich/internal/datatype"
 	"scimpich/internal/fault"
+	"scimpich/internal/obs/flight"
 	"scimpich/internal/pack"
 	"scimpich/internal/sci"
 	"scimpich/internal/sim"
@@ -63,6 +64,18 @@ func (c *Comm) send(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int)
 	tr := w.cfg.Tracer
 	tr.Record(p.Now(), c.rk.actor, "send",
 		"-> %d tag %d: %d bytes", dst, tag, bytes)
+	var protoCode int64 // matches the KSendPost payload table
+	switch {
+	case dst == c.rk.id:
+		protoCode = 0
+	case bytes <= proto.ShortMax:
+		protoCode = 1
+	case bytes <= proto.EagerMax:
+		protoCode = 2
+	default:
+		protoCode = 3
+	}
+	c.rk.fl.Record(p.Now(), flight.KSendPost, int64(dst), int64(tag), bytes, protoCode)
 
 	if dst == c.rk.id {
 		// Self send: buffered through an inline payload.
@@ -88,7 +101,7 @@ func (c *Comm) send(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int)
 		w.met.sendsShort.Inc()
 		w.met.bytesShort.Add(bytes)
 		w.met.sendShortNS.ObserveDuration(p.Now() - start)
-		return err
+		return c.failSend(err, dst)
 	case bytes <= proto.EagerMax:
 		sp := tr.Start(start, c.rk.actor, "send", "eager")
 		sp.SetBytes(bytes)
@@ -98,7 +111,7 @@ func (c *Comm) send(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int)
 		w.met.sendsEager.Inc()
 		w.met.bytesEager.Add(bytes)
 		w.met.sendEagerNS.ObserveDuration(p.Now() - start)
-		return err
+		return c.failSend(err, dst)
 	default:
 		sp := tr.Start(start, c.rk.actor, "send", "rdv")
 		sp.SetBytes(bytes)
@@ -108,8 +121,18 @@ func (c *Comm) send(buf []byte, count int, dt *datatype.Type, dst, tag, ctx int)
 		w.met.sendsRdv.Inc()
 		w.met.bytesRdv.Add(bytes)
 		w.met.sendRdvNS.ObserveDuration(p.Now() - start)
-		return err
+		return c.failSend(err, dst)
 	}
+}
+
+// failSend passes a send result through, recording a flight KError event
+// (and triggering the recorder's dump-on-failure) when the protocol
+// surfaced a typed error.
+func (c *Comm) failSend(err error, dst int) error {
+	if err != nil {
+		c.rk.fl.Fail(c.p.Now(), flight.OpSend, dst, err)
+	}
+	return err
 }
 
 // peerLost reports whether the destination rank is unreachable: a revoked
@@ -161,6 +184,7 @@ func (c *Comm) retryTransfer(dst int, op func() error) error {
 		c.rk.dev.stats.sendRetries.Add(1)
 		c.rk.w.cfg.Tracer.Record(c.p.Now(), c.rk.actor, "fault",
 			"deposit to %d failed (%v), retry %d after %v", dst, fe.Kind, attempt+1, backoff)
+		c.rk.fl.Record(c.p.Now(), flight.KFault, int64(fe.Kind), int64(c.rk.id), int64(dst), int64(attempt+1))
 		c.p.Sleep(backoff)
 		backoff *= 2
 	}
@@ -324,6 +348,7 @@ func (c *Comm) cancelRendezvous(dst int, reqID int64) {
 	w := c.rk.w
 	w.cfg.Tracer.Record(c.p.Now(), c.rk.actor, "fault",
 		"cancelling rendezvous %d to %d", reqID, dst)
+	c.rk.fl.Record(c.p.Now(), flight.KRdvCancel, int64(dst), reqID, 0, 0)
 	w.ring(c.p, c.rk.id, dst, &envelope{
 		kind: envRdvCancel, src: c.rk.id, dst: dst, reqID: reqID,
 	}, true)
@@ -357,6 +382,7 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 		kind: envRdvReq, src: c.rk.id, dst: dst, tag: tag, ctx: ctx,
 		bytes: bytes, reqID: reqID, fingerprt: fp, reply: reply, sig: sendSig(dt),
 	}, false)
+	c.rk.fl.Record(p.Now(), flight.KRdvStart, int64(dst), reqID, bytes, 0)
 	cts, err := c.expectCtl(reply, dst, envRdvCTS)
 	if err != nil {
 		c.cancelRendezvous(dst, reqID)
@@ -417,6 +443,7 @@ func (c *Comm) sendRendezvous(buf []byte, count int, dt *datatype.Type, dst, tag
 		}
 		acked++
 	}
+	c.rk.fl.Record(p.Now(), flight.KRdvDone, int64(dst), reqID, bytes, 0)
 	return nil
 }
 
@@ -453,6 +480,7 @@ func (c *Comm) packChunkInto(out *sendPort, off int64, buf []byte, count int, dt
 				w.met.pathDMAContig.Inc()
 				w.met.transferDMABytes.Add(n)
 				w.met.transferDMANS.ObserveDuration(c.p.Now() - start)
+				c.rk.fl.Record(c.p.Now(), flight.KPathChosen, flight.PathDMACont, n, 0, 0)
 				if v != nil {
 					return v.(error)
 				}
@@ -460,6 +488,7 @@ func (c *Comm) packChunkInto(out *sendPort, off int64, buf []byte, count int, dt
 			}
 		}
 		w.met.pathPIOStream.Inc()
+		c.rk.fl.Record(c.p.Now(), flight.KPathChosen, flight.PathPIOCont, n, 0, 0)
 		return mem.TryWriteStream(c.p, off, buf[skip:skip+n], dt.Size()*int64(count))
 	case mode == rdvFF && proto.UseFF:
 		// The receiver ff-unpacks, so every candidate engine must deposit
@@ -495,6 +524,7 @@ func (c *Comm) packChunkInto(out *sendPort, off int64, buf []byte, count int, dt
 			err = c.depositFF(mem, off, buf, cur, skip, n)
 		}
 		w.met.pathChosen[path].Inc()
+		c.rk.fl.Record(c.p.Now(), flight.KPathChosen, int64(path), n, 0, 0)
 		if err == nil {
 			c.observeDeposit(out, path, n, c.p.Now()-start)
 		}
@@ -513,6 +543,7 @@ func (c *Comm) packChunkInto(out *sendPort, off int64, buf []byte, count int, dt
 		w.met.pathGeneric.Inc()
 		w.met.packGenBytes.Add(n)
 		w.met.packGenericNS.ObserveDuration(c.p.Now() - start)
+		c.rk.fl.Record(c.p.Now(), flight.KPathChosen, flight.PathGeneric, n, 0, 0)
 		return err
 	}
 }
@@ -634,12 +665,16 @@ func (c *Comm) RecvChecked(buf []byte, count int, dt *datatype.Type, src, tag in
 			"receive watchdog expired (src %d tag %d) after %v", src, tag, timeout)
 		if src != AnySource {
 			if err := c.peerLost(c.worldRank(src)); err != nil {
+				c.rk.fl.Fail(c.p.Now(), flight.OpRecv, c.worldRank(src), err)
 				return nil, err
 			}
 		}
-		return nil, &fault.Error{Kind: fault.Timeout, From: c.rk.id, To: src, At: c.p.Now()}
+		err := &fault.Error{Kind: fault.Timeout, From: c.rk.id, To: src, At: c.p.Now()}
+		c.rk.fl.Fail(c.p.Now(), flight.OpRecv, src, err)
+		return nil, err
 	}
 	if err, ok := v.(error); ok {
+		c.rk.fl.Fail(c.p.Now(), flight.OpRecv, src, err)
 		return nil, err
 	}
 	st := *v.(*Status)
@@ -704,6 +739,7 @@ func (c *Comm) irecv(buf []byte, count int, dt *datatype.Type, src, tag, ctx int
 		buf: buf, count: count, dt: dt,
 		done: sim.NewFuture(),
 	}
+	c.rk.fl.Record(c.p.Now(), flight.KRecvPost, int64(src), int64(tag), dt.Size()*int64(count), 0)
 	sim.Post(c.rk.dev.inbox, &envelope{kind: envLocalPost, post: req})
 	return &Request{p: c.p, c: c, done: req.done}
 }

@@ -16,6 +16,7 @@ import (
 	"scimpich/internal/flow"
 	"scimpich/internal/nic"
 	"scimpich/internal/obs"
+	"scimpich/internal/obs/flight"
 	"scimpich/internal/pack"
 	"scimpich/internal/sci"
 	"scimpich/internal/shmem"
@@ -170,6 +171,13 @@ type Config struct {
 	// World.PublishMetrics. It is inherited by the SCI layer unless
 	// SCI.Metrics is set explicitly.
 	Metrics *obs.Registry
+	// Flight, when non-nil, is the always-on flight recorder: every rank
+	// records typed protocol events (send/recv matches, rendezvous
+	// progress, shrink agreements) into its per-actor ring, and the first
+	// typed error surfaced by a checked operation snapshots the whole
+	// window to a JSON dump (see internal/obs/flight and cmd/postmortem).
+	// It is inherited by the SCI layer unless SCI.Flight is set explicitly.
+	Flight *flight.Recorder
 }
 
 // DefaultConfig returns a cluster of nodes dual-SMP nodes matching the
@@ -339,7 +347,8 @@ type rank struct {
 	w          *World
 	id         int
 	node       int
-	actor      string // cached "rank<i>" (avoids Sprintf on the send hot path)
+	actor      string     // cached "rank<i>" (avoids Sprintf on the send hot path)
+	fl         *flight.Ring // cached flight ring for the actor (nil without a recorder)
 	dev        *device
 	p          *sim.Proc // the user process, set when spawned
 	reqCounter int64
@@ -412,8 +421,12 @@ func newWorld(e *sim.Engine, cfg Config) *World {
 			if cfg.SCI.Metrics == nil {
 				cfg.SCI.Metrics = cfg.Metrics
 			}
+			if cfg.SCI.Flight == nil {
+				cfg.SCI.Flight = cfg.Flight
+			}
 			w.cfg.SCI.Tracer = cfg.SCI.Tracer
 			w.cfg.SCI.Metrics = cfg.SCI.Metrics
+			w.cfg.SCI.Flight = cfg.SCI.Flight
 			w.ic = sci.New(e, cfg.SCI)
 		case InterconnectNIC:
 			w.nicNet = nic.New(e, cfg.Nodes, cfg.NIC)
@@ -430,8 +443,24 @@ func newWorld(e *sim.Engine, cfg Config) *World {
 		w.buses[n] = shmem.NewBus(e, net, fmt.Sprintf("node%d", n), cfg.Shm)
 	}
 	w.ranks = make([]*rank, w.size)
+	topo := cfg.Flight.Actor("topology")
 	for r := range w.ranks {
-		w.ranks[r] = &rank{w: w, id: r, node: r / cfg.ProcsPerNode, actor: fmt.Sprintf("rank%d", r)}
+		rk := &rank{w: w, id: r, node: r / cfg.ProcsPerNode, actor: fmt.Sprintf("rank%d", r)}
+		rk.fl = cfg.Flight.Actor(rk.actor)
+		// The topology meta ring maps ranks to nodes for the post-mortem
+		// analyzer; a dedicated ring so long runs cannot evict it.
+		topo.Record(0, flight.KRankNode, int64(r), int64(rk.node), 0, 0)
+		w.ranks[r] = rk
+	}
+	if cfg.Flight != nil {
+		if pl := w.plan(); pl != nil {
+			// Every fault the plan actually injects lands in the recorder,
+			// so a post-mortem can separate injected causes from symptoms.
+			flr := cfg.Flight.Actor("faultplan")
+			pl.SetObserver(func(at time.Duration, k fault.Kind, from, to int) {
+				flr.Record(at, flight.KFault, int64(k), int64(from), int64(to), 0)
+			})
+		}
 	}
 	for _, rk := range w.ranks {
 		rk.buildPorts()
@@ -519,6 +548,7 @@ func (w *World) ring(p *sim.Proc, src, dst int, env *envelope, interrupt bool) {
 		// rendezvous chunks) must never reach a world that shrank past it.
 		w.cfg.Tracer.Record(p.Now(), w.ranks[src].actor, "fault",
 			"control packet %v -> %d dropped (rank revoked)", env.kind, dst)
+		w.ranks[src].fl.Record(p.Now(), flight.KPacketDrop, int64(env.kind), int64(dst), flight.DropRevoked, 0)
 		return
 	}
 	from, to := w.ranks[src], w.ranks[dst]
@@ -544,6 +574,7 @@ func (w *World) ring(p *sim.Proc, src, dst int, env *envelope, interrupt bool) {
 		// this via watchdog timeouts, not via a magic error here.
 		w.cfg.Tracer.Record(p.Now(), from.actor, "fault",
 			"control packet %v -> %d dropped (node down)", env.kind, dst)
+		from.fl.Record(p.Now(), flight.KPacketDrop, int64(env.kind), int64(dst), flight.DropNodeDown, 0)
 		return
 	}
 	if dedupable(env.kind) {
@@ -562,6 +593,7 @@ func (w *World) ring(p *sim.Proc, src, dst int, env *envelope, interrupt bool) {
 		// retry latency later. The receiving device must stay exactly-once.
 		w.cfg.Tracer.Record(p.Now(), from.actor, "fault",
 			"duplicated %v envelope -> %d (seq %d)", env.kind, dst, env.seq)
+		from.fl.Record(p.Now(), flight.KDupInject, int64(env.kind), int64(dst), env.seq, 0)
 		w.engine.After(delay+cfg.RetryLatency, func() { sim.Post(inbox, env) })
 	}
 }

@@ -26,10 +26,20 @@ type ChromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
+// ChromeOther is the exporter metadata carried in the file's otherData
+// field: how many spans and instant events the trace ring evicted before
+// the export, so downstream consumers can tell a complete trace from a
+// truncated one.
+type ChromeOther struct {
+	DroppedSpans  int64 `json:"droppedSpans,omitempty"`
+	DroppedEvents int64 `json:"droppedEvents,omitempty"`
+}
+
 // chromeFile is the top-level JSON object.
 type chromeFile struct {
 	TraceEvents     []ChromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	OtherData       *ChromeOther  `json:"otherData,omitempty"`
 }
 
 // usPerNs converts virtual-time nanoseconds to trace-event microseconds.
@@ -80,25 +90,41 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			Ts: float64(e.At) * usPerNs, Pid: 0, Tid: actorID[e.Actor],
 		})
 	}
+	f := chromeFile{TraceEvents: evs, DisplayTimeUnit: "ns"}
+	if ds, de := t.DroppedSpans(), t.DroppedEvents(); ds > 0 || de > 0 {
+		f.OtherData = &ChromeOther{DroppedSpans: ds, DroppedEvents: de}
+	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(chromeFile{TraceEvents: evs, DisplayTimeUnit: "ns"})
+	return enc.Encode(f)
 }
 
 // ReadChrome parses a Chrome trace-event JSON file (the object format
 // WriteChrome emits; a bare traceEvents array is accepted too) and returns
 // its events.
 func ReadChrome(r io.Reader) ([]ChromeEvent, error) {
+	evs, _, err := ReadChromeMeta(r)
+	return evs, err
+}
+
+// ReadChromeMeta is ReadChrome returning the exporter metadata too. A file
+// without otherData (including the bare-array form) yields a zero
+// ChromeOther.
+func ReadChromeMeta(r io.Reader) ([]ChromeEvent, ChromeOther, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, ChromeOther{}, err
 	}
 	var f chromeFile
 	if err := json.Unmarshal(data, &f); err == nil && f.TraceEvents != nil {
-		return f.TraceEvents, nil
+		var other ChromeOther
+		if f.OtherData != nil {
+			other = *f.OtherData
+		}
+		return f.TraceEvents, other, nil
 	}
 	var evs []ChromeEvent
 	if err := json.Unmarshal(data, &evs); err != nil {
-		return nil, fmt.Errorf("obs: not a Chrome trace-event file: %w", err)
+		return nil, ChromeOther{}, fmt.Errorf("obs: not a Chrome trace-event file: %w", err)
 	}
-	return evs, nil
+	return evs, ChromeOther{}, nil
 }

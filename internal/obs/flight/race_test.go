@@ -1,0 +1,84 @@
+package flight
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Concurrency stress for the recorder: many writers per ring, writers
+// across rings sharing the global sequence, concurrent snapshot readers,
+// and a mid-flight failure dump. Run under -race in CI.
+
+func TestFlightConcurrentStress(t *testing.T) {
+	const (
+		writers       = 8
+		eventsPer     = 400
+		snapshotPolls = 50
+	)
+	rec := New(64)
+	rec.SetDumpSink(func(*Dump) {}) // exercise the sink path under contention
+	shared := rec.Actor("shared")
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := rec.Actor(fmt.Sprintf("rank%d", w))
+			for i := 0; i < eventsPer; i++ {
+				at := time.Duration(i) * time.Microsecond
+				shared.Record(at, KSendPost, int64(w), int64(i), 64, 1)
+				own.Record(at, KRecvMatch, int64(w), int64(i), 64, 2)
+				if i == eventsPer/2 {
+					own.Fail(at, OpRecv, w, errors.New("stress failure"))
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < snapshotPolls; i++ {
+			d := rec.Snapshot("poll")
+			_ = d.TotalEvents()
+			_ = d.TotalDropped()
+			_, _ = shared.Window()
+			_ = shared.Dropped()
+			_ = shared.Len()
+			_ = rec.Dumped()
+			_ = rec.Reason()
+		}
+	}()
+	wg.Wait()
+
+	if !rec.Dumped() {
+		t.Fatal("no dump fired despite Fail calls")
+	}
+	// Every ring retained exactly its capacity and accounted for the rest.
+	for w := 0; w < writers; w++ {
+		rg := rec.Actor(fmt.Sprintf("rank%d", w))
+		// eventsPer records + 1 KError.
+		if got := uint64(rg.Len()) + rg.Dropped(); got != eventsPer+1 {
+			t.Errorf("rank%d: Len+Dropped = %d, want %d", w, got, eventsPer+1)
+		}
+	}
+	if got := uint64(shared.Len()) + shared.Dropped(); got != writers*eventsPer {
+		t.Errorf("shared ring: Len+Dropped = %d, want %d", got, writers*eventsPer)
+	}
+	// Seqs within one ring are strictly increasing (writers serialize on
+	// the ring mutex after drawing from the global counter... order within
+	// the buffer is commit order, so windows stay sorted by seq only per
+	// committed position; just check they are all distinct and non-zero).
+	seen := make(map[uint64]bool)
+	for w := 0; w < writers; w++ {
+		for _, e := range rec.Actor(fmt.Sprintf("rank%d", w)).Events() {
+			if e.Seq == 0 || seen[e.Seq] {
+				t.Fatalf("duplicate or zero seq %d", e.Seq)
+			}
+			seen[e.Seq] = true
+		}
+	}
+}

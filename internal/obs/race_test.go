@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Concurrency stress for the trace exporter: per-actor span stacks, the
+// shared span/event rings and drop counters, and a concurrent Chrome
+// export. Run under -race in CI.
+
+func TestTraceConcurrentStress(t *testing.T) {
+	const (
+		actors   = 8
+		spansPer = 300
+	)
+	tr := NewTrace(128) // small ring so the drop counters are exercised
+
+	var wg sync.WaitGroup
+	for a := 0; a < actors; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			actor := fmt.Sprintf("rank%d", a)
+			for i := 0; i < spansPer; i++ {
+				at := time.Duration(i) * time.Microsecond
+				outer := tr.StartSpan(at, actor, "send", "rdv")
+				inner := tr.StartSpan(at+1, actor, "pack", "direct_pack_ff")
+				inner.SetBytes(4096)
+				inner.End(at + 2)
+				outer.AddBytes(65536)
+				outer.End(at + 3)
+				tr.Instant(at+4, actor, "fault", "retry")
+			}
+		}(a)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			_ = tr.Spans()
+			_ = tr.Events()
+			_ = tr.SpanCount()
+			_ = tr.EventCount()
+			_ = tr.DroppedSpans()
+			_ = tr.DroppedEvents()
+			_ = tr.Actors()
+			if err := tr.WriteChrome(io.Discard); err != nil {
+				t.Errorf("WriteChrome: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	wantSpans := int64(actors * spansPer * 2)
+	if got := int64(tr.SpanCount()) + tr.DroppedSpans(); got != wantSpans {
+		t.Errorf("spans retained+dropped = %d, want %d", got, wantSpans)
+	}
+	wantEvents := int64(actors * spansPer)
+	if got := int64(tr.EventCount()) + tr.DroppedEvents(); got != wantEvents {
+		t.Errorf("events retained+dropped = %d, want %d", got, wantEvents)
+	}
+	if len(tr.Actors()) != actors {
+		t.Errorf("actors = %v, want %d of them", tr.Actors(), actors)
+	}
+}
+
+func TestChromeExportCarriesDropCounts(t *testing.T) {
+	tr := NewTrace(2)
+	for i := 0; i < 5; i++ {
+		at := time.Duration(i) * time.Microsecond
+		tr.StartSpan(at, "rank0", "send", "short").End(at + 1)
+		tr.Instant(at, "rank0", "fault", "retry")
+	}
+	if tr.DroppedSpans() != 3 || tr.DroppedEvents() != 3 {
+		t.Fatalf("drops = %d spans / %d events, want 3 / 3",
+			tr.DroppedSpans(), tr.DroppedEvents())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, other, err := ReadChromeMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no events round-tripped")
+	}
+	if other.DroppedSpans != 3 || other.DroppedEvents != 3 {
+		t.Errorf("otherData = %+v, want both drop counts at 3", other)
+	}
+
+	// A complete trace must not emit otherData at all.
+	tr2 := NewTrace(0)
+	tr2.StartSpan(0, "rank0", "send", "short").End(1)
+	var buf2 bytes.Buffer
+	if err := tr2.WriteChrome(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf2.String(), "otherData") {
+		t.Errorf("complete trace emitted otherData:\n%s", buf2.String())
+	}
+	if _, other2, err := ReadChromeMeta(&buf2); err != nil || other2 != (ChromeOther{}) {
+		t.Errorf("complete trace meta = %+v, %v; want zero, nil", other2, err)
+	}
+}

@@ -109,3 +109,30 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Errorf("hist count = %d, want 4000", c)
 	}
 }
+
+func TestHistogramUnits(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("op.ns").Observe(int64(1500 * time.Microsecond))
+	r.HistogramUnit("op.bytes", UnitBytes).Observe(4096)
+	r.HistogramUnit("op.staged", UnitCount).Observe(37)
+	// First use wins: a later lookup with a different unit must not retag.
+	r.HistogramUnit("op.bytes", UnitDuration).Observe(2 * 1024 * 1024)
+	if u := r.HistogramUnitOf("op.bytes"); u != UnitBytes {
+		t.Errorf("op.bytes unit = %v, want bytes (first use wins)", u)
+	}
+	if u := r.HistogramUnitOf("op.ns"); u != UnitDuration {
+		t.Errorf("plain Histogram unit = %v, want duration", u)
+	}
+
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"1.5ms", "4.0KiB", "2.0MiB", "37"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "4.096µs") || strings.Contains(out, "37ns") {
+		t.Errorf("byte/count samples rendered as durations:\n%s", out)
+	}
+}

@@ -226,6 +226,16 @@ func (t *Trace) DroppedEvents() int64 {
 	return t.edrop
 }
 
+// DroppedSpans returns how many completed spans the ring has evicted.
+func (t *Trace) DroppedSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spdrop
+}
+
 // Spans returns the retained completed spans, in completion order (oldest
 // first). The returned spans are shared; treat them as read-only.
 func (t *Trace) Spans() []*Span {

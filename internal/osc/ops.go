@@ -7,6 +7,7 @@ import (
 	"scimpich/internal/datatype"
 	"scimpich/internal/fault"
 	"scimpich/internal/mpi"
+	"scimpich/internal/obs/flight"
 	"scimpich/internal/pack"
 	"scimpich/internal/sim"
 )
@@ -32,6 +33,14 @@ func (w *Win) Put(buf []byte, count int, dt *datatype.Type, target int, targetOf
 // window ErrWinGone. Epoch and bounds violations still panic (programming
 // errors).
 func (w *Win) PutChecked(buf []byte, count int, dt *datatype.Type, target int, targetOff int64) error {
+	err := w.putChecked(buf, count, dt, target, targetOff)
+	if err != nil {
+		w.fl.Fail(w.sys.c.Proc().Now(), flight.OpPut, w.sys.c.GroupToWorld(target), err)
+	}
+	return err
+}
+
+func (w *Win) putChecked(buf []byte, count int, dt *datatype.Type, target int, targetOff int64) error {
 	w.checkEpoch("Put")
 	n := dt.Size() * int64(count)
 	span := dt.Extent()*int64(count-1) + dt.UB() - dt.LB()
@@ -67,6 +76,7 @@ func (w *Win) PutChecked(buf []byte, count int, dt *datatype.Type, target int, t
 			w.stats.directPuts.Add(1)
 			w.sys.met.directPuts.Add(1)
 			sp.SetDetail("direct -> %d", target)
+			w.fl.Record(p.Now(), flight.KPut, int64(w.sys.c.GroupToWorld(target)), n, int64(w.id), 1)
 			return nil
 		} else if lost := w.lostTarget(target); lost != nil {
 			return lost
@@ -79,6 +89,7 @@ func (w *Win) PutChecked(buf []byte, count int, dt *datatype.Type, target int, t
 	w.stats.emulatedPuts.Add(1)
 	w.sys.met.emulatedPuts.Add(1)
 	sp.SetDetail("emulated -> %d", target)
+	w.fl.Record(p.Now(), flight.KPut, int64(w.sys.c.GroupToWorld(target)), n, int64(w.id), 0)
 	return w.emulatedPut(buf, count, dt, target, targetOff, n)
 }
 
@@ -258,6 +269,14 @@ func (w *Win) Get(buf []byte, count int, dt *datatype.Type, target int, targetOf
 // GetChecked is Get returning failures as typed errors (see PutChecked for
 // the taxonomy).
 func (w *Win) GetChecked(buf []byte, count int, dt *datatype.Type, target int, targetOff int64) error {
+	err := w.getChecked(buf, count, dt, target, targetOff)
+	if err != nil {
+		w.fl.Fail(w.sys.c.Proc().Now(), flight.OpGet, w.sys.c.GroupToWorld(target), err)
+	}
+	return err
+}
+
+func (w *Win) getChecked(buf []byte, count int, dt *datatype.Type, target int, targetOff int64) error {
 	w.checkEpoch("Get")
 	n := dt.Size() * int64(count)
 	span := dt.Extent()*int64(count-1) + dt.UB() - dt.LB()
@@ -382,6 +401,14 @@ func (w *Win) Accumulate(buf []byte, count int, dt *datatype.Type, op mpi.Op, ta
 // AccumulateChecked is Accumulate returning failures as typed errors (see
 // PutChecked for the taxonomy).
 func (w *Win) AccumulateChecked(buf []byte, count int, dt *datatype.Type, op mpi.Op, target int, targetOff int64) error {
+	err := w.accumulateChecked(buf, count, dt, op, target, targetOff)
+	if err != nil {
+		w.fl.Fail(w.sys.c.Proc().Now(), flight.OpAccumulate, w.sys.c.GroupToWorld(target), err)
+	}
+	return err
+}
+
+func (w *Win) accumulateChecked(buf []byte, count int, dt *datatype.Type, op mpi.Op, target int, targetOff int64) error {
 	w.checkEpoch("Accumulate")
 	if dt.Kind() != datatype.KindBasic {
 		panic(fmt.Sprintf("osc: Accumulate requires a basic datatype, got %s", dt))

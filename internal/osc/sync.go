@@ -3,6 +3,8 @@ package osc
 import (
 	"fmt"
 	"time"
+
+	"scimpich/internal/obs/flight"
 )
 
 // Synchronization (paper §4.1/§4.3): active target via fence or exposure /
@@ -56,6 +58,7 @@ func (w *Win) FenceChecked() error {
 	p := c.Proc()
 	w.fenceRound++
 	round := w.fenceRound
+	w.fl.Record(p.Now(), flight.KFenceEnter, int64(w.id), int64(round), 0, 0)
 	me := c.Rank()
 	for r := 0; r < c.Size(); r++ {
 		if r != me {
@@ -74,7 +77,9 @@ func (w *Win) FenceChecked() error {
 			w.countSyncTimeout()
 			c.Tracer().Record(p.Now(), w.actor, "fault",
 				"window %d: fence round %d timed out (%d/%d peers)", w.id, round, w.pendingFence[round], need)
-			return ErrSyncTimeout{Op: "fence", Win: w.id, Target: -1, Waited: waited}
+			err := ErrSyncTimeout{Op: "fence", Win: w.id, Target: -1, Waited: waited}
+			w.fl.Fail(p.Now(), flight.OpFence, -1, err)
+			return err
 		}
 		before := p.Now()
 		v, ok := p.RecvTimeout(w.fenceQ, remaining)
@@ -83,11 +88,14 @@ func (w *Win) FenceChecked() error {
 			w.countSyncTimeout()
 			c.Tracer().Record(p.Now(), w.actor, "fault",
 				"window %d: fence round %d timed out (%d/%d peers)", w.id, round, w.pendingFence[round], need)
-			return ErrSyncTimeout{Op: "fence", Win: w.id, Target: -1, Waited: waited}
+			err := ErrSyncTimeout{Op: "fence", Win: w.id, Target: -1, Waited: waited}
+			w.fl.Fail(p.Now(), flight.OpFence, -1, err)
+			return err
 		}
 		w.pendingFence[v.(int)]++
 	}
 	delete(w.pendingFence, round)
+	w.fl.Record(p.Now(), flight.KFenceExit, int64(w.id), int64(round), int64(need), 0)
 	w.ep = epochFence
 	w.openEpoch("fence")
 	w.resetPattern()
@@ -273,7 +281,9 @@ func (w *Win) LockChecked(target int) error {
 			w.countSyncTimeout()
 			c.Tracer().Record(p.Now(), w.actor, "fault",
 				"window %d: lock of rank %d timed out after %v", w.id, target, waited)
-			return ErrSyncTimeout{Op: "lock", Win: w.id, Target: target, Waited: waited}
+			err := ErrSyncTimeout{Op: "lock", Win: w.id, Target: target, Waited: waited}
+			w.fl.Fail(p.Now(), flight.OpLock, world, err)
+			return err
 		}
 		sleep := backoff
 		if waited+sleep > w.cfg.SyncTimeout {

@@ -27,6 +27,7 @@ import (
 
 	"scimpich/internal/mpi"
 	"scimpich/internal/obs"
+	"scimpich/internal/obs/flight"
 	"scimpich/internal/sim"
 	"scimpich/internal/smi"
 )
@@ -176,6 +177,9 @@ type Win struct {
 
 	// actor is the cached trace-actor name of the owning rank ("rank<i>").
 	actor string
+	// fl is the owning rank's flight-recorder ring (nil-safe when no
+	// recorder is configured).
+	fl *flight.Ring
 	// epochSpan is the open trace span of the current access epoch; data
 	// operation spans on the same actor nest under it. epochOpen/epochStart
 	// track the epoch independently of the span so the epoch-duration
@@ -273,6 +277,7 @@ func (s *System) create(seg *mpi.SharedSeg, buf []byte, cfg Config) *Win {
 		sys: s, id: id, cfg: cfg,
 		shared: seg, private: buf,
 		actor:      fmt.Sprintf("rank%d", c.WorldRank()),
+		fl:         c.FlightRing(),
 		lastTarget: -1, lockHeld: -1,
 		postQ:        sim.NewChan(1 << 16),
 		completeQ:    sim.NewChan(1 << 16),

@@ -1,0 +1,72 @@
+package rmem
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scimpich/internal/mpi"
+	"scimpich/internal/obs/flight"
+)
+
+// flightConfig is testConfig with a flight recorder attached, returning
+// both. When FLIGHT_DUMP_DIR is set (CI does this on the failover jobs),
+// the recorder also arms a dump file named after the test and seed, so a
+// failing job leaves a post-mortem artifact behind.
+func flightConfig(t *testing.T, seed uint64) (mpi.Config, *flight.Recorder) {
+	t.Helper()
+	cfg := testConfig(churnPlan(seed))
+	rec := flight.New(512)
+	cfg.Flight = rec
+	if dir := os.Getenv("FLIGHT_DUMP_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatalf("FLIGHT_DUMP_DIR: %v", err)
+		}
+		rec.SetDumpPath(filepath.Join(dir, fmt.Sprintf("%s-seed%d.json", t.Name(), seed)))
+	}
+	return cfg, rec
+}
+
+// TestFlightDumpDeterministic pins the dump encoding: two runs of the same
+// seeded churn workload must produce byte-identical flight dumps — the
+// recorder sees only virtual times and protocol values, and the dump
+// encoding is canonical. This is what makes a CI flight-dump artifact
+// reproducible locally from just the seed.
+func TestFlightDumpDeterministic(t *testing.T) {
+	run := func() []byte {
+		cfg, rec := flightConfig(t, *faultSeed)
+		var buf bytes.Buffer
+		rec.SetDumpSink(func(d *flight.Dump) {
+			if err := d.WriteJSON(&buf); err != nil {
+				t.Fatalf("WriteJSON: %v", err)
+			}
+		})
+		RunWorkload(cfg, DefaultConfig(), DefaultWorkload())
+		if buf.Len() == 0 {
+			// The churn plan produces typed errors; if none fired, the
+			// crash was absorbed silently and the test premise is gone.
+			t.Fatal("churn run produced no failure dump")
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-seed flight dumps differ (%d vs %d bytes)", len(a), len(b))
+	}
+
+	// The dump is analyzable: the crash of node1 is visible to the
+	// analyzer, and the chain reaches the first typed error.
+	d, err := flight.ReadDump(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+	if nd := d.Actor("node1"); nd == nil || len(nd.Events) == 0 {
+		t.Error("dump lacks node1's crash event")
+	}
+	rep := flight.Analyze(d)
+	if len(rep.Chain) == 0 {
+		t.Error("no causal chain in the churn dump")
+	}
+}

@@ -56,7 +56,8 @@ func TestPutGetCommitNoFaults(t *testing.T) {
 func TestFailoverClaims(t *testing.T) {
 	wl := DefaultWorkload()
 	base, _ := RunWorkload(testConfig(fault.New(*faultSeed)), DefaultConfig(), wl)
-	churn, _ := RunWorkload(testConfig(churnPlan(*faultSeed)), DefaultConfig(), wl)
+	churnCfg, _ := flightConfig(t, *faultSeed)
+	churn, _ := RunWorkload(churnCfg, DefaultConfig(), wl)
 
 	var baseP99, churnP99 int64
 	for _, r := range base {
@@ -112,7 +113,8 @@ func TestFailoverClaims(t *testing.T) {
 func TestFailoverDeterministicPerSeed(t *testing.T) {
 	run := func() ([]RankReport, time.Duration) {
 		wl := DefaultWorkload()
-		return RunWorkload(testConfig(churnPlan(*faultSeed)), DefaultConfig(), wl)
+		cfg, _ := flightConfig(t, *faultSeed)
+		return RunWorkload(cfg, DefaultConfig(), wl)
 	}
 	rep1, end1 := run()
 	rep2, end2 := run()

@@ -24,6 +24,8 @@ import (
 
 	"scimpich/internal/datatype"
 	"scimpich/internal/mpi"
+	"scimpich/internal/obs"
+	"scimpich/internal/obs/flight"
 	"scimpich/internal/osc"
 )
 
@@ -105,6 +107,15 @@ type Service struct {
 	// counts shards that lost both replicas (zero under single crashes).
 	Failovers  int
 	LostShards int
+
+	// fl is the owning rank's flight-recorder ring (nil-safe); the service
+	// records its stage/commit/replay protocol on the rank's timeline.
+	fl *flight.Ring
+	// putBytes and commitStaged are unit-tagged distribution metrics (nil
+	// without a registry): deposited value sizes and staged writes per
+	// commit.
+	putBytes     *obs.Histogram
+	commitStaged *obs.Histogram
 }
 
 // New collectively creates the service over the communicator and opens the
@@ -118,6 +129,10 @@ func New(c *mpi.Comm, cfg Config) (*Service, error) {
 		pending:   make(map[int64]*pendingWrite),
 		committed: make(map[int64]int64),
 		touched:   make(map[int]bool),
+
+		fl:           c.FlightRing(),
+		putBytes:     c.Metrics().HistogramUnit("rmem.put.bytes", obs.UnitBytes),
+		commitStaged: c.Metrics().HistogramUnit("rmem.commit.staged", obs.UnitCount),
 	}
 	s.ranks = groupWorlds(c)
 	s.win = s.sys.CreateShared(s.seg, cfg.OSC)
@@ -175,6 +190,8 @@ func (s *Service) Put(key int64, val []byte) error {
 	}
 	s.pending[key] = &pendingWrite{seq: s.nextSeq, val: append([]byte(nil), val...)}
 	s.touched[sh] = true
+	s.fl.Record(s.c.Proc().Now(), flight.KPutStage, key, s.nextSeq, int64(sh), 0)
+	s.putBytes.Observe(int64(len(val)))
 	return nil
 }
 
@@ -213,14 +230,18 @@ func (s *Service) Commit() error {
 			if err := s.win.AccumulateChecked(stamp[:], 1, datatype.Int64, mpi.OpMax, tgt, int64(sh)*s.cfg.shardBytes()); err != nil {
 				return err
 			}
+			s.fl.Record(s.c.Proc().Now(), flight.KEpochStamp, int64(sh), next, int64(s.c.GroupToWorld(tgt)), 0)
 		}
 	}
 	s.epoch = next
+	staged := int64(len(s.pending))
 	for key, pw := range s.pending {
 		s.committed[key] = pw.seq
 	}
 	s.pending = make(map[int64]*pendingWrite)
 	s.touched = make(map[int]bool)
+	s.fl.Record(s.c.Proc().Now(), flight.KCommit, next, staged, 0, 0)
+	s.commitStaged.Observe(staged)
 	return nil
 }
 
@@ -252,6 +273,14 @@ func sortedKeys(m map[int64]*pendingWrite) []int64 {
 // this origin's staged writes and commits them. On a rank that was itself
 // revoked it returns the *mpi.RevokedRankError — that rank must stop.
 func (s *Service) Recover() error {
+	err := s.recover()
+	if err != nil {
+		s.fl.Fail(s.c.Proc().Now(), flight.OpRecover, -1, err)
+	}
+	return err
+}
+
+func (s *Service) recover() error {
 	nc, err := s.c.ShrinkChecked()
 	if err != nil {
 		return err
@@ -278,6 +307,7 @@ func (s *Service) Recover() error {
 	for _, key := range sortedKeys(s.pending) {
 		pw := s.pending[key]
 		sh := s.shardOf(key)
+		s.fl.Record(s.c.Proc().Now(), flight.KReplay, key, pw.seq, int64(sh), 0)
 		slot := make([]byte, s.cfg.slotBytes())
 		binary.LittleEndian.PutUint64(slot[0:], uint64(pw.seq))
 		binary.LittleEndian.PutUint64(slot[8:], uint64(key))
@@ -352,6 +382,7 @@ func (s *Service) Verify() (lost int64, err error) {
 		}
 		if seq != s.committed[key] {
 			lost++
+			s.fl.Record(s.c.Proc().Now(), flight.KWriteLost, key, s.committed[key], seq, 0)
 		}
 	}
 	return lost, nil

@@ -35,6 +35,7 @@ import (
 	"scimpich/internal/fault"
 	"scimpich/internal/memmodel"
 	"scimpich/internal/obs"
+	"scimpich/internal/obs/flight"
 	"scimpich/internal/ring"
 	"scimpich/internal/trace"
 )
@@ -148,6 +149,12 @@ type Config struct {
 	// fault.injected{kind=...}). nil disables metrics at zero cost on the
 	// PIO hot path.
 	Metrics *obs.Registry
+
+	// Flight, when non-nil, receives node crash/restore and segment
+	// revocation events on the per-node actor rings ("node<i>"), so a
+	// post-mortem can correlate protocol stalls with the injected
+	// interconnect faults. nil records nothing at zero cost.
+	Flight *flight.Recorder
 
 	// CheckRetryMax bounds the retries of the transfer-check barrier
 	// (Mapping.CheckedSync) before it converts a persistently failing

@@ -10,6 +10,7 @@ import (
 	"scimpich/internal/fault"
 	"scimpich/internal/flow"
 	"scimpich/internal/obs"
+	"scimpich/internal/obs/flight"
 	"scimpich/internal/ring"
 	"scimpich/internal/sim"
 )
@@ -213,13 +214,16 @@ func (ic *Interconnect) applyPlan() {
 		if ev.Node < 0 || ev.Node >= len(ic.nodes) {
 			continue
 		}
+		flr := ic.Cfg.Flight.Actor(fmt.Sprintf("node%d", ev.Node))
 		ic.E.At(ev.At, func() {
 			if ev.Up {
 				ic.RestoreNode(ev.Node)
 				ic.tracef(fmt.Sprintf("node%d", ev.Node), "node restored (plan)")
+				flr.Record(ic.E.Now(), flight.KNodeUp, int64(ev.Node), 0, 0, 0)
 			} else {
 				ic.FailNode(ev.Node)
 				ic.tracef(fmt.Sprintf("node%d", ev.Node), "node crashed (plan)")
+				flr.Record(ic.E.Now(), flight.KNodeDown, int64(ev.Node), 0, 0, 0)
 			}
 		})
 	}
@@ -228,9 +232,11 @@ func (ic *Interconnect) applyPlan() {
 		if ev.Owner < 0 || ev.Owner >= len(ic.nodes) {
 			continue
 		}
+		flr := ic.Cfg.Flight.Actor(fmt.Sprintf("node%d", ev.Owner))
 		ic.E.At(ev.At, func() {
 			ic.RevokeSegment(ev.Owner, ev.Seg)
 			ic.tracef(fmt.Sprintf("node%d", ev.Owner), "segment %d revoked (plan)", ev.Seg)
+			flr.Record(ic.E.Now(), flight.KSegRevoked, int64(ev.Owner), int64(ev.Seg), 0, 0)
 		})
 	}
 }
