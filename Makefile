@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json alloc-test trace-demo failover postmortem-demo
+.PHONY: check vet build test race bench bench-json alloc-test trace-demo failover postmortem-demo shard-stress
 
 # check is the tier-1 gate: vet, build everything, the full test suite with
 # the race detector, then the failover availability claims.
@@ -22,10 +22,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-json runs the hot-path microbenchmark suites (direct_pack_ff engine,
-# PIO delivery pipeline) plus the DMA path-selection and collective
-# algorithm-selection matrices, and writes the BENCH_pack.json /
-# BENCH_pio.json / BENCH_dma.json / BENCH_coll.json regression-gate
-# artifacts. See docs/PERFORMANCE.md.
+# PIO delivery pipeline), the DMA path-selection and collective
+# algorithm-selection matrices, the rmem failover suite and the
+# sharded-engine 512-node suite, and writes the BENCH_*.json
+# regression-gate artifacts. See docs/PERFORMANCE.md.
 bench-json:
 	$(GO) run ./cmd/benchjson -dir .
 
@@ -35,6 +35,13 @@ bench-json:
 # baseline. See docs/ELASTIC.md.
 failover:
 	$(GO) test -run TestFailoverClaims -count=1 ./internal/rmem
+
+# shard-stress hammers the conservative-parallel engine, the incremental
+# flow solver and the 512-node workload under the race detector — the
+# cross-engine determinism property tests run with real goroutine
+# parallelism so window-barrier and cross-shard-queue races surface.
+shard-stress:
+	$(GO) test -race -count=2 ./internal/sim/ ./internal/flow/ ./internal/scale/
 
 # alloc-test runs only the allocation-pinned hot-path tests (0 allocs/op on
 # pack and PIO fast paths); CI fails the bench job if these regress.

@@ -1,7 +1,8 @@
 // Command benchjson runs the hot-path microbenchmark suites (direct_pack_ff
-// engine and PIO delivery pipeline) plus the virtual-time DMA path-selection
-// matrix, and writes BENCH_pack.json, BENCH_pio.json and BENCH_dma.json —
-// the regression-gate artifacts archived by CI. See docs/PERFORMANCE.md.
+// engine and PIO delivery pipeline), the virtual-time DMA path-selection
+// and collective matrices, the rmem failover suite and the sharded-engine
+// 512-node suite, and writes the BENCH_*.json regression-gate artifacts
+// archived by CI. See docs/PERFORMANCE.md.
 package main
 
 import (
@@ -72,6 +73,23 @@ func main() {
 	fmt.Printf("wrote %s\n", path)
 	if !ok {
 		fmt.Fprintln(os.Stderr, "benchjson: rmem availability gates failed")
+		os.Exit(1)
+	}
+
+	// The sharded-engine suite: the 512-node ring allreduce on the
+	// sequential oracle vs the conservative-parallel engine. Its rows carry
+	// the schedule-determinism gates and the 2x wall-clock gate at the
+	// widest shard count.
+	engRows, engOK := bench.RunEngineBench()
+	fmt.Print(bench.FormatEngine(engRows))
+	path = filepath.Join(*dir, "BENCH_engine.json")
+	if err := bench.WriteEngineJSON(path, engRows); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+	if !engOK {
+		fmt.Fprintln(os.Stderr, "benchjson: engine determinism/speedup gates failed")
 		os.Exit(1)
 	}
 }

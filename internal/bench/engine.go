@@ -1,0 +1,179 @@
+package bench
+
+// The sharded-engine benchmark behind BENCH_engine.json: the §6-scale
+// 512-node (8x8x8 torus) ring allreduce runs once on the sequential engine
+// with one monolithic flow network — the oracle and the baseline — and once
+// per shard count on the conservative-parallel ShardedEngine. The artifact
+// gates the engine claims: every sharded run must reproduce the oracle's
+// final virtual time, checksum and flight-dump hash exactly (byte-identical
+// schedule per seed), and the widest configuration must finish the run at
+// least twice as fast in wall-clock terms. The speedup is partly algorithmic
+// — each shard's network settles and scans only its own flows instead of
+// all 512 — so the bound holds even on a single-CPU runner; the envelope
+// records ncpu so readers can judge how much true parallelism contributed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"time"
+
+	"scimpich/internal/obs"
+	"scimpich/internal/scale"
+)
+
+// EngineResult is one engine/shard-count row of the sharded-engine suite.
+type EngineResult struct {
+	Engine  string `json:"engine"` // "sequential" or "sharded"
+	Shards  int    `json:"shards"`
+	Nodes   int    `json:"nodes"`
+	Steps   int    `json:"steps"`
+	Events  uint64 `json:"events"`
+	Windows uint64 `json:"windows"`
+
+	VirtualNS    int64   `json:"virtual_ns"`
+	WallNS       int64   `json:"wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup"` // baseline wall / this wall
+
+	Checksum string `json:"checksum"` // reduced-vector wrapping sum, hex
+	DumpFNV  string `json:"dump_fnv"` // FNV-1a of the merged flight dump
+
+	// Gates: schedule determinism on every sharded row, the wall-clock
+	// bound on the widest one.
+	GateDeterministic bool `json:"gate_deterministic,omitempty"`
+	GateSpeedup2x     bool `json:"gate_speedup_2x,omitempty"`
+}
+
+// EngineDims and EngineShardCounts pin the benchmark scenario.
+var (
+	EngineDims        = [3]int{8, 8, 8}
+	EngineShardCounts = []int{2, 4, 8}
+)
+
+func engineRow(cfg scale.Config, sharded bool) (EngineResult, error) {
+	cfg.Registry = obs.NewRegistry()
+	var m *scale.Machine
+	engine := "sequential"
+	if sharded {
+		m = scale.NewSharded(cfg)
+		engine = "sharded"
+	} else {
+		m = scale.NewSequential(cfg)
+	}
+	start := time.Now()
+	res, err := m.Run()
+	wall := time.Since(start)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	h := fnv.New64a()
+	h.Write(m.FlightDump())
+	r := EngineResult{
+		Engine: engine, Shards: res.Shards, Nodes: res.Nodes, Steps: res.Steps,
+		Events: res.Events, Windows: res.Windows,
+		VirtualNS: int64(res.End), WallNS: int64(wall),
+		Checksum: fmt.Sprintf("%016x", res.Checksum),
+		DumpFNV:  fmt.Sprintf("%016x", h.Sum64()),
+	}
+	if wall > 0 {
+		r.EventsPerSec = float64(res.Events) / wall.Seconds()
+	}
+	return r, nil
+}
+
+// RunEngineBench executes the pinned 512-node scenario and evaluates the
+// determinism and speedup gates. ok reports whether every gate holds.
+func RunEngineBench() ([]EngineResult, bool) {
+	return RunEngineBenchAt(EngineDims[0], EngineDims[1], EngineDims[2], EngineShardCounts, true)
+}
+
+// RunEngineBenchAt runs the allreduce on a dx*dy*dz torus, sequentially and
+// at each sharded configuration. Determinism against the sequential oracle
+// is gated on every sharded row; the 2x wall-clock gate applies to the last
+// (widest) shard count when gateSpeedup is set — small test machines can
+// check determinism without pinning a timing claim.
+func RunEngineBenchAt(dx, dy, dz int, shardCounts []int, gateSpeedup bool) ([]EngineResult, bool) {
+	seq, err := engineRow(scale.DefaultConfig(dx, dy, dz, 1), false)
+	if err != nil {
+		return nil, false
+	}
+	seq.Speedup = 1
+	rows := []EngineResult{seq}
+	ok := true
+	for i, shards := range shardCounts {
+		r, err := engineRow(scale.DefaultConfig(dx, dy, dz, shards), true)
+		if err != nil {
+			return rows, false
+		}
+		if r.WallNS > 0 {
+			r.Speedup = float64(seq.WallNS) / float64(r.WallNS)
+		}
+		r.GateDeterministic = r.VirtualNS == seq.VirtualNS &&
+			r.Checksum == seq.Checksum && r.DumpFNV == seq.DumpFNV
+		ok = ok && r.GateDeterministic
+		if gateSpeedup && i == len(shardCounts)-1 {
+			r.GateSpeedup2x = r.Speedup >= 2
+			ok = ok && r.GateSpeedup2x
+		}
+		rows = append(rows, r)
+	}
+	return rows, ok
+}
+
+// RunEngine512 executes one 512-node allreduce on the sharded engine at
+// the given shard count and returns its row (no baseline, no gates) — the
+// measured §6 run behind cmd/scaling's torus report.
+func RunEngine512(shards int) (EngineResult, error) {
+	return engineRow(scale.DefaultConfig(EngineDims[0], EngineDims[1], EngineDims[2], shards), true)
+}
+
+// engineFile is the envelope of the BENCH_engine.json artifact.
+type engineFile struct {
+	Suite   string         `json:"suite"`
+	Go      string         `json:"go"`
+	GOOS    string         `json:"goos"`
+	GOARCH  string         `json:"goarch"`
+	NumCPU  int            `json:"ncpu"`
+	Results []EngineResult `json:"results"`
+}
+
+// WriteEngineJSON writes the sharded-engine suite as an indented JSON
+// artifact (the BENCH_engine.json determinism and speedup gate).
+func WriteEngineJSON(path string, results []EngineResult) error {
+	data, err := json.MarshalIndent(engineFile{
+		Suite:   "engine",
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		NumCPU:  runtime.NumCPU(),
+		Results: results,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatEngine renders the sharded-engine suite as an aligned text table.
+func FormatEngine(results []EngineResult) string {
+	out := fmt.Sprintf("engine (512-node ring allreduce, ncpu=%d):\n", runtime.NumCPU())
+	out += fmt.Sprintf("  %-10s %6s %8s %8s %12s %10s %10s %8s  %s\n",
+		"engine", "shards", "events", "windows", "virtual", "wall", "ev/s", "speedup", "gates")
+	for _, r := range results {
+		gates := "-"
+		if r.Engine == "sharded" {
+			gates = fmt.Sprintf("det=%v", r.GateDeterministic)
+			if r.GateSpeedup2x || r.Shards == EngineShardCounts[len(EngineShardCounts)-1] {
+				gates += fmt.Sprintf(" 2x=%v", r.GateSpeedup2x)
+			}
+		}
+		out += fmt.Sprintf("  %-10s %6d %8d %8d %12v %10v %10.0f %7.2fx  %s\n",
+			r.Engine, r.Shards, r.Events, r.Windows,
+			time.Duration(r.VirtualNS), time.Duration(r.WallNS).Round(time.Millisecond),
+			r.EventsPerSec, r.Speedup, gates)
+	}
+	return out
+}

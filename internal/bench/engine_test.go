@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEngineBenchSmall runs the engine suite on a 4x4x4 machine — big
+// enough to exercise the sequential row plus two sharded configurations,
+// small enough for the test suite. The timing gate is off (a 64-node run on
+// a loaded test runner proves nothing about wall-clock); the determinism
+// gates must hold at any scale.
+func TestEngineBenchSmall(t *testing.T) {
+	rows, ok := RunEngineBenchAt(4, 4, 4, []int{2, 4}, false)
+	if !ok {
+		t.Fatalf("engine gates failed: %+v", rows)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Engine != "sequential" || rows[0].Speedup != 1 {
+		t.Fatalf("baseline row = %+v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if r.Engine != "sharded" || !r.GateDeterministic {
+			t.Fatalf("sharded row not deterministic: %+v", r)
+		}
+		if r.VirtualNS != rows[0].VirtualNS || r.DumpFNV != rows[0].DumpFNV {
+			t.Fatalf("row diverged from oracle: %+v vs %+v", r, rows[0])
+		}
+		if r.Windows == 0 {
+			t.Fatalf("sharded row ran no windows: %+v", r)
+		}
+	}
+	out := FormatEngine(rows)
+	if !strings.Contains(out, "sequential") || !strings.Contains(out, "det=true") {
+		t.Fatalf("FormatEngine output missing expected fields:\n%s", out)
+	}
+}
+
+func TestEngineJSONRoundTrip(t *testing.T) {
+	rows, _ := RunEngineBenchAt(2, 2, 2, []int{2}, false)
+	path := t.TempDir() + "/BENCH_engine.json"
+	if err := WriteEngineJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+}

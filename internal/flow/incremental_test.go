@@ -1,0 +1,90 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"scimpich/internal/sim"
+)
+
+// TestIncrementalMatchesFullSolve drives a randomized schedule of transfers
+// over a shared link set and, at every checkpoint, compares the incremental
+// solver's rates against a from-scratch re-solve of the whole network. The
+// solver works component-by-component in admission order in both cases, so
+// the comparison is exact float equality: any missed dirty mark or stale
+// component shows up as a mismatch.
+func TestIncrementalMatchesFullSolve(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine()
+		n := NewNetwork(e)
+		links := make([]*Link, 8)
+		for i := range links {
+			links[i] = NewLink("l", float64(rng.Intn(400)+50)*mib, nil)
+		}
+		// A couple of congested links exercise effectiveCapacity ordering.
+		links[0] = NewLink("c0", 200*mib, BusCongestion{PerFlowPenalty: 0.05, Floor: 0.4})
+		check := func() {
+			want := make(map[*Flow]float64, len(n.flows))
+			for f := range n.flows {
+				want[f] = f.rate
+			}
+			n.solveAll()
+			for f, r := range want {
+				if f.rate != r {
+					t.Fatalf("seed %d at %v: incremental rate %g != full solve %g",
+						seed, e.Now(), r, f.rate)
+				}
+			}
+		}
+		for i := 0; i < 60; i++ {
+			at := time.Duration(rng.Intn(3000)) * time.Millisecond
+			e.At(at, func() {
+				nh := rng.Intn(3) // 0 hops = source-capped only
+				hops := make([]Hop, 0, nh)
+				for j := 0; j < nh; j++ {
+					w := 1.0
+					if rng.Intn(4) == 0 {
+						w = 0.25
+					}
+					hops = append(hops, Hop{Link: links[rng.Intn(len(links))], Weight: w})
+				}
+				n.Start(hops, int64(rng.Intn(64)+1)*mib, float64(rng.Intn(200)+10)*mib)
+				check()
+			})
+		}
+		for i := 0; i < 40; i++ {
+			e.At(time.Duration(rng.Intn(4000))*time.Millisecond, func() { check() })
+		}
+		e.Run()
+		if n.ActiveFlows() != 0 {
+			t.Fatalf("seed %d: %d flows never finished", seed, n.ActiveFlows())
+		}
+	}
+}
+
+// TestLinkLatencyHelpers covers the lookahead-extraction API.
+func TestLinkLatencyHelpers(t *testing.T) {
+	a := NewLink("a", mib, nil).SetLatency(70 * time.Nanosecond)
+	b := NewLink("b", mib, nil).SetLatency(130 * time.Nanosecond)
+	c := NewLink("c", mib, nil) // latency never set
+	if got := PathLatency(Path(a, b, a)); got != 270*time.Nanosecond {
+		t.Errorf("PathLatency = %v, want 270ns", got)
+	}
+	if got := MinLatency([]*Link{a, b}); got != 70*time.Nanosecond {
+		t.Errorf("MinLatency = %v, want 70ns", got)
+	}
+	if got := MinLatency([]*Link{a, c}); got != 0 {
+		t.Errorf("MinLatency with unset link = %v, want 0", got)
+	}
+	if got := MinLatency(nil); got != 0 {
+		t.Errorf("MinLatency(nil) = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative latency did not panic")
+		}
+	}()
+	a.SetLatency(-time.Nanosecond)
+}

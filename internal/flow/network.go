@@ -3,9 +3,16 @@
 //
 // A Flow occupies a path of Links and is additionally capped by a per-flow
 // source rate (modelling, e.g., the PIO output limit of a PCI-SCI adapter).
-// Whenever a flow starts or completes, all rates are recomputed and the next
+// Whenever a flow starts or completes, rates are recomputed and the next
 // completion event is rescheduled, so contention between overlapping
-// transfers is resolved exactly in virtual time.
+// transfers is resolved exactly in virtual time. The recomputation is
+// incremental: a start or finish dirties only the links it touches, and the
+// solver re-runs progressive filling only over the connected component of
+// the flow↔link sharing graph those links belong to — flows that share no
+// link (even transitively) with the change keep their rates. Max-min
+// allocations decompose exactly over these components, and the solver always
+// works one component at a time in a deterministic order, so the incremental
+// rates are bit-identical to a from-scratch solve.
 //
 // Links can degrade under load: each Link may carry a CongestionModel that
 // maps (offered load, multiplexing degree) to an achievable fraction of the
@@ -15,6 +22,7 @@ package flow
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"scimpich/internal/obs"
@@ -24,10 +32,14 @@ import (
 // Link is a unidirectional, capacitated network resource.
 type Link struct {
 	name     string
-	capacity float64 // bytes/second, nominal
+	capacity float64       // bytes/second, nominal
+	latency  time.Duration // propagation latency (lookahead source; 0 = unset)
 	model    CongestionModel
 
 	flows map[*Flow]float64 // flow -> weight on this link
+	flist []*Flow           // same flows in admission order (deterministic iteration)
+	dirty bool              // queued in Network.dirty
+	mark  uint64            // component-search epoch
 }
 
 // Hop is one step of a flow's path: a link and the fraction of the flow's
@@ -63,19 +75,58 @@ func (l *Link) Name() string { return l.name }
 // Capacity returns the link's nominal capacity in bytes/second.
 func (l *Link) Capacity() float64 { return l.capacity }
 
+// SetLatency records the link's propagation latency. The flow solver ignores
+// it (transfer time is rate-driven); it exists so topologies can expose the
+// minimum cross-partition delay as the conservative lookahead of a sharded
+// simulation. It returns the link for chained construction.
+func (l *Link) SetLatency(d time.Duration) *Link {
+	if d < 0 {
+		panic("flow: negative link latency")
+	}
+	l.latency = d
+	return l
+}
+
+// Latency returns the link's propagation latency (zero if never set).
+func (l *Link) Latency() time.Duration { return l.latency }
+
+// PathLatency sums the propagation latencies along a hop path.
+func PathLatency(path []Hop) time.Duration {
+	var d time.Duration
+	for _, h := range path {
+		d += h.Link.Latency()
+	}
+	return d
+}
+
+// MinLatency returns the smallest latency among links, or zero for an empty
+// set. A sharded engine partitioned so that every cross-shard interaction
+// traverses at least one of links may use this as its lookahead — provided
+// it is positive.
+func MinLatency(links []*Link) time.Duration {
+	var min time.Duration
+	for i, l := range links {
+		if i == 0 || l.latency < min {
+			min = l.latency
+		}
+	}
+	return min
+}
+
 // effectiveCapacity computes the usable capacity given the current set of
 // flows, using the congestion model if present. demand is the sum of the
-// unconstrained source rates of the flows crossing this link.
+// unconstrained source rates of the flows crossing this link, accumulated in
+// admission order so the float result is run-independent.
 func (l *Link) effectiveCapacity() float64 {
-	if l.model == nil || len(l.flows) == 0 {
+	if l.model == nil || len(l.flist) == 0 {
 		return l.capacity
 	}
 	demand := 0.0
-	for f, w := range l.flows {
-		demand += f.srcCap * w
+	for _, f := range l.flist {
+		demand += f.srcCap * l.flows[f]
 	}
 	load := demand / l.capacity
-	frac := l.model.AchievedFraction(load, len(l.flows))
+	frac := l.model.AchievedFraction(load, len(l.flist))
 	achieved := l.capacity * frac
 	if achieved > demand {
 		achieved = demand
@@ -85,6 +136,7 @@ func (l *Link) effectiveCapacity() float64 {
 
 // Flow is one in-flight bulk transfer.
 type Flow struct {
+	id        uint64 // admission order within the owning network
 	path      []Hop
 	srcCap    float64 // per-flow rate cap (bytes/second)
 	remaining float64 // bytes left
@@ -93,8 +145,19 @@ type Flow struct {
 	started   time.Duration // virtual start time (for the duration metric)
 	bytes     int64         // total transfer size
 
+	// Progress anchor: remaining is always re-derived as
+	// anchorRemaining - rate*(now-anchorAt) in a single expression, so the
+	// float result depends only on the last rate change, never on how many
+	// intermediate settlements happened. Without this, two simulations of
+	// the same flows that settle at different instants (a monolithic network
+	// vs. per-shard networks) would accumulate different rounding residues
+	// and finish transfers a nanosecond apart.
+	anchorAt        time.Duration
+	anchorRemaining float64
+
 	// fields used during rate computation
 	frozen bool
+	mark   uint64 // component-search epoch
 }
 
 // Rate returns the currently allocated rate in bytes/second.
@@ -105,10 +168,14 @@ func (f *Flow) Done() *sim.Future { return f.done }
 
 // Network tracks active flows and drives their completion in virtual time.
 type Network struct {
-	e          *sim.Engine
-	flows      map[*Flow]struct{}
-	lastSettle time.Duration
-	next       sim.Timer
+	s      sim.Scheduler
+	flows  map[*Flow]struct{}
+	nextID uint64
+	next   sim.Timer
+
+	dirty  []*Link // links whose flow set changed since the last solve
+	epoch  uint64  // current component-search generation
+	lstack []*Link // scratch for component traversal
 
 	// metric collectors (nil without SetMetrics; nil collectors are no-ops).
 	transferNS *obs.Histogram
@@ -117,15 +184,23 @@ type Network struct {
 	highWater  int
 }
 
-// NewNetwork returns an empty flow network bound to the engine.
-func NewNetwork(e *sim.Engine) *Network {
-	return &Network{e: e, flows: make(map[*Flow]struct{})}
+// NewNetwork returns an empty flow network bound to the sequential engine.
+func NewNetwork(e *sim.Engine) *Network { return NewNetworkOn(e) }
+
+// NewNetworkOn returns an empty flow network driven by any scheduler — a
+// sequential Engine or one shard of a sharded engine. A network must only
+// ever be used from its scheduler's domain; per-shard networks are how a
+// partitioned simulation keeps its rate solves small and lock-free.
+func NewNetworkOn(s sim.Scheduler) *Network {
+	return &Network{s: s, flows: make(map[*Flow]struct{})}
 }
 
 // SetMetrics registers the network's collectors in r: a completed-transfer
 // duration histogram (flow.transfer.ns), a delivered-bytes counter
 // (flow.bytes) and a concurrent-flows high-water gauge (flow.active.max).
 // Call it right after NewNetwork; a nil registry leaves metrics disabled.
+// The collectors themselves are goroutine-safe, so shard-local networks may
+// share one registry.
 func (n *Network) SetMetrics(r *obs.Registry) {
 	if r == nil {
 		return
@@ -148,8 +223,36 @@ func (n *Network) noteStarted() {
 
 // noteFinished feeds a completed flow into the duration and byte metrics.
 func (n *Network) noteFinished(f *Flow) {
-	n.transferNS.ObserveDuration(n.e.Now() - f.started)
+	n.transferNS.ObserveDuration(n.s.Now() - f.started)
 	n.metBytes.Add(f.bytes)
+}
+
+// markDirty queues l for the next incremental solve.
+func (n *Network) markDirty(l *Link) {
+	if !l.dirty {
+		l.dirty = true
+		n.dirty = append(n.dirty, l)
+	}
+}
+
+// admit registers a flow on the network and its links and dirties the links.
+func (n *Network) admit(f *Flow) {
+	f.id = n.nextID
+	n.nextID++
+	f.anchorAt, f.anchorRemaining = n.s.Now(), f.remaining
+	n.flows[f] = struct{}{}
+	for _, h := range f.path {
+		l := h.Link
+		if _, ok := l.flows[f]; !ok {
+			l.flist = append(l.flist, f)
+		}
+		l.flows[f] += h.Weight
+		n.markDirty(l)
+	}
+	if len(f.path) == 0 {
+		// No links: the flow is its own component, bound only by its source.
+		f.rate = f.srcCap
+	}
 }
 
 // Start begins a transfer of bytes over path, capped at srcCap bytes/second.
@@ -166,16 +269,13 @@ func (n *Network) Start(path []Hop, bytes int64, srcCap float64) *Flow {
 		}
 	}
 	f := &Flow{path: path, srcCap: srcCap, remaining: float64(bytes), done: sim.NewFuture(),
-		started: n.e.Now(), bytes: bytes}
+		started: n.s.Now(), bytes: bytes}
 	if bytes <= 0 {
 		f.done.Complete(nil)
 		return f
 	}
 	n.settle()
-	n.flows[f] = struct{}{}
-	for _, h := range path {
-		h.Link.flows[f] += h.Weight
-	}
+	n.admit(f)
 	n.noteStarted()
 	n.reallocate()
 	return f
@@ -193,19 +293,18 @@ func (n *Network) StartBatch(paths [][]Hop, bytes int64, srcCap float64) []*Flow
 	flows := make([]*Flow, len(paths))
 	for i, path := range paths {
 		f := &Flow{path: path, srcCap: srcCap, remaining: float64(bytes), done: sim.NewFuture(),
-			started: n.e.Now(), bytes: bytes}
+			started: n.s.Now(), bytes: bytes}
 		flows[i] = f
 		if bytes <= 0 {
 			f.done.Complete(nil)
 			continue
 		}
-		n.flows[f] = struct{}{}
 		for _, h := range path {
 			if h.Weight <= 0 {
 				panic("flow: hop weight must be positive")
 			}
-			h.Link.flows[f] += h.Weight
 		}
+		n.admit(f)
 	}
 	n.noteStarted()
 	n.reallocate()
@@ -218,113 +317,187 @@ func (n *Network) Transfer(p *sim.Proc, path []Hop, bytes int64, srcCap float64)
 	p.Await(f.done)
 }
 
-// settle credits progress to every active flow for the virtual time elapsed
-// since the last settlement.
+// settle re-derives every active flow's remaining bytes from its progress
+// anchor. The computation is a single expression per flow, so calling settle
+// arbitrarily often (or not at all) between rate changes yields identical
+// floats.
 func (n *Network) settle() {
-	now := n.e.Now()
-	dt := (now - n.lastSettle).Seconds()
-	n.lastSettle = now
-	if dt <= 0 {
-		return
-	}
+	now := n.s.Now()
 	for f := range n.flows {
-		f.remaining -= f.rate * dt
+		f.remaining = f.anchorRemaining - f.rate*(now-f.anchorAt).Seconds()
 		if f.remaining < 0 {
 			f.remaining = 0
 		}
 	}
 }
 
-// reallocate recomputes max-min fair rates for all active flows and
+// reallocate retires finished flows, re-solves the dirtied components and
 // schedules the next completion event.
 func (n *Network) reallocate() {
 	n.next.Cancel()
 	n.next = sim.Timer{}
-	n.computeRates()
 
-	// Finish flows that are already (numerically) done.
+	// Retire flows that settle credited to (numerical) completion. The
+	// finished set is fixed at entry — no virtual time passes inside
+	// reallocate, so remaining cannot drop further — which is why a single
+	// pass suffices where earlier versions recursed. Completion order is by
+	// admission id, never map order: future callbacks schedule events.
 	var finished []*Flow
 	for f := range n.flows {
 		if f.remaining <= 1e-9 {
 			finished = append(finished, f)
 		}
 	}
-	if len(finished) > 0 {
-		for _, f := range finished {
-			n.remove(f)
-			n.noteFinished(f)
-		}
-		// Rates changed again; recurse (bounded by flow count).
-		n.reallocate()
-		for _, f := range finished {
-			f.done.Complete(nil)
-		}
-		return
+	sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
+	for _, f := range finished {
+		n.remove(f)
+		n.noteFinished(f)
 	}
-	if len(n.flows) == 0 {
-		return
-	}
-	soonest := time.Duration(math.MaxInt64)
-	for f := range n.flows {
-		d := sim.RateDuration(int64(math.Ceil(f.remaining)), f.rate)
-		if d < soonest {
-			soonest = d
+
+	n.solve()
+
+	if len(n.flows) > 0 {
+		soonest := time.Duration(math.MaxInt64)
+		for f := range n.flows {
+			d := sim.RateDuration(int64(math.Ceil(f.remaining)), f.rate)
+			if d < soonest {
+				soonest = d
+			}
 		}
+		n.next = n.s.After(soonest, func() {
+			n.next = sim.Timer{}
+			n.settle()
+			n.reallocate()
+		})
 	}
-	n.next = n.e.After(soonest, func() {
-		n.next = sim.Timer{}
-		n.settle()
-		n.reallocate()
-	})
+	for _, f := range finished {
+		f.done.Complete(nil)
+	}
 }
 
 func (n *Network) remove(f *Flow) {
 	delete(n.flows, f)
 	for _, h := range f.path {
-		delete(h.Link.flows, f)
+		l := h.Link
+		if _, ok := l.flows[f]; ok {
+			delete(l.flows, f)
+			for i, g := range l.flist {
+				if g == f {
+					l.flist = append(l.flist[:i], l.flist[i+1:]...)
+					break
+				}
+			}
+		}
+		n.markDirty(l)
 	}
 	f.rate = 0
 }
 
-// computeRates performs weighted progressive filling: repeatedly find the
-// tightest constraint (a link's fair share or a flow's source cap), freeze
-// the flows it binds, and continue with the residual capacities. A flow with
-// weight w on a link consumes w times its rate there; unfrozen flows on a
-// link all receive the same rate, so the link's fair share is
-// residual / sum-of-unfrozen-weights.
-func (n *Network) computeRates() {
-	if len(n.flows) == 0 {
+// solve re-runs progressive filling over every connected component of the
+// flow↔link graph that contains a dirtied link. Components are discovered
+// and solved one at a time; flows in untouched components keep their rates,
+// which a from-scratch solve would reproduce bit-identically because it uses
+// the same per-component code on the same admission-ordered flows.
+func (n *Network) solve() {
+	if len(n.dirty) == 0 {
 		return
 	}
+	n.epoch++
+	for _, seed := range n.dirty {
+		seed.dirty = false
+		if seed.mark == n.epoch {
+			continue
+		}
+		if comp := n.component(seed); len(comp) > 0 {
+			n.solveComponent(comp)
+			// Rates changed: re-anchor so future settlements derive progress
+			// from this instant.
+			now := n.s.Now()
+			for _, f := range comp {
+				f.anchorAt, f.anchorRemaining = now, f.remaining
+			}
+		}
+	}
+	n.dirty = n.dirty[:0]
+}
+
+// solveAll dirties every link carrying an active flow and re-solves. It is
+// the from-scratch oracle the incremental bookkeeping is tested against.
+func (n *Network) solveAll() {
+	for f := range n.flows {
+		for _, h := range f.path {
+			n.markDirty(h.Link)
+		}
+	}
+	n.solve()
+}
+
+// component collects the active flows transitively sharing links with seed,
+// sorted by admission id so the solver sees them in a run-independent order.
+func (n *Network) component(seed *Link) []*Flow {
+	seed.mark = n.epoch
+	n.lstack = append(n.lstack[:0], seed)
+	var flows []*Flow
+	for len(n.lstack) > 0 {
+		l := n.lstack[len(n.lstack)-1]
+		n.lstack = n.lstack[:len(n.lstack)-1]
+		for _, f := range l.flist {
+			if f.mark == n.epoch {
+				continue
+			}
+			f.mark = n.epoch
+			flows = append(flows, f)
+			for _, h := range f.path {
+				if h.Link.mark != n.epoch {
+					h.Link.mark = n.epoch
+					n.lstack = append(n.lstack, h.Link)
+				}
+			}
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].id < flows[j].id })
+	return flows
+}
+
+// solveComponent performs weighted progressive filling over one connected
+// component: repeatedly find the tightest constraint (a link's fair share or
+// a flow's source cap), freeze the flows it binds, and continue with the
+// residual capacities. A flow with weight w on a link consumes w times its
+// rate there; unfrozen flows on a link all receive the same rate, so the
+// link's fair share is residual / sum-of-unfrozen-weights. All iteration is
+// over admission-ordered slices — map order never reaches a float.
+func (n *Network) solveComponent(flows []*Flow) {
 	type linkState struct {
 		residual float64
 		weight   float64 // sum of unfrozen flow weights
 	}
+	var links []*Link
 	states := make(map[*Link]*linkState)
-	weightOn := func(f *Flow, l *Link) float64 { return l.flows[f] }
-	for f := range n.flows {
+	for _, f := range flows {
 		f.frozen = false
 		f.rate = 0
 		for _, h := range f.path {
 			if states[h.Link] == nil {
 				states[h.Link] = &linkState{residual: h.Link.effectiveCapacity()}
+				links = append(links, h.Link)
 			}
 		}
 	}
-	for f := range n.flows {
+	for _, f := range flows {
 		seen := map[*Link]bool{}
 		for _, h := range f.path {
 			if !seen[h.Link] {
 				seen[h.Link] = true
-				states[h.Link].weight += weightOn(f, h.Link)
+				states[h.Link].weight += h.Link.flows[f]
 			}
 		}
 	}
-	unfrozen := len(n.flows)
+	unfrozen := len(flows)
 	for unfrozen > 0 {
 		// Tightest link fair share.
 		share := math.MaxFloat64
-		for _, st := range states {
+		for _, l := range links {
+			st := states[l]
 			if st.weight <= 1e-12 {
 				continue
 			}
@@ -334,7 +507,7 @@ func (n *Network) computeRates() {
 		}
 		// Tightest source cap.
 		minCap := math.MaxFloat64
-		for f := range n.flows {
+		for _, f := range flows {
 			if !f.frozen && f.srcCap < minCap {
 				minCap = f.srcCap
 			}
@@ -347,7 +520,7 @@ func (n *Network) computeRates() {
 			panic(fmt.Sprintf("flow: rate computation failed (share=%g cap=%g)", share, minCap))
 		}
 		froze := false
-		for f := range n.flows {
+		for _, f := range flows {
 			if f.frozen {
 				continue
 			}
@@ -373,11 +546,11 @@ func (n *Network) computeRates() {
 					}
 					seen[h.Link] = true
 					st := states[h.Link]
-					st.residual -= f.rate * weightOn(f, h.Link)
+					st.residual -= f.rate * h.Link.flows[f]
 					if st.residual < 0 {
 						st.residual = 0
 					}
-					st.weight -= weightOn(f, h.Link)
+					st.weight -= h.Link.flows[f]
 					if st.weight < 0 {
 						st.weight = 0
 					}

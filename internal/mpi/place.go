@@ -1,0 +1,57 @@
+package mpi
+
+import "fmt"
+
+// Placement maps the ranks of a world onto the shards of a partitioned
+// simulation. It is pure bookkeeping: the shard of a rank decides which
+// Locale of a sim.Fabric the rank's events run on, and which shard-local
+// flow network its transfers are solved in. Ranks placed on the same shard
+// may interact at any virtual delay; ranks on different shards only through
+// sends of at least the fabric's lookahead.
+type Placement struct {
+	shardOf []int
+	ranks   [][]int
+}
+
+// NewPlacement builds a placement from an explicit rank-to-shard map.
+func NewPlacement(shardOf []int, shards int) *Placement {
+	if shards < 1 {
+		panic("mpi: placement needs at least one shard")
+	}
+	p := &Placement{shardOf: shardOf, ranks: make([][]int, shards)}
+	for rank, s := range shardOf {
+		if s < 0 || s >= shards {
+			panic(fmt.Sprintf("mpi: rank %d placed on shard %d of %d", rank, s, shards))
+		}
+		p.ranks[s] = append(p.ranks[s], rank)
+	}
+	return p
+}
+
+// PlaceByNode composes a rank-to-node map with a node-to-shard partition
+// (e.g. torus.PartitionZ): rank r lands on the shard owning its node. This
+// is how MPI process placement follows the machine partition, so that a
+// rank's local traffic stays inside its shard's flow network.
+func PlaceByNode(nodeOf []int, nodeShard []int, shards int) *Placement {
+	shardOf := make([]int, len(nodeOf))
+	for rank, node := range nodeOf {
+		if node < 0 || node >= len(nodeShard) {
+			panic(fmt.Sprintf("mpi: rank %d on unknown node %d", rank, node))
+		}
+		shardOf[rank] = nodeShard[node]
+	}
+	return NewPlacement(shardOf, shards)
+}
+
+// Size returns the number of placed ranks.
+func (p *Placement) Size() int { return len(p.shardOf) }
+
+// Shards returns the number of shards.
+func (p *Placement) Shards() int { return len(p.ranks) }
+
+// ShardOf returns the shard rank runs on.
+func (p *Placement) ShardOf(rank int) int { return p.shardOf[rank] }
+
+// Ranks returns the ranks placed on shard, in rank order. The returned
+// slice is shared; callers must not modify it.
+func (p *Placement) Ranks(shard int) []int { return p.ranks[shard] }

@@ -1,0 +1,34 @@
+package mpi
+
+import "testing"
+
+func TestPlacementByNode(t *testing.T) {
+	// 8 ranks on 4 nodes (2 per node), nodes split over 2 shards.
+	nodeOf := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	nodeShard := []int{0, 0, 1, 1}
+	p := PlaceByNode(nodeOf, nodeShard, 2)
+	if p.Size() != 8 || p.Shards() != 2 {
+		t.Fatalf("size=%d shards=%d, want 8/2", p.Size(), p.Shards())
+	}
+	for rank := 0; rank < 8; rank++ {
+		want := nodeShard[nodeOf[rank]]
+		if got := p.ShardOf(rank); got != want {
+			t.Fatalf("rank %d on shard %d, want %d", rank, got, want)
+		}
+	}
+	if got := p.Ranks(0); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("shard 0 ranks = %v", got)
+	}
+	if got := p.Ranks(1); len(got) != 4 || got[0] != 4 || got[3] != 7 {
+		t.Fatalf("shard 1 ranks = %v", got)
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range shard did not panic")
+		}
+	}()
+	NewPlacement([]int{0, 2}, 2)
+}

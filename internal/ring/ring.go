@@ -7,6 +7,7 @@ package ring
 
 import (
 	"fmt"
+	"time"
 
 	"scimpich/internal/flow"
 )
@@ -79,6 +80,31 @@ func (t *Topology) FullLoop(a int) []*flow.Link {
 		path = append(path, t.links[(a+i)%t.n])
 	}
 	return path
+}
+
+// Segment describes one ring link together with its endpoint nodes.
+type Segment struct {
+	Link     *flow.Link
+	From, To int
+}
+
+// Segments enumerates the ring's links with their endpoints, in node order.
+func (t *Topology) Segments() []Segment {
+	segs := make([]Segment, t.n)
+	for i := range segs {
+		segs[i] = Segment{Link: t.links[i], From: i, To: (i + 1) % t.n}
+	}
+	return segs
+}
+
+// SetLinkLatency sets the propagation latency of every segment (the
+// lookahead source for partitioned simulations of this ring) and returns
+// the topology for chained construction.
+func (t *Topology) SetLinkLatency(d time.Duration) *Topology {
+	for _, l := range t.links {
+		l.SetLatency(d)
+	}
+	return t
 }
 
 // Distance returns the number of segments between nodes a and b.

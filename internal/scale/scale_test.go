@@ -1,0 +1,181 @@
+package scale
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"scimpich/internal/obs"
+)
+
+// smallCfg is a 4x4x4 = 64-node machine whose dz supports 1/2/4 shards.
+func smallCfg(shards int) Config {
+	cfg := DefaultConfig(4, 4, 4, shards)
+	cfg.ChunkBytes = 16 << 10
+	return cfg
+}
+
+func TestAllreduceSequentialCompletes(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := smallCfg(2)
+	cfg.Registry = reg
+	m := NewSequential(cfg)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.End <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if res.Steps != 2*(res.Nodes-1) {
+		t.Fatalf("steps = %d, want %d", res.Steps, 2*(res.Nodes-1))
+	}
+	wantChunks := int64(res.Nodes * res.Steps)
+	if got := reg.Counter("scale.chunks").Value(); got != wantChunks {
+		t.Fatalf("scale.chunks = %d, want %d", got, wantChunks)
+	}
+	if got := reg.Counter("scale.bytes").Value(); got != wantChunks*cfg.ChunkBytes {
+		t.Fatalf("scale.bytes = %d, want %d", got, wantChunks*cfg.ChunkBytes)
+	}
+}
+
+func TestAllreduceShardedCompletes(t *testing.T) {
+	m := NewSharded(smallCfg(4))
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows == 0 {
+		t.Fatal("sharded run executed no windows")
+	}
+}
+
+type runOut struct {
+	res     Result
+	dump    []byte
+	chunks  int64
+	bytes   int64
+	flowB   int64
+	histN   uint64
+	histMax int64
+}
+
+func runMachine(t *testing.T, m *Machine) runOut {
+	t.Helper()
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := m.reg.Histogram("flow.transfer.ns").Snapshot()
+	return runOut{
+		res:     res,
+		dump:    m.FlightDump(),
+		chunks:  m.reg.Counter("scale.chunks").Value(),
+		bytes:   m.reg.Counter("scale.bytes").Value(),
+		flowB:   m.reg.Counter("flow.bytes").Value(),
+		histN:   uint64(hs.Count),
+		histMax: hs.Max,
+	}
+}
+
+// TestCrossEngineDeterminism is the differential-testing gate of the
+// sharded engine: the same seeded program must produce the identical final
+// virtual time, identical flight-dump bytes, identical metric counters and
+// the identical checksum on the sequential oracle and on the sharded engine
+// at every shard count.
+func TestCrossEngineDeterminism(t *testing.T) {
+	mk := func(shards int, sharded bool) *Machine {
+		cfg := smallCfg(shards)
+		cfg.SampleEvery = 16
+		cfg.Registry = obs.NewRegistry()
+		if sharded {
+			return NewSharded(cfg)
+		}
+		return NewSequential(cfg)
+	}
+	oracle := runMachine(t, mk(2, false))
+	if oracle.res.End <= 0 || len(oracle.dump) == 0 {
+		t.Fatal("oracle run produced no output")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		got := runMachine(t, mk(shards, true))
+		if got.res.End != oracle.res.End {
+			t.Errorf("shards=%d: end %v != oracle %v", shards, got.res.End, oracle.res.End)
+		}
+		if got.res.Checksum != oracle.res.Checksum {
+			t.Errorf("shards=%d: checksum %#x != oracle %#x", shards, got.res.Checksum, oracle.res.Checksum)
+		}
+		if !bytes.Equal(got.dump, oracle.dump) {
+			t.Errorf("shards=%d: flight dump differs from oracle (%d vs %d bytes)",
+				shards, len(got.dump), len(oracle.dump))
+		}
+		if got.chunks != oracle.chunks || got.bytes != oracle.bytes || got.flowB != oracle.flowB {
+			t.Errorf("shards=%d: counters (%d,%d,%d) != oracle (%d,%d,%d)", shards,
+				got.chunks, got.bytes, got.flowB, oracle.chunks, oracle.bytes, oracle.flowB)
+		}
+		if got.histN != oracle.histN || got.histMax != oracle.histMax {
+			t.Errorf("shards=%d: transfer histogram (%d,%d) != oracle (%d,%d)", shards,
+				got.histN, got.histMax, oracle.histN, oracle.histMax)
+		}
+	}
+}
+
+// TestShardedRepeatDeterminism: repeated parallel runs are byte-identical —
+// the schedule must not depend on OS goroutine timing.
+func TestShardedRepeatDeterminism(t *testing.T) {
+	base := runMachine(t, func() *Machine {
+		cfg := smallCfg(4)
+		cfg.SampleEvery = 16
+		cfg.Registry = obs.NewRegistry()
+		return NewSharded(cfg)
+	}())
+	for i := 0; i < 3; i++ {
+		cfg := smallCfg(4)
+		cfg.SampleEvery = 16
+		cfg.Registry = obs.NewRegistry()
+		got := runMachine(t, NewSharded(cfg))
+		if got.res.End != base.res.End || !bytes.Equal(got.dump, base.dump) {
+			t.Fatalf("repeat %d diverged: end %v vs %v", i, got.res.End, base.res.End)
+		}
+	}
+}
+
+// TestLookaheadDerivation: the engine's lookahead comes from the
+// cross-partition link latencies.
+func TestLookaheadDerivation(t *testing.T) {
+	cfg := smallCfg(4)
+	top, assign := buildTopology(cfg)
+	if la := Lookahead(top, assign, cfg.SegmentLatency); la != cfg.SegmentLatency {
+		t.Fatalf("lookahead = %v, want %v", la, cfg.SegmentLatency)
+	}
+	// Single-shard partition has no cross links; the fallback applies.
+	cfg1 := smallCfg(1)
+	top1, assign1 := buildTopology(cfg1)
+	if la := Lookahead(top1, assign1, 123*time.Nanosecond); la != 123*time.Nanosecond {
+		t.Fatalf("single-shard lookahead fallback = %v", la)
+	}
+}
+
+func TestChunkRotationCoversAll(t *testing.T) {
+	cfg := smallCfg(1)
+	m := NewSequential(cfg)
+	n := len(m.nodes)
+	// Over the reduce-scatter phase every node forwards n-1 distinct chunks;
+	// over the allgather phase likewise.
+	for id := 0; id < n; id += 17 {
+		seen := map[int]bool{}
+		for s := 0; s < n-1; s++ {
+			seen[m.sendChunk(id, s)] = true
+		}
+		if len(seen) != n-1 {
+			t.Fatalf("node %d reduce-scatter covers %d chunks, want %d", id, len(seen), n-1)
+		}
+		seen = map[int]bool{}
+		for s := n - 1; s < 2*(n-1); s++ {
+			seen[m.sendChunk(id, s)] = true
+		}
+		if len(seen) != n-1 {
+			t.Fatalf("node %d allgather covers %d chunks, want %d", id, len(seen), n-1)
+		}
+	}
+}

@@ -97,6 +97,13 @@ type Config struct {
 	// packets impose on the return-path ring segments.
 	EchoFraction float64
 
+	// SegmentLatency is the propagation delay of one ring segment (B-Link
+	// plus cable). It does not affect transfer rates; it is the quantity a
+	// partitioned simulation derives its conservative lookahead from: no
+	// interaction between nodes can take effect in less than the latency of
+	// the segments between them.
+	SegmentLatency time.Duration
+
 	// DMAStartup and DMAPeakBW describe the adapter's DMA engine.
 	DMAStartup time.Duration
 	DMAPeakBW  float64
@@ -186,6 +193,7 @@ func DefaultConfig(nodes int) Config {
 		WriteGatherGap:      8,
 		WriteGatherGapTiny:  64,
 		EchoFraction:        0.25,
+		SegmentLatency:      70 * time.Nanosecond,
 		DMAStartup:          22 * time.Microsecond,
 		DMAPeakBW:           85 * MiB,
 		DMASGDesc:           30 * time.Nanosecond,

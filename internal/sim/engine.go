@@ -17,8 +17,20 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 )
+
+// Scheduler is the event-scheduling surface shared by the sequential Engine
+// and the shards of a ShardedEngine. Layers that only need a virtual clock
+// and timers (the flow network, device models) accept a Scheduler so the
+// same code runs under either engine.
+type Scheduler interface {
+	Now() time.Duration
+	At(t time.Duration, fn func()) Timer
+	After(d time.Duration, fn func()) Timer
+	AfterCall(d time.Duration, fn func(any), arg any) Timer
+}
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
@@ -26,10 +38,12 @@ type Engine struct {
 	now    time.Duration
 	seq    uint64
 	queue  eventHeap
-	free   []*event // recycled events (hot paths schedule without allocating)
+	free   []*event      // recycled events (hot paths schedule without allocating)
 	yield  chan struct{} // procs signal the engine here when they block
 	cur    *Proc
-	nprocs int // procs spawned and not yet finished
+	nprocs int     // procs spawned and not yet finished
+	procs  []*Proc // registry of all spawned procs (deadlock reports name them)
+	events uint64  // events dispatched by Run
 
 	// Stopped is set by Stop; Run returns as soon as it is observed.
 	stopped bool
@@ -52,6 +66,9 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// Events returns the number of events Run has dispatched so far.
+func (e *Engine) Events() uint64 { return e.events }
 
 // event is a scheduled callback. Events are recycled through the engine's
 // freelist; gen distinguishes a live incarnation from a recycled one so a
@@ -152,6 +169,7 @@ func (e *Engine) Run() time.Duration {
 		// may schedule new events, which can then reuse this slot.
 		fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
 		e.recycle(ev)
+		e.events++
 		if fnArg != nil {
 			fnArg(arg)
 		} else {
@@ -159,9 +177,40 @@ func (e *Engine) Run() time.Duration {
 		}
 	}
 	if !e.stopped && e.nprocs > 0 {
-		panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked at %v with no pending events", e.nprocs, e.now))
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked at %v with no pending events: %s",
+			e.nprocs, e.now, blockedProcList(e.BlockedProcs())))
 	}
 	return e.now
+}
+
+// BlockedProcs returns the names of the non-daemon processes that have been
+// spawned but not finished — the processes a deadlock report must name.
+func (e *Engine) BlockedProcs() []string {
+	var names []string
+	for _, p := range e.procs {
+		if !p.daemon && !p.finished {
+			names = append(names, p.name)
+		}
+	}
+	return names
+}
+
+// blockedProcList renders a deadlock name list, capped so a 512-node
+// deadlock stays readable.
+func blockedProcList(names []string) string {
+	const maxNamed = 16
+	if len(names) == 0 {
+		return "(unknown)"
+	}
+	shown := names
+	if len(shown) > maxNamed {
+		shown = shown[:maxNamed]
+	}
+	s := strings.Join(shown, ", ")
+	if extra := len(names) - len(shown); extra > 0 {
+		s += fmt.Sprintf(", ... (+%d more)", extra)
+	}
+	return s
 }
 
 // RateDuration returns the virtual time needed to move n bytes at rate

@@ -21,6 +21,9 @@ type Proc struct {
 	// expected to stay blocked forever once the workload has drained
 	// (device handlers, DMA engines).
 	daemon bool
+	// finished is set when the body returns; the deadlock report lists
+	// non-daemon procs that never got here.
+	finished bool
 	// dispatchFn is the cached self-dispatch closure, created once at spawn
 	// so Sleep and wake schedule without allocating.
 	dispatchFn func()
@@ -55,6 +58,7 @@ func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
 	if !daemon {
 		e.nprocs++
 	}
+	e.procs = append(e.procs, p)
 	go func() {
 		<-p.resume // wait for first dispatch
 		// A panic in a process body is re-raised inside Run so callers
@@ -63,6 +67,7 @@ func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
 			if r := recover(); r != nil {
 				e.pendingPanic = &procPanic{proc: p.name, value: r}
 			}
+			p.finished = true
 			if !p.daemon {
 				e.nprocs--
 			}

@@ -1,0 +1,362 @@
+// Sharded conservative-parallel discrete-event engine.
+//
+// A ShardedEngine partitions the simulated machine across worker shards:
+// each shard owns its own virtual clock, event heap and freelist and is
+// driven by one goroutine. Shards synchronize with a conservative window
+// barrier (the synchronous variant of Chandy–Misra null messages): the
+// engine's lookahead is the minimum virtual delay any cross-shard
+// interaction can have — in this repo, the minimum latency of the topology
+// links that cross the shard partition. Every barrier round computes the
+// globally earliest pending event E and lets all shards process their local
+// events in [E, E+lookahead) in parallel: any cross-shard event generated
+// inside the window carries at least the lookahead of delay, so it cannot
+// land inside the window, and no shard can ever receive an event in its
+// past.
+//
+// Cross-shard sends are buffered in per-(source, destination) queues and
+// exchanged at the barrier. The merge into the destination heap orders
+// messages by (time, source shard, source sequence), and each shard's
+// intra-window execution is sequential, so a given program produces exactly
+// the same event schedule on every run regardless of how the OS schedules
+// the worker goroutines. Parallelism changes wall-clock time, never virtual
+// outcomes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const maxDuration = time.Duration(1<<63 - 1)
+
+// xmsg is one buffered cross-shard event send.
+type xmsg struct {
+	at  time.Duration
+	src int
+	seq uint64 // source shard's scheduling sequence at send time
+	fn  func(any)
+	arg any
+}
+
+// Shard is one worker of a ShardedEngine: a private clock, heap and
+// freelist. During a window only the shard's own goroutine touches its
+// state, so event callbacks run lock-free; between windows only the
+// coordinator does. Shard implements Scheduler and Locale.
+type Shard struct {
+	id     int
+	eng    *ShardedEngine
+	now    time.Duration
+	seq    uint64
+	queue  eventHeap
+	free   []*event
+	outbox [][]xmsg // per-destination buffers, drained at the barrier
+	events uint64   // events executed
+	work   chan time.Duration
+}
+
+// ID returns the shard's index within its engine.
+func (s *Shard) ID() int { return s.id }
+
+// Now returns the shard's current virtual time (the time of the last event
+// it executed).
+func (s *Shard) Now() time.Duration { return s.now }
+
+// Events returns the number of events this shard has executed.
+func (s *Shard) Events() uint64 { return s.events }
+
+// schedule mirrors Engine.schedule on the shard's private heap.
+func (s *Shard) schedule(t time.Duration, fn func(), fnArg func(any), arg any) Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: shard %d scheduling event at %v before now %v", s.id, t, s.now))
+	}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	ev.at, ev.seq, ev.fn, ev.fnArg, ev.arg, ev.canceled = t, s.seq, fn, fnArg, arg, false
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+func (s *Shard) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.fnArg, ev.arg = nil, nil, nil
+	s.free = append(s.free, ev)
+}
+
+// At schedules fn at virtual time t on this shard.
+func (s *Shard) At(t time.Duration, fn func()) Timer { return s.schedule(t, fn, nil, nil) }
+
+// After schedules fn to run d from now on this shard. Negative d is clamped
+// to zero.
+func (s *Shard) After(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(s.now+d, fn, nil, nil)
+}
+
+// AfterCall schedules fn(arg) to run d from now on this shard without a
+// closure allocation (see Engine.AfterCall).
+func (s *Shard) AfterCall(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(s.now+d, nil, fn, arg)
+}
+
+// Send schedules fn(arg) to run d from now on shard dst. A send to the
+// shard itself is an ordinary local event with no constraint; a cross-shard
+// send must respect the engine's lookahead — the conservative window
+// protocol is only correct because no interaction can undercut it — and
+// panics otherwise.
+func (s *Shard) Send(dst int, d time.Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	if dst == s.id {
+		s.schedule(s.now+d, nil, fn, arg)
+		return
+	}
+	if dst < 0 || dst >= len(s.outbox) {
+		panic(fmt.Sprintf("sim: shard %d sending to unknown shard %d", s.id, dst))
+	}
+	if d < s.eng.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard send %d->%d with delay %v below lookahead %v",
+			s.id, dst, d, s.eng.lookahead))
+	}
+	s.outbox[dst] = append(s.outbox[dst], xmsg{at: s.now + d, src: s.id, seq: s.seq, fn: fn, arg: arg})
+	s.seq++
+}
+
+// head returns the time of the shard's earliest pending live event, or
+// maxDuration if the heap is empty.
+func (s *Shard) head() time.Duration {
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if !ev.canceled {
+			return ev.at
+		}
+		heap.Pop(&s.queue)
+		s.recycle(ev)
+	}
+	return maxDuration
+}
+
+// window runs runWindow, converting a panic that escapes an event callback
+// into a recorded failure (first one wins) for Run to re-raise on its own
+// goroutine.
+func (s *Shard) window(until time.Duration) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.eng.panicMu.Lock()
+			if s.eng.panicked == nil {
+				s.eng.panicked = &shardPanic{shard: s.id, value: r}
+			}
+			s.eng.panicMu.Unlock()
+			s.eng.stopped.Store(true)
+		}
+	}()
+	s.runWindow(until)
+}
+
+// runWindow executes the shard's local events strictly before until.
+func (s *Shard) runWindow(until time.Duration) {
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if ev.at >= until {
+			return
+		}
+		heap.Pop(&s.queue)
+		if ev.canceled {
+			s.recycle(ev)
+			continue
+		}
+		s.now = ev.at
+		fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
+		s.recycle(ev)
+		s.events++
+		if fnArg != nil {
+			fnArg(arg)
+		} else {
+			fn()
+		}
+		if s.eng.stopped.Load() {
+			return
+		}
+	}
+}
+
+// ShardedEngine is the conservative-parallel counterpart of Engine. Create
+// one with NewShardedEngine, populate the shards (Shard/At/Send), then call
+// Run once. The sequential Engine remains the right tool for small runs and
+// is the differential-testing oracle for this one.
+type ShardedEngine struct {
+	shards    []*Shard
+	lookahead time.Duration
+	stopped   atomic.Bool
+	windows   uint64
+	merge     []xmsg // coordinator scratch for barrier merges
+
+	panicMu  sync.Mutex
+	panicked *shardPanic // first panic recovered from a worker, re-raised by Run
+}
+
+// shardPanic wraps a panic that escaped an event callback on a shard.
+type shardPanic struct {
+	shard int
+	value any
+}
+
+// NewShardedEngine returns an engine with nshards empty shards and the
+// given conservative lookahead: the minimum virtual delay of any
+// cross-shard interaction, typically flow.MinLatency of the topology links
+// that cross the shard partition. The lookahead must be positive — a
+// zero-lookahead partition cannot run conservatively in parallel; use the
+// sequential Engine instead.
+func NewShardedEngine(nshards int, lookahead time.Duration) *ShardedEngine {
+	if nshards < 1 {
+		panic("sim: sharded engine needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: sharded engine needs a positive lookahead")
+	}
+	se := &ShardedEngine{lookahead: lookahead}
+	se.shards = make([]*Shard, nshards)
+	for i := range se.shards {
+		se.shards[i] = &Shard{
+			id:     i,
+			eng:    se,
+			outbox: make([][]xmsg, nshards),
+			work:   make(chan time.Duration),
+		}
+	}
+	return se
+}
+
+// Shards returns the number of shards.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Shard returns shard i.
+func (se *ShardedEngine) Shard(i int) *Shard { return se.shards[i] }
+
+// Lookahead returns the engine's conservative lookahead.
+func (se *ShardedEngine) Lookahead() time.Duration { return se.lookahead }
+
+// Windows returns the number of barrier rounds Run has executed.
+func (se *ShardedEngine) Windows() uint64 { return se.windows }
+
+// Events returns the total events executed across all shards.
+func (se *ShardedEngine) Events() uint64 {
+	var n uint64
+	for _, s := range se.shards {
+		n += s.events
+	}
+	return n
+}
+
+// Stop makes Run return once every shard finishes its current event.
+func (se *ShardedEngine) Stop() { se.stopped.Store(true) }
+
+// Run dispatches events until every shard's queue is empty or Stop is
+// called, and returns the final virtual time (the latest event time any
+// shard reached). Events may only be scheduled onto a shard before Run or
+// from callbacks executing on that shard; cross-shard scheduling goes
+// through Send.
+func (se *ShardedEngine) Run() time.Duration {
+	n := len(se.shards)
+	done := make(chan struct{}, n)
+	for _, s := range se.shards {
+		go func(s *Shard) {
+			for until := range s.work {
+				s.window(until)
+				done <- struct{}{}
+			}
+		}(s)
+	}
+	for !se.stopped.Load() {
+		// Globally earliest pending event; nothing pending means the
+		// simulation has drained.
+		earliest := maxDuration
+		for _, s := range se.shards {
+			if h := s.head(); h < earliest {
+				earliest = h
+			}
+		}
+		if earliest == maxDuration {
+			break
+		}
+		until := earliest + se.lookahead
+		// Parallel phase: every shard runs its window.
+		for _, s := range se.shards {
+			s.work <- until
+		}
+		for range se.shards {
+			<-done
+		}
+		se.windows++
+		if se.panicked != nil {
+			break
+		}
+		// Barrier phase: exchange buffered cross-shard events.
+		se.exchange()
+	}
+	for _, s := range se.shards {
+		close(s.work)
+	}
+	if p := se.panicked; p != nil {
+		// Re-raise on the caller's goroutine: a panic that escapes an event
+		// callback on a worker would otherwise kill the whole process with no
+		// chance for the caller (or a test) to observe it.
+		panic(fmt.Sprintf("sim: shard %d: %v", p.shard, p.value))
+	}
+	var end time.Duration
+	for _, s := range se.shards {
+		if s.now > end {
+			end = s.now
+		}
+	}
+	return end
+}
+
+// exchange drains every shard's outboxes into the destination heaps. For
+// each destination the incoming messages are ordered by (time, source
+// shard, source sequence) before being assigned destination sequence
+// numbers, so the merged schedule does not depend on goroutine timing.
+func (se *ShardedEngine) exchange() {
+	for dst, d := range se.shards {
+		in := se.merge[:0]
+		for _, src := range se.shards {
+			if out := src.outbox[dst]; len(out) > 0 {
+				in = append(in, out...)
+				src.outbox[dst] = out[:0]
+			}
+		}
+		if len(in) == 0 {
+			continue
+		}
+		sort.Slice(in, func(i, j int) bool {
+			if in[i].at != in[j].at {
+				return in[i].at < in[j].at
+			}
+			if in[i].src != in[j].src {
+				return in[i].src < in[j].src
+			}
+			return in[i].seq < in[j].seq
+		})
+		for i := range in {
+			d.schedule(in[i].at, nil, in[i].fn, in[i].arg)
+			in[i].fn, in[i].arg = nil, nil
+		}
+		se.merge = in[:0]
+	}
+}

@@ -7,9 +7,10 @@ import "time"
 
 // Future is a one-shot completion event carrying an optional value.
 type Future struct {
-	done    bool
-	value   any
-	waiters []*Proc
+	done      bool
+	value     any
+	waiters   []*Proc
+	callbacks []func(any)
 }
 
 // NewFuture returns an incomplete future.
@@ -33,6 +34,22 @@ func (f *Future) Complete(v any) {
 		p.wake()
 	}
 	f.waiters = nil
+	for _, fn := range f.callbacks {
+		fn(v)
+	}
+	f.callbacks = nil
+}
+
+// OnComplete registers fn to run synchronously (in registration order) when
+// the future completes; if it already has, fn runs immediately. It is the
+// event-driven counterpart of Await for code with no process context —
+// shard-resident actors of the sharded engine cannot park.
+func (f *Future) OnComplete(fn func(any)) {
+	if f.done {
+		fn(f.value)
+		return
+	}
+	f.callbacks = append(f.callbacks, fn)
 }
 
 // Await blocks p until the future completes and returns its value.

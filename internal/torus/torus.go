@@ -12,6 +12,7 @@ package torus
 
 import (
 	"fmt"
+	"time"
 
 	"scimpich/internal/flow"
 	"scimpich/internal/ring"
@@ -127,3 +128,86 @@ func (t *Topology) Route(a, b int) []*flow.Link {
 
 // HopCount returns the number of segments on the dimension-ordered path.
 func (t *Topology) HopCount(a, b int) int { return len(t.Route(a, b)) }
+
+// Segment describes one torus link together with its global endpoint nodes
+// and the dimension of the ring it belongs to.
+type Segment struct {
+	Link     *flow.Link
+	Dim      int
+	From, To int // global node ids
+}
+
+// Segments enumerates every link of the machine with its endpoints,
+// dimension-major then ring-major then position — a deterministic order.
+func (t *Topology) Segments() []Segment {
+	dx, dy, dz := t.dims[0], t.dims[1], t.dims[2]
+	segs := make([]Segment, 0, 3*t.Nodes())
+	for d := 0; d < 3; d++ {
+		for li, r := range t.rings[d] {
+			for i := 0; i < t.dims[d]; i++ {
+				var from, to int
+				switch d {
+				case 0:
+					y, z := li%dy, li/dy
+					from, to = t.NodeID(i, y, z), t.NodeID((i+1)%dx, y, z)
+				case 1:
+					x, z := li%dx, li/dx
+					from, to = t.NodeID(x, i, z), t.NodeID(x, (i+1)%dy, z)
+				default:
+					x, y := li%dx, li/dx
+					from, to = t.NodeID(x, y, i), t.NodeID(x, y, (i+1)%dz)
+				}
+				segs = append(segs, Segment{Link: r.Link(i), Dim: d, From: from, To: to})
+			}
+		}
+	}
+	return segs
+}
+
+// SetLinkLatency sets the propagation latency of every segment of every
+// ringlet (the lookahead source for partitioned simulations) and returns the
+// topology for chained construction.
+func (t *Topology) SetLinkLatency(d time.Duration) *Topology {
+	for dim := 0; dim < 3; dim++ {
+		for _, r := range t.rings[dim] {
+			r.SetLinkLatency(d)
+		}
+	}
+	return t
+}
+
+// PartitionZ assigns every node to one of shards shards by contiguous
+// blocks of z-planes: shard s owns planes [s*dz/shards, (s+1)*dz/shards).
+// x- and y-rings lie entirely inside one z-plane, so only z-ring segments
+// ever cross the partition — which makes the z-block partition the natural
+// one for a conservative-parallel simulation of this machine. shards must
+// divide dz so blocks are equal. The result maps node id to shard.
+func (t *Topology) PartitionZ(shards int) []int {
+	dz := t.dims[2]
+	if shards < 1 || dz%shards != 0 {
+		panic(fmt.Sprintf("torus: %d shards do not evenly divide dz=%d", shards, dz))
+	}
+	planes := dz / shards
+	assign := make([]int, t.Nodes())
+	for id := range assign {
+		_, _, z := t.Coords(id)
+		assign[id] = z / planes
+	}
+	return assign
+}
+
+// CrossShardLinks returns the links whose segments join nodes assigned to
+// different shards. flow.MinLatency over them is the conservative lookahead
+// of the partition.
+func (t *Topology) CrossShardLinks(assign []int) []*flow.Link {
+	if len(assign) != t.Nodes() {
+		panic("torus: assignment length does not match machine size")
+	}
+	var links []*flow.Link
+	for _, s := range t.Segments() {
+		if assign[s.From] != assign[s.To] {
+			links = append(links, s.Link)
+		}
+	}
+	return links
+}
