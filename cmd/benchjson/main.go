@@ -76,10 +76,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	// The sharded-engine suite: the 512-node ring allreduce on the
-	// sequential oracle vs the conservative-parallel engine. Its rows carry
-	// the schedule-determinism gates and the 2x wall-clock gate at the
-	// widest shard count.
+	// The sharded-engine suite: the 512-node torus ring allreduce plus the
+	// full-stack MPI allreduce, each on the sequential oracle vs the
+	// conservative-parallel engine. Its rows carry the schedule-determinism
+	// gates (both workloads) and the 2x wall-clock gate at the widest torus
+	// shard count.
 	engRows, engOK := bench.RunEngineBench()
 	fmt.Print(bench.FormatEngine(engRows))
 	path = filepath.Join(*dir, "BENCH_engine.json")

@@ -1,18 +1,33 @@
 package bench
 
-// The sharded-engine benchmark behind BENCH_engine.json: the §6-scale
-// 512-node (8x8x8 torus) ring allreduce runs once on the sequential engine
-// with one monolithic flow network — the oracle and the baseline — and once
-// per shard count on the conservative-parallel ShardedEngine. The artifact
-// gates the engine claims: every sharded run must reproduce the oracle's
-// final virtual time, checksum and flight-dump hash exactly (byte-identical
-// schedule per seed), and the widest configuration must finish the run at
-// least twice as fast in wall-clock terms. The speedup is partly algorithmic
-// — each shard's network settles and scans only its own flows instead of
-// all 512 — so the bound holds even on a single-CPU runner; the envelope
-// records ncpu so readers can judge how much true parallelism contributed.
+// The sharded-engine benchmark behind BENCH_engine.json. Two workloads run
+// per engine/shard-count cell, both built through the public fabric-first
+// constructors in internal/mpi:
+//
+//   - "torus-allreduce": the §6-scale 512-node (8x8x8 torus) chunked ring
+//     allreduce (mpi.TorusWorld), once on the sequential oracle with one
+//     monolithic flow network — the baseline — and once per shard count on
+//     the conservative-parallel ShardedEngine. Every sharded run must
+//     reproduce the oracle's final virtual time, checksum and flight-dump
+//     hash exactly (byte-identical schedule per seed), and the widest
+//     configuration must finish at least twice as fast in wall-clock
+//     terms. The speedup is partly algorithmic — each shard's network
+//     settles and scans only its own flows instead of all 512 — so the
+//     bound holds even on a single-CPU runner; the envelope records ncpu
+//     so readers can judge how much true parallelism contributed.
+//
+//   - "mpi-allreduce": the full MPI protocol stack (short/eager/rendezvous
+//     device, forced ring Allreduce) as a confined world hosted on one
+//     locale of the same engines, via mpi.NewFabric + mpi.RunOn. These
+//     rows gate that the whole stack — not just the torus projection —
+//     is schedule-deterministic on the sharded engine: virtual time,
+//     reduction checksum and flight-dump hash must match the sequential
+//     oracle at every shard count. No wall-clock claim is made (a
+//     confined world occupies a single shard, so sharding adds window
+//     overhead rather than parallelism).
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -20,18 +35,23 @@ import (
 	"runtime"
 	"time"
 
+	"scimpich/internal/datatype"
+	"scimpich/internal/mpi"
 	"scimpich/internal/obs"
-	"scimpich/internal/scale"
+	"scimpich/internal/obs/flight"
+	"scimpich/internal/sim"
 )
 
-// EngineResult is one engine/shard-count row of the sharded-engine suite.
+// EngineResult is one workload/engine/shard-count row of the sharded-engine
+// suite.
 type EngineResult struct {
-	Engine  string `json:"engine"` // "sequential" or "sharded"
-	Shards  int    `json:"shards"`
-	Nodes   int    `json:"nodes"`
-	Steps   int    `json:"steps"`
-	Events  uint64 `json:"events"`
-	Windows uint64 `json:"windows"`
+	Workload string `json:"workload"` // "torus-allreduce" or "mpi-allreduce"
+	Engine   string `json:"engine"`   // "sequential" or "sharded"
+	Shards   int    `json:"shards"`
+	Nodes    int    `json:"nodes"`
+	Steps    int    `json:"steps"`
+	Events   uint64 `json:"events"`
+	Windows  uint64 `json:"windows"`
 
 	VirtualNS    int64   `json:"virtual_ns"`
 	WallNS       int64   `json:"wall_ns"`
@@ -42,7 +62,7 @@ type EngineResult struct {
 	DumpFNV  string `json:"dump_fnv"` // FNV-1a of the merged flight dump
 
 	// Gates: schedule determinism on every sharded row, the wall-clock
-	// bound on the widest one.
+	// bound on the widest torus row.
 	GateDeterministic bool `json:"gate_deterministic,omitempty"`
 	GateSpeedup2x     bool `json:"gate_speedup_2x,omitempty"`
 }
@@ -53,15 +73,24 @@ var (
 	EngineShardCounts = []int{2, 4, 8}
 )
 
-func engineRow(cfg scale.Config, sharded bool) (EngineResult, error) {
+// MPIStackRanks and MPIStackElems pin the full-stack workload: ranks
+// int64 elements reduced with the forced ring algorithm, large enough that
+// every block moves through the rendezvous protocol.
+const (
+	MPIStackRanks = 8
+	MPIStackElems = 32 << 10 // 256 KiB vectors
+	mpiStackIters = 2
+)
+
+func engineRow(cfg mpi.TorusConfig, sharded bool) (EngineResult, error) {
 	cfg.Registry = obs.NewRegistry()
-	var m *scale.Machine
+	var m *mpi.TorusWorld
 	engine := "sequential"
 	if sharded {
-		m = scale.NewSharded(cfg)
+		m = mpi.NewTorusWorldOn(mpi.NewTorusFabric(cfg), cfg)
 		engine = "sharded"
 	} else {
-		m = scale.NewSequential(cfg)
+		m = mpi.NewTorusWorldOn(mpi.NewTorusOracle(cfg), cfg)
 	}
 	start := time.Now()
 	res, err := m.Run()
@@ -72,7 +101,8 @@ func engineRow(cfg scale.Config, sharded bool) (EngineResult, error) {
 	h := fnv.New64a()
 	h.Write(m.FlightDump())
 	r := EngineResult{
-		Engine: engine, Shards: res.Shards, Nodes: res.Nodes, Steps: res.Steps,
+		Workload: "torus-allreduce",
+		Engine:   engine, Shards: res.Shards, Nodes: res.Nodes, Steps: res.Steps,
 		Events: res.Events, Windows: res.Windows,
 		VirtualNS: int64(res.End), WallNS: int64(wall),
 		Checksum: fmt.Sprintf("%016x", res.Checksum),
@@ -84,19 +114,110 @@ func engineRow(cfg scale.Config, sharded bool) (EngineResult, error) {
 	return r, nil
 }
 
-// RunEngineBench executes the pinned 512-node scenario and evaluates the
-// determinism and speedup gates. ok reports whether every gate holds.
+// mpiStackRow runs the full-stack workload: MPIStackRanks ranks on one
+// SMP node each, forced ring Allreduce over MPIStackElems int64 elements,
+// the whole world confined to one locale of the fabric Run would build
+// for cfg.Shards.
+func mpiStackRow(shards int) EngineResult {
+	cfg := mpi.DefaultConfig(MPIStackRanks, 1)
+	cfg.Shards = shards
+	cfg.Protocol.Coll = mpi.CollRing
+	rec := flight.New(256)
+	cfg.Flight = rec
+	f := mpi.NewFabric(cfg)
+
+	sums := make([]uint64, MPIStackRanks)
+	main := func(c *mpi.Comm) {
+		me := c.Rank()
+		send := make([]byte, MPIStackElems*8)
+		recv := make([]byte, MPIStackElems*8)
+		// splitmix64-seeded per-rank vector, identical on every engine.
+		x := uint64(me)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+		for i := 0; i < MPIStackElems; i++ {
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			putU64(send[i*8:], z)
+		}
+		for it := 0; it < mpiStackIters; it++ {
+			c.Allreduce(send, recv, MPIStackElems, datatype.Int64, mpi.OpSum)
+			copy(send, recv)
+		}
+		var sum uint64
+		for i := 0; i < MPIStackElems; i++ {
+			sum += getU64(recv[i*8:])*0x100000001b3 + uint64(i)
+		}
+		sums[me] = sum
+	}
+
+	start := time.Now()
+	end := mpi.RunOn(f, cfg, main)
+	wall := time.Since(start)
+
+	var checksum uint64
+	for r, s := range sums {
+		checksum += s * (uint64(r)*2 + 1)
+	}
+	var buf bytes.Buffer
+	if d := rec.Snapshot("bench"); d != nil {
+		d.WriteJSON(&buf)
+	}
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+
+	engine := "sequential"
+	var windows uint64
+	if se, ok := f.(*sim.ShardedEngine); ok {
+		engine = "sharded"
+		windows = se.Windows()
+	}
+	r := EngineResult{
+		Workload: "mpi-allreduce",
+		Engine:   engine, Shards: shards, Nodes: MPIStackRanks,
+		Steps:  mpiStackIters * 2 * (MPIStackRanks - 1),
+		Events: f.Events(), Windows: windows,
+		VirtualNS: int64(end), WallNS: int64(wall),
+		Checksum: fmt.Sprintf("%016x", checksum),
+		DumpFNV:  fmt.Sprintf("%016x", h.Sum64()),
+	}
+	if wall > 0 {
+		r.EventsPerSec = float64(r.Events) / wall.Seconds()
+	}
+	return r
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// RunEngineBench executes the pinned 512-node torus scenario plus the
+// full-stack MPI rows and evaluates the determinism and speedup gates. ok
+// reports whether every gate holds.
 func RunEngineBench() ([]EngineResult, bool) {
 	return RunEngineBenchAt(EngineDims[0], EngineDims[1], EngineDims[2], EngineShardCounts, true)
 }
 
-// RunEngineBenchAt runs the allreduce on a dx*dy*dz torus, sequentially and
-// at each sharded configuration. Determinism against the sequential oracle
-// is gated on every sharded row; the 2x wall-clock gate applies to the last
-// (widest) shard count when gateSpeedup is set — small test machines can
-// check determinism without pinning a timing claim.
+// RunEngineBenchAt runs the torus allreduce on a dx*dy*dz torus,
+// sequentially and at each sharded configuration, then the full-stack MPI
+// allreduce across the same shard counts. Determinism against the
+// respective sequential oracle is gated on every sharded row; the 2x
+// wall-clock gate applies to the last (widest) torus shard count when
+// gateSpeedup is set — small test machines can check determinism without
+// pinning a timing claim.
 func RunEngineBenchAt(dx, dy, dz int, shardCounts []int, gateSpeedup bool) ([]EngineResult, bool) {
-	seq, err := engineRow(scale.DefaultConfig(dx, dy, dz, 1), false)
+	seq, err := engineRow(mpi.DefaultTorusConfig(dx, dy, dz, 1), false)
 	if err != nil {
 		return nil, false
 	}
@@ -104,7 +225,7 @@ func RunEngineBenchAt(dx, dy, dz int, shardCounts []int, gateSpeedup bool) ([]En
 	rows := []EngineResult{seq}
 	ok := true
 	for i, shards := range shardCounts {
-		r, err := engineRow(scale.DefaultConfig(dx, dy, dz, shards), true)
+		r, err := engineRow(mpi.DefaultTorusConfig(dx, dy, dz, shards), true)
 		if err != nil {
 			return rows, false
 		}
@@ -120,14 +241,27 @@ func RunEngineBenchAt(dx, dy, dz int, shardCounts []int, gateSpeedup bool) ([]En
 		}
 		rows = append(rows, r)
 	}
+	mpiSeq := mpiStackRow(1)
+	mpiSeq.Speedup = 1
+	rows = append(rows, mpiSeq)
+	for _, shards := range shardCounts {
+		r := mpiStackRow(shards)
+		if r.WallNS > 0 {
+			r.Speedup = float64(mpiSeq.WallNS) / float64(r.WallNS)
+		}
+		r.GateDeterministic = r.VirtualNS == mpiSeq.VirtualNS &&
+			r.Checksum == mpiSeq.Checksum && r.DumpFNV == mpiSeq.DumpFNV
+		ok = ok && r.GateDeterministic
+		rows = append(rows, r)
+	}
 	return rows, ok
 }
 
-// RunEngine512 executes one 512-node allreduce on the sharded engine at
-// the given shard count and returns its row (no baseline, no gates) — the
-// measured §6 run behind cmd/scaling's torus report.
+// RunEngine512 executes one 512-node torus allreduce on the sharded engine
+// at the given shard count and returns its row (no baseline, no gates) —
+// the measured §6 run behind cmd/scaling's torus report.
 func RunEngine512(shards int) (EngineResult, error) {
-	return engineRow(scale.DefaultConfig(EngineDims[0], EngineDims[1], EngineDims[2], shards), true)
+	return engineRow(mpi.DefaultTorusConfig(EngineDims[0], EngineDims[1], EngineDims[2], shards), true)
 }
 
 // engineFile is the envelope of the BENCH_engine.json artifact.
@@ -159,19 +293,20 @@ func WriteEngineJSON(path string, results []EngineResult) error {
 
 // FormatEngine renders the sharded-engine suite as an aligned text table.
 func FormatEngine(results []EngineResult) string {
-	out := fmt.Sprintf("engine (512-node ring allreduce, ncpu=%d):\n", runtime.NumCPU())
-	out += fmt.Sprintf("  %-10s %6s %8s %8s %12s %10s %10s %8s  %s\n",
-		"engine", "shards", "events", "windows", "virtual", "wall", "ev/s", "speedup", "gates")
+	out := fmt.Sprintf("engine (512-node torus + full-stack MPI ring allreduce, ncpu=%d):\n", runtime.NumCPU())
+	out += fmt.Sprintf("  %-15s %-10s %6s %8s %8s %12s %10s %10s %8s  %s\n",
+		"workload", "engine", "shards", "events", "windows", "virtual", "wall", "ev/s", "speedup", "gates")
 	for _, r := range results {
 		gates := "-"
 		if r.Engine == "sharded" {
 			gates = fmt.Sprintf("det=%v", r.GateDeterministic)
-			if r.GateSpeedup2x || r.Shards == EngineShardCounts[len(EngineShardCounts)-1] {
+			if r.Workload == "torus-allreduce" &&
+				(r.GateSpeedup2x || r.Shards == EngineShardCounts[len(EngineShardCounts)-1]) {
 				gates += fmt.Sprintf(" 2x=%v", r.GateSpeedup2x)
 			}
 		}
-		out += fmt.Sprintf("  %-10s %6d %8d %8d %12v %10v %10.0f %7.2fx  %s\n",
-			r.Engine, r.Shards, r.Events, r.Windows,
+		out += fmt.Sprintf("  %-15s %-10s %6d %8d %8d %12v %10v %10.0f %7.2fx  %s\n",
+			r.Workload, r.Engine, r.Shards, r.Events, r.Windows,
 			time.Duration(r.VirtualNS), time.Duration(r.WallNS).Round(time.Millisecond),
 			r.EventsPerSec, r.Speedup, gates)
 	}

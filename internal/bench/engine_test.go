@@ -9,21 +9,22 @@ import (
 // enough to exercise the sequential row plus two sharded configurations,
 // small enough for the test suite. The timing gate is off (a 64-node run on
 // a loaded test runner proves nothing about wall-clock); the determinism
-// gates must hold at any scale.
+// gates must hold at any scale, on both the torus and the full-stack MPI
+// workloads.
 func TestEngineBenchSmall(t *testing.T) {
 	rows, ok := RunEngineBenchAt(4, 4, 4, []int{2, 4}, false)
 	if !ok {
 		t.Fatalf("engine gates failed: %+v", rows)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("got %d rows, want 3", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (3 torus + 3 mpi-stack)", len(rows))
 	}
-	if rows[0].Engine != "sequential" || rows[0].Speedup != 1 {
-		t.Fatalf("baseline row = %+v", rows[0])
+	if rows[0].Workload != "torus-allreduce" || rows[0].Engine != "sequential" || rows[0].Speedup != 1 {
+		t.Fatalf("torus baseline row = %+v", rows[0])
 	}
-	for _, r := range rows[1:] {
-		if r.Engine != "sharded" || !r.GateDeterministic {
-			t.Fatalf("sharded row not deterministic: %+v", r)
+	for _, r := range rows[1:3] {
+		if r.Workload != "torus-allreduce" || r.Engine != "sharded" || !r.GateDeterministic {
+			t.Fatalf("sharded torus row not deterministic: %+v", r)
 		}
 		if r.VirtualNS != rows[0].VirtualNS || r.DumpFNV != rows[0].DumpFNV {
 			t.Fatalf("row diverged from oracle: %+v vs %+v", r, rows[0])
@@ -32,8 +33,20 @@ func TestEngineBenchSmall(t *testing.T) {
 			t.Fatalf("sharded row ran no windows: %+v", r)
 		}
 	}
+	if rows[3].Workload != "mpi-allreduce" || rows[3].Engine != "sequential" {
+		t.Fatalf("mpi-stack baseline row = %+v", rows[3])
+	}
+	for _, r := range rows[4:] {
+		if r.Workload != "mpi-allreduce" || r.Engine != "sharded" || !r.GateDeterministic {
+			t.Fatalf("sharded mpi-stack row not deterministic: %+v", r)
+		}
+		if r.VirtualNS != rows[3].VirtualNS || r.Checksum != rows[3].Checksum || r.DumpFNV != rows[3].DumpFNV {
+			t.Fatalf("mpi-stack row diverged from oracle: %+v vs %+v", r, rows[3])
+		}
+	}
 	out := FormatEngine(rows)
-	if !strings.Contains(out, "sequential") || !strings.Contains(out, "det=true") {
+	if !strings.Contains(out, "sequential") || !strings.Contains(out, "det=true") ||
+		!strings.Contains(out, "mpi-allreduce") {
 		t.Fatalf("FormatEngine output missing expected fields:\n%s", out)
 	}
 }

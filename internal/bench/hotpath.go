@@ -176,7 +176,8 @@ func PackBenchmarks() []NamedBench {
 // sleeps past the wire latency so the delivery lands inside the measured op.
 func benchRemoteWrite(payload int, issue func(m *sci.Mapping, p *sim.Proc, src []byte)) func(b *testing.B) {
 	return func(b *testing.B) {
-		e := sim.NewEngine()
+		f := sim.NewLocalFabric(1, time.Microsecond)
+	e := f.Locale(0)
 		ic := sci.New(e, sci.DefaultConfig(2))
 		seg := ic.Node(1).Export(1 << 20)
 		src := make([]byte, payload)
@@ -195,7 +196,7 @@ func benchRemoteWrite(payload int, issue func(m *sci.Mapping, p *sim.Proc, src [
 				p.Sleep(drain)
 			}
 		})
-		e.Run()
+		f.Run()
 	}
 }
 

@@ -35,7 +35,8 @@ func RunRaw(sizes []int64) []RawResult {
 }
 
 func runRawSize(size int64) RawResult {
-	e := sim.NewEngine()
+	f := sim.NewLocalFabric(1, time.Microsecond)
+	e := f.Locale(0)
 	ic := sci.New(e, instrumentSCI(sci.DefaultConfig(2)))
 	seg := ic.Node(1).Export(size)
 	src := make([]byte, size)
@@ -82,7 +83,7 @@ func runRawSize(size int64) RawResult {
 		p.AwaitAll(futs...)
 		res.DMABW = BWMiB(size*reps, p.Now()-start)
 	})
-	e.Run()
+	f.Run()
 
 	mem := memmodel.PentiumIII800()
 	res.ShmCopyBW = mem.CopyBW(size) / MiB

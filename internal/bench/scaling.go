@@ -71,7 +71,8 @@ func sustainedPutMiB() float64 {
 // bandwidths in MiB/s plus the highest per-segment offered load (demand as
 // a fraction of nominal segment bandwidth).
 func ringScenario(mhz float64, activeNodes, procsPerNode int, neighbour bool, distance int) (float64, float64, float64) {
-	e := sim.NewEngine()
+	f := sim.NewLocalFabric(1, time.Microsecond)
+	e := f.Locale(0)
 	cfg := sci.DefaultConfig(RingNodes)
 	cfg.LinkMHz = mhz
 	ic := sci.New(e, instrumentSCI(cfg))
@@ -128,7 +129,7 @@ func ringScenario(mhz float64, activeNodes, procsPerNode int, neighbour bool, di
 		}
 		elapsed = p.Now() - start
 	})
-	e.Run()
+	f.Run()
 
 	total := int64(len(paths)) * bytesPerFlow
 	acc := BWMiB(total, elapsed)

@@ -43,7 +43,8 @@ func RunStrided(accessSizes []int64) []StridedResult {
 
 // stridedBW measures the raw strided remote-write bandwidth.
 func stridedBW(access, stride int64, writeCombine bool) float64 {
-	e := sim.NewEngine()
+	f := sim.NewLocalFabric(1, time.Microsecond)
+	e := f.Locale(0)
 	cfg := sci.DefaultConfig(2)
 	cfg.WriteCombine = writeCombine
 	ic := sci.New(e, instrumentSCI(cfg))
@@ -59,7 +60,7 @@ func stridedBW(access, stride int64, writeCombine bool) float64 {
 		ic.Node(0).StoreBarrier(p)
 		elapsed = p.Now() - start
 	})
-	e.Run()
+	f.Run()
 	return BWMiB(total, elapsed)
 }
 

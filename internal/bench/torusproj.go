@@ -47,8 +47,9 @@ func ringletScenario(mhz float64) float64 {
 // Per-ring load matches the single-ringlet scenario exactly; the point is
 // that it does so for every one of the 64 x-rings simultaneously.
 func torusScenario(mhz float64) float64 {
-	e := sim.NewEngine()
-	net := flow.NewNetwork(e)
+	f := sim.NewLocalFabric(1, time.Microsecond)
+	e := f.Locale(0)
+	net := flow.NewNetworkOn(e)
 	net.SetMetrics(obsMetrics)
 	cfg := sci.DefaultConfig(RingNodes)
 	cfg.LinkMHz = mhz
@@ -73,14 +74,15 @@ func torusScenario(mhz float64) float64 {
 			}
 		}
 	}
-	return runFlows(e, net, paths, srcCap, 512)
+	return runFlows(f, net, paths, srcCap, 512)
 }
 
 // giantRingScenario: 512 nodes on ONE ring, each sending distance 256 —
 // what scaling without the torus would look like.
 func giantRingScenario(mhz float64) float64 {
-	e := sim.NewEngine()
-	net := flow.NewNetwork(e)
+	f := sim.NewLocalFabric(1, time.Microsecond)
+	e := f.Locale(0)
+	net := flow.NewNetworkOn(e)
 	net.SetMetrics(obsMetrics)
 	cfg := sci.DefaultConfig(RingNodes)
 	cfg.LinkMHz = mhz
@@ -99,11 +101,12 @@ func giantRingScenario(mhz float64) float64 {
 		}
 		paths = append(paths, hops)
 	}
-	return runFlows(e, net, paths, srcCap, 512)
+	return runFlows(f, net, paths, srcCap, 512)
 }
 
 // runFlows drives the scenario to completion and returns per-node MiB/s.
-func runFlows(e *sim.Engine, net *flow.Network, paths [][]flow.Hop, srcCap float64, nodes int) float64 {
+func runFlows(f sim.Fabric, net *flow.Network, paths [][]flow.Hop, srcCap float64, nodes int) float64 {
+	e := f.Locale(0)
 	var elapsed time.Duration
 	e.Go("driver", func(p *sim.Proc) {
 		start := p.Now()
@@ -113,6 +116,6 @@ func runFlows(e *sim.Engine, net *flow.Network, paths [][]flow.Hop, srcCap float
 		}
 		elapsed = p.Now() - start
 	})
-	e.Run()
+	f.Run()
 	return BWMiB(int64(len(paths))*projBytes, elapsed) / float64(nodes)
 }

@@ -104,6 +104,20 @@ func ringBlock(acc []byte, elems, size, i int, es int64) []byte {
 	return acc[lo:hi]
 }
 
+// ringSendBlock returns the block index rank me forwards to its right
+// neighbour at global step s of the 2(size-1)-step ring allreduce: the
+// reduce-scatter rotation for the first size-1 steps, then the allgather
+// rotation. It is the single schedule shared by the process-based
+// collective engine (allreduceRing) and the torus collective runtime
+// (TorusWorld); the block received at step s is always the sent block's
+// left neighbour, (ringSendBlock(me,s,size)-1+size) % size.
+func ringSendBlock(me, s, size int) int {
+	if s < size-1 {
+		return ((me-s)%size + size) % size
+	}
+	return ((me+1-(s-(size-1)))%size + 2*size) % size
+}
+
 // allreduceRing reduces acc across all ranks with reduce-scatter followed
 // by ring allgather. oneSided selects the window-deposit block exchange
 // (the one-sided family); otherwise blocks travel point-to-point. c must
@@ -126,29 +140,25 @@ func (c *Comm) allreduceRing(acc []byte, elems int, base *datatype.Type, rop Op,
 		}
 	}
 	tmp := make([]byte, maxBlock)
-	t := 0
-	// Reduce-scatter: after size-1 steps rank me holds the complete
-	// reduction of block (me+1) mod size.
-	for s := 0; s < size-1; s++ {
-		sendIdx := (me - s + size) % size
-		recvIdx := (me - s - 1 + size) % size
-		mine := ringBlock(acc, elems, size, recvIdx, es)
-		in := tmp[:len(mine)]
-		if err := link.xfer(t, ringBlock(acc, elems, size, sendIdx, es), in); err != nil {
-			return err
+	// Reduce-scatter for the first size-1 steps (after which rank me holds
+	// the complete reduction of block (me+1) mod size), then ring allgather
+	// of the completed blocks — both driven by the shared rotation.
+	for t := 0; t < steps; t++ {
+		sendIdx := ringSendBlock(me, t, size)
+		recvIdx := (sendIdx - 1 + size) % size
+		if t < size-1 {
+			mine := ringBlock(acc, elems, size, recvIdx, es)
+			in := tmp[:len(mine)]
+			if err := link.xfer(t, ringBlock(acc, elems, size, sendIdx, es), in); err != nil {
+				return err
+			}
+			c.combineColl(rop, base, mine, in, len(in)/int(es))
+			continue
 		}
-		c.combineColl(rop, base, mine, in, len(in)/int(es))
-		t++
-	}
-	// Ring allgather of the completed blocks.
-	for s := 0; s < size-1; s++ {
-		sendIdx := (me + 1 - s + 2*size) % size
-		recvIdx := (me - s + size) % size
 		if err := link.xfer(t, ringBlock(acc, elems, size, sendIdx, es),
 			ringBlock(acc, elems, size, recvIdx, es)); err != nil {
 			return err
 		}
-		t++
 	}
 	return link.finish()
 }

@@ -115,35 +115,93 @@ func (c *Comm) collective() *Comm {
 // Run builds a cluster from cfg, runs main once per rank, and returns the
 // virtual time at which the last rank finished. With a metrics registry
 // configured, the per-rank and per-node statistics gauges are published
-// into it after the run.
+// into it after the run. Cfg.Shards selects the engine: the sequential
+// oracle by default, a conservative-parallel ShardedEngine for Shards > 1
+// — the virtual outcome is byte-identical either way.
 func Run(cfg Config, main func(c *Comm)) time.Duration {
-	e := sim.NewEngine()
-	w := NewWorld(e, cfg)
+	return RunOn(NewFabric(cfg), cfg, main)
+}
+
+// NewFabric builds the fabric Run would use for cfg: a sharded engine with
+// cfg.Shards shards when Shards > 1, else a one-locale wrap of a fresh
+// sequential engine. The lookahead is cfg.Lookahead, defaulting to the SCI
+// segment latency.
+func NewFabric(cfg Config) sim.Fabric {
+	la := lookaheadFor(cfg)
+	if cfg.Shards > 1 {
+		return sim.NewShardedEngine(cfg.Shards, la)
+	}
+	return sim.NewSeqFabric(sim.NewEngine(), 1, la)
+}
+
+// lookaheadFor resolves the conservative lookahead of a run: the explicit
+// override, the configured SCI segment latency, or the paper's 70 ns
+// B-Link segment delay.
+func lookaheadFor(cfg Config) time.Duration {
+	if cfg.Lookahead > 0 {
+		return cfg.Lookahead
+	}
+	if cfg.SCI.SegmentLatency > 0 {
+		return cfg.SCI.SegmentLatency
+	}
+	return 70 * time.Nanosecond
+}
+
+// RunOn builds a world on an existing fabric, runs main once per rank, and
+// runs the fabric to completion (for harnesses that mix in extra
+// simulation components on other locales).
+func RunOn(f sim.Fabric, cfg Config, main func(c *Comm)) time.Duration {
+	w := NewWorldOn(f, cfg)
 	w.Spawn(main)
-	end := e.Run()
+	end := f.Run()
 	if cfg.Metrics != nil {
 		w.PublishMetrics(cfg.Metrics)
 	}
 	return end
 }
 
-// NewWorld wires a cluster onto an existing engine (for harnesses that mix
-// in extra simulation components).
-func NewWorld(e *sim.Engine, cfg Config) *World {
-	return newWorld(e, cfg)
+// NewWorldOn wires a cluster onto one locale of an existing fabric. The
+// hosting locale is cfg.Locale, or the shard cfg.Placement confines every
+// rank to. The caller runs the fabric.
+func NewWorldOn(f sim.Fabric, cfg Config) *World {
+	return newWorld(f, cfg)
 }
 
-// Engine returns the world's simulation engine.
-func (w *World) Engine() *sim.Engine { return w.engine }
+// NewWorld wires a cluster onto an existing sequential engine, as a
+// one-locale fabric (the pre-fabric construction path, kept for harnesses
+// that drive the engine directly).
+func NewWorld(e *sim.Engine, cfg Config) *World {
+	cfg.Shards, cfg.Locale = 0, 0
+	return newWorld(sim.NewSeqFabric(e, 1, lookaheadFor(cfg)), cfg)
+}
+
+// Fabric returns the fabric the world's locale belongs to.
+func (w *World) Fabric() sim.Fabric { return w.fabric }
+
+// Host returns the scheduling surface of the locale hosting the world.
+func (w *World) Host() sim.Host { return w.host }
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
 
-// Spawn starts main on every rank.
+// Run spawns main on every rank, runs the world's fabric to completion and
+// publishes metrics (the single-world counterpart of RunOn for a World
+// built with NewWorldOn).
+func (w *World) Run(main func(c *Comm)) time.Duration {
+	w.Spawn(main)
+	end := w.fabric.Run()
+	if w.cfg.Metrics != nil {
+		w.PublishMetrics(w.cfg.Metrics)
+	}
+	return end
+}
+
+// Spawn starts main on every rank, as processes hosted on the world's
+// locale.
 func (w *World) Spawn(main func(c *Comm)) {
 	for r := 0; r < w.size; r++ {
 		rk := w.ranks[r]
-		w.engine.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+		w.host.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
 			rk.p = p
 			main(&Comm{w: w, rk: rk, p: p, ctx: ctxUser, collCtx: ctxCollective})
 		})

@@ -123,7 +123,7 @@ func newDevice(rk *rank) *device {
 		rdv:     make(map[int64]*rdvRecv),
 		lastSeq: make([]int64, rk.w.size),
 	}
-	d.p = rk.w.engine.GoDaemon(d.actor, d.run)
+	d.p = rk.w.host.GoDaemon(d.actor, d.run)
 	return d
 }
 

@@ -54,7 +54,7 @@ func (e *RevokedRankError) Error() string {
 // that crashes and comes back cannot rejoin a world that moved on.
 func (w *World) Suspect(rank int) {
 	if !w.suspects[rank] {
-		w.ranks[rank].fl.Record(w.engine.Now(), flight.KSuspect, int64(rank), 0, 0, 0)
+		w.ranks[rank].fl.Record(w.host.Now(), flight.KSuspect, int64(rank), 0, 0, 0)
 	}
 	w.suspects[rank] = true
 }

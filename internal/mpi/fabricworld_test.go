@@ -1,0 +1,159 @@
+package mpi_test
+
+// Cross-engine equivalence of the full MPI stack: the same program, run
+// through the public Run/Config.Shards surface, must produce the identical
+// final virtual time, payload checksums, flight-dump bytes and metric
+// registry on the sequential oracle and on the conservative-parallel
+// sharded engine at every shard count. The world is confined to one locale
+// either way, so the per-heap (time, seq) event order — and with it every
+// protocol decision — is pinned byte for byte.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/mpi"
+	"scimpich/internal/obs"
+	"scimpich/internal/obs/flight"
+	"scimpich/internal/osc"
+)
+
+const xRanks = 4
+
+type xOut struct {
+	end      time.Duration
+	checksum uint64
+	dump     []byte
+	metrics  []byte
+}
+
+// runCross runs prog on every rank of a 4-node cluster with the given
+// shard count (0 = the plain sequential path) and captures everything the
+// determinism contract pins.
+func runCross(t *testing.T, shards int, mut func(*mpi.Config), prog func(c *mpi.Comm) uint64) xOut {
+	t.Helper()
+	cfg := mpi.DefaultConfig(xRanks, 1)
+	cfg.Shards = shards
+	cfg.Metrics = obs.NewRegistry()
+	rec := flight.New(128)
+	cfg.Flight = rec
+	if mut != nil {
+		mut(&cfg)
+	}
+	sums := make([]uint64, xRanks)
+	end := mpi.Run(cfg, func(c *mpi.Comm) { sums[c.Rank()] = prog(c) })
+	var checksum uint64
+	for r, s := range sums {
+		checksum += s * (uint64(r)*2 + 1)
+	}
+	var dump bytes.Buffer
+	if d := rec.Snapshot("cross-engine test"); d != nil {
+		if err := d.WriteJSON(&dump); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var met bytes.Buffer
+	cfg.Metrics.WriteText(&met)
+	return xOut{end: end, checksum: checksum, dump: dump.Bytes(), metrics: met.Bytes()}
+}
+
+// crossEngine pins prog's outcome across the oracle and 1/2/4 shards.
+func crossEngine(t *testing.T, mut func(*mpi.Config), prog func(c *mpi.Comm) uint64) {
+	t.Helper()
+	oracle := runCross(t, 0, mut, prog)
+	if oracle.end <= 0 {
+		t.Fatal("oracle run made no virtual progress")
+	}
+	if oracle.checksum == 0 {
+		t.Fatal("oracle run produced a zero checksum")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		got := runCross(t, shards, mut, prog)
+		if got.end != oracle.end {
+			t.Errorf("shards=%d: end %v != oracle %v", shards, got.end, oracle.end)
+		}
+		if got.checksum != oracle.checksum {
+			t.Errorf("shards=%d: checksum %#x != oracle %#x", shards, got.checksum, oracle.checksum)
+		}
+		if !bytes.Equal(got.dump, oracle.dump) {
+			t.Errorf("shards=%d: flight dump differs from oracle (%d vs %d bytes)",
+				shards, len(got.dump), len(oracle.dump))
+		}
+		if !bytes.Equal(got.metrics, oracle.metrics) {
+			t.Errorf("shards=%d: metric registry differs from oracle:\n--- oracle ---\n%s--- got ---\n%s",
+				shards, oracle.metrics, got.metrics)
+		}
+	}
+}
+
+func xFill(buf []byte, rank, salt int) {
+	for i := range buf {
+		buf[i] = byte(rank*31 + salt*7 + i)
+	}
+}
+
+func xSum(buf []byte) uint64 {
+	var sum uint64
+	for i, b := range buf {
+		sum += uint64(b) * uint64(i+1)
+	}
+	return sum
+}
+
+// TestCrossEnginePingPong exchanges short, eager and rendezvous payloads
+// between rank pairs.
+func TestCrossEnginePingPong(t *testing.T) {
+	crossEngine(t, nil, func(c *mpi.Comm) uint64 {
+		me := c.Rank()
+		peer := me ^ 1
+		var sum uint64
+		for salt, n := range []int{64, 4 << 10, 96 << 10} {
+			buf := make([]byte, n)
+			if me%2 == 0 {
+				xFill(buf, me, salt)
+				c.Send(buf, n, datatype.Byte, peer, 7)
+				c.Recv(buf, n, datatype.Byte, peer, 8)
+			} else {
+				c.Recv(buf, n, datatype.Byte, peer, 7)
+				c.Send(buf, n, datatype.Byte, peer, 8)
+			}
+			sum += xSum(buf)
+		}
+		return sum
+	})
+}
+
+// TestCrossEngineRingAllreduce forces the bandwidth-optimal ring — the
+// same rotation the torus machine runs — through the collective engine.
+func TestCrossEngineRingAllreduce(t *testing.T) {
+	crossEngine(t,
+		func(cfg *mpi.Config) { cfg.Protocol.Coll = mpi.CollRing },
+		func(c *mpi.Comm) uint64 {
+			const elems = 8 << 10
+			send := make([]byte, elems*8)
+			recv := make([]byte, elems*8)
+			xFill(send, c.Rank(), 3)
+			c.Allreduce(send, recv, elems, datatype.Int64, mpi.OpSum)
+			return xSum(recv)
+		})
+}
+
+// TestCrossEngineOSCFence runs a one-sided fence epoch: every rank puts
+// into its right neighbour's window and accumulates into its left one.
+func TestCrossEngineOSCFence(t *testing.T) {
+	crossEngine(t, nil, func(c *mpi.Comm) uint64 {
+		sys := osc.NewSystem(c)
+		win := sys.CreateShared(c.AllocShared(4096), osc.DefaultConfig())
+		me, size := c.Rank(), c.Size()
+		win.Fence()
+		payload := make([]byte, 512)
+		xFill(payload, me, 5)
+		win.Put(payload, len(payload), datatype.Byte, (me+1)%size, 0)
+		acc := mpi.Int32Bytes([]int32{int32(me + 1), -int32(me + 1), 40, 2})
+		win.Accumulate(acc, 4, datatype.Int32, mpi.OpSum, (me-1+size)%size, 2048)
+		win.Fence()
+		return xSum(win.LocalBytes()[:4096])
+	})
+}

@@ -1,0 +1,82 @@
+package mpi
+
+import "testing"
+
+// TestRingSendBlockNeighbourChain pins the invariant the ring algorithms
+// rely on: at every step, the block a rank receives from its left
+// neighbour is exactly the left neighbour of the block it sends — so one
+// rotation schedule serves senders and receivers alike.
+func TestRingSendBlockNeighbourChain(t *testing.T) {
+	for size := 2; size <= 9; size++ {
+		steps := 2 * (size - 1)
+		for me := 0; me < size; me++ {
+			left := (me - 1 + size) % size
+			for s := 0; s < steps; s++ {
+				sent := ringSendBlock(me, s, size)
+				if sent < 0 || sent >= size {
+					t.Fatalf("size=%d me=%d s=%d: block %d out of range", size, me, s, sent)
+				}
+				want := (sent - 1 + size) % size
+				if got := ringSendBlock(left, s, size); got != want {
+					t.Fatalf("size=%d me=%d s=%d: left neighbour sends %d, want %d",
+						size, me, s, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRingSendBlockCompletes simulates the schedule symbolically: sets of
+// contributing ranks flow along the rotation, and after 2(size-1) steps
+// every rank must hold the full reduction of every block — the
+// reduce-scatter must complete block (me+1) mod size at rank me first, and
+// the allgather must then distribute only completed blocks.
+func TestRingSendBlockCompletes(t *testing.T) {
+	for size := 2; size <= 8; size++ {
+		// contrib[r][b] = bitmask of ranks folded into rank r's copy of block b.
+		contrib := make([][]uint64, size)
+		for r := range contrib {
+			contrib[r] = make([]uint64, size)
+			for b := range contrib[r] {
+				contrib[r][b] = 1 << r
+			}
+		}
+		full := uint64(1<<size) - 1
+		steps := 2 * (size - 1)
+		for s := 0; s < steps; s++ {
+			sent := make([]uint64, size)
+			for r := 0; r < size; r++ {
+				sent[r] = contrib[r][ringSendBlock(r, s, size)]
+			}
+			for r := 0; r < size; r++ {
+				left := (r - 1 + size) % size
+				b := (ringSendBlock(r, s, size) - 1 + size) % size
+				if s < size-1 {
+					contrib[r][b] |= sent[left] // fold: reduce-scatter
+				} else {
+					if sent[left] != full {
+						t.Fatalf("size=%d s=%d rank=%d: allgather forwards incomplete block %d (%b)",
+							size, s, left, ringSendBlock(left, s, size), sent[left])
+					}
+					contrib[r][b] = sent[left] // overwrite: allgather
+				}
+			}
+			if s == size-2 {
+				for r := 0; r < size; r++ {
+					if own := (r + 1) % size; contrib[r][own] != full {
+						t.Fatalf("size=%d rank=%d: reduce-scatter left block %d incomplete (%b)",
+							size, r, own, contrib[r][own])
+					}
+				}
+			}
+		}
+		for r := 0; r < size; r++ {
+			for b := 0; b < size; b++ {
+				if contrib[r][b] != full {
+					t.Fatalf("size=%d: rank %d block %d incomplete after %d steps (%b)",
+						size, r, b, steps, contrib[r][b])
+				}
+			}
+		}
+	}
+}

@@ -749,7 +749,7 @@ func (c *Comm) irecv(buf []byte, count int, dt *datatype.Type, src, tag, ctx int
 func (c *Comm) Isend(buf []byte, count int, dt *datatype.Type, dst, tag int) *Request {
 	done := sim.NewFuture()
 	helper := *c
-	c.rk.w.engine.Go(fmt.Sprintf("isend%d->%d", c.rk.id, dst), func(p *sim.Proc) {
+	c.rk.w.host.Go(fmt.Sprintf("isend%d->%d", c.rk.id, dst), func(p *sim.Proc) {
 		h := helper
 		h.p = p
 		if err := h.send(buf, count, dt, dst, tag, c.ctx); err != nil {

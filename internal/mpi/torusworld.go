@@ -1,0 +1,416 @@
+package mpi
+
+// The torus collective runtime: the paper's §6 scaling outlook (8 nodes per
+// ringlet, 3-D torus, 512 nodes) running the runtime's ring allreduce as a
+// fabric-native workload. Where the full protocol world is confined to one
+// locale (its ranks share ports and windows at zero delay), the torus
+// runtime distributes one node actor per torus node across the locales of a
+// sim.Fabric, partitioned by contiguous z-plane blocks: all cross-locale
+// interaction is a Locale.Send carrying the route's propagation latency —
+// at least one segment latency, the engine's conservative lookahead.
+//
+// The allreduce schedule is exactly the collective engine's: every step
+// forwards the block ringSendBlock(me, step, size) picks, the same rotation
+// allreduceRing drives through the point-to-point and one-sided protocols.
+// The reduction operator is uint64 wrapping addition — exactly associative
+// and commutative — so chunk digests, checksums, flight dumps and
+// completion times are bit-identical across engines and shard counts.
+//
+// Shard locality of the flow solve is structural: with ring-neighbor-only
+// traffic under dimension-ordered routing, the route of node i to i+1 stays
+// inside i's z-plane except for the final z-hop at a plane boundary, and no
+// two routes share a segment. Every link is touched by exactly one locale's
+// network, flows never span locales, and each flow is its own max-min
+// component — per-locale solves produce bit-identical rates to the
+// monolithic oracle network.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"scimpich/internal/flow"
+	"scimpich/internal/obs"
+	"scimpich/internal/obs/flight"
+	"scimpich/internal/ring"
+	"scimpich/internal/sci"
+	"scimpich/internal/sim"
+	"scimpich/internal/torus"
+)
+
+// TorusConfig parameterizes a torus machine run.
+type TorusConfig struct {
+	DX, DY, DZ int // torus dimensions; nodes = DX*DY*DZ
+	Shards     int // z-plane blocks (fabric locales); must divide DZ
+
+	ChunkBytes     int64         // bytes per allreduce chunk transfer
+	LinkBW         float64       // per-segment bandwidth, bytes/second
+	SrcCap         float64       // per-node sustained deposit rate
+	SegmentLatency time.Duration // per-segment propagation delay
+
+	SampleEvery int           // flight sample period in steps (<=0: 64)
+	Registry    *obs.Registry // optional shared metrics registry
+}
+
+// DefaultTorusConfig returns a machine calibrated like the paper's testbed
+// (166 MHz ringlets, Table 2 sustained put bandwidth) with the given
+// partitioning.
+func DefaultTorusConfig(dx, dy, dz, shards int) TorusConfig {
+	sc := sci.DefaultConfig(8)
+	return TorusConfig{
+		DX: dx, DY: dy, DZ: dz, Shards: shards,
+		ChunkBytes:     64 << 10,
+		LinkBW:         ring.BandwidthForMHz(sc.LinkMHz),
+		SrcCap:         sc.SustainedPutBW,
+		SegmentLatency: sc.SegmentLatency,
+		SampleEvery:    64,
+	}
+}
+
+// TorusResult summarizes a completed run.
+type TorusResult struct {
+	Nodes    int
+	Shards   int
+	End      time.Duration // final virtual time
+	Events   uint64        // events executed by the engine
+	Windows  uint64        // barrier rounds (0 on the sequential engine)
+	Checksum uint64        // wrapping sum of the reduced vector
+	Steps    int           // allreduce steps per node
+}
+
+// torusDelivery is one chunk handed to the successor node.
+type torusDelivery struct {
+	to    int // destination node id
+	step  int
+	chunk int
+	val   uint64
+}
+
+// torusNode is one machine node: an actor confined to its locale.
+type torusNode struct {
+	m       *TorusWorld
+	id      int
+	loc     sim.Locale
+	net     *flow.Network
+	next    int // successor on the logical ring
+	nextLoc int
+	route   []flow.Hop    // dimension-ordered path to successor
+	delay   time.Duration // propagation latency of route
+
+	chunks   []uint64 // per-chunk reduction digests
+	step     int
+	sendDone bool
+	recvDone bool
+	inbox    []*torusDelivery // arrivals for steps we have not reached yet
+
+	log      []flight.Event // local samples, merged deterministically post-run
+	finished bool
+	doneAt   time.Duration
+}
+
+// TorusWorld is the full torus plus its node actors, bound to a fabric.
+type TorusWorld struct {
+	cfg    TorusConfig
+	fab    sim.Fabric
+	top    *torus.Topology
+	place  *Placement
+	nodes  []*torusNode
+	total  int // allreduce steps per node
+	reg    *obs.Registry
+	chunks *obs.Counter
+	moved  *obs.Counter
+
+	deliverF func(any)
+}
+
+// TorusLookahead derives the conservative lookahead of a partition from the
+// topology: the minimum latency among links crossing it, falling back to
+// the configured segment latency when no link crosses (single shard).
+func TorusLookahead(top *torus.Topology, assign []int, segment time.Duration) time.Duration {
+	if la := flow.MinLatency(top.CrossShardLinks(assign)); la > 0 {
+		return la
+	}
+	return segment
+}
+
+// NewTorusFabric builds the conservative-parallel fabric for cfg: one shard
+// per z-plane block, lookahead derived from the links crossing the
+// partition.
+func NewTorusFabric(cfg TorusConfig) sim.Fabric {
+	top, assign := buildTorusTopology(cfg)
+	return sim.NewShardedEngine(cfg.Shards, TorusLookahead(top, assign, cfg.SegmentLatency))
+}
+
+// NewTorusOracle builds the sequential-oracle fabric for cfg: the same
+// locale count over one sequential engine, the differential-testing
+// baseline for the sharded fabric.
+func NewTorusOracle(cfg TorusConfig) sim.Fabric {
+	top, assign := buildTorusTopology(cfg)
+	return sim.NewSeqFabric(sim.NewEngine(), cfg.Shards, TorusLookahead(top, assign, cfg.SegmentLatency))
+}
+
+// NewTorusWorldOn builds the torus machine on an existing fabric. On a
+// sharded engine every locale gets its own flow network (the per-shard
+// solve); on any other fabric all locales share one monolithic network —
+// the oracle baseline whose per-event costs grow with the whole machine's
+// flow count.
+func NewTorusWorldOn(f sim.Fabric, cfg TorusConfig) *TorusWorld {
+	top, assign := buildTorusTopology(cfg)
+	if f.Locales() != cfg.Shards {
+		panic(fmt.Sprintf("mpi: torus config wants %d locales, fabric has %d", cfg.Shards, f.Locales()))
+	}
+	nets := make([]*flow.Network, cfg.Shards)
+	if _, sharded := f.(*sim.ShardedEngine); sharded {
+		for i := range nets {
+			nets[i] = flow.NewNetworkOn(f.Locale(i))
+			nets[i].SetMetrics(cfg.Registry)
+		}
+	} else {
+		net := flow.NewNetworkOn(f.Locale(0))
+		net.SetMetrics(cfg.Registry)
+		for i := range nets {
+			nets[i] = net
+		}
+	}
+	return buildTorusWorld(cfg, f, top, assign, nets)
+}
+
+func buildTorusTopology(cfg TorusConfig) (*torus.Topology, []int) {
+	if cfg.DX*cfg.DY*cfg.DZ < 2 {
+		panic("mpi: torus machine needs at least two nodes")
+	}
+	top := torus.New(cfg.DX, cfg.DY, cfg.DZ, cfg.LinkBW, nil).SetLinkLatency(cfg.SegmentLatency)
+	return top, top.PartitionZ(cfg.Shards)
+}
+
+func buildTorusWorld(cfg TorusConfig, fab sim.Fabric, top *torus.Topology, assign []int, nets []*flow.Network) *TorusWorld {
+	n := top.Nodes()
+	m := &TorusWorld{
+		cfg: cfg, fab: fab, top: top,
+		place: NewPlacement(assign, cfg.Shards),
+		nodes: make([]*torusNode, n),
+		total: 2 * (n - 1),
+		reg:   cfg.Registry,
+	}
+	if m.reg != nil {
+		m.chunks = m.reg.Counter("mpi.torus.chunks")
+		m.moved = m.reg.Counter("mpi.torus.bytes")
+	}
+	m.deliverF = func(arg any) {
+		d := arg.(*torusDelivery)
+		m.nodes[d.to].onRecv(d)
+	}
+	for i := 0; i < n; i++ {
+		next := (i + 1) % n
+		shard := m.place.ShardOf(i)
+		nd := &torusNode{
+			m: m, id: i, loc: fab.Locale(shard), net: nets[shard],
+			next: next, nextLoc: m.place.ShardOf(next),
+			route:  flow.Path(top.Route(i, next)...),
+			chunks: make([]uint64, n),
+		}
+		nd.delay = flow.PathLatency(nd.route)
+		for c := range nd.chunks {
+			nd.chunks[c] = torusChunkInit(i, c)
+		}
+		m.nodes[i] = nd
+	}
+	return m
+}
+
+// Placement returns the node-to-locale placement of the machine.
+func (m *TorusWorld) Placement() *Placement { return m.place }
+
+// Fabric returns the fabric the machine runs on.
+func (m *TorusWorld) Fabric() sim.Fabric { return m.fab }
+
+// torusChunkInit is the deterministic initial digest of (node, chunk) —
+// splitmix64 over the pair, so every input is distinct and the reduced
+// values exercise all 64 bits.
+func torusChunkInit(node, chunk int) uint64 {
+	z := uint64(node)<<32 ^ uint64(chunk) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// beginStep starts the node's transfer for the current step, or finishes
+// the node when all steps are done.
+func (nd *torusNode) beginStep() {
+	m := nd.m
+	if nd.step >= m.total {
+		var sum uint64
+		for _, v := range nd.chunks {
+			sum += v
+		}
+		nd.finished = true
+		nd.doneAt = nd.loc.Now()
+		nd.log = append(nd.log, flight.Event{At: nd.doneAt, Kind: flight.KCommit,
+			A: int64(nd.step), B: int64(sum)})
+		return
+	}
+	step, c := nd.step, ringSendBlock(nd.id, nd.step, len(m.nodes))
+	val := nd.chunks[c]
+	nd.sendDone, nd.recvDone = false, false
+	if every := m.sampleEvery(); step%every == 0 {
+		nd.log = append(nd.log, flight.Event{At: nd.loc.Now(), Kind: flight.KPut,
+			A: int64(nd.next), B: int64(c), C: int64(val)})
+	}
+	f := nd.net.Start(nd.route, m.cfg.ChunkBytes, m.cfg.SrcCap)
+	f.Done().OnComplete(func(any) {
+		if m.chunks != nil {
+			m.chunks.Add(1)
+			m.moved.Add(m.cfg.ChunkBytes)
+		}
+		nd.loc.Send(nd.nextLoc, nd.delay, m.deliverF,
+			&torusDelivery{to: nd.next, step: step, chunk: c, val: val})
+		nd.sendDone = true
+		nd.maybeAdvance()
+	})
+}
+
+func (m *TorusWorld) sampleEvery() int {
+	if m.cfg.SampleEvery > 0 {
+		return m.cfg.SampleEvery
+	}
+	return 64
+}
+
+// onRecv runs on the receiving node's locale: apply the chunk if the node
+// is at the message's step, otherwise buffer it (the sender may run up to
+// a ring circumference ahead).
+func (nd *torusNode) onRecv(d *torusDelivery) {
+	if d.step != nd.step || nd.recvDone {
+		if d.step <= nd.step {
+			panic(fmt.Sprintf("mpi: torus node %d got duplicate step %d at step %d", nd.id, d.step, nd.step))
+		}
+		nd.inbox = append(nd.inbox, d)
+		return
+	}
+	nd.apply(d)
+	nd.maybeAdvance()
+}
+
+// apply merges one received chunk: wrapping add during reduce-scatter,
+// overwrite during allgather.
+func (nd *torusNode) apply(d *torusDelivery) {
+	if nd.step < len(nd.m.nodes)-1 {
+		nd.chunks[d.chunk] += d.val
+	} else {
+		nd.chunks[d.chunk] = d.val
+	}
+	nd.recvDone = true
+}
+
+// maybeAdvance moves to the next step once the node's own transfer finished
+// and the predecessor's chunk arrived.
+func (nd *torusNode) maybeAdvance() {
+	if !nd.sendDone || !nd.recvDone {
+		return
+	}
+	nd.step++
+	nd.beginStep()
+	if nd.step >= nd.m.total {
+		return
+	}
+	for i, d := range nd.inbox {
+		if d.step == nd.step {
+			nd.inbox = append(nd.inbox[:i], nd.inbox[i+1:]...)
+			nd.apply(d)
+			// The new transfer just started and takes positive virtual
+			// time, so sendDone is false: no further advance from here.
+			return
+		}
+	}
+}
+
+// Run executes the allreduce to completion and verifies the reduction.
+func (m *TorusWorld) Run() (TorusResult, error) {
+	for _, nd := range m.nodes {
+		nd := nd
+		nd.loc.At(0, nd.beginStep)
+	}
+	end := m.fab.Run()
+	res := TorusResult{
+		Nodes: len(m.nodes), Shards: m.cfg.Shards, End: end,
+		Events: m.fab.Events(), Steps: m.total,
+	}
+	if se, ok := m.fab.(*sim.ShardedEngine); ok {
+		res.Windows = se.Windows()
+	}
+	// Every node must hold the identical fully reduced vector.
+	want := make([]uint64, len(m.nodes))
+	for c := range want {
+		for id := range m.nodes {
+			want[c] += torusChunkInit(id, c)
+		}
+		res.Checksum += want[c]
+	}
+	for _, nd := range m.nodes {
+		if !nd.finished {
+			return res, fmt.Errorf("mpi: torus node %d stalled at step %d/%d", nd.id, nd.step, m.total)
+		}
+		for c, v := range nd.chunks {
+			if v != want[c] {
+				return res, fmt.Errorf("mpi: torus node %d chunk %d = %#x, want %#x", nd.id, c, v, want[c])
+			}
+		}
+	}
+	return res, nil
+}
+
+// FlightDump merges every node's local samples into one deterministic
+// flight dump. Nodes log into private slices during the (possibly parallel)
+// run; here the events are ordered by their full content key and re-recorded
+// sequentially, so the bytes are identical across engines, shard counts and
+// OS schedules — the artifact the determinism gate hashes.
+func (m *TorusWorld) FlightDump() []byte {
+	type tagged struct {
+		actor string
+		ev    flight.Event
+	}
+	var all []tagged
+	perActor := 0
+	for _, nd := range m.nodes {
+		if len(nd.log) > perActor {
+			perActor = len(nd.log)
+		}
+		name := fmt.Sprintf("node%04d", nd.id)
+		for _, ev := range nd.log {
+			all = append(all, tagged{actor: name, ev: ev})
+		}
+	}
+	sortTagged := func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.ev.At != b.ev.At {
+			return a.ev.At < b.ev.At
+		}
+		if a.actor != b.actor {
+			return a.actor < b.actor
+		}
+		if a.ev.Kind != b.ev.Kind {
+			return a.ev.Kind < b.ev.Kind
+		}
+		if a.ev.A != b.ev.A {
+			return a.ev.A < b.ev.A
+		}
+		if a.ev.B != b.ev.B {
+			return a.ev.B < b.ev.B
+		}
+		if a.ev.C != b.ev.C {
+			return a.ev.C < b.ev.C
+		}
+		return a.ev.D < b.ev.D
+	}
+	sort.SliceStable(all, sortTagged)
+	rec := flight.New(perActor + 1) // never evict: eviction would reintroduce order sensitivity
+	for _, t := range all {
+		rec.Actor(t.actor).Record(t.ev.At, t.ev.Kind, t.ev.A, t.ev.B, t.ev.C, t.ev.D)
+	}
+	var buf bytes.Buffer
+	if err := rec.Snapshot("mpi: torus end of run").WriteJSON(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}

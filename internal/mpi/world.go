@@ -178,6 +178,30 @@ type Config struct {
 	// window to a JSON dump (see internal/obs/flight and cmd/postmortem).
 	// It is inherited by the SCI layer unless SCI.Flight is set explicitly.
 	Flight *flight.Recorder
+
+	// Shards selects the engine Run constructs: 0 or 1 (the default) runs
+	// the world on the sequential oracle; >1 builds a conservative-parallel
+	// sim.ShardedEngine and hosts the world on one of its locales. The
+	// virtual outcome — end time, message schedule, flight dump — is
+	// byte-identical either way: the world is confined to a single locale,
+	// so its event schedule is governed only by that locale's (time, seq)
+	// heap order, which the sharded engine preserves exactly.
+	Shards int
+	// Locale selects which locale of the fabric hosts the world (for Run
+	// with Shards > 1, and for NewWorldOn on a multi-locale fabric).
+	Locale int
+	// Lookahead is the conservative lookahead Run gives a sharded engine;
+	// 0 uses the SCI segment latency (the minimum delay of any cross-shard
+	// interaction on the paper's hardware).
+	Lookahead time.Duration
+	// Placement, when non-nil, maps world ranks onto fabric locales. The
+	// full protocol world must be confined to one locale (its ranks share
+	// ports, windows and chooser state at zero delay), so every rank must
+	// be placed on the same shard — NewWorldOn takes that shard as the
+	// hosting locale. Distributed placements (ranks spread across shards)
+	// are the domain of the torus collective runtime (TorusWorld), whose
+	// node actors interact only through link-latency sends.
+	Placement *Placement
 }
 
 // DefaultConfig returns a cluster of nodes dual-SMP nodes matching the
@@ -200,10 +224,15 @@ func NICConfig(nodes, procsPerNode int, n nic.Config) Config {
 	return cfg
 }
 
-// World is the runtime state of a cluster run.
+// World is the runtime state of a cluster run. The world lives on one
+// locale of a sim.Fabric: all its processes, device daemons, flow networks
+// and services are scheduled on that locale's heap, so the same world runs
+// byte-identically on the sequential oracle and on any shard of a
+// conservative-parallel engine.
 type World struct {
 	cfg    Config
-	engine *sim.Engine
+	fabric sim.Fabric
+	host   sim.Host // the hosting locale's scheduling surface
 	ic     *sci.Interconnect
 	nicNet *nic.Network
 	buses  []*shmem.Bus
@@ -403,12 +432,37 @@ func (w *World) oscOff() int64 {
 	return int64(p.EagerSlots)*p.EagerMax + 2*p.RendezvousChunk
 }
 
-// newWorld wires the cluster: interconnect, per-node buses, ranks, ports.
-func newWorld(e *sim.Engine, cfg Config) *World {
+// hostingLocale resolves which locale of f hosts the world: the shard all
+// ranks of cfg.Placement agree on, or cfg.Locale without a placement.
+func hostingLocale(f sim.Fabric, cfg Config) int {
+	loc := cfg.Locale
+	if p := cfg.Placement; p != nil {
+		if p.Size() != cfg.Nodes*cfg.ProcsPerNode {
+			panic(fmt.Sprintf("mpi: placement covers %d ranks, world has %d", p.Size(), cfg.Nodes*cfg.ProcsPerNode))
+		}
+		loc = p.ShardOf(0)
+		for r := 1; r < p.Size(); r++ {
+			if p.ShardOf(r) != loc {
+				panic(fmt.Sprintf("mpi: rank %d placed on shard %d but rank 0 on %d: "+
+					"the full protocol world is confined to one locale (use TorusWorld for distributed placements)",
+					r, p.ShardOf(r), loc))
+			}
+		}
+	}
+	if loc < 0 || loc >= f.Locales() {
+		panic(fmt.Sprintf("mpi: hosting locale %d outside fabric of %d", loc, f.Locales()))
+	}
+	return loc
+}
+
+// newWorld wires the cluster — interconnect, per-node buses, ranks, ports —
+// confined to one locale of the fabric.
+func newWorld(f sim.Fabric, cfg Config) *World {
 	if cfg.Nodes < 1 || cfg.ProcsPerNode < 1 {
 		panic("mpi: need at least one node and one proc per node")
 	}
-	w := &World{cfg: cfg, engine: e, size: cfg.Nodes * cfg.ProcsPerNode}
+	w := &World{cfg: cfg, fabric: f, host: f.Locale(hostingLocale(f, cfg)), size: cfg.Nodes * cfg.ProcsPerNode}
+	e := w.host
 	w.met = newWorldMetrics(cfg.Metrics)
 	w.suspects = make([]bool, w.size)
 	w.revoked = make([]bool, w.size)
@@ -436,7 +490,7 @@ func newWorld(e *sim.Engine, cfg Config) *World {
 	}
 	// All intra-node buses share one flow network so that, on request,
 	// cross-transport interactions stay in one simulation.
-	net := flow.NewNetwork(e)
+	net := flow.NewNetworkOn(e)
 	net.SetMetrics(cfg.Metrics)
 	w.buses = make([]*shmem.Bus, cfg.Nodes)
 	for n := range w.buses {
@@ -556,14 +610,14 @@ func (w *World) ring(p *sim.Proc, src, dst int, env *envelope, interrupt bool) {
 		p.Sleep(60 * time.Nanosecond)
 		delay := w.cfg.Shm.SignalLatency
 		inbox := to.dev.inbox
-		w.engine.After(delay, func() { sim.Post(inbox, env) })
+		w.host.After(delay, func() { sim.Post(inbox, env) })
 		return
 	}
 	if w.nicNet != nil {
 		ncfg := &w.cfg.NIC
 		p.Sleep(ncfg.PerMessageCPU)
 		inbox := to.dev.inbox
-		w.engine.After(ncfg.Latency, func() { sim.Post(inbox, env) })
+		w.host.After(ncfg.Latency, func() { sim.Post(inbox, env) })
 		return
 	}
 	cfg := &w.cfg.SCI
@@ -587,14 +641,14 @@ func (w *World) ring(p *sim.Proc, src, dst int, env *envelope, interrupt bool) {
 		delay += cfg.InterruptLatency
 	}
 	inbox := to.dev.inbox
-	w.engine.After(delay, func() { sim.Post(inbox, env) })
+	w.host.After(delay, func() { sim.Post(inbox, env) })
 	if w.plan().DrawDuplicate() && dedupable(env.kind) {
 		// Injected retransmission: the same packet arrives a second time one
 		// retry latency later. The receiving device must stay exactly-once.
 		w.cfg.Tracer.Record(p.Now(), from.actor, "fault",
 			"duplicated %v envelope -> %d (seq %d)", env.kind, dst, env.seq)
 		from.fl.Record(p.Now(), flight.KDupInject, int64(env.kind), int64(dst), env.seq, 0)
-		w.engine.After(delay+cfg.RetryLatency, func() { sim.Post(inbox, env) })
+		w.host.After(delay+cfg.RetryLatency, func() { sim.Post(inbox, env) })
 	}
 }
 

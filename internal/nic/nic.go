@@ -69,7 +69,7 @@ func GigabitEthernet() Config {
 // Network is a cluster of nodes joined by a full-crossbar message fabric,
 // with per-node NIC egress/ingress capacity.
 type Network struct {
-	E   *sim.Engine
+	E   sim.Host
 	Net *flow.Network
 	Cfg Config
 
@@ -80,14 +80,14 @@ type Network struct {
 }
 
 // New builds the fabric.
-func New(e *sim.Engine, nodes int, cfg Config) *Network {
+func New(e sim.Host, nodes int, cfg Config) *Network {
 	if nodes < 1 {
 		panic("nic: need at least one node")
 	}
 	if cfg.Mem == nil {
 		panic("nic: config requires a memory model")
 	}
-	n := &Network{E: e, Net: flow.NewNetwork(e), Cfg: cfg}
+	n := &Network{E: e, Net: flow.NewNetworkOn(e), Cfg: cfg}
 	n.egress = make([]*flow.Link, nodes)
 	n.ingress = make([]*flow.Link, nodes)
 	n.pending = make([]map[*sim.Future]struct{}, nodes)

@@ -1,0 +1,56 @@
+package osc
+
+import (
+	"testing"
+	"time"
+
+	"scimpich/internal/datatype"
+	"scimpich/internal/mpi"
+)
+
+// TestFenceEpochOnShardedEngine runs a one-sided fence epoch — every rank
+// puts into its right neighbour and accumulates into its left — on the
+// conservative-parallel engine at several shard counts, and pins the final
+// virtual time and window contents against the sequential oracle. Under
+// the race detector (the shard-stress job) this also exercises the
+// one-sided protocol handlers with real goroutine parallelism.
+func TestFenceEpochOnShardedEngine(t *testing.T) {
+	const ranks = 4
+	run := func(shards int) (time.Duration, [ranks]uint64) {
+		cfg := mpi.DefaultConfig(ranks, 1)
+		cfg.Shards = shards
+		var sums [ranks]uint64
+		end := mpi.Run(cfg, func(c *mpi.Comm) {
+			w := mkWin(c, 4096, true)
+			me, size := c.Rank(), c.Size()
+			w.Fence()
+			src := fill(512)
+			for i := range src {
+				src[i] += byte(me)
+			}
+			w.Put(src, len(src), datatype.Byte, (me+1)%size, 0)
+			acc := mpi.Int32Bytes([]int32{int32(me + 1), 3, -7, int32(size)})
+			w.Accumulate(acc, 4, datatype.Int32, mpi.OpSum, (me-1+size)%size, 2048)
+			w.Fence()
+			var sum uint64
+			for i, b := range w.LocalBytes() {
+				sum += uint64(b) * uint64(i+1)
+			}
+			sums[me] = sum
+		})
+		return end, sums
+	}
+	oracleEnd, oracleSums := run(0)
+	if oracleEnd <= 0 {
+		t.Fatal("oracle epoch made no progress")
+	}
+	for _, shards := range []int{2, 4} {
+		end, sums := run(shards)
+		if end != oracleEnd {
+			t.Errorf("shards=%d: end %v != oracle %v", shards, end, oracleEnd)
+		}
+		if sums != oracleSums {
+			t.Errorf("shards=%d: window checksums %v != oracle %v", shards, sums, oracleSums)
+		}
+	}
+}

@@ -1,417 +1,47 @@
-// Package scale models whole-machine collective workloads at the paper's §6
-// scale: a 3-D torus of SCI ringlets (8x8x8 = 512 nodes) running a chunked
-// ring allreduce built from one-sided neighbor deposits.
-//
-// The workload is written against sim.Fabric, so the same program runs on
-// the sequential engine (the differential-testing oracle, with one global
-// flow network — the monolithic baseline) and on the conservative-parallel
-// ShardedEngine (one worker, event heap and flow network per shard). The
-// machine is partitioned by contiguous z-plane blocks (torus.PartitionZ);
-// each node is an actor confined to the shard owning its z-plane, and all
-// cross-shard interaction happens through Locale.Send with the route's
-// propagation latency — at least one segment latency, which is exactly the
-// engine's conservative lookahead (flow.MinLatency over the cross-partition
-// links).
-//
-// Shard locality of the flow solve is structural: with ring-neighbor-only
-// traffic under dimension-ordered routing, the route of node i to i+1 stays
-// inside i's z-plane except for the final z-hop at a plane boundary, and no
-// two routes share a segment. Every link is therefore touched by exactly one
-// shard's network, flows never span shards, and each flow is its own
-// max-min component — so per-shard solves produce bit-identical rates to
-// the monolithic network, which is what makes the cross-engine determinism
-// tests exact. (SCI flow-control echoes, which would circle the whole ring
-// and break this locality, are deliberately not modeled here: with
-// single-occupancy segments they would not change any rate.)
-//
-// The reduction operator is uint64 wrapping addition — exactly associative
-// and commutative — so chunk digests, checksums and completion times are
-// bit-identical across engines and shard counts.
+// Package scale is a thin compatibility shim over the torus collective
+// runtime, which now lives with the rest of the MPI stack (mpi.TorusWorld).
+// The §6-scale machine — a 3-D torus of SCI ringlets running the chunked
+// ring allreduce — is constructed through the same fabric-first public
+// surface as every other world: mpi.NewTorusFabric / mpi.NewTorusOracle
+// pick the engine, mpi.NewTorusWorldOn builds the machine on it.
 package scale
 
 import (
-	"bytes"
-	"fmt"
-	"sort"
 	"time"
 
-	"scimpich/internal/flow"
 	"scimpich/internal/mpi"
-	"scimpich/internal/obs"
-	"scimpich/internal/obs/flight"
-	"scimpich/internal/ring"
-	"scimpich/internal/sci"
-	"scimpich/internal/sim"
 	"scimpich/internal/torus"
 )
 
-// Config parameterizes a machine run.
-type Config struct {
-	DX, DY, DZ int // torus dimensions; nodes = DX*DY*DZ
-	Shards     int // z-plane blocks; must divide DZ
+// Config parameterizes a machine run (alias of mpi.TorusConfig).
+type Config = mpi.TorusConfig
 
-	ChunkBytes     int64         // bytes per allreduce chunk transfer
-	LinkBW         float64       // per-segment bandwidth, bytes/second
-	SrcCap         float64       // per-node sustained deposit rate
-	SegmentLatency time.Duration // per-segment propagation delay
+// Result summarizes a completed run (alias of mpi.TorusResult).
+type Result = mpi.TorusResult
 
-	SampleEvery int           // flight sample period in steps (<=0: 64)
-	Registry    *obs.Registry // optional shared metrics registry
-}
+// Machine is the torus machine (alias of mpi.TorusWorld).
+type Machine = mpi.TorusWorld
 
-// DefaultConfig returns a machine calibrated like the paper's testbed
-// (166 MHz ringlets, Table 2 sustained put bandwidth) with the given
-// partitioning.
+// DefaultConfig returns a machine calibrated like the paper's testbed.
 func DefaultConfig(dx, dy, dz, shards int) Config {
-	sc := sci.DefaultConfig(8)
-	return Config{
-		DX: dx, DY: dy, DZ: dz, Shards: shards,
-		ChunkBytes:     64 << 10,
-		LinkBW:         ring.BandwidthForMHz(sc.LinkMHz),
-		SrcCap:         sc.SustainedPutBW,
-		SegmentLatency: sc.SegmentLatency,
-		SampleEvery:    64,
-	}
-}
-
-// Result summarizes a completed run.
-type Result struct {
-	Nodes    int
-	Shards   int
-	End      time.Duration // final virtual time
-	Events   uint64        // events executed by the engine
-	Windows  uint64        // barrier rounds (0 on the sequential engine)
-	Checksum uint64        // wrapping sum of the reduced vector
-	Steps    int           // allreduce steps per node
-}
-
-// delivery is one chunk handed to the successor node.
-type delivery struct {
-	to    int // destination node id
-	step  int
-	chunk int
-	val   uint64
-}
-
-// node is one machine node: an actor confined to its locale.
-type node struct {
-	m       *Machine
-	id      int
-	loc     sim.Locale
-	net     *flow.Network
-	next    int // successor on the logical ring
-	nextLoc int
-	route   []flow.Hop    // dimension-ordered path to successor
-	delay   time.Duration // propagation latency of route
-
-	chunks   []uint64 // per-chunk reduction digests
-	step     int
-	sendDone bool
-	recvDone bool
-	inbox    []*delivery // arrivals for steps we have not reached yet
-
-	log      []flight.Event // local samples, merged deterministically post-run
-	finished bool
-	doneAt   time.Duration
-}
-
-// Machine is the full torus plus its node actors, bound to a fabric.
-type Machine struct {
-	cfg    Config
-	fab    sim.Fabric
-	top    *torus.Topology
-	place  *mpi.Placement
-	nodes  []*node
-	seq    bool // sequential-oracle machine (single global network)
-	total  int  // allreduce steps per node
-	reg    *obs.Registry
-	chunks *obs.Counter
-	moved  *obs.Counter
-
-	deliverF func(any)
+	return mpi.DefaultTorusConfig(dx, dy, dz, shards)
 }
 
 // Lookahead derives the conservative lookahead of a partition from the
-// topology: the minimum latency among links crossing it, falling back to
-// the configured segment latency when no link crosses (single shard).
+// topology.
 func Lookahead(top *torus.Topology, assign []int, segment time.Duration) time.Duration {
-	if la := flow.MinLatency(top.CrossShardLinks(assign)); la > 0 {
-		return la
-	}
-	return segment
+	return mpi.TorusLookahead(top, assign, segment)
 }
 
 // NewSharded builds the machine on a conservative-parallel engine: one
 // shard per z-plane block, each with its own flow network.
 func NewSharded(cfg Config) *Machine {
-	top, assign := buildTopology(cfg)
-	se := sim.NewShardedEngine(cfg.Shards, Lookahead(top, assign, cfg.SegmentLatency))
-	nets := make([]*flow.Network, cfg.Shards)
-	for i := range nets {
-		nets[i] = flow.NewNetworkOn(se.Shard(i))
-		nets[i].SetMetrics(cfg.Registry)
-	}
-	return build(cfg, se, top, assign, nets, false)
+	return mpi.NewTorusWorldOn(mpi.NewTorusFabric(cfg), cfg)
 }
 
 // NewSequential builds the oracle machine: the same program on the
 // sequential engine, with one monolithic flow network shared by all
-// locales — the baseline whose per-event costs grow with the whole
-// machine's flow count.
+// locales.
 func NewSequential(cfg Config) *Machine {
-	top, assign := buildTopology(cfg)
-	e := sim.NewEngine()
-	f := sim.NewSeqFabric(e, cfg.Shards, Lookahead(top, assign, cfg.SegmentLatency))
-	net := flow.NewNetwork(e)
-	net.SetMetrics(cfg.Registry)
-	nets := make([]*flow.Network, cfg.Shards)
-	for i := range nets {
-		nets[i] = net
-	}
-	return build(cfg, f, top, assign, nets, true)
-}
-
-func buildTopology(cfg Config) (*torus.Topology, []int) {
-	if cfg.DX*cfg.DY*cfg.DZ < 2 {
-		panic("scale: machine needs at least two nodes")
-	}
-	top := torus.New(cfg.DX, cfg.DY, cfg.DZ, cfg.LinkBW, nil).SetLinkLatency(cfg.SegmentLatency)
-	return top, top.PartitionZ(cfg.Shards)
-}
-
-func build(cfg Config, fab sim.Fabric, top *torus.Topology, assign []int, nets []*flow.Network, seq bool) *Machine {
-	n := top.Nodes()
-	m := &Machine{
-		cfg: cfg, fab: fab, top: top, seq: seq,
-		place: mpi.NewPlacement(assign, cfg.Shards),
-		nodes: make([]*node, n),
-		total: 2 * (n - 1),
-		reg:   cfg.Registry,
-	}
-	if m.reg != nil {
-		m.chunks = m.reg.Counter("scale.chunks")
-		m.moved = m.reg.Counter("scale.bytes")
-	}
-	m.deliverF = func(arg any) {
-		d := arg.(*delivery)
-		m.nodes[d.to].onRecv(d)
-	}
-	for i := 0; i < n; i++ {
-		next := (i + 1) % n
-		shard := m.place.ShardOf(i)
-		nd := &node{
-			m: m, id: i, loc: fab.Locale(shard), net: nets[shard],
-			next: next, nextLoc: m.place.ShardOf(next),
-			route:  flow.Path(top.Route(i, next)...),
-			delay:  0,
-			chunks: make([]uint64, n),
-		}
-		nd.delay = flow.PathLatency(nd.route)
-		for c := range nd.chunks {
-			nd.chunks[c] = chunkInit(i, c)
-		}
-		m.nodes[i] = nd
-	}
-	return m
-}
-
-// chunkInit is the deterministic initial digest of (node, chunk) —
-// splitmix64 over the pair, so every input is distinct and the reduced
-// values exercise all 64 bits.
-func chunkInit(node, chunk int) uint64 {
-	z := uint64(node)<<32 ^ uint64(chunk) + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// sendChunk returns the chunk index node id forwards at step s: the
-// reduce-scatter rotation for the first n-1 steps, then the allgather
-// rotation.
-func (m *Machine) sendChunk(id, s int) int {
-	n := len(m.nodes)
-	if s < n-1 {
-		return ((id-s)%n + n) % n
-	}
-	return ((id+1-(s-(n-1)))%n + n) % n
-}
-
-// beginStep starts the node's transfer for the current step, or finishes
-// the node when all steps are done.
-func (nd *node) beginStep() {
-	m := nd.m
-	if nd.step >= m.total {
-		var sum uint64
-		for _, v := range nd.chunks {
-			sum += v
-		}
-		nd.finished = true
-		nd.doneAt = nd.loc.Now()
-		nd.log = append(nd.log, flight.Event{At: nd.doneAt, Kind: flight.KCommit,
-			A: int64(nd.step), B: int64(sum)})
-		return
-	}
-	step, c := nd.step, m.sendChunk(nd.id, nd.step)
-	val := nd.chunks[c]
-	nd.sendDone, nd.recvDone = false, false
-	if every := m.sampleEvery(); step%every == 0 {
-		nd.log = append(nd.log, flight.Event{At: nd.loc.Now(), Kind: flight.KPut,
-			A: int64(nd.next), B: int64(c), C: int64(val)})
-	}
-	f := nd.net.Start(nd.route, m.cfg.ChunkBytes, m.cfg.SrcCap)
-	f.Done().OnComplete(func(any) {
-		if m.chunks != nil {
-			m.chunks.Add(1)
-			m.moved.Add(m.cfg.ChunkBytes)
-		}
-		nd.loc.Send(nd.nextLoc, nd.delay, m.deliverF,
-			&delivery{to: nd.next, step: step, chunk: c, val: val})
-		nd.sendDone = true
-		nd.maybeAdvance()
-	})
-}
-
-func (m *Machine) sampleEvery() int {
-	if m.cfg.SampleEvery > 0 {
-		return m.cfg.SampleEvery
-	}
-	return 64
-}
-
-// onRecv runs on the receiving node's locale: apply the chunk if the node
-// is at the message's step, otherwise buffer it (the sender may run up to
-// a ring circumference ahead).
-func (nd *node) onRecv(d *delivery) {
-	if d.step != nd.step || nd.recvDone {
-		if d.step <= nd.step {
-			panic(fmt.Sprintf("scale: node %d got duplicate step %d at step %d", nd.id, d.step, nd.step))
-		}
-		nd.inbox = append(nd.inbox, d)
-		return
-	}
-	nd.apply(d)
-	nd.maybeAdvance()
-}
-
-// apply merges one received chunk: wrapping add during reduce-scatter,
-// overwrite during allgather.
-func (nd *node) apply(d *delivery) {
-	if nd.step < len(nd.m.nodes)-1 {
-		nd.chunks[d.chunk] += d.val
-	} else {
-		nd.chunks[d.chunk] = d.val
-	}
-	nd.recvDone = true
-}
-
-// maybeAdvance moves to the next step once the node's own transfer finished
-// and the predecessor's chunk arrived.
-func (nd *node) maybeAdvance() {
-	if !nd.sendDone || !nd.recvDone {
-		return
-	}
-	nd.step++
-	nd.beginStep()
-	if nd.step >= nd.m.total {
-		return
-	}
-	for i, d := range nd.inbox {
-		if d.step == nd.step {
-			nd.inbox = append(nd.inbox[:i], nd.inbox[i+1:]...)
-			nd.apply(d)
-			// The new transfer just started and takes positive virtual
-			// time, so sendDone is false: no further advance from here.
-			return
-		}
-	}
-}
-
-// Run executes the allreduce to completion and verifies the reduction.
-func (m *Machine) Run() (Result, error) {
-	for _, nd := range m.nodes {
-		nd := nd
-		nd.loc.At(0, nd.beginStep)
-	}
-	end := m.fab.Run()
-	res := Result{
-		Nodes: len(m.nodes), Shards: m.cfg.Shards, End: end,
-		Events: m.fab.Events(), Steps: m.total,
-	}
-	if se, ok := m.fab.(*sim.ShardedEngine); ok {
-		res.Windows = se.Windows()
-	}
-	// Every node must hold the identical fully reduced vector.
-	want := make([]uint64, len(m.nodes))
-	for c := range want {
-		for id := range m.nodes {
-			want[c] += chunkInit(id, c)
-		}
-		res.Checksum += want[c]
-	}
-	for _, nd := range m.nodes {
-		if !nd.finished {
-			return res, fmt.Errorf("scale: node %d stalled at step %d/%d", nd.id, nd.step, m.total)
-		}
-		for c, v := range nd.chunks {
-			if v != want[c] {
-				return res, fmt.Errorf("scale: node %d chunk %d = %#x, want %#x", nd.id, c, v, want[c])
-			}
-		}
-	}
-	return res, nil
-}
-
-// FlightDump merges every node's local samples into one deterministic
-// flight dump. Nodes log into private slices during the (possibly parallel)
-// run; here the events are ordered by their full content key and re-recorded
-// sequentially, so the bytes are identical across engines, shard counts and
-// OS schedules — the artifact the determinism gate hashes.
-func (m *Machine) FlightDump() []byte {
-	type tagged struct {
-		actor string
-		ev    flight.Event
-	}
-	var all []tagged
-	perActor := 0
-	for _, nd := range m.nodes {
-		if len(nd.log) > perActor {
-			perActor = len(nd.log)
-		}
-		name := fmt.Sprintf("node%04d", nd.id)
-		for _, ev := range nd.log {
-			all = append(all, tagged{actor: name, ev: ev})
-		}
-	}
-	sortTagged := func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.ev.At != b.ev.At {
-			return a.ev.At < b.ev.At
-		}
-		if a.actor != b.actor {
-			return a.actor < b.actor
-		}
-		if a.ev.Kind != b.ev.Kind {
-			return a.ev.Kind < b.ev.Kind
-		}
-		if a.ev.A != b.ev.A {
-			return a.ev.A < b.ev.A
-		}
-		if a.ev.B != b.ev.B {
-			return a.ev.B < b.ev.B
-		}
-		if a.ev.C != b.ev.C {
-			return a.ev.C < b.ev.C
-		}
-		return a.ev.D < b.ev.D
-	}
-	sort.SliceStable(all, sortTagged)
-	rec := flight.New(perActor + 1) // never evict: eviction would reintroduce order sensitivity
-	for _, t := range all {
-		rec.Actor(t.actor).Record(t.ev.At, t.ev.Kind, t.ev.A, t.ev.B, t.ev.C, t.ev.D)
-	}
-	var buf bytes.Buffer
-	if err := rec.Snapshot("scale: end of run").WriteJSON(&buf); err != nil {
-		panic(err)
-	}
-	return buf.Bytes()
+	return mpi.NewTorusWorldOn(mpi.NewTorusOracle(cfg), cfg)
 }

@@ -6,6 +6,9 @@ import (
 	"time"
 
 	"scimpich/internal/obs"
+	"scimpich/internal/ring"
+	"scimpich/internal/sci"
+	"scimpich/internal/torus"
 )
 
 // smallCfg is a 4x4x4 = 64-node machine whose dz supports 1/2/4 shards.
@@ -31,11 +34,11 @@ func TestAllreduceSequentialCompletes(t *testing.T) {
 		t.Fatalf("steps = %d, want %d", res.Steps, 2*(res.Nodes-1))
 	}
 	wantChunks := int64(res.Nodes * res.Steps)
-	if got := reg.Counter("scale.chunks").Value(); got != wantChunks {
-		t.Fatalf("scale.chunks = %d, want %d", got, wantChunks)
+	if got := reg.Counter("mpi.torus.chunks").Value(); got != wantChunks {
+		t.Fatalf("mpi.torus.chunks = %d, want %d", got, wantChunks)
 	}
-	if got := reg.Counter("scale.bytes").Value(); got != wantChunks*cfg.ChunkBytes {
-		t.Fatalf("scale.bytes = %d, want %d", got, wantChunks*cfg.ChunkBytes)
+	if got := reg.Counter("mpi.torus.bytes").Value(); got != wantChunks*cfg.ChunkBytes {
+		t.Fatalf("mpi.torus.bytes = %d, want %d", got, wantChunks*cfg.ChunkBytes)
 	}
 }
 
@@ -60,19 +63,19 @@ type runOut struct {
 	histMax int64
 }
 
-func runMachine(t *testing.T, m *Machine) runOut {
+func runMachine(t *testing.T, m *Machine, reg *obs.Registry) runOut {
 	t.Helper()
 	res, err := m.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	hs := m.reg.Histogram("flow.transfer.ns").Snapshot()
+	hs := reg.Histogram("flow.transfer.ns").Snapshot()
 	return runOut{
 		res:     res,
 		dump:    m.FlightDump(),
-		chunks:  m.reg.Counter("scale.chunks").Value(),
-		bytes:   m.reg.Counter("scale.bytes").Value(),
-		flowB:   m.reg.Counter("flow.bytes").Value(),
+		chunks:  reg.Counter("mpi.torus.chunks").Value(),
+		bytes:   reg.Counter("mpi.torus.bytes").Value(),
+		flowB:   reg.Counter("flow.bytes").Value(),
 		histN:   uint64(hs.Count),
 		histMax: hs.Max,
 	}
@@ -84,21 +87,23 @@ func runMachine(t *testing.T, m *Machine) runOut {
 // the identical checksum on the sequential oracle and on the sharded engine
 // at every shard count.
 func TestCrossEngineDeterminism(t *testing.T) {
-	mk := func(shards int, sharded bool) *Machine {
+	mk := func(shards int, sharded bool) (*Machine, *obs.Registry) {
 		cfg := smallCfg(shards)
 		cfg.SampleEvery = 16
 		cfg.Registry = obs.NewRegistry()
 		if sharded {
-			return NewSharded(cfg)
+			return NewSharded(cfg), cfg.Registry
 		}
-		return NewSequential(cfg)
+		return NewSequential(cfg), cfg.Registry
 	}
-	oracle := runMachine(t, mk(2, false))
+	om, oreg := mk(2, false)
+	oracle := runMachine(t, om, oreg)
 	if oracle.res.End <= 0 || len(oracle.dump) == 0 {
 		t.Fatal("oracle run produced no output")
 	}
 	for _, shards := range []int{1, 2, 4} {
-		got := runMachine(t, mk(shards, true))
+		gm, greg := mk(shards, true)
+		got := runMachine(t, gm, greg)
 		if got.res.End != oracle.res.End {
 			t.Errorf("shards=%d: end %v != oracle %v", shards, got.res.End, oracle.res.End)
 		}
@@ -123,17 +128,17 @@ func TestCrossEngineDeterminism(t *testing.T) {
 // TestShardedRepeatDeterminism: repeated parallel runs are byte-identical —
 // the schedule must not depend on OS goroutine timing.
 func TestShardedRepeatDeterminism(t *testing.T) {
-	base := runMachine(t, func() *Machine {
+	mk := func() (*Machine, *obs.Registry) {
 		cfg := smallCfg(4)
 		cfg.SampleEvery = 16
 		cfg.Registry = obs.NewRegistry()
-		return NewSharded(cfg)
-	}())
+		return NewSharded(cfg), cfg.Registry
+	}
+	bm, breg := mk()
+	base := runMachine(t, bm, breg)
 	for i := 0; i < 3; i++ {
-		cfg := smallCfg(4)
-		cfg.SampleEvery = 16
-		cfg.Registry = obs.NewRegistry()
-		got := runMachine(t, NewSharded(cfg))
+		gm, greg := mk()
+		got := runMachine(t, gm, greg)
 		if got.res.End != base.res.End || !bytes.Equal(got.dump, base.dump) {
 			t.Fatalf("repeat %d diverged: end %v vs %v", i, got.res.End, base.res.End)
 		}
@@ -144,38 +149,19 @@ func TestShardedRepeatDeterminism(t *testing.T) {
 // cross-partition link latencies.
 func TestLookaheadDerivation(t *testing.T) {
 	cfg := smallCfg(4)
-	top, assign := buildTopology(cfg)
+	mkTop := func(c Config) (*torus.Topology, []int) {
+		top := torus.New(c.DX, c.DY, c.DZ, ring.BandwidthForMHz(sci.DefaultConfig(8).LinkMHz), nil).
+			SetLinkLatency(c.SegmentLatency)
+		return top, top.PartitionZ(c.Shards)
+	}
+	top, assign := mkTop(cfg)
 	if la := Lookahead(top, assign, cfg.SegmentLatency); la != cfg.SegmentLatency {
 		t.Fatalf("lookahead = %v, want %v", la, cfg.SegmentLatency)
 	}
 	// Single-shard partition has no cross links; the fallback applies.
 	cfg1 := smallCfg(1)
-	top1, assign1 := buildTopology(cfg1)
+	top1, assign1 := mkTop(cfg1)
 	if la := Lookahead(top1, assign1, 123*time.Nanosecond); la != 123*time.Nanosecond {
 		t.Fatalf("single-shard lookahead fallback = %v", la)
-	}
-}
-
-func TestChunkRotationCoversAll(t *testing.T) {
-	cfg := smallCfg(1)
-	m := NewSequential(cfg)
-	n := len(m.nodes)
-	// Over the reduce-scatter phase every node forwards n-1 distinct chunks;
-	// over the allgather phase likewise.
-	for id := 0; id < n; id += 17 {
-		seen := map[int]bool{}
-		for s := 0; s < n-1; s++ {
-			seen[m.sendChunk(id, s)] = true
-		}
-		if len(seen) != n-1 {
-			t.Fatalf("node %d reduce-scatter covers %d chunks, want %d", id, len(seen), n-1)
-		}
-		seen = map[int]bool{}
-		for s := n - 1; s < 2*(n-1); s++ {
-			seen[m.sendChunk(id, s)] = true
-		}
-		if len(seen) != n-1 {
-			t.Fatalf("node %d allgather covers %d chunks, want %d", id, len(seen), n-1)
-		}
 	}
 }

@@ -19,7 +19,7 @@ import (
 // each with a PCI-SCI adapter, sharing a flow network that resolves link
 // contention in virtual time.
 type Interconnect struct {
-	E    *sim.Engine
+	E    sim.Host
 	Net  *flow.Network
 	Ring *ring.Topology
 	Cfg  Config
@@ -162,7 +162,7 @@ type Node struct {
 func (n *Node) Snapshot() Stats { return n.stats.snapshot() }
 
 // New builds the simulated cluster.
-func New(e *sim.Engine, cfg Config) *Interconnect {
+func New(e sim.Host, cfg Config) *Interconnect {
 	if cfg.Nodes < 1 {
 		panic("sci: need at least one node")
 	}
@@ -172,7 +172,7 @@ func New(e *sim.Engine, cfg Config) *Interconnect {
 	linkBW := ring.BandwidthForMHz(cfg.LinkMHz)
 	ic := &Interconnect{
 		E:    e,
-		Net:  flow.NewNetwork(e),
+		Net:  flow.NewNetworkOn(e),
 		Ring: ring.New(cfg.Nodes, linkBW, flow.SCIRingCongestion{}),
 		Cfg:  cfg,
 	}

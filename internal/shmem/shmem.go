@@ -21,7 +21,7 @@ import (
 
 // Bus is one node's (or one SMP machine's) memory system.
 type Bus struct {
-	e   *sim.Engine
+	e   sim.Host
 	net *flow.Network
 	bus *flow.Link
 	mem *memmodel.Model
@@ -58,12 +58,12 @@ func DefaultConfig() Config {
 
 // NewBus builds a memory system on the engine. A private flow network is
 // created if net is nil.
-func NewBus(e *sim.Engine, net *flow.Network, name string, cfg Config) *Bus {
+func NewBus(e sim.Host, net *flow.Network, name string, cfg Config) *Bus {
 	if cfg.Mem == nil {
 		panic("shmem: config requires a memory model")
 	}
 	if net == nil {
-		net = flow.NewNetwork(e)
+		net = flow.NewNetworkOn(e)
 	}
 	return &Bus{
 		e:             e,

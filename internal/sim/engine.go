@@ -35,33 +35,22 @@ type Scheduler interface {
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
+	procRuntime
 	now    time.Duration
 	seq    uint64
 	queue  eventHeap
-	free   []*event      // recycled events (hot paths schedule without allocating)
-	yield  chan struct{} // procs signal the engine here when they block
-	cur    *Proc
-	nprocs int     // procs spawned and not yet finished
-	procs  []*Proc // registry of all spawned procs (deadlock reports name them)
-	events uint64  // events dispatched by Run
+	free   []*event // recycled events (hot paths schedule without allocating)
+	events uint64   // events dispatched by Run
 
 	// Stopped is set by Stop; Run returns as soon as it is observed.
 	stopped bool
-
-	// pendingPanic holds a panic recovered from a process body, re-raised
-	// by the engine loop.
-	pendingPanic *procPanic
-}
-
-// procPanic wraps a panic that escaped a process body.
-type procPanic struct {
-	proc  string
-	value any
 }
 
 // NewEngine returns an empty simulation at virtual time zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	e := &Engine{}
+	e.initProcs()
+	return e
 }
 
 // Now returns the current virtual time.
@@ -185,15 +174,7 @@ func (e *Engine) Run() time.Duration {
 
 // BlockedProcs returns the names of the non-daemon processes that have been
 // spawned but not finished — the processes a deadlock report must name.
-func (e *Engine) BlockedProcs() []string {
-	var names []string
-	for _, p := range e.procs {
-		if !p.daemon && !p.finished {
-			names = append(names, p.name)
-		}
-	}
-	return names
-}
+func (e *Engine) BlockedProcs() []string { return e.blockedProcs() }
 
 // blockedProcList renders a deadlock name list, capped so a 512-node
 // deadlock stays readable.

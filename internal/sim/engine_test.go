@@ -256,8 +256,12 @@ func TestPanicInProcSurfacesInRun(t *testing.T) {
 		if r == nil {
 			t.Fatal("proc panic did not surface in Run")
 		}
-		if s, ok := r.(string); !ok || !strings.Contains(s, "kaboom") || !strings.Contains(s, "boom") {
-			t.Fatalf("panic value %v lacks context", r)
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %v (%T) is not an error", r, r)
+		}
+		if s := err.Error(); !strings.Contains(s, "kaboom") || !strings.Contains(s, `"boom"`) {
+			t.Fatalf("panic message %q lacks context", s)
 		}
 	}()
 	e.Run()

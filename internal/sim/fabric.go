@@ -7,12 +7,14 @@ import (
 
 // Locale is one scheduling domain of a partitioned simulation program: a
 // shard of a ShardedEngine, or a logical slice of a sequential Engine. A
-// program written against Locales (actor state confined to one locale,
-// cross-locale interaction only through Send with at least the fabric's
-// lookahead of delay) runs unchanged on either engine, which is what makes
-// the sequential engine a differential-testing oracle for the sharded one.
+// program written against Locales (actor and process state confined to one
+// locale, cross-locale interaction only through Send with at least the
+// fabric's lookahead of delay) runs unchanged on either engine, which is
+// what makes the sequential engine a differential-testing oracle for the
+// sharded one. A Locale is a Host: it can run cooperative Procs, so full
+// protocol worlds (the MPI stack) can be constructed on a locale.
 type Locale interface {
-	Scheduler
+	Host
 	ID() int
 	Send(dst int, d time.Duration, fn func(any), arg any)
 }
@@ -40,6 +42,15 @@ type seqFabric struct {
 	e         *Engine
 	lookahead time.Duration
 	locales   []seqLocale
+}
+
+// NewLocalFabric is the blessed constructor for single-machine harnesses:
+// a fabric of n locales over a fresh sequential Engine. Benchmarks and
+// tests that previously called NewEngine directly construct their
+// components on Locale(i) of this fabric instead, so the same harness code
+// moves to a ShardedEngine by swapping only the fabric.
+func NewLocalFabric(n int, lookahead time.Duration) Fabric {
+	return NewSeqFabric(NewEngine(), n, lookahead)
 }
 
 // NewSeqFabric wraps e as a fabric of n locales with the given lookahead.
@@ -76,6 +87,12 @@ func (l *seqLocale) After(d time.Duration, fn func()) Timer { return l.f.e.After
 
 func (l *seqLocale) AfterCall(d time.Duration, fn func(any), arg any) Timer {
 	return l.f.e.AfterCall(d, fn, arg)
+}
+
+func (l *seqLocale) Go(name string, body func(p *Proc)) *Proc { return l.f.e.Go(name, body) }
+
+func (l *seqLocale) GoDaemon(name string, body func(p *Proc)) *Proc {
+	return l.f.e.GoDaemon(name, body)
 }
 
 func (l *seqLocale) Send(dst int, d time.Duration, fn func(any), arg any) {

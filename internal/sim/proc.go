@@ -5,14 +5,61 @@ import (
 	"time"
 )
 
+// Host is a Scheduler that can also run cooperative processes: the
+// sequential Engine, one Shard of a ShardedEngine, or a Locale of a Fabric.
+// Layers that spawn procs or device daemons (the SCI interconnect, the MPI
+// device, shared-memory buses) accept a Host so the same protocol stack
+// runs unchanged under either engine. The cooperative contract is per host:
+// at most one process of a host executes at any moment, so state confined
+// to one host needs no locking even when several hosts (shards) run in
+// parallel.
+type Host interface {
+	Scheduler
+	Go(name string, body func(p *Proc)) *Proc
+	GoDaemon(name string, body func(p *Proc)) *Proc
+}
+
+// procRuntime is the cooperative-process machinery shared by the sequential
+// Engine and each Shard of a ShardedEngine: the yield handshake, the
+// current-process pointer, and the registry the deadlock report names.
+type procRuntime struct {
+	yield  chan struct{} // procs signal the runtime here when they block
+	cur    *Proc
+	nprocs int     // non-daemon procs spawned and not yet finished
+	procs  []*Proc // registry of all spawned procs (deadlock reports name them)
+
+	// pendingPanic holds a panic recovered from a process body, re-raised
+	// by dispatch on the host's goroutine.
+	pendingPanic *procPanic
+}
+
+// initProcs prepares the runtime (the yield channel cannot be the zero
+// value).
+func (rt *procRuntime) initProcs() { rt.yield = make(chan struct{}) }
+
+// procPanic wraps a panic that escaped a process body. It is re-raised as
+// the panic value itself so outer recovery layers (the sharded engine's
+// window recover) can attribute it to the process by name.
+type procPanic struct {
+	proc  string
+	value any
+}
+
+func (pp *procPanic) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", pp.proc, pp.value)
+}
+
 // Proc is a cooperative simulated process. A Proc's body runs on its own
-// goroutine, but the engine guarantees that at most one process executes at
-// a time; a process runs until it blocks on a virtual-time primitive.
+// goroutine, but its host guarantees that at most one of its processes
+// executes at a time; a process runs until it blocks on a virtual-time
+// primitive.
 //
 // All Proc methods must be called from the process's own body.
 type Proc struct {
-	e      *Engine
-	name   string
+	rt   *procRuntime
+	host Host
+	name string
+
 	resume chan struct{}
 	// parked is true while the proc is blocked waiting for an external
 	// wake (not a self-scheduled timer). Used to catch double-wakes.
@@ -29,73 +76,87 @@ type Proc struct {
 	dispatchFn func()
 }
 
-// Engine returns the engine this process belongs to.
-func (p *Proc) Engine() *Engine { return p.e }
+// Host returns the host this process runs on (an Engine, a Shard, or a
+// Locale-backed host). Use it to schedule events or spawn helper procs on
+// the same scheduling domain as p.
+func (p *Proc) Host() Host { return p.host }
 
 // Name returns the process name given at spawn time.
 func (p *Proc) Name() string { return p.name }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() time.Duration { return p.e.now }
+// Now returns the current virtual time of the process's host.
+func (p *Proc) Now() time.Duration { return p.host.Now() }
 
 // Go spawns a new process. The body starts at the current virtual time,
 // after already-scheduled same-time events. Go may be called before Run or
 // from within any process or event callback.
 func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
-	return e.spawn(name, body, false)
+	return spawnProc(e, &e.procRuntime, name, body, false)
 }
 
 // GoDaemon spawns a daemon process: one that services requests forever and
 // is allowed to still be blocked when the event queue drains (it does not
 // trigger the deadlock check). Use it for device handler threads.
 func (e *Engine) GoDaemon(name string, body func(p *Proc)) *Proc {
-	return e.spawn(name, body, true)
+	return spawnProc(e, &e.procRuntime, name, body, true)
 }
 
-func (e *Engine) spawn(name string, body func(p *Proc), daemon bool) *Proc {
-	p := &Proc{e: e, name: name, resume: make(chan struct{}), daemon: daemon}
-	p.dispatchFn = func() { e.dispatch(p) }
+func spawnProc(h Host, rt *procRuntime, name string, body func(p *Proc), daemon bool) *Proc {
+	p := &Proc{rt: rt, host: h, name: name, resume: make(chan struct{}), daemon: daemon}
+	p.dispatchFn = func() { rt.dispatch(p) }
 	if !daemon {
-		e.nprocs++
+		rt.nprocs++
 	}
-	e.procs = append(e.procs, p)
+	rt.procs = append(rt.procs, p)
 	go func() {
 		<-p.resume // wait for first dispatch
-		// A panic in a process body is re-raised inside Run so callers
-		// (and tests) can observe it on the engine's goroutine.
+		// A panic in a process body is re-raised inside the host's event
+		// loop so callers (and tests) can observe it on that goroutine.
 		defer func() {
 			if r := recover(); r != nil {
-				e.pendingPanic = &procPanic{proc: p.name, value: r}
+				rt.pendingPanic = &procPanic{proc: p.name, value: r}
 			}
 			p.finished = true
 			if !p.daemon {
-				e.nprocs--
+				rt.nprocs--
 			}
-			e.yield <- struct{}{} // return control to the engine for good
+			rt.yield <- struct{}{} // return control to the host for good
 		}()
 		body(p)
 	}()
-	e.After(0, p.dispatchFn)
+	h.After(0, p.dispatchFn)
 	return p
 }
 
 // dispatch transfers control to p until it blocks again.
-func (e *Engine) dispatch(p *Proc) {
-	prev := e.cur
-	e.cur = p
+func (rt *procRuntime) dispatch(p *Proc) {
+	prev := rt.cur
+	rt.cur = p
 	p.resume <- struct{}{}
-	<-e.yield
-	e.cur = prev
-	if pp := e.pendingPanic; pp != nil {
-		e.pendingPanic = nil
-		panic(fmt.Sprintf("sim: process %q panicked: %v", pp.proc, pp.value))
+	<-rt.yield
+	rt.cur = prev
+	if pp := rt.pendingPanic; pp != nil {
+		rt.pendingPanic = nil
+		panic(pp)
 	}
 }
 
-// yieldToEngine blocks the calling process and resumes the engine loop.
-// The process will continue when something calls e.dispatch(p) again.
-func (p *Proc) yieldToEngine() {
-	p.e.yield <- struct{}{}
+// blockedProcs returns the names of the non-daemon processes that have been
+// spawned but not finished — the processes a deadlock report must name.
+func (rt *procRuntime) blockedProcs() []string {
+	var names []string
+	for _, p := range rt.procs {
+		if !p.daemon && !p.finished {
+			names = append(names, p.name)
+		}
+	}
+	return names
+}
+
+// yieldToHost blocks the calling process and resumes the host's event loop.
+// The process will continue when something calls rt.dispatch(p) again.
+func (p *Proc) yieldToHost() {
+	p.rt.yield <- struct{}{}
 	<-p.resume
 }
 
@@ -103,8 +164,8 @@ func (p *Proc) yieldToEngine() {
 // zero; Sleep(0) still yields, letting same-time events run.
 func (p *Proc) Sleep(d time.Duration) {
 	p.checkCurrent("Sleep")
-	p.e.After(d, p.dispatchFn)
-	p.yieldToEngine()
+	p.host.After(d, p.dispatchFn)
+	p.yieldToHost()
 }
 
 // park blocks the process until Wake is called on it. It is the building
@@ -112,22 +173,23 @@ func (p *Proc) Sleep(d time.Duration) {
 func (p *Proc) park() {
 	p.checkCurrent("park")
 	p.parked = true
-	p.yieldToEngine()
+	p.yieldToHost()
 }
 
 // wake schedules a parked process to resume at the current virtual time.
 // Waking a process that is not parked panics: it indicates a bookkeeping bug
-// in a synchronization primitive.
+// in a synchronization primitive. Synchronization primitives are confined to
+// one host: waking a process from another shard would corrupt both heaps.
 func (p *Proc) wake() {
 	if !p.parked {
 		panic(fmt.Sprintf("sim: wake of non-parked process %q", p.name))
 	}
 	p.parked = false
-	p.e.After(0, p.dispatchFn)
+	p.host.After(0, p.dispatchFn)
 }
 
 func (p *Proc) checkCurrent(op string) {
-	if p.e.cur != p {
+	if p.rt.cur != p {
 		panic(fmt.Sprintf("sim: %s called on process %q from outside its body", op, p.name))
 	}
 }

@@ -45,8 +45,11 @@ type xmsg struct {
 // Shard is one worker of a ShardedEngine: a private clock, heap and
 // freelist. During a window only the shard's own goroutine touches its
 // state, so event callbacks run lock-free; between windows only the
-// coordinator does. Shard implements Scheduler and Locale.
+// coordinator does. Shard implements Scheduler, Host and Locale: a shard
+// can run cooperative Procs, so a full protocol world confined to one
+// shard behaves exactly as it would on the sequential Engine.
 type Shard struct {
+	procRuntime
 	id     int
 	eng    *ShardedEngine
 	now    time.Duration
@@ -60,6 +63,20 @@ type Shard struct {
 
 // ID returns the shard's index within its engine.
 func (s *Shard) ID() int { return s.id }
+
+// Go spawns a cooperative process hosted on this shard. The process runs
+// only inside the shard's windows (on the shard's worker goroutine), so it
+// may freely touch shard-confined state; it must never touch another
+// shard's state — cross-shard interaction goes through Send.
+func (s *Shard) Go(name string, body func(p *Proc)) *Proc {
+	return spawnProc(s, &s.procRuntime, name, body, false)
+}
+
+// GoDaemon spawns a daemon process hosted on this shard (see
+// Engine.GoDaemon).
+func (s *Shard) GoDaemon(name string, body func(p *Proc)) *Proc {
+	return spawnProc(s, &s.procRuntime, name, body, true)
+}
 
 // Now returns the shard's current virtual time (the time of the last event
 // it executed).
@@ -154,13 +171,18 @@ func (s *Shard) head() time.Duration {
 
 // window runs runWindow, converting a panic that escapes an event callback
 // into a recorded failure (first one wins) for Run to re-raise on its own
-// goroutine.
+// goroutine. A panic that originated inside a hosted process body arrives
+// as a *procPanic, preserving the process name for attribution.
 func (s *Shard) window(until time.Duration) {
 	defer func() {
 		if r := recover(); r != nil {
+			sp := &shardPanic{shard: s.id, value: r}
+			if pp, ok := r.(*procPanic); ok {
+				sp.proc, sp.value = pp.proc, pp.value
+			}
 			s.eng.panicMu.Lock()
 			if s.eng.panicked == nil {
-				s.eng.panicked = &shardPanic{shard: s.id, value: r}
+				s.eng.panicked = sp
 			}
 			s.eng.panicMu.Unlock()
 			s.eng.stopped.Store(true)
@@ -211,9 +233,11 @@ type ShardedEngine struct {
 	panicked *shardPanic // first panic recovered from a worker, re-raised by Run
 }
 
-// shardPanic wraps a panic that escaped an event callback on a shard.
+// shardPanic wraps a panic that escaped an event callback on a shard. proc
+// is non-empty when the panic escaped the body of a hosted process.
 type shardPanic struct {
 	shard int
+	proc  string
 	value any
 }
 
@@ -233,12 +257,14 @@ func NewShardedEngine(nshards int, lookahead time.Duration) *ShardedEngine {
 	se := &ShardedEngine{lookahead: lookahead}
 	se.shards = make([]*Shard, nshards)
 	for i := range se.shards {
-		se.shards[i] = &Shard{
+		s := &Shard{
 			id:     i,
 			eng:    se,
 			outbox: make([][]xmsg, nshards),
 			work:   make(chan time.Duration),
 		}
+		s.initProcs()
+		se.shards[i] = s
 	}
 	return se
 }
@@ -316,10 +342,32 @@ func (se *ShardedEngine) Run() time.Duration {
 	if p := se.panicked; p != nil {
 		// Re-raise on the caller's goroutine: a panic that escapes an event
 		// callback on a worker would otherwise kill the whole process with no
-		// chance for the caller (or a test) to observe it.
+		// chance for the caller (or a test) to observe it. A panic from a
+		// hosted process names the process (an MPI rank) and the shard.
+		if p.proc != "" {
+			panic(fmt.Sprintf("sim: shard %d: process %q panicked: %v", p.shard, p.proc, p.value))
+		}
 		panic(fmt.Sprintf("sim: shard %d: %v", p.shard, p.value))
 	}
 	var end time.Duration
+	if !se.stopped.Load() {
+		// Deadlock check, mirroring Engine.Run: the queues drained but some
+		// hosted non-daemon process never finished — nothing can wake it.
+		blocked := 0
+		var names []string
+		for _, s := range se.shards {
+			if s.nprocs > 0 {
+				blocked += s.nprocs
+				for _, nm := range s.blockedProcs() {
+					names = append(names, fmt.Sprintf("%s (shard %d)", nm, s.id))
+				}
+			}
+		}
+		if blocked > 0 {
+			panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked with no pending events: %s",
+				blocked, blockedProcList(names)))
+		}
+	}
 	for _, s := range se.shards {
 		if s.now > end {
 			end = s.now

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShardHostedProcs: shards host cooperative processes exactly like the
+// sequential engine does — Sleep advances the shard clock, futures park
+// and wake procs, and cross-shard callbacks can complete a future a proc
+// is awaiting.
+func TestShardHostedProcs(t *testing.T) {
+	se := NewShardedEngine(2, time.Microsecond)
+	var ends [2]time.Duration
+	fut := NewFuture()
+	se.Shard(0).Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Microsecond)
+		ends[0] = p.Now()
+	})
+	se.Shard(1).Go("waiter", func(p *Proc) {
+		if v := p.Await(fut); v != "ping" {
+			t.Errorf("await = %v, want ping", v)
+		}
+		ends[1] = p.Now()
+	})
+	se.Shard(0).At(2*time.Microsecond, func() {
+		se.Shard(0).Send(1, 3*time.Microsecond, func(any) { fut.Complete("ping") }, nil)
+	})
+	end := se.Run()
+	if ends[0] != 5*time.Microsecond {
+		t.Fatalf("sleeper finished at %v, want 5µs", ends[0])
+	}
+	if ends[1] != 5*time.Microsecond {
+		t.Fatalf("waiter finished at %v, want 5µs (send at 2µs + 3µs delay)", ends[1])
+	}
+	if end != 5*time.Microsecond {
+		t.Fatalf("end = %v, want 5µs", end)
+	}
+}
+
+// TestShardProcPanicAttribution: a panic inside a shard-hosted process
+// surfaces from Run with both the shard id and the process name.
+func TestShardProcPanicAttribution(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic from Run")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "shard 1") || !strings.Contains(msg, `process "rank3"`) ||
+			!strings.Contains(msg, "boom") {
+			t.Fatalf("panic lacks shard/proc attribution: %q", msg)
+		}
+	}()
+	se := NewShardedEngine(2, time.Microsecond)
+	se.Shard(1).Go("rank3", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		panic("boom")
+	})
+	se.Run()
+}
+
+// TestShardProcDeadlockNamesShard: a shard-hosted process still blocked
+// when the engine runs out of events is reported with its hosting shard.
+func TestShardProcDeadlockNamesShard(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic from Run")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "deadlock") || !strings.Contains(msg, "stuck (shard 1)") {
+			t.Fatalf("deadlock panic lacks shard attribution: %q", msg)
+		}
+	}()
+	se := NewShardedEngine(2, time.Microsecond)
+	se.Shard(0).Go("fine", func(p *Proc) { p.Sleep(time.Microsecond) })
+	se.Shard(1).Go("stuck", func(p *Proc) { p.Await(NewFuture()) })
+	se.Run()
+}

@@ -71,7 +71,7 @@ func (p *Proc) AwaitTimeout(f *Future, d time.Duration) (any, bool) {
 	}
 	f.waiters = append(f.waiters, p)
 	timedOut := false
-	t := p.e.After(d, func() {
+	t := p.host.After(d, func() {
 		// Complete clears f.waiters before waking, so if the future has
 		// fired we will not find p here and must not wake it again.
 		for i, w := range f.waiters {
@@ -203,7 +203,7 @@ func (p *Proc) RecvTimeout(c *Chan, d time.Duration) (any, bool) {
 	var box any
 	c.recvers = append(c.recvers, chanWaiter{p: p, box: &box})
 	timedOut := false
-	t := p.e.After(d, func() {
+	t := p.host.After(d, func() {
 		// Send/Post remove the waiter before waking, so finding our box
 		// here means no value was handed off.
 		for i := range c.recvers {

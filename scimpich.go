@@ -35,15 +35,34 @@ import (
 	"scimpich/internal/datatype"
 	"scimpich/internal/mpi"
 	"scimpich/internal/osc"
+	"scimpich/internal/sim"
 )
 
 // Cluster configuration and runtime.
 type (
 	// Config describes a simulated cluster (nodes, SMP width, interconnect
-	// and protocol parameters).
+	// and protocol parameters). Config.Shards selects the engine: the
+	// sequential oracle by default, the conservative-parallel sharded
+	// engine for Shards > 1 — same virtual outcome, byte for byte.
 	Config = mpi.Config
 	// Comm is a rank's communicator handle.
 	Comm = mpi.Comm
+	// World is a wired cluster (NewWorldOn); most programs use Run and
+	// never touch it.
+	World = mpi.World
+	// Fabric is the simulation substrate a world runs on: a set of
+	// locales advancing one virtual clock (internal/sim.Fabric).
+	Fabric = sim.Fabric
+	// Placement assigns world ranks to fabric locales.
+	Placement = mpi.Placement
+	// TorusConfig parameterizes the §6-scale 3-D torus collective machine
+	// (TorusWorld): a dx*dy*dz node grid running the chunked ring
+	// allreduce, shardable by z-planes.
+	TorusConfig = mpi.TorusConfig
+	// TorusResult summarizes a completed torus run.
+	TorusResult = mpi.TorusResult
+	// TorusWorld is the torus collective machine.
+	TorusWorld = mpi.TorusWorld
 	// Status describes a completed receive.
 	Status = mpi.Status
 	// Request is a nonblocking operation handle.
@@ -137,8 +156,31 @@ var (
 )
 
 // Run builds a simulated cluster and executes main once per rank, returning
-// the final virtual time.
+// the final virtual time. Config.Shards picks the engine (see Config).
 var Run = mpi.Run
+
+// Fabric-first construction: NewFabric builds the engine Run would use for
+// a Config, RunOn runs a cluster on an existing fabric, and NewWorldOn
+// wires a cluster onto a fabric locale without running it — for harnesses
+// that mix in extra simulation components. NewLocalFabric wraps a fresh
+// sequential engine as an n-locale fabric.
+var (
+	NewFabric      = mpi.NewFabric
+	RunOn          = mpi.RunOn
+	NewWorldOn     = mpi.NewWorldOn
+	NewPlacement   = mpi.NewPlacement
+	NewLocalFabric = sim.NewLocalFabric
+)
+
+// The §6-scale torus collective machine, shardable by z-planes: the
+// sharded fabric, the sequential oracle fabric, and the world constructor
+// that runs on either.
+var (
+	DefaultTorusConfig = mpi.DefaultTorusConfig
+	NewTorusFabric     = mpi.NewTorusFabric
+	NewTorusOracle     = mpi.NewTorusOracle
+	NewTorusWorldOn    = mpi.NewTorusWorldOn
+)
 
 // DefaultConfig returns a cluster configuration matching the paper's
 // testbed (dual Pentium-III nodes on a 166 MHz SCI ringlet).
